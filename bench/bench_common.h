@@ -1,0 +1,50 @@
+#ifndef DEEPDIVE_BENCH_BENCH_COMMON_H_
+#define DEEPDIVE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "factor/factor_graph.h"
+#include "util/random.h"
+
+namespace deepdive::bench {
+
+/// Synthetic pairwise factor graph (the tradeoff-study workload of Section
+/// 3.2.4): `n` variables, one pairwise factor per consecutive pair plus
+/// random chords, weights U[-0.5, 0.5]; a `sparsity` fraction of factors
+/// keeps a nonzero weight (the rest are zeroed, Figure 5(c)'s axis).
+inline factor::FactorGraph PairwiseGraph(size_t n, double sparsity, uint64_t seed,
+                                         double weight_scale = 0.5,
+                                         double chords_per_var = 0.5) {
+  factor::FactorGraph g;
+  Rng rng(seed);
+  if (n > 0) g.AddVariables(n);
+  auto add_pair = [&](factor::VarId a, factor::VarId b) {
+    const double w =
+        rng.Bernoulli(sparsity) ? rng.Uniform(-weight_scale, weight_scale) : 0.0;
+    g.AddSimpleFactor(a, {{b, false}}, g.AddWeight(w, false));
+  };
+  for (size_t i = 0; i + 1 < n; ++i) {
+    add_pair(static_cast<factor::VarId>(i), static_cast<factor::VarId>(i + 1));
+  }
+  // Random chords for non-tree (and optionally dense) structure.
+  const size_t chords = static_cast<size_t>(chords_per_var * static_cast<double>(n));
+  for (size_t i = 0; i < chords; ++i) {
+    const auto a = static_cast<factor::VarId>(rng.UniformInt(n));
+    const auto b = static_cast<factor::VarId>(rng.UniformInt(n));
+    if (a != b) add_pair(a, b);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    g.AddSimpleFactor(static_cast<factor::VarId>(i), {},
+                      g.AddWeight(rng.Uniform(-0.2, 0.2), false));
+  }
+  return g;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace deepdive::bench
+
+#endif  // DEEPDIVE_BENCH_BENCH_COMMON_H_

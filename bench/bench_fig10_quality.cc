@@ -1,0 +1,80 @@
+// Figure 10: (a) quality (F1) against cumulative execution time for Rerun vs
+// Incremental on News — same quality trajectory, reached much faster; and
+// (b) quality of the three semantics (Linear / Logical / Ratio) across the
+// five systems — Ratio >= Logical >= Linear, with system ordering
+// Paleontology > Adversarial > Pharma > Genomics > News.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "kbc/snapshots.h"
+
+namespace deepdive::bench {
+namespace {
+
+void PartA() {
+  PrintHeader("Figure 10(a): News quality over cumulative time");
+  kbc::SystemProfile profile = kbc::ProfileFor(kbc::SystemKind::kNews);
+  profile.num_documents = 200;
+  kbc::PipelineOptions options;
+  options.config = core::FastTestConfig();
+  options.seed = 7;
+  auto result = kbc::RunSnapshotComparison(profile, options);
+  if (!result.ok()) {
+    std::printf("failed: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-5s | %-21s | %-21s\n", "Rule", "Rerun  (cum s, F1)",
+              "Incremental (cum s, F1)");
+  for (const auto& row : result->rows) {
+    std::printf("%-5s | %10.3f  %8.3f | %10.3f  %8.3f\n", row.rule.c_str(),
+                row.rerun_cumulative, row.rerun_f1, row.incremental_cumulative,
+                row.incremental_f1);
+  }
+  const double speedup = result->incremental_total_seconds > 0
+                             ? result->rerun_total_seconds /
+                                   result->incremental_total_seconds
+                             : 0;
+  std::printf("total: Rerun %.3f s vs Incremental %.3f s  (%.1fx to same quality)\n",
+              result->rerun_total_seconds, result->incremental_total_seconds, speedup);
+}
+
+void PartB() {
+  PrintHeader("Figure 10(b): F1 of different semantics across systems");
+  std::printf("%-10s", "");
+  for (const auto& profile : kbc::AllProfiles()) std::printf(" %12s", profile.name.c_str());
+  std::printf("\n");
+  for (dsl::Semantics semantics :
+       {dsl::Semantics::kLinear, dsl::Semantics::kLogical, dsl::Semantics::kRatio}) {
+    std::printf("%-10s", dsl::SemanticsName(semantics));
+    for (const auto& profile : kbc::AllProfiles()) {
+      kbc::SystemProfile scaled = profile;
+      scaled.num_documents = std::min<size_t>(profile.num_documents, 200);
+      kbc::PipelineOptions options;
+      options.config = core::FastTestConfig();
+      options.config.mode = core::ExecutionMode::kRerun;
+      options.semantics = semantics;
+      options.seed = 9;
+      auto pipeline = kbc::KbcPipeline::Build(scaled, options);
+      if (!pipeline.ok() || !(*pipeline)->Initialize().ok()) {
+        std::printf(" %12s", "fail");
+        continue;
+      }
+      bool ok = true;
+      for (const std::string& rule : kbc::KbcPipeline::UpdateSequence()) {
+        ok = ok && (*pipeline)->ApplyUpdate(rule).ok();
+      }
+      // Entity-level (fact) F1: the layer where g(n) aggregation matters.
+      std::printf(" %12.3f", ok ? (*pipeline)->EvaluateFacts(0.5).f1 : -1.0);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace deepdive::bench
+
+int main() {
+  deepdive::bench::PartA();
+  deepdive::bench::PartB();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 11: lesion study of the materialization tradeoff space on News.
+// Configurations: the full optimizer, sampling disabled, variational
+// disabled, and NoWorkloadInfo (always try sampling first, fall back when
+// samples run out — no per-update classification). Expected shape: each
+// lesion is slower than the full system on some rule class; NoWorkloadInfo
+// trails the optimizer.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "kbc/pipeline.h"
+
+namespace deepdive::bench {
+namespace {
+
+struct Config {
+  const char* name;
+  bool sampling_enabled;
+  bool variational_enabled;
+  bool force_sampling_first;  // NoWorkloadInfo
+};
+
+void Run() {
+  PrintHeader("Figure 11: lesion study on News (inference seconds per rule)");
+  const Config kConfigs[] = {
+      {"Full", true, true, false},
+      {"NoSampling", false, true, false},
+      {"NoVariational", true, false, false},
+      {"NoWorkloadInfo", true, true, true},
+  };
+
+  kbc::SystemProfile profile = kbc::ProfileFor(kbc::SystemKind::kNews);
+  profile.num_documents = 200;
+
+  std::printf("%-15s", "Config");
+  for (const std::string& rule : kbc::KbcPipeline::UpdateSequence()) {
+    std::printf(" %9s", rule.c_str());
+  }
+  std::printf(" %10s\n", "total");
+
+  for (const Config& config : kConfigs) {
+    kbc::PipelineOptions options;
+    options.config = core::FastTestConfig();
+    options.config.mode = core::ExecutionMode::kIncremental;
+    options.config.engine.optimizer.sampling_enabled = config.sampling_enabled;
+    options.config.engine.optimizer.variational_enabled = config.variational_enabled;
+    if (config.force_sampling_first) {
+      options.config.engine.forced_strategy = incremental::Strategy::kSampling;
+    }
+    options.seed = 15;
+
+    auto pipeline = kbc::KbcPipeline::Build(profile, options);
+    if (!pipeline.ok() || !(*pipeline)->Initialize().ok()) {
+      std::printf("%-15s build failed\n", config.name);
+      continue;
+    }
+    std::printf("%-15s", config.name);
+    double total = 0.0;
+    for (const std::string& rule : kbc::KbcPipeline::UpdateSequence()) {
+      auto report = (*pipeline)->ApplyUpdate(rule);
+      if (!report.ok()) {
+        std::printf(" %9s", "fail");
+        continue;
+      }
+      const double secs = report->learning_seconds + report->inference_seconds;
+      total += secs;
+      std::printf(" %9.3f", secs);
+    }
+    std::printf(" %10.3f\n", total);
+  }
+}
+
+}  // namespace
+}  // namespace deepdive::bench
+
+int main() {
+  deepdive::bench::Run();
+  return 0;
+}

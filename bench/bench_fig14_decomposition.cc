@@ -1,0 +1,83 @@
+// Figure 14 (Appendix B.1): lesion study of factor-graph decomposition.
+// After the News system is built and materialized, a developer-scale update
+// touches a small fraction of the corpus (new features on 5% of the
+// sentences). With decomposition, re-inference is confined to the touched
+// per-sentence components; NoDecomposition re-runs the strategy over the
+// whole graph. Expected shape: multi-x gap that grows with graph size.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "incremental/engine.h"
+#include "kbc/pipeline.h"
+#include "util/timer.h"
+
+namespace deepdive::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 14: decomposition lesion (small update on News)");
+  std::printf("%12s | %-17s %-17s\n", "", "All", "NoDecomposition");
+  std::printf("%12s | %8s %8s %8s %8s\n", "#sentences", "infer(s)", "affected",
+              "infer(s)", "affected");
+
+  for (size_t docs : {150u, 400u, 1000u}) {
+    kbc::SystemProfile profile = kbc::ProfileFor(kbc::SystemKind::kNews);
+    profile.num_documents = docs;
+    kbc::PipelineOptions options;
+    options.config = core::FastTestConfig();
+    options.config.mode = core::ExecutionMode::kIncremental;
+    options.entity_layer = false;  // per-sentence components
+    options.seed = 21;
+
+    auto pipeline = kbc::KbcPipeline::Build(profile, options);
+    if (!pipeline.ok() || !(*pipeline)->Initialize().ok()) {
+      std::printf("build failed\n");
+      return;
+    }
+    for (const std::string& rule : kbc::KbcPipeline::UpdateSequence()) {
+      if (!(*pipeline)->ApplyUpdate(rule).ok()) return;
+    }
+    auto& dd = (*pipeline)->deepdive();
+    factor::FactorGraph* graph = dd.mutable_graph();
+
+    std::printf("%12zu |", docs * profile.sentences_per_doc);
+    for (bool decomposition : {true, false}) {
+      // Fresh materialization of the developed system, then one small
+      // update: a new feature factor on ~5% of the candidate pairs.
+      incremental::IncrementalEngine engine(graph);
+      incremental::MaterializationOptions mopts =
+          options.config.materialization;
+      mopts.num_samples = 400;
+      if (!engine.Materialize(mopts).ok()) return;
+
+      factor::GraphDelta delta;
+      Rng rng(decomposition ? 5 : 5);  // identical delta for both arms
+      const auto vars = dd.ground().VariablesOf(kbc::KbcPipeline::QueryRelation());
+      const size_t touched = std::max<size_t>(1, vars.size() / 20);
+      const factor::WeightId w = graph->AddWeight(0.6, true, "fig14");
+      for (size_t i = 0; i < touched; ++i) {
+        delta.new_groups.push_back(graph->AddSimpleFactor(
+            vars[rng.UniformInt(vars.size())], {}, w));
+      }
+
+      incremental::EngineOptions eopts = options.config.engine;
+      eopts.decomposition_enabled = decomposition;
+      Timer timer;
+      auto outcome = engine.ApplyDelta(delta, eopts);
+      if (!outcome.ok()) return;
+      std::printf(" %8.4f %8zu", timer.Seconds(), outcome->affected_vars);
+
+      // Retract the probe factors so the next arm sees the same graph.
+      for (factor::GroupId g : delta.new_groups) graph->DeactivateGroup(g);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace deepdive::bench
+
+int main() {
+  deepdive::bench::Run();
+  return 0;
+}

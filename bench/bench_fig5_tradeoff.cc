@@ -1,0 +1,233 @@
+// Figure 5: the materialization-strategy tradeoff space.
+//   (a) materialization + inference time vs graph size (strawman explodes
+//       past ~20 variables);
+//   (b) sampling-vs-variational inference time vs MH acceptance rate;
+//   (c) inference time vs correlation sparsity (variational wins on sparse
+//       graphs).
+// Absolute numbers are machine-specific; the reproduction targets the
+// *shape*: who wins where, and the crossovers.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "incremental/mh_sampler.h"
+#include "incremental/sample_store.h"
+#include "incremental/strawman.h"
+#include "incremental/variational.h"
+#include "inference/gibbs.h"
+#include "util/timer.h"
+
+namespace deepdive::bench {
+namespace {
+
+using factor::FactorGraph;
+using factor::GraphDelta;
+using factor::VarId;
+using incremental::IndependentMH;
+using incremental::MHOptions;
+using incremental::SampleStore;
+using incremental::StrawmanMaterialization;
+using incremental::VariationalMaterialization;
+using incremental::VariationalOptions;
+
+constexpr size_t kMaterializationSamples = 100;  // SM
+constexpr size_t kInferenceSamples = 100;        // SI
+
+SampleStore DrawStore(const FactorGraph& g, size_t count, uint64_t seed) {
+  inference::GibbsSampler sampler(&g);
+  inference::GibbsOptions options;
+  options.burn_in_sweeps = 20;
+  options.seed = seed;
+  SampleStore store;
+  store.AddAll(sampler.DrawSamples(count, 1, options));
+  return store;
+}
+
+/// A small structural update: one new pairwise factor per 100 variables.
+GraphDelta SmallDelta(FactorGraph* g, double weight) {
+  GraphDelta delta;
+  Rng rng(4242);
+  const size_t n = g->NumVariables();
+  const size_t count = std::max<size_t>(1, n / 100);
+  for (size_t i = 0; i < count; ++i) {
+    const auto a = static_cast<VarId>(rng.UniformInt(n));
+    const auto b = static_cast<VarId>(rng.UniformInt(n));
+    if (a == b) continue;
+    delta.new_groups.push_back(
+        g->AddSimpleFactor(a, {{b, false}}, g->AddWeight(weight, false)));
+  }
+  return delta;
+}
+
+double SamplingInference(const FactorGraph& g, const GraphDelta& delta,
+                         SampleStore* store) {
+  Timer timer;
+  IndependentMH mh(&g, &delta);
+  MHOptions options;
+  options.target_steps = store->size();
+  options.target_accepted = kInferenceSamples;
+  auto result = mh.Run(store, options);
+  (void)result;
+  return timer.Seconds();
+}
+
+double VariationalInference(const FactorGraph& original,
+                            const VariationalMaterialization& vmat,
+                            const GraphDelta& delta) {
+  Timer timer;
+  FactorGraph inf = incremental::BuildVariationalInferenceGraph(
+      original, vmat.approx_graph(), delta);
+  inference::GibbsSampler sampler(&inf);
+  inference::GibbsOptions options;
+  options.burn_in_sweeps = 5;
+  options.sample_sweeps = kInferenceSamples;
+  sampler.EstimateMarginals(options);
+  return timer.Seconds();
+}
+
+void PartA() {
+  PrintHeader("Figure 5(a): size of the factor graph");
+  std::printf("%8s | %12s %12s %12s | %12s %12s %12s\n", "n", "mat.straw", "mat.samp",
+              "mat.var", "inf.straw", "inf.samp", "inf.var");
+  for (size_t n : {2u, 10u, 17u, 100u, 1000u, 10000u}) {
+    FactorGraph g = PairwiseGraph(n, 1.0, 7 + n);
+
+    double mat_straw = -1, inf_straw = -1;
+    StatusOr<StrawmanMaterialization> strawman =
+        Status::FailedPrecondition("not materialized");
+    if (n <= 17) {
+      Timer t;
+      strawman = StrawmanMaterialization::Materialize(g, 20);
+      mat_straw = t.Seconds();
+    }
+
+    Timer t_samp;
+    SampleStore store = DrawStore(g, kMaterializationSamples, 11);
+    const double mat_samp = t_samp.Seconds();
+
+    Timer t_var;
+    VariationalOptions vopts;
+    vopts.num_samples = kMaterializationSamples;
+    vopts.gibbs_burn_in = 20;
+    vopts.fit_epochs = 30;
+    vopts.lambda = 0.1;
+    auto vmat = VariationalMaterialization::Materialize(g, vopts);
+    const double mat_var = t_var.Seconds();
+
+    GraphDelta delta = SmallDelta(&g, 0.3);
+
+    if (n <= 17 && strawman.ok()) {
+      Timer t;
+      (void)strawman->InferUpdated(g, delta);
+      inf_straw = t.Seconds();
+    }
+    const double inf_samp = SamplingInference(g, delta, &store);
+    const double inf_var =
+        vmat.ok() ? VariationalInference(g, *vmat, delta) : -1;
+
+    auto cell = [](double v) {
+      return v < 0 ? std::string("    infeasible") : StrFormat("%12.5f", v);
+    };
+    std::printf("%8zu | %s %s %s | %s %s %s\n", n, cell(mat_straw).c_str(),
+                cell(mat_samp).c_str(), cell(mat_var).c_str(), cell(inf_straw).c_str(),
+                cell(inf_samp).c_str(), cell(inf_var).c_str());
+  }
+}
+
+void PartB() {
+  PrintHeader("Figure 5(b): amount of change (acceptance rate)");
+  std::printf("%12s | %14s %14s | %s\n", "target-rate", "inf.sampling", "inf.variational",
+              "measured acceptance");
+  const size_t n = 1000;
+  // Delta weight magnitude controls how far Pr(D) drifts from Pr(0):
+  // calibrated to span acceptance ~1.0 down to ~0.01.
+  const struct {
+    double target;
+    double weight;
+    size_t factors;
+  } kPoints[] = {{1.0, 0.0, 1}, {0.5, 0.35, 8}, {0.1, 0.6, 40}, {0.01, 1.2, 150}};
+
+  for (const auto& point : kPoints) {
+    FactorGraph g = PairwiseGraph(n, 1.0, 31);
+    SampleStore store = DrawStore(g, 40000, 13);
+
+    GraphDelta delta;
+    Rng rng(17);
+    for (size_t i = 0; i < point.factors && point.weight > 0; ++i) {
+      const auto a = static_cast<VarId>(rng.UniformInt(n));
+      const auto b = static_cast<VarId>(rng.UniformInt(n));
+      if (a == b) continue;
+      delta.new_groups.push_back(
+          g.AddSimpleFactor(a, {{b, false}}, g.AddWeight(point.weight, false)));
+    }
+
+    Timer t_s;
+    IndependentMH mh(&g, &delta);
+    MHOptions options;
+    options.target_steps = store.size();
+    options.target_accepted = kInferenceSamples;
+    auto result = mh.Run(&store, options);
+    const double inf_samp = t_s.Seconds();
+
+    VariationalOptions vopts;
+    vopts.num_samples = kMaterializationSamples;
+    vopts.gibbs_burn_in = 20;
+    vopts.fit_epochs = 30;
+    vopts.lambda = 0.1;
+    auto vmat = VariationalMaterialization::Materialize(g, vopts);
+    const double inf_var = vmat.ok() ? VariationalInference(g, *vmat, delta) : -1;
+
+    std::printf("%12g | %14.5f %14.5f | %.3f\n", point.target, inf_samp, inf_var,
+                result.ok() ? result->acceptance_rate : -1.0);
+  }
+}
+
+void PartC() {
+  PrintHeader("Figure 5(c): sparsity of correlations");
+  std::printf("%8s | %14s %14s | %s\n", "sparsity", "inf.sampling", "inf.variational",
+              "approx edges");
+  const size_t n = 1000;
+  for (double sparsity : {0.1, 0.2, 0.3, 0.5, 1.0}) {
+    // Dense base graph (~4 factors/variable) so the edge count, not the
+    // unary sweep floor, dominates inference cost — the paper's setting.
+    FactorGraph g = PairwiseGraph(n, sparsity, 53, /*weight_scale=*/1.2,
+                                  /*chords_per_var=*/3.0);
+    SampleStore store = DrawStore(g, 40000, 19);
+
+    // A real development-iteration update (many new factors): acceptance is
+    // low, so the sampling approach pays SI/rho proposals while the
+    // variational cost tracks the approximate graph's density.
+    GraphDelta delta;
+    Rng rng(61);
+    for (size_t i = 0; i < 60; ++i) {
+      const auto a = static_cast<VarId>(rng.UniformInt(n));
+      const auto b = static_cast<VarId>(rng.UniformInt(n));
+      if (a == b) continue;
+      delta.new_groups.push_back(
+          g.AddSimpleFactor(a, {{b, false}}, g.AddWeight(0.8, false)));
+    }
+
+    const double inf_samp = SamplingInference(g, delta, &store);
+
+    VariationalOptions vopts;
+    vopts.num_samples = 300;
+    vopts.gibbs_burn_in = 20;
+    vopts.fit_epochs = 30;
+    vopts.lambda = 0.25;
+    auto vmat = VariationalMaterialization::Materialize(g, vopts);
+    const double inf_var = vmat.ok() ? VariationalInference(g, *vmat, delta) : -1;
+
+    std::printf("%8.1f | %14.5f %14.5f | %zu\n", sparsity, inf_samp, inf_var,
+                vmat.ok() ? vmat->NumEdges() : 0);
+  }
+}
+
+}  // namespace
+}  // namespace deepdive::bench
+
+int main() {
+  deepdive::bench::PartA();
+  deepdive::bench::PartB();
+  deepdive::bench::PartC();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 9: end-to-end efficiency of incremental inference and learning.
+// For each of the five KBC systems and each rule update (Figure 8's
+// templates A1, FE1, FE2, I1, S1, S2), the statistical-inference+learning
+// time of Rerun vs Incremental and the speedup. Expected shape: A1 has the
+// largest speedup (100% MH acceptance, no learning), FE/S/I rules speed up
+// less; Incremental never loses.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "kbc/snapshots.h"
+
+namespace deepdive::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 9: Rerun vs Incremental, inference+learning seconds per update");
+  std::printf("%-5s", "Rule");
+  for (const auto& profile : kbc::AllProfiles()) {
+    std::printf(" | %-24s", profile.name.c_str());
+  }
+  std::printf("\n%-5s", "");
+  for (size_t i = 0; i < 5; ++i) std::printf(" | %8s %8s %6s", "Rerun", "Inc.", "x");
+  std::printf("\n");
+
+  std::vector<kbc::SnapshotComparison> results;
+  for (const auto& profile : kbc::AllProfiles()) {
+    kbc::SystemProfile scaled = profile;
+    scaled.num_documents = std::min<size_t>(profile.num_documents, 250);
+    kbc::PipelineOptions options;
+    options.config = core::FastTestConfig();
+    options.seed = 11;
+    auto result = kbc::RunSnapshotComparison(scaled, options);
+    if (!result.ok()) {
+      std::printf("snapshot comparison failed for %s: %s\n", profile.name.c_str(),
+                  result.status().ToString().c_str());
+      return;
+    }
+    results.push_back(std::move(result).value());
+  }
+
+  const auto sequence = kbc::KbcPipeline::UpdateSequence();
+  for (size_t r = 0; r < sequence.size(); ++r) {
+    std::printf("%-5s", sequence[r].c_str());
+    for (const auto& result : results) {
+      const kbc::SnapshotRow& row = result.rows[r];
+      std::printf(" | %8.3f %8.3f %5.1fx", row.rerun_seconds, row.incremental_seconds,
+                  row.speedup);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nStrategy chosen by the optimizer (News column):\n");
+  const auto& news = results[1];
+  for (const auto& row : news.rows) {
+    std::printf("  %-4s -> %-12s acceptance=%.3f\n", row.rule.c_str(),
+                incremental::StrategyName(row.strategy), row.acceptance_rate);
+  }
+  std::printf("\nMarginal agreement (Section 4.2, News): ");
+  std::printf("high-conf agreement=%.3f, frac |dp|>0.05=%.3f\n",
+              news.rows.back().high_confidence_agreement,
+              news.rows.back().fraction_differing_05);
+  std::printf("One-time materialization cost (News): %.3f s\n",
+              news.materialization_seconds);
+}
+
+}  // namespace
+}  // namespace deepdive::bench
+
+int main() {
+  deepdive::bench::Run();
+  return 0;
+}

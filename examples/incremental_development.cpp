@@ -1,0 +1,48 @@
+// The paper's headline scenario (Section 4.2): a developer iterates on a KBC
+// system — analysis, new features, a new inference rule, new supervision —
+// and the incremental engine delivers each iteration's results far faster
+// than rerunning from scratch, with the same facts at the same confidences.
+//
+// Build & run:  ./build/examples/incremental_development
+#include <cstdio>
+
+#include "kbc/metrics.h"
+#include "kbc/snapshots.h"
+
+int main() {
+  using namespace deepdive;
+
+  kbc::SystemProfile profile = kbc::ProfileFor(kbc::SystemKind::kNews);
+  profile.num_documents = 150;
+
+  kbc::PipelineOptions options;
+  options.config = core::FastTestConfig();
+  options.seed = 4;
+
+  std::printf("running the six-update development loop twice "
+              "(Rerun vs Incremental)...\n\n");
+  auto result = kbc::RunSnapshotComparison(profile, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-5s | %9s %9s %7s | %7s %7s | %-12s\n", "rule", "rerun(s)",
+              "inc(s)", "x", "F1.re", "F1.inc", "strategy");
+  for (const auto& row : result->rows) {
+    std::printf("%-5s | %9.3f %9.3f %6.1fx | %7.3f %7.3f | %-12s\n",
+                row.rule.c_str(), row.rerun_seconds, row.incremental_seconds,
+                row.speedup, row.rerun_f1, row.incremental_f1,
+                incremental::StrategyName(row.strategy));
+  }
+  std::printf("\ncumulative wall clock: rerun=%.3fs incremental=%.3fs "
+              "(one-time materialization: %.3fs)\n",
+              result->rerun_total_seconds, result->incremental_total_seconds,
+              result->materialization_seconds);
+  const auto& last = result->rows.back();
+  std::printf("final marginal agreement: %.1f%% of high-confidence facts shared; "
+              "%.1f%% of facts differ by more than 0.05\n",
+              100.0 * last.high_confidence_agreement,
+              100.0 * last.fraction_differing_05);
+  return 0;
+}

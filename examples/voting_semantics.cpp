@@ -1,0 +1,74 @@
+// Example 2.5: how the choice of g(n) (Linear / Ratio / Logical, Figure 4)
+// changes what the same evidence means. Conflicting up/down "born in" votes
+// are aggregated under each semantics, exactly via the factor-graph
+// machinery, plus the closed form for the paper's 10^6-vote scenario.
+//
+// Build & run:  ./build/examples/voting_semantics
+#include <cmath>
+#include <cstdio>
+
+#include "factor/factor_graph.h"
+#include "inference/exact.h"
+
+using namespace deepdive;
+
+namespace {
+
+double VoteProbability(size_t up, size_t down, factor::Semantics semantics) {
+  factor::FactorGraph g;
+  const factor::VarId q = g.AddVariable();
+  const auto w_up = g.AddWeight(1.0, false, "up");
+  const auto w_down = g.AddWeight(-1.0, false, "down");
+  const auto g_up = g.AddGroup(0, q, w_up, semantics);
+  for (size_t i = 0; i < up; ++i) g.AddClause(g_up, {});
+  const auto g_down = g.AddGroup(1, q, w_down, semantics);
+  for (size_t i = 0; i < down; ++i) g.AddClause(g_down, {});
+  auto exact = inference::ExactInference(g);
+  return exact.ok() ? exact->marginals[q] : -1.0;
+}
+
+double ClosedForm(double up, double down, factor::Semantics semantics) {
+  auto gn = [&](double n) {
+    switch (semantics) {
+      case factor::Semantics::kLinear:
+        return n;
+      case factor::Semantics::kRatio:
+        return std::log1p(n);
+      case factor::Semantics::kLogical:
+        return n > 0 ? 1.0 : 0.0;
+    }
+    return 0.0;
+  };
+  const double w = gn(up) - gn(down);
+  return 1.0 / (1.0 + std::exp(-2.0 * w));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("q() :- Up(x) weight 1   /   q() :- Down(x) weight -1\n\n");
+  std::printf("%8s %8s | %10s %10s %10s\n", "|Up|", "|Down|", "linear", "ratio",
+              "logical");
+  const struct {
+    size_t up, down;
+  } kCases[] = {{1, 0}, {5, 5}, {8, 5}, {100, 1}, {12, 10}};
+  for (const auto& c : kCases) {
+    std::printf("%8zu %8zu |", c.up, c.down);
+    for (auto s : {factor::Semantics::kLinear, factor::Semantics::kRatio,
+                   factor::Semantics::kLogical}) {
+      std::printf(" %10.4f", VoteProbability(c.up, c.down, s));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nExample 2.5's web-scale case, |Up| = 10^6, |Down| = 10^6 - 100\n");
+  std::printf("(closed form; 100 extra votes out of a million are noise):\n");
+  for (auto s : {factor::Semantics::kLinear, factor::Semantics::kRatio,
+                 factor::Semantics::kLogical}) {
+    std::printf("  %-8s P(q) = %.6f\n", factor::SemanticsName(s),
+                ClosedForm(1e6, 1e6 - 100, s));
+  }
+  std::printf("\nLinear saturates to certainty; Ratio and Logical stay ~0.5 —\n"
+              "no semantics subsumes the others (Section 2.4).\n");
+  return 0;
+}

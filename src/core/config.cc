@@ -1,0 +1,36 @@
+#include "core/config.h"
+
+namespace deepdive::core {
+
+const char* ExecutionModeName(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kIncremental:
+      return "Incremental";
+    case ExecutionMode::kRerun:
+      return "Rerun";
+  }
+  return "?";
+}
+
+DeepDiveConfig FastTestConfig() {
+  DeepDiveConfig config;
+  config.gibbs.burn_in_sweeps = 20;
+  config.gibbs.sample_sweeps = 500;
+  config.learner.epochs = 40;
+  config.learner.l2 = 0.01;
+  config.incremental_learning_epochs = 12;
+  // Enough stored samples for ~6 updates before rule 4 (out of samples)
+  // forces the variational path.
+  config.materialization.num_samples = 1500;
+  config.materialization.gibbs_burn_in = 20;
+  config.materialization.variational.num_samples = 80;
+  config.materialization.variational.gibbs_burn_in = 20;
+  config.materialization.variational.fit_epochs = 30;
+  config.engine.mh_target_steps = 200;
+  config.engine.gibbs.burn_in_sweeps = 10;
+  config.engine.gibbs.sample_sweeps = 400;
+  config.engine.rerun_gibbs = config.gibbs;  // cold chain: full budget
+  return config;
+}
+
+}  // namespace deepdive::core

@@ -1,0 +1,259 @@
+#include "core/deepdive.h"
+
+#include <cmath>
+
+#include "inference/gibbs.h"
+#include "inference/learner.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace deepdive::core {
+
+using factor::GraphDelta;
+using factor::VarId;
+using factor::WeightId;
+
+DeepDive::DeepDive(dsl::Program program, DeepDiveConfig config)
+    : program_(std::move(program)), config_(config) {}
+
+StatusOr<std::unique_ptr<DeepDive>> DeepDive::Create(const std::string& program_source,
+                                                     DeepDiveConfig config) {
+  DD_ASSIGN_OR_RETURN(dsl::Program program, dsl::CompileProgram(program_source));
+  std::unique_ptr<DeepDive> dd(new DeepDive(std::move(program), config));
+  DD_RETURN_IF_ERROR(dd->program_.InstantiateSchema(&dd->db_));
+  return dd;
+}
+
+Status DeepDive::LoadRows(const std::string& relation, const std::vector<Tuple>& rows) {
+  DD_CHECK(!initialized_) << "LoadRows must precede Initialize";
+  Table* table = db_.GetTable(relation);
+  if (table == nullptr) return Status::NotFound("no relation '" + relation + "'");
+  for (const Tuple& row : rows) {
+    DD_RETURN_IF_ERROR(table->Insert(row).status());
+  }
+  return Status::OK();
+}
+
+bool DeepDive::HasEvidence() const {
+  for (VarId v = 0; v < ground_.graph.NumVariables(); ++v) {
+    if (ground_.graph.IsEvidence(v)) return true;
+  }
+  return false;
+}
+
+Status DeepDive::Initialize() {
+  DD_CHECK(!initialized_);
+  views_ = std::make_unique<engine::ViewMaintainer>(&program_, &db_);
+  DD_RETURN_IF_ERROR(views_->Initialize());
+
+  grounder_ = std::make_unique<grounding::IncrementalGrounder>(&program_, &db_, &ground_);
+  DD_RETURN_IF_ERROR(grounder_->Initialize());
+  DD_RETURN_IF_ERROR(grounder_->GroundAll().status());
+
+  if (HasEvidence()) {
+    inference::Learner learner(&ground_.graph);
+    inference::LearnerOptions lopts = config_.learner;
+    lopts.warmstart = false;
+    lopts.seed = config_.seed;
+    learner.Learn(lopts);
+  }
+
+  inference::GibbsSampler sampler(&ground_.graph);
+  inference::GibbsOptions gopts = config_.gibbs;
+  gopts.seed = config_.seed + 1;
+  marginals_ = sampler.EstimateMarginals(gopts).marginals;
+  for (VarId v = 0; v < ground_.graph.NumVariables(); ++v) {
+    const auto ev = ground_.graph.EvidenceValue(v);
+    if (ev.has_value()) marginals_[v] = *ev ? 1.0 : 0.0;
+  }
+
+  if (config_.mode == ExecutionMode::kIncremental) {
+    inc_engine_ = std::make_unique<incremental::IncrementalEngine>(&ground_.graph);
+    incremental::MaterializationOptions mopts = config_.materialization;
+    mopts.seed = config_.seed + 2;
+    DD_RETURN_IF_ERROR(inc_engine_->Materialize(mopts));
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+const incremental::MaterializationStats& DeepDive::materialization_stats() const {
+  static const incremental::MaterializationStats kEmpty;
+  return inc_engine_ ? inc_engine_->materialization_stats() : kEmpty;
+}
+
+StatusOr<UpdateReport> DeepDive::ApplyUpdate(const UpdateSpec& update) {
+  DD_CHECK(initialized_) << "call Initialize first";
+  UpdateReport report;
+  report.label = update.label;
+
+  // ---- shared prologue: program fragment + relational changes ----
+  Timer ground_timer;
+
+  dsl::Program fragment;
+  bool has_fragment = false;
+  if (!update.add_rules.empty()) {
+    DD_ASSIGN_OR_RETURN(fragment, dsl::AnalyzeFragment(program_, update.add_rules));
+    has_fragment = true;
+    // New relations need tables before any data lands in them.
+    for (const dsl::RelationDecl& rel : fragment.relations()) {
+      if (!db_.HasTable(rel.name)) {
+        DD_RETURN_IF_ERROR(db_.CreateTable(rel.name, rel.schema).status());
+      }
+    }
+    DD_RETURN_IF_ERROR(program_.Merge(fragment));
+    // The view layer must know about fragment-declared relations before any
+    // data lands in them.
+    DD_RETURN_IF_ERROR(views_->RefreshRelations());
+  }
+
+  engine::RelationDeltas external;
+  for (const auto& [relation, rows] : update.inserts) {
+    if (db_.GetTable(relation) == nullptr) {
+      return Status::NotFound("insert into unknown relation '" + relation + "'");
+    }
+    for (const Tuple& row : rows) external[relation].Add(row, +1);
+  }
+  for (const auto& [relation, rows] : update.deletes) {
+    if (db_.GetTable(relation) == nullptr) {
+      return Status::NotFound("delete from unknown relation '" + relation + "'");
+    }
+    for (const Tuple& row : rows) external[relation].Add(row, -1);
+  }
+
+  GraphDelta delta;
+  if (!external.empty()) {
+    DD_ASSIGN_OR_RETURN(engine::RelationDeltas set_deltas, views_->ApplyUpdate(external));
+    DD_ASSIGN_OR_RETURN(GraphDelta d, grounder_->ApplyRelationDeltas(set_deltas));
+    delta.Merge(d);
+  }
+  if (has_fragment) {
+    for (const dsl::DeductiveRule& rule : fragment.deductive_rules()) {
+      DD_ASSIGN_OR_RETURN(engine::RelationDeltas set_deltas, views_->AddRule(rule));
+      DD_ASSIGN_OR_RETURN(GraphDelta d, grounder_->ApplyRelationDeltas(set_deltas));
+      delta.Merge(d);
+    }
+    for (const dsl::FactorRule& rule : fragment.factor_rules()) {
+      DD_ASSIGN_OR_RETURN(GraphDelta d, grounder_->AddFactorRule(rule));
+      delta.Merge(d);
+    }
+  }
+  for (const std::string& label : update.remove_rule_labels) {
+    // A label may name a deductive rule, a factor rule, or both.
+    auto removed_views = views_->RemoveRule(label);
+    if (removed_views.ok()) {
+      DD_ASSIGN_OR_RETURN(GraphDelta d,
+                          grounder_->ApplyRelationDeltas(removed_views.value()));
+      delta.Merge(d);
+    }
+    auto removed_factors = grounder_->RemoveFactorRule(label);
+    if (removed_factors.ok()) delta.Merge(removed_factors.value());
+    if (!removed_views.ok() && !removed_factors.ok()) {
+      return Status::NotFound("no rule labeled '" + label + "'");
+    }
+    program_.RemoveRulesByLabel(label);
+  }
+  report.grounding_seconds = ground_timer.Seconds();
+
+  if (config_.mode == ExecutionMode::kRerun) {
+    DD_RETURN_IF_ERROR(RunFullPipeline(&report, /*cold_learning=*/true));
+  } else {
+    // ---- incremental learning ----
+    Timer learn_timer;
+    if (!update.analysis_only && !update.skip_learning && HasEvidence() &&
+        !delta.empty()) {
+      LearnIncremental(&delta);
+    }
+    report.learning_seconds = learn_timer.Seconds();
+
+    // ---- incremental inference ----
+    Timer infer_timer;
+    DD_ASSIGN_OR_RETURN(incremental::UpdateOutcome outcome,
+                        inc_engine_->ApplyDelta(delta, config_.engine));
+    report.inference_seconds = infer_timer.Seconds();
+    marginals_ = outcome.marginals;
+    report.strategy = outcome.fell_back_to_variational
+                          ? incremental::Strategy::kVariational
+                          : outcome.strategy;
+    report.acceptance_rate = outcome.acceptance_rate;
+    report.affected_vars = outcome.affected_vars;
+  }
+
+  report.graph_variables = ground_.graph.NumVariables();
+  report.graph_factors = ground_.graph.NumActiveClauses();
+  history_.push_back(report);
+  return report;
+}
+
+Status DeepDive::RunFullPipeline(UpdateReport* report, bool cold_learning) {
+  // Re-ground from scratch: fresh graph, fresh grounder (Rerun baseline).
+  Timer ground_timer;
+  ground_ = grounding::GroundGraph{};
+  grounder_ = std::make_unique<grounding::IncrementalGrounder>(&program_, &db_, &ground_);
+  DD_RETURN_IF_ERROR(grounder_->Initialize());
+  DD_RETURN_IF_ERROR(grounder_->GroundAll().status());
+  report->grounding_seconds += ground_timer.Seconds();
+
+  Timer learn_timer;
+  if (HasEvidence()) {
+    inference::Learner learner(&ground_.graph);
+    inference::LearnerOptions lopts = config_.learner;
+    lopts.warmstart = !cold_learning;
+    lopts.seed = config_.seed + history_.size();
+    learner.Learn(lopts);
+  }
+  report->learning_seconds = learn_timer.Seconds();
+
+  Timer infer_timer;
+  inference::GibbsSampler sampler(&ground_.graph);
+  inference::GibbsOptions gopts = config_.gibbs;
+  gopts.seed = config_.seed + 13 * (history_.size() + 1);
+  marginals_ = sampler.EstimateMarginals(gopts).marginals;
+  for (VarId v = 0; v < ground_.graph.NumVariables(); ++v) {
+    const auto ev = ground_.graph.EvidenceValue(v);
+    if (ev.has_value()) marginals_[v] = *ev ? 1.0 : 0.0;
+  }
+  report->inference_seconds = infer_timer.Seconds();
+  report->strategy = incremental::Strategy::kRerun;
+  return Status::OK();
+}
+
+void DeepDive::LearnIncremental(GraphDelta* delta) {
+  std::vector<double> before(ground_.graph.NumWeights());
+  for (WeightId w = 0; w < ground_.graph.NumWeights(); ++w) {
+    before[w] = ground_.graph.WeightValue(w);
+  }
+  inference::Learner learner(&ground_.graph);
+  inference::LearnerOptions lopts = config_.learner;
+  lopts.warmstart = true;
+  lopts.epochs = config_.incremental_learning_epochs;
+  lopts.seed = config_.seed + 29 * (history_.size() + 1);
+  learner.Learn(lopts);
+  for (WeightId w = 0; w < ground_.graph.NumWeights(); ++w) {
+    const double after = ground_.graph.WeightValue(w);
+    if (std::abs(after - before[w]) > 1e-12) {
+      delta->weight_changes.push_back(
+          GraphDelta::WeightChange{w, before[w], after});
+    }
+  }
+}
+
+double DeepDive::MarginalOf(const std::string& relation, const Tuple& tuple) const {
+  const VarId var = ground_.FindVariable(relation, tuple);
+  if (var == factor::kNoVar || var >= marginals_.size()) return 0.5;
+  return marginals_[var];
+}
+
+std::vector<std::pair<Tuple, double>> DeepDive::Marginals(
+    const std::string& relation) const {
+  std::vector<std::pair<Tuple, double>> out;
+  auto it = ground_.var_index.find(relation);
+  if (it == ground_.var_index.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [tuple, var] : it->second) {
+    out.emplace_back(tuple, var < marginals_.size() ? marginals_[var] : 0.5);
+  }
+  return out;
+}
+
+}  // namespace deepdive::core

@@ -1,0 +1,123 @@
+#ifndef DEEPDIVE_CORE_DEEPDIVE_H_
+#define DEEPDIVE_CORE_DEEPDIVE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "dsl/program.h"
+#include "engine/view_maintenance.h"
+#include "grounding/grounder.h"
+#include "grounding/incremental_grounder.h"
+#include "incremental/engine.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace deepdive::core {
+
+/// One development-loop update (Figure 1): data changes, rule changes, or a
+/// pure analysis step, applied atomically followed by learning + inference.
+struct UpdateSpec {
+  std::string label;  // e.g. "FE1"
+  std::map<std::string, std::vector<Tuple>> inserts;
+  std::map<std::string, std::vector<Tuple>> deletes;
+  /// DSL fragment with new rules (and possibly new relations).
+  std::string add_rules;
+  std::vector<std::string> remove_rule_labels;
+  /// Pure analysis (rule A1): recompute marginals, nothing changes.
+  bool analysis_only = false;
+  /// Skip the learning step even if evidence exists (pure inference).
+  bool skip_learning = false;
+};
+
+/// Timing/diagnostics for one update.
+struct UpdateReport {
+  std::string label;
+  double grounding_seconds = 0.0;   // view maintenance + factor grounding
+  double learning_seconds = 0.0;
+  double inference_seconds = 0.0;
+  double TotalSeconds() const {
+    return grounding_seconds + learning_seconds + inference_seconds;
+  }
+  incremental::Strategy strategy = incremental::Strategy::kRerun;
+  double acceptance_rate = -1.0;
+  size_t affected_vars = 0;
+  size_t graph_variables = 0;
+  size_t graph_factors = 0;  // active clauses
+};
+
+/// End-to-end DeepDive engine: declarative program + relational store +
+/// DRed view maintenance + (incremental) grounding + learning + inference.
+///
+/// Typical use:
+///   auto dd = DeepDive::Create(program_source, config);
+///   dd->LoadRows("Sentence", sentences);
+///   dd->Initialize();                       // views, grounding, materialize
+///   dd->ApplyUpdate(update);                // iterate the development loop
+///   dd->Marginals("HasSpouse");
+class DeepDive {
+ public:
+  static StatusOr<std::unique_ptr<DeepDive>> Create(const std::string& program_source,
+                                                    DeepDiveConfig config);
+
+  Database* db() { return &db_; }
+  const dsl::Program& program() const { return program_; }
+  const grounding::GroundGraph& ground() const { return ground_; }
+  factor::FactorGraph* mutable_graph() { return &ground_.graph; }
+  const DeepDiveConfig& config() const { return config_; }
+
+  /// Bulk-loads base data. Must precede Initialize().
+  Status LoadRows(const std::string& relation, const std::vector<Tuple>& rows);
+
+  /// Evaluates all views, grounds the factor graph, learns (if evidence
+  /// exists), runs initial inference, and — in incremental mode —
+  /// materializes both incremental-inference approaches.
+  Status Initialize();
+
+  /// Applies one update and refreshes marginals. In Rerun mode this
+  /// re-grounds / re-learns / re-infers from scratch.
+  StatusOr<UpdateReport> ApplyUpdate(const UpdateSpec& update);
+
+  /// Marginal probability of a query tuple (0.5 if unknown variable).
+  double MarginalOf(const std::string& relation, const Tuple& tuple) const;
+
+  /// All (tuple, marginal) pairs of a query relation.
+  std::vector<std::pair<Tuple, double>> Marginals(const std::string& relation) const;
+
+  /// Raw marginal vector indexed by VarId.
+  const std::vector<double>& marginal_vector() const { return marginals_; }
+
+  const std::vector<UpdateReport>& history() const { return history_; }
+  const incremental::MaterializationStats& materialization_stats() const;
+
+ private:
+  DeepDive(dsl::Program program, DeepDiveConfig config);
+
+  Status RunFullPipeline(UpdateReport* report, bool cold_learning);
+  Status RunIncrementalUpdate(const UpdateSpec& update, UpdateReport* report);
+
+  /// Incremental learning with warmstart; records weight changes in `delta`.
+  void LearnIncremental(factor::GraphDelta* delta);
+
+  bool HasEvidence() const;
+
+  dsl::Program program_;
+  DeepDiveConfig config_;
+  Database db_;
+
+  std::unique_ptr<engine::ViewMaintainer> views_;
+  grounding::GroundGraph ground_;
+  std::unique_ptr<grounding::IncrementalGrounder> grounder_;
+  std::unique_ptr<incremental::IncrementalEngine> inc_engine_;
+
+  std::vector<double> marginals_;
+  std::vector<UpdateReport> history_;
+  bool initialized_ = false;
+};
+
+}  // namespace deepdive::core
+
+#endif  // DEEPDIVE_CORE_DEEPDIVE_H_

@@ -1,0 +1,21 @@
+#ifndef DEEPDIVE_DSL_ANALYZER_H_
+#define DEEPDIVE_DSL_ANALYZER_H_
+
+#include <map>
+#include <string>
+
+#include "dsl/ast.h"
+#include "util/status.h"
+
+namespace deepdive::dsl {
+
+/// Infers the types of the variables appearing in one rule's atoms from the
+/// declared relation schemas. Fails on type conflicts. Exposed for the
+/// engine's plan compiler and for tests.
+StatusOr<std::map<std::string, ValueType>> InferVariableTypes(
+    const std::vector<RelationDecl>& relations, const Atom& head,
+    const std::vector<Atom>& body);
+
+}  // namespace deepdive::dsl
+
+#endif  // DEEPDIVE_DSL_ANALYZER_H_

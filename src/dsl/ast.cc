@@ -1,0 +1,108 @@
+#include "dsl/ast.h"
+
+#include "util/string_util.h"
+
+namespace deepdive::dsl {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* SemanticsName(Semantics semantics) {
+  switch (semantics) {
+    case Semantics::kLinear:
+      return "linear";
+    case Semantics::kRatio:
+      return "ratio";
+    case Semantics::kLogical:
+      return "logical";
+  }
+  return "?";
+}
+
+std::string TermToString(const Term& term) {
+  if (term.is_var()) return term.var;
+  if (term.constant.type() == ValueType::kString) {
+    return "\"" + term.constant.ToString() + "\"";
+  }
+  return term.constant.ToString();
+}
+
+std::string AtomToString(const Atom& atom) {
+  std::string out;
+  if (atom.negated) out += "!";
+  out += atom.predicate;
+  out += "(";
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    if (i) out += ", ";
+    out += TermToString(atom.terms[i]);
+  }
+  out += ")";
+  return out;
+}
+
+namespace {
+std::string BodyToString(const std::vector<Atom>& body,
+                         const std::vector<Condition>& conditions) {
+  std::string out;
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i) out += ", ";
+    out += AtomToString(body[i]);
+  }
+  for (const Condition& c : conditions) {
+    if (!out.empty()) out += ", ";
+    out += TermToString(c.lhs);
+    out += " ";
+    out += CompareOpName(c.op);
+    out += " ";
+    out += TermToString(c.rhs);
+  }
+  return out;
+}
+}  // namespace
+
+std::string DeductiveRuleToString(const DeductiveRule& rule) {
+  std::string out = "rule ";
+  if (!rule.label.empty()) out += rule.label + ": ";
+  out += AtomToString(rule.head);
+  out += " :- ";
+  out += BodyToString(rule.body, rule.conditions);
+  out += ".";
+  return out;
+}
+
+std::string FactorRuleToString(const FactorRule& rule) {
+  std::string out = "factor ";
+  if (!rule.label.empty()) out += rule.label + ": ";
+  out += AtomToString(rule.head);
+  out += " :- ";
+  out += BodyToString(rule.body, rule.conditions);
+  out += " weight = ";
+  if (rule.weight.kind == WeightSpec::Kind::kTied) {
+    out += "w(" + JoinStrings(rule.weight.tied_vars, ", ") + ")";
+  } else if (rule.weight.learnable) {
+    out += "?";
+  } else {
+    out += StrFormat("%g", rule.weight.fixed_value);
+  }
+  out += " semantics = ";
+  out += SemanticsName(rule.semantics);
+  out += ".";
+  return out;
+}
+
+}  // namespace deepdive::dsl

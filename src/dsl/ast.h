@@ -1,0 +1,140 @@
+#ifndef DEEPDIVE_DSL_AST_H_
+#define DEEPDIVE_DSL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace deepdive::dsl {
+
+/// How a relation participates in the probabilistic program (Section 2.4).
+enum class RelationKind {
+  kBase,      // deterministic EDB/IDB facts
+  kQuery,     // each tuple is a Boolean random variable
+  kEvidence,  // labeled tuples fixing a query relation's variables
+};
+
+/// Declared relation: `relation R(a: int, b: string).`,
+/// `query relation Q(x: int).`, or `evidence E(x: int, l: bool) for Q.`
+struct RelationDecl {
+  std::string name;
+  Schema schema;
+  RelationKind kind = RelationKind::kBase;
+  std::string evidence_for;  // only for kEvidence
+};
+
+/// An argument of an atom: either a variable or a constant.
+struct Term {
+  enum class Kind { kVariable, kConstant } kind = Kind::kVariable;
+  std::string var;  // kVariable
+  Value constant;   // kConstant
+
+  static Term Var(std::string name) {
+    Term t;
+    t.kind = Kind::kVariable;
+    t.var = std::move(name);
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.kind = Kind::kConstant;
+    t.constant = std::move(v);
+    return t;
+  }
+  bool is_var() const { return kind == Kind::kVariable; }
+};
+
+/// `Pred(t1, ..., tk)`, possibly negated (`!Pred(...)`) in rule bodies.
+struct Atom {
+  std::string predicate;
+  std::vector<Term> terms;
+  bool negated = false;
+};
+
+/// Comparison between two terms: `x != y`, `n < 5`, ...
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+struct Condition {
+  Term lhs;
+  CompareOp op = CompareOp::kEq;
+  Term rhs;
+};
+
+/// Weight specification of a factor rule (Section 2.4, "Extension to
+/// General Rules"): a fixed real, or a tied weight parameterized by body
+/// variables (`weight = w(f)` — one learned weight per distinct binding).
+struct WeightSpec {
+  enum class Kind { kFixed, kTied } kind = Kind::kFixed;
+  double fixed_value = 0.0;
+  std::vector<std::string> tied_vars;  // kTied
+  bool learnable = false;              // fixed weights may still be learned: `weight = ?`
+
+  static WeightSpec Fixed(double w) {
+    WeightSpec s;
+    s.kind = Kind::kFixed;
+    s.fixed_value = w;
+    return s;
+  }
+  static WeightSpec Learnable() {
+    WeightSpec s;
+    s.kind = Kind::kFixed;
+    s.fixed_value = 0.0;
+    s.learnable = true;
+    return s;
+  }
+  static WeightSpec Tied(std::vector<std::string> vars) {
+    WeightSpec s;
+    s.kind = Kind::kTied;
+    s.tied_vars = std::move(vars);
+    s.learnable = true;
+    return s;
+  }
+};
+
+/// The three grounding-count transformations g(n) of Figure 4.
+enum class Semantics { kLinear, kRatio, kLogical };
+
+const char* SemanticsName(Semantics semantics);
+
+/// Deductive (datalog) rule: `head :- body.` Candidate-generation and
+/// supervision rules are deductive; supervision rules have an evidence-
+/// relation head.
+struct DeductiveRule {
+  std::string label;  // optional, e.g. "FE1"
+  Atom head;
+  std::vector<Atom> body;
+  std::vector<Condition> conditions;
+};
+
+/// Weighted inference rule: `factor head :- body weight = ... semantics = ...`
+/// Head must be a query relation; body atoms may mix base and query relations.
+struct FactorRule {
+  std::string label;
+  Atom head;
+  std::vector<Atom> body;
+  std::vector<Condition> conditions;
+  WeightSpec weight;
+  Semantics semantics = Semantics::kLinear;
+};
+
+/// A parsed program: declarations plus rules, in source order.
+struct ProgramAst {
+  std::vector<RelationDecl> relations;
+  std::vector<DeductiveRule> deductive_rules;
+  std::vector<FactorRule> factor_rules;
+};
+
+/// Pretty-printers (used in error messages and tests).
+std::string TermToString(const Term& term);
+std::string AtomToString(const Atom& atom);
+std::string DeductiveRuleToString(const DeductiveRule& rule);
+std::string FactorRuleToString(const FactorRule& rule);
+
+}  // namespace deepdive::dsl
+
+#endif  // DEEPDIVE_DSL_AST_H_

@@ -1,0 +1,272 @@
+#include "dsl/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace deepdive::dsl {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInt:
+      return "int";
+    case TokenKind::kDouble:
+      return "double";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kColonDash:
+      return "':-'";
+    case TokenKind::kBang:
+      return "'!'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kEqEq:
+      return "'=='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kQuestion:
+      return "'?'";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  StatusOr<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      auto token = Next();
+      if (!token.ok()) return token.status();
+      tokens.push_back(std::move(token).value());
+    }
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    eof.line = line_;
+    eof.column = col_;
+    tokens.push_back(eof);
+    return tokens;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        Advance();
+      } else if (c == '#') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status ErrorHere(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StrFormat("lex error at %d:%d: %s", line_, col_, msg.c_str()));
+  }
+
+  StatusOr<Token> Next() {
+    Token t;
+    t.line = line_;
+    t.column = col_;
+    char c = Peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '_')) {
+        ident += Advance();
+      }
+      t.kind = TokenKind::kIdentifier;
+      t.text = std::move(ident);
+      return t;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      return LexNumber(t);
+    }
+
+    if (c == '"') return LexString(t);
+
+    Advance();
+    switch (c) {
+      case '(':
+        t.kind = TokenKind::kLParen;
+        return t;
+      case ')':
+        t.kind = TokenKind::kRParen;
+        return t;
+      case ',':
+        t.kind = TokenKind::kComma;
+        return t;
+      case '.':
+        t.kind = TokenKind::kDot;
+        return t;
+      case '?':
+        t.kind = TokenKind::kQuestion;
+        return t;
+      case ':':
+        if (Peek() == '-') {
+          Advance();
+          t.kind = TokenKind::kColonDash;
+        } else {
+          t.kind = TokenKind::kColon;
+        }
+        return t;
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          t.kind = TokenKind::kNe;
+        } else {
+          t.kind = TokenKind::kBang;
+        }
+        return t;
+      case '=':
+        if (Peek() == '=') {
+          Advance();
+          t.kind = TokenKind::kEqEq;
+        } else {
+          t.kind = TokenKind::kEq;
+        }
+        return t;
+      case '<':
+        if (Peek() == '=') {
+          Advance();
+          t.kind = TokenKind::kLe;
+        } else {
+          t.kind = TokenKind::kLt;
+        }
+        return t;
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          t.kind = TokenKind::kGe;
+        } else {
+          t.kind = TokenKind::kGt;
+        }
+        return t;
+      default:
+        return ErrorHere(StrFormat("unexpected character '%c'", c));
+    }
+  }
+
+  StatusOr<Token> LexNumber(Token t) {
+    std::string text;
+    if (Peek() == '-') text += Advance();
+    bool is_double = false;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        text += Advance();
+      } else if (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+        is_double = true;
+        text += Advance();
+      } else if ((c == 'e' || c == 'E') &&
+                 (std::isdigit(static_cast<unsigned char>(Peek(1))) ||
+                  ((Peek(1) == '-' || Peek(1) == '+') &&
+                   std::isdigit(static_cast<unsigned char>(Peek(2)))))) {
+        is_double = true;
+        text += Advance();  // e
+        text += Advance();  // sign or digit
+      } else {
+        break;
+      }
+    }
+    if (is_double) {
+      t.kind = TokenKind::kDouble;
+      t.double_value = std::strtod(text.c_str(), nullptr);
+    } else {
+      t.kind = TokenKind::kInt;
+      t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    t.text = std::move(text);
+    return t;
+  }
+
+  StatusOr<Token> LexString(Token t) {
+    Advance();  // opening quote
+    std::string text;
+    while (!AtEnd() && Peek() != '"') {
+      char c = Advance();
+      if (c == '\\' && !AtEnd()) {
+        char e = Advance();
+        switch (e) {
+          case 'n':
+            text += '\n';
+            break;
+          case 't':
+            text += '\t';
+            break;
+          default:
+            text += e;
+        }
+      } else {
+        text += c;
+      }
+    }
+    if (AtEnd()) return ErrorHere("unterminated string literal");
+    Advance();  // closing quote
+    t.kind = TokenKind::kString;
+    t.text = std::move(text);
+    return t;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace deepdive::dsl

@@ -1,0 +1,52 @@
+#ifndef DEEPDIVE_DSL_LEXER_H_
+#define DEEPDIVE_DSL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace deepdive::dsl {
+
+enum class TokenKind {
+  kIdentifier,   // PersonCandidate, m1, w
+  kInt,          // 42, -7
+  kDouble,       // 0.5, -1e3
+  kString,       // "and his wife"
+  kLParen,       // (
+  kRParen,       // )
+  kComma,        // ,
+  kDot,          // .
+  kColon,        // :
+  kColonDash,    // :-
+  kBang,         // !
+  kEq,           // =
+  kEqEq,         // ==
+  kNe,           // !=
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kQuestion,     // ?
+  kEof,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   // identifier / string payload
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int line = 0;
+  int column = 0;
+};
+
+/// Tokenizes a DeepDive DSL source string. `#` starts a line comment.
+/// Returns an error with line/column info on malformed input.
+StatusOr<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace deepdive::dsl
+
+#endif  // DEEPDIVE_DSL_LEXER_H_

@@ -1,0 +1,294 @@
+#include "dsl/parser.h"
+
+#include "dsl/lexer.h"
+#include "util/string_util.h"
+
+namespace deepdive::dsl {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<ProgramAst> Run() {
+    ProgramAst ast;
+    while (!Check(TokenKind::kEof)) {
+      DD_RETURN_IF_ERROR(ParseStatement(&ast));
+    }
+    return ast;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool CheckIdent(std::string_view text) const {
+    return Peek().kind == TokenKind::kIdentifier && Peek().text == text;
+  }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+  bool MatchIdent(std::string_view text) {
+    if (!CheckIdent(text)) return false;
+    Advance();
+    return true;
+  }
+
+  Status ErrorHere(const std::string& msg) const {
+    const Token& t = Peek();
+    return Status::InvalidArgument(StrFormat("parse error at %d:%d (near %s): %s",
+                                             t.line, t.column, TokenKindName(t.kind),
+                                             msg.c_str()));
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (!Match(kind)) {
+      return ErrorHere(StrFormat("expected %s (%s)", TokenKindName(kind), what));
+    }
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdent(const char* what) {
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorHere(StrFormat("expected identifier (%s)", what));
+    }
+    return Advance().text;
+  }
+
+  Status ParseStatement(ProgramAst* ast) {
+    if (CheckIdent("relation") ||
+        (CheckIdent("query") && Peek(1).kind == TokenKind::kIdentifier &&
+         Peek(1).text == "relation")) {
+      return ParseRelationDecl(ast);
+    }
+    if (CheckIdent("evidence")) return ParseEvidenceDecl(ast);
+    if (CheckIdent("rule")) return ParseDeductiveRule(ast);
+    if (CheckIdent("factor")) return ParseFactorRule(ast);
+    return ErrorHere("expected 'relation', 'query relation', 'evidence', 'rule', or 'factor'");
+  }
+
+  StatusOr<ValueType> ParseType() {
+    DD_ASSIGN_OR_RETURN(std::string name, ExpectIdent("column type"));
+    if (name == "int") return ValueType::kInt;
+    if (name == "double") return ValueType::kDouble;
+    if (name == "string") return ValueType::kString;
+    if (name == "bool") return ValueType::kBool;
+    return Status::InvalidArgument("unknown type '" + name + "'");
+  }
+
+  StatusOr<Schema> ParseColumnList() {
+    DD_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "column list"));
+    std::vector<Column> cols;
+    if (!Check(TokenKind::kRParen)) {
+      do {
+        DD_ASSIGN_OR_RETURN(std::string name, ExpectIdent("column name"));
+        DD_RETURN_IF_ERROR(Expect(TokenKind::kColon, "column type separator"));
+        DD_ASSIGN_OR_RETURN(ValueType type, ParseType());
+        cols.push_back({std::move(name), type});
+      } while (Match(TokenKind::kComma));
+    }
+    DD_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "column list"));
+    return Schema(std::move(cols));
+  }
+
+  Status ParseRelationDecl(ProgramAst* ast) {
+    RelationDecl decl;
+    if (MatchIdent("query")) decl.kind = RelationKind::kQuery;
+    if (!MatchIdent("relation")) return ErrorHere("expected 'relation'");
+    DD_ASSIGN_OR_RETURN(decl.name, ExpectIdent("relation name"));
+    DD_ASSIGN_OR_RETURN(decl.schema, ParseColumnList());
+    DD_RETURN_IF_ERROR(Expect(TokenKind::kDot, "statement terminator"));
+    ast->relations.push_back(std::move(decl));
+    return Status::OK();
+  }
+
+  Status ParseEvidenceDecl(ProgramAst* ast) {
+    Advance();  // 'evidence'
+    RelationDecl decl;
+    decl.kind = RelationKind::kEvidence;
+    DD_ASSIGN_OR_RETURN(decl.name, ExpectIdent("evidence relation name"));
+    DD_ASSIGN_OR_RETURN(decl.schema, ParseColumnList());
+    if (!MatchIdent("for")) return ErrorHere("expected 'for <query relation>'");
+    DD_ASSIGN_OR_RETURN(decl.evidence_for, ExpectIdent("target query relation"));
+    DD_RETURN_IF_ERROR(Expect(TokenKind::kDot, "statement terminator"));
+    ast->relations.push_back(std::move(decl));
+    return Status::OK();
+  }
+
+  StatusOr<Term> ParseTerm() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIdentifier:
+        if (t.text == "true") {
+          Advance();
+          return Term::Const(Value(true));
+        }
+        if (t.text == "false") {
+          Advance();
+          return Term::Const(Value(false));
+        }
+        Advance();
+        return Term::Var(t.text);
+      case TokenKind::kInt:
+        Advance();
+        return Term::Const(Value(t.int_value));
+      case TokenKind::kDouble:
+        Advance();
+        return Term::Const(Value(t.double_value));
+      case TokenKind::kString:
+        Advance();
+        return Term::Const(Value(t.text));
+      default:
+        return ErrorHere("expected a term (variable or constant)");
+    }
+  }
+
+  StatusOr<Atom> ParseAtom(bool negated) {
+    Atom atom;
+    atom.negated = negated;
+    DD_ASSIGN_OR_RETURN(atom.predicate, ExpectIdent("predicate name"));
+    DD_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "atom argument list"));
+    if (!Check(TokenKind::kRParen)) {
+      do {
+        DD_ASSIGN_OR_RETURN(Term term, ParseTerm());
+        atom.terms.push_back(std::move(term));
+      } while (Match(TokenKind::kComma));
+    }
+    DD_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "atom argument list"));
+    return atom;
+  }
+
+  StatusOr<CompareOp> ParseCompareOp() {
+    switch (Peek().kind) {
+      case TokenKind::kEqEq:
+        Advance();
+        return CompareOp::kEq;
+      case TokenKind::kNe:
+        Advance();
+        return CompareOp::kNe;
+      case TokenKind::kLt:
+        Advance();
+        return CompareOp::kLt;
+      case TokenKind::kLe:
+        Advance();
+        return CompareOp::kLe;
+      case TokenKind::kGt:
+        Advance();
+        return CompareOp::kGt;
+      case TokenKind::kGe:
+        Advance();
+        return CompareOp::kGe;
+      default:
+        return ErrorHere("expected comparison operator");
+    }
+  }
+
+  Status ParseBody(std::vector<Atom>* body, std::vector<Condition>* conditions) {
+    do {
+      if (Check(TokenKind::kBang)) {
+        Advance();
+        DD_ASSIGN_OR_RETURN(Atom atom, ParseAtom(/*negated=*/true));
+        body->push_back(std::move(atom));
+      } else if (Check(TokenKind::kIdentifier) && Peek(1).kind == TokenKind::kLParen) {
+        DD_ASSIGN_OR_RETURN(Atom atom, ParseAtom(/*negated=*/false));
+        body->push_back(std::move(atom));
+      } else {
+        Condition cond;
+        DD_ASSIGN_OR_RETURN(cond.lhs, ParseTerm());
+        DD_ASSIGN_OR_RETURN(cond.op, ParseCompareOp());
+        DD_ASSIGN_OR_RETURN(cond.rhs, ParseTerm());
+        conditions->push_back(std::move(cond));
+      }
+    } while (Match(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  /// Parses the optional `Label ":"` after 'rule' / 'factor'.
+  std::string ParseOptionalLabel() {
+    if (Check(TokenKind::kIdentifier) && Peek(1).kind == TokenKind::kColon) {
+      std::string label = Advance().text;
+      Advance();  // ':'
+      return label;
+    }
+    return "";
+  }
+
+  Status ParseDeductiveRule(ProgramAst* ast) {
+    Advance();  // 'rule'
+    DeductiveRule rule;
+    rule.label = ParseOptionalLabel();
+    DD_ASSIGN_OR_RETURN(rule.head, ParseAtom(/*negated=*/false));
+    DD_RETURN_IF_ERROR(Expect(TokenKind::kColonDash, "rule body"));
+    DD_RETURN_IF_ERROR(ParseBody(&rule.body, &rule.conditions));
+    DD_RETURN_IF_ERROR(Expect(TokenKind::kDot, "statement terminator"));
+    ast->deductive_rules.push_back(std::move(rule));
+    return Status::OK();
+  }
+
+  StatusOr<WeightSpec> ParseWeight() {
+    if (!MatchIdent("weight")) return ErrorHere("expected 'weight = ...'");
+    DD_RETURN_IF_ERROR(Expect(TokenKind::kEq, "weight value"));
+    if (Match(TokenKind::kQuestion)) return WeightSpec::Learnable();
+    if (Check(TokenKind::kInt)) {
+      return WeightSpec::Fixed(static_cast<double>(Advance().int_value));
+    }
+    if (Check(TokenKind::kDouble)) return WeightSpec::Fixed(Advance().double_value);
+    if (CheckIdent("w") && Peek(1).kind == TokenKind::kLParen) {
+      Advance();  // w
+      Advance();  // (
+      std::vector<std::string> vars;
+      do {
+        DD_ASSIGN_OR_RETURN(std::string v, ExpectIdent("weight-tying variable"));
+        vars.push_back(std::move(v));
+      } while (Match(TokenKind::kComma));
+      DD_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "weight-tying variable list"));
+      return WeightSpec::Tied(std::move(vars));
+    }
+    return ErrorHere("expected weight: number, '?', or w(vars)");
+  }
+
+  Status ParseFactorRule(ProgramAst* ast) {
+    Advance();  // 'factor'
+    FactorRule rule;
+    rule.label = ParseOptionalLabel();
+    DD_ASSIGN_OR_RETURN(rule.head, ParseAtom(/*negated=*/false));
+    DD_RETURN_IF_ERROR(Expect(TokenKind::kColonDash, "factor body"));
+    DD_RETURN_IF_ERROR(ParseBody(&rule.body, &rule.conditions));
+    DD_ASSIGN_OR_RETURN(rule.weight, ParseWeight());
+    if (MatchIdent("semantics")) {
+      DD_RETURN_IF_ERROR(Expect(TokenKind::kEq, "semantics value"));
+      DD_ASSIGN_OR_RETURN(std::string sem, ExpectIdent("semantics name"));
+      if (sem == "linear") {
+        rule.semantics = Semantics::kLinear;
+      } else if (sem == "ratio") {
+        rule.semantics = Semantics::kRatio;
+      } else if (sem == "logical") {
+        rule.semantics = Semantics::kLogical;
+      } else {
+        return ErrorHere("unknown semantics '" + sem + "'");
+      }
+    }
+    DD_RETURN_IF_ERROR(Expect(TokenKind::kDot, "statement terminator"));
+    ast->factor_rules.push_back(std::move(rule));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<ProgramAst> ParseProgram(std::string_view source) {
+  DD_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens)).Run();
+}
+
+}  // namespace deepdive::dsl

@@ -1,0 +1,27 @@
+#ifndef DEEPDIVE_DSL_PARSER_H_
+#define DEEPDIVE_DSL_PARSER_H_
+
+#include <string_view>
+
+#include "dsl/ast.h"
+#include "util/status.h"
+
+namespace deepdive::dsl {
+
+/// Parses DeepDive DSL source into an AST. Grammar (see tests for examples):
+///
+///   program   := statement*
+///   statement := ["query"] "relation" Name "(" cols ")" "."
+///              | "evidence" Name "(" cols ")" "for" Name "."
+///              | "rule"   [Label ":"] atom ":-" body "."
+///              | "factor" [Label ":"] atom ":-" body weight [semantics] "."
+///   body      := item ("," item)*        item := ["!"] atom | condition
+///   weight    := "weight" "=" (number | "?" | "w" "(" vars ")")
+///   semantics := "semantics" "=" ("linear" | "ratio" | "logical")
+///
+/// Keywords are contextual; `#` comments run to end of line.
+StatusOr<ProgramAst> ParseProgram(std::string_view source);
+
+}  // namespace deepdive::dsl
+
+#endif  // DEEPDIVE_DSL_PARSER_H_

@@ -1,0 +1,111 @@
+#include "dsl/program.h"
+
+#include "dsl/parser.h"
+
+namespace deepdive::dsl {
+
+const RelationDecl* Program::FindRelation(const std::string& name) const {
+  auto it = relation_index_.find(name);
+  return it == relation_index_.end() ? nullptr : &relations_[it->second];
+}
+
+bool Program::IsQueryRelation(const std::string& name) const {
+  const RelationDecl* r = FindRelation(name);
+  return r != nullptr && r->kind == RelationKind::kQuery;
+}
+
+bool Program::IsEvidenceRelation(const std::string& name) const {
+  const RelationDecl* r = FindRelation(name);
+  return r != nullptr && r->kind == RelationKind::kEvidence;
+}
+
+const RelationDecl* Program::EvidenceTarget(const std::string& evidence_name) const {
+  const RelationDecl* r = FindRelation(evidence_name);
+  if (r == nullptr || r->kind != RelationKind::kEvidence) return nullptr;
+  return FindRelation(r->evidence_for);
+}
+
+std::vector<const RelationDecl*> Program::EvidenceRelationsFor(
+    const std::string& query) const {
+  std::vector<const RelationDecl*> out;
+  for (const RelationDecl& r : relations_) {
+    if (r.kind == RelationKind::kEvidence && r.evidence_for == query) out.push_back(&r);
+  }
+  return out;
+}
+
+Status Program::InstantiateSchema(Database* db) const {
+  for (const RelationDecl& r : relations_) {
+    DD_RETURN_IF_ERROR(db->CreateTable(r.name, r.schema).status());
+  }
+  return Status::OK();
+}
+
+Status Program::Merge(const Program& other) {
+  for (const RelationDecl& r : other.relations_) {
+    const RelationDecl* mine = FindRelation(r.name);
+    if (mine != nullptr) {
+      if (!(mine->schema == r.schema) || mine->kind != r.kind) {
+        return Status::InvalidArgument("conflicting redeclaration of relation '" +
+                                       r.name + "'");
+      }
+      continue;  // identical redeclaration is fine
+    }
+    relation_index_[r.name] = relations_.size();
+    relations_.push_back(r);
+  }
+  for (const DeductiveRule& r : other.deductive_rules_) deductive_rules_.push_back(r);
+  for (const FactorRule& r : other.factor_rules_) factor_rules_.push_back(r);
+  return Status::OK();
+}
+
+size_t Program::RemoveRulesByLabel(const std::string& label) {
+  size_t removed = 0;
+  for (auto it = deductive_rules_.begin(); it != deductive_rules_.end();) {
+    if (it->label == label) {
+      it = deductive_rules_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = factor_rules_.begin(); it != factor_rules_.end();) {
+    if (it->label == label) {
+      it = factor_rules_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const RelationDecl& r : relations_) {
+    switch (r.kind) {
+      case RelationKind::kQuery:
+        out += "query relation ";
+        break;
+      case RelationKind::kEvidence:
+        out += "evidence ";
+        break;
+      case RelationKind::kBase:
+        out += "relation ";
+        break;
+    }
+    out += r.name + r.schema.ToString();
+    if (r.kind == RelationKind::kEvidence) out += " for " + r.evidence_for;
+    out += ".\n";
+  }
+  for (const DeductiveRule& r : deductive_rules_) out += DeductiveRuleToString(r) + "\n";
+  for (const FactorRule& r : factor_rules_) out += FactorRuleToString(r) + "\n";
+  return out;
+}
+
+StatusOr<Program> CompileProgram(std::string_view source) {
+  DD_ASSIGN_OR_RETURN(ProgramAst ast, ParseProgram(source));
+  return AnalyzeProgram(ast);
+}
+
+}  // namespace deepdive::dsl

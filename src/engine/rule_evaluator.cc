@@ -1,0 +1,269 @@
+#include "engine/rule_evaluator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace deepdive::engine {
+
+bool EvalCompare(dsl::CompareOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case dsl::CompareOp::kEq:
+      return lhs == rhs;
+    case dsl::CompareOp::kNe:
+      return lhs != rhs;
+    case dsl::CompareOp::kLt:
+      return lhs < rhs;
+    case dsl::CompareOp::kLe:
+      return lhs < rhs || lhs == rhs;
+    case dsl::CompareOp::kGt:
+      return rhs < lhs;
+    case dsl::CompareOp::kGe:
+      return rhs < lhs || lhs == rhs;
+  }
+  return false;
+}
+
+Tuple ProjectHead(const std::vector<dsl::Term>& head_terms,
+                  const std::map<std::string, int>& slots,
+                  const std::vector<Value>& values) {
+  Tuple out;
+  out.reserve(head_terms.size());
+  for (const dsl::Term& t : head_terms) {
+    if (t.is_var()) {
+      auto it = slots.find(t.var);
+      DD_CHECK(it != slots.end()) << "unbound head variable " << t.var;
+      out.push_back(values[it->second]);
+    } else {
+      out.push_back(t.constant);
+    }
+  }
+  return out;
+}
+
+StatusOr<CompiledRuleBody> CompiledRuleBody::Compile(
+    const dsl::Program& program, const Database& db, const std::vector<dsl::Atom>& body,
+    const std::vector<dsl::Condition>& conditions) {
+  CompiledRuleBody compiled;
+
+  auto slot_for = [&](const std::string& var) {
+    auto [it, inserted] =
+        compiled.var_slots_.emplace(var, static_cast<int>(compiled.var_slots_.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  auto compile_term = [&](const dsl::Term& t) {
+    TermPlan plan;
+    plan.is_var = t.is_var();
+    if (plan.is_var) {
+      plan.slot = slot_for(t.var);
+    } else {
+      plan.constant = t.constant;
+    }
+    return plan;
+  };
+
+  for (const dsl::Atom& atom : body) {
+    if (program.FindRelation(atom.predicate) == nullptr) {
+      return Status::NotFound("undeclared predicate '" + atom.predicate + "'");
+    }
+    const Table* table = db.GetTable(atom.predicate);
+    if (table == nullptr) {
+      return Status::NotFound("no table for relation '" + atom.predicate + "'");
+    }
+    AtomPlan plan;
+    plan.table = table;
+    plan.relation = atom.predicate;
+    plan.negated = atom.negated;
+    for (const dsl::Term& t : atom.terms) plan.terms.push_back(compile_term(t));
+    compiled.atoms_.push_back(std::move(plan));
+  }
+  // Move negated atoms after all positive ones so their variables are bound.
+  std::stable_partition(compiled.atoms_.begin(), compiled.atoms_.end(),
+                        [](const AtomPlan& a) { return !a.negated; });
+
+  for (const dsl::Condition& c : conditions) {
+    CondPlan plan;
+    plan.lhs = compile_term(c.lhs);
+    plan.op = c.op;
+    plan.rhs = compile_term(c.rhs);
+    compiled.conditions_.push_back(std::move(plan));
+  }
+  return compiled;
+}
+
+bool CompiledRuleBody::MatchTuple(const AtomPlan& atom, const Tuple& tuple,
+                                  std::vector<Value>* values, std::vector<bool>* bound,
+                                  std::vector<int>* newly_bound) const {
+  if (tuple.size() != atom.terms.size()) return false;
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const TermPlan& t = atom.terms[i];
+    if (!t.is_var) {
+      if (!(tuple[i] == t.constant)) return false;
+    } else if ((*bound)[t.slot]) {
+      if (!((*values)[t.slot] == tuple[i])) return false;
+    } else {
+      (*values)[t.slot] = tuple[i];
+      (*bound)[t.slot] = true;
+      newly_bound->push_back(t.slot);
+    }
+  }
+  return true;
+}
+
+bool CompiledRuleBody::ConditionsHold(const std::vector<Value>& values) const {
+  for (const CondPlan& c : conditions_) {
+    const Value& lhs = c.lhs.is_var ? values[c.lhs.slot] : c.lhs.constant;
+    const Value& rhs = c.rhs.is_var ? values[c.rhs.slot] : c.rhs.constant;
+    if (!EvalCompare(c.op, lhs, rhs)) return false;
+  }
+  return true;
+}
+
+bool CompiledRuleBody::TupleInOld(const AtomPlan& atom, const DeltaTable* delta,
+                                  const Tuple& tuple) const {
+  // OLD = NEW ⊖ delta: present now and not just-inserted, or just-deleted.
+  const int64_t c = delta == nullptr ? 0 : delta->Count(tuple);
+  if (c > 0) return false;                    // inserted: in NEW only
+  if (c < 0) return true;                     // deleted: was in OLD
+  return atom.table->Contains(tuple);         // unchanged
+}
+
+void CompiledRuleBody::Recurse(size_t atom_idx, std::vector<Value>* values,
+                               std::vector<bool>* bound, int64_t sign,
+                               const std::vector<AtomMode>& modes,
+                               const std::vector<const DeltaTable*>& atom_deltas,
+                               const BindingCallback& fn) const {
+  if (atom_idx == atoms_.size()) {
+    if (ConditionsHold(*values)) fn(*values, sign);
+    return;
+  }
+  const AtomPlan& atom = atoms_[atom_idx];
+  const AtomMode mode = modes[atom_idx];
+  const DeltaTable* delta = atom_deltas[atom_idx];
+
+  if (atom.negated) {
+    // All variables are bound (analyzer guarantees safety); negated atoms are
+    // only allowed on unchanged relations in delta mode, so probe the table.
+    Tuple probe;
+    probe.reserve(atom.terms.size());
+    for (const TermPlan& t : atom.terms) {
+      probe.push_back(t.is_var ? (*values)[t.slot] : t.constant);
+    }
+    if (!atom.table->Contains(probe)) {
+      Recurse(atom_idx + 1, values, bound, sign, modes, atom_deltas, fn);
+    }
+    return;
+  }
+
+  auto try_tuple = [&](const Tuple& tuple, int64_t tuple_sign) {
+    std::vector<int> newly_bound;
+    if (MatchTuple(atom, tuple, values, bound, &newly_bound)) {
+      Recurse(atom_idx + 1, values, bound, sign * tuple_sign, modes, atom_deltas, fn);
+    }
+    for (int slot : newly_bound) (*bound)[slot] = false;
+  };
+
+  if (mode == AtomMode::kDelta) {
+    DD_CHECK(delta != nullptr);
+    delta->ForEach([&](const Tuple& tuple, int64_t count) {
+      try_tuple(tuple, count > 0 ? 1 : -1);
+    });
+    return;
+  }
+
+  // Pick an index column: first term that is a constant or a bound variable.
+  int probe_col = -1;
+  Value probe_value;
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const TermPlan& t = atom.terms[i];
+    if (!t.is_var) {
+      probe_col = static_cast<int>(i);
+      probe_value = t.constant;
+      break;
+    }
+    if ((*bound)[t.slot]) {
+      probe_col = static_cast<int>(i);
+      probe_value = (*values)[t.slot];
+      break;
+    }
+  }
+
+  auto visit_current_or_old = [&](const Tuple& tuple) {
+    if (mode == AtomMode::kOld) {
+      // Skip tuples that are NEW-only (just inserted).
+      if (delta != nullptr && delta->Count(tuple) > 0) return;
+    }
+    try_tuple(tuple, 1);
+  };
+
+  if (probe_col >= 0) {
+    for (RowId id : atom.table->Lookup(probe_col, probe_value)) {
+      visit_current_or_old(atom.table->row(id));
+    }
+  } else {
+    atom.table->Scan([&](RowId, const Tuple& tuple) { visit_current_or_old(tuple); });
+  }
+
+  if (mode == AtomMode::kOld && delta != nullptr) {
+    // Add back just-deleted tuples (they were in OLD but are tombstoned now).
+    delta->ForEach([&](const Tuple& tuple, int64_t count) {
+      if (count >= 0) return;
+      if (probe_col >= 0 && !(tuple[probe_col] == probe_value)) return;
+      try_tuple(tuple, 1);
+    });
+  }
+}
+
+void CompiledRuleBody::EvaluateFull(const BindingCallback& fn) const {
+  std::vector<Value> values(var_slots_.size());
+  std::vector<bool> bound(var_slots_.size(), false);
+  std::vector<AtomMode> modes(atoms_.size(), AtomMode::kCurrent);
+  std::vector<const DeltaTable*> deltas(atoms_.size(), nullptr);
+  Recurse(0, &values, &bound, 1, modes, deltas, fn);
+}
+
+Status CompiledRuleBody::EvaluateDelta(
+    const std::map<std::string, const DeltaTable*>& deltas,
+    const BindingCallback& fn) const {
+  // Positions (atom indexes) on changed relations, in a fixed global order:
+  // (relation name, atom index). Each term of the telescoping sum puts one
+  // position in DELTA mode, earlier positions in NEW (current) mode, later
+  // ones in OLD mode.
+  std::vector<size_t> delta_positions;
+  std::vector<const DeltaTable*> atom_deltas(atoms_.size(), nullptr);
+  for (const auto& [relation, delta] : deltas) {
+    if (delta == nullptr || delta->empty()) continue;
+    for (size_t i = 0; i < atoms_.size(); ++i) {
+      if (atoms_[i].relation != relation) continue;
+      if (atoms_[i].negated) {
+        return Status::Unimplemented(
+            "delta evaluation with a changed negated relation '" + relation + "'");
+      }
+      atom_deltas[i] = delta;
+      delta_positions.push_back(i);
+    }
+  }
+  // Order by (relation, position): map iteration is already name-sorted and
+  // inner loop is position-sorted, so delta_positions is in global order.
+
+  std::vector<Value> values(var_slots_.size());
+  std::vector<bool> bound(var_slots_.size(), false);
+  for (size_t m = 0; m < delta_positions.size(); ++m) {
+    std::vector<AtomMode> modes(atoms_.size(), AtomMode::kCurrent);
+    for (size_t mm = 0; mm < delta_positions.size(); ++mm) {
+      if (mm < m) {
+        modes[delta_positions[mm]] = AtomMode::kCurrent;  // NEW
+      } else if (mm == m) {
+        modes[delta_positions[mm]] = AtomMode::kDelta;
+      } else {
+        modes[delta_positions[mm]] = AtomMode::kOld;
+      }
+    }
+    Recurse(0, &values, &bound, 1, modes, atom_deltas, fn);
+  }
+  return Status::OK();
+}
+
+}  // namespace deepdive::engine

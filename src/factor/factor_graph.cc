@@ -1,0 +1,187 @@
+#include "factor/factor_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace deepdive::factor {
+
+VarId FactorGraph::AddVariable() {
+  evidence_.emplace_back(std::nullopt);
+  head_refs_.emplace_back();
+  body_refs_.emplace_back();
+  return static_cast<VarId>(evidence_.size() - 1);
+}
+
+VarId FactorGraph::AddVariables(size_t n) {
+  DD_CHECK_GT(n, 0u);
+  const VarId first = static_cast<VarId>(evidence_.size());
+  evidence_.resize(evidence_.size() + n);
+  head_refs_.resize(head_refs_.size() + n);
+  body_refs_.resize(body_refs_.size() + n);
+  return first;
+}
+
+void FactorGraph::SetEvidence(VarId var, std::optional<bool> value) {
+  DD_CHECK_LT(var, evidence_.size());
+  evidence_[var] = value;
+}
+
+WeightId FactorGraph::AddWeight(double value, bool learnable, std::string description) {
+  weights_.push_back(Weight{value, learnable, std::move(description)});
+  weight_groups_.emplace_back();
+  return static_cast<WeightId>(weights_.size() - 1);
+}
+
+WeightId FactorGraph::GetOrCreateTiedWeight(const std::string& key) {
+  auto it = tied_weights_.find(key);
+  if (it != tied_weights_.end()) return it->second;
+  const WeightId id = AddWeight(0.0, /*learnable=*/true, key);
+  tied_weights_.emplace(key, id);
+  return id;
+}
+
+void FactorGraph::SetWeightValue(WeightId id, double value) {
+  DD_CHECK_LT(id, weights_.size());
+  weights_[id].value = value;
+}
+
+GroupId FactorGraph::AddGroup(uint32_t rule_id, VarId head, WeightId weight,
+                              Semantics semantics) {
+  DD_CHECK_LT(head, evidence_.size());
+  DD_CHECK_LT(weight, weights_.size());
+  FactorGroup group;
+  group.rule_id = rule_id;
+  group.head = head;
+  group.weight = weight;
+  group.semantics = semantics;
+  const GroupId id = static_cast<GroupId>(groups_.size());
+  groups_.push_back(std::move(group));
+  head_refs_[head].push_back(id);
+  weight_groups_[weight].push_back(id);
+  return id;
+}
+
+ClauseId FactorGraph::AddClause(GroupId group, std::vector<Literal> literals) {
+  DD_CHECK_LT(group, groups_.size());
+  for (const Literal& lit : literals) {
+    DD_CHECK_LT(lit.var, evidence_.size());
+    DD_CHECK_NE(lit.var, groups_[group].head)
+        << "clause literal equals group head (self-loop)";
+  }
+  Clause clause;
+  clause.group = group;
+  clause.literals = std::move(literals);
+  const ClauseId id = static_cast<ClauseId>(clauses_.size());
+  for (const Literal& lit : clause.literals) {
+    body_refs_[lit.var].push_back(BodyRef{id, lit.negated});
+  }
+  clauses_.push_back(std::move(clause));
+  groups_[group].clauses.push_back(id);
+  return id;
+}
+
+void FactorGraph::DeactivateGroup(GroupId group) {
+  DD_CHECK_LT(group, groups_.size());
+  groups_[group].active = false;
+}
+
+void FactorGraph::DeactivateClause(ClauseId clause) {
+  DD_CHECK_LT(clause, clauses_.size());
+  clauses_[clause].active = false;
+}
+
+ClauseId FactorGraph::FindActiveClause(GroupId group,
+                                       const std::vector<Literal>& literals) const {
+  for (ClauseId cid : groups_[group].clauses) {
+    const Clause& clause = clauses_[cid];
+    if (!clause.active || clause.literals.size() != literals.size()) continue;
+    bool equal = true;
+    for (size_t i = 0; i < literals.size(); ++i) {
+      if (clause.literals[i].var != literals[i].var ||
+          clause.literals[i].negated != literals[i].negated) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return cid;
+  }
+  return kNoClause;
+}
+
+GroupId FactorGraph::AddSimpleFactor(VarId head, const std::vector<Literal>& body,
+                                     WeightId weight, Semantics semantics,
+                                     uint32_t rule_id) {
+  const GroupId g = AddGroup(rule_id, head, weight, semantics);
+  AddClause(g, body);
+  return g;
+}
+
+size_t FactorGraph::NumActiveClauses() const {
+  size_t n = 0;
+  for (const FactorGroup& g : groups_) {
+    if (!g.active) continue;
+    for (ClauseId cid : g.clauses) {
+      if (clauses_[cid].active) ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<VarId> FactorGraph::Neighbors(VarId var) const {
+  std::vector<VarId> out;
+  auto add_group_vars = [&](GroupId gid) {
+    const FactorGroup& g = groups_[gid];
+    if (!g.active) return;
+    if (g.head != var) out.push_back(g.head);
+    for (ClauseId cid : g.clauses) {
+      if (!clauses_[cid].active) continue;
+      for (const Literal& lit : clauses_[cid].literals) {
+        if (lit.var != var) out.push_back(lit.var);
+      }
+    }
+  };
+  for (GroupId gid : head_refs_[var]) add_group_vars(gid);
+  for (const BodyRef& ref : body_refs_[var]) add_group_vars(clauses_[ref.clause].group);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+int64_t FactorGraph::SatisfiedClauses(
+    GroupId group, const std::function<bool(VarId)>& value_of) const {
+  const FactorGroup& g = groups_[group];
+  int64_t n = 0;
+  for (ClauseId cid : g.clauses) {
+    if (!clauses_[cid].active) continue;
+    bool sat = true;
+    for (const Literal& lit : clauses_[cid].literals) {
+      const bool v = value_of(lit.var);
+      if (v == lit.negated) {
+        sat = false;
+        break;
+      }
+    }
+    if (sat) ++n;
+  }
+  return n;
+}
+
+double FactorGraph::GroupLogWeight(GroupId group,
+                                   const std::function<bool(VarId)>& value_of) const {
+  const FactorGroup& g = groups_[group];
+  if (!g.active) return 0.0;
+  const double sign = value_of(g.head) ? 1.0 : -1.0;
+  return weights_[g.weight].value * sign *
+         GCount(g.semantics, SatisfiedClauses(group, value_of));
+}
+
+double FactorGraph::TotalLogWeight(const std::function<bool(VarId)>& value_of) const {
+  double total = 0.0;
+  for (GroupId gid = 0; gid < groups_.size(); ++gid) {
+    total += GroupLogWeight(gid, value_of);
+  }
+  return total;
+}
+
+}  // namespace deepdive::factor

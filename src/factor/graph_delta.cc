@@ -1,0 +1,92 @@
+#include "factor/graph_delta.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "factor/semantics.h"
+
+namespace deepdive::factor {
+
+void GraphDelta::Merge(const GraphDelta& other) {
+  new_variables.insert(new_variables.end(), other.new_variables.begin(),
+                       other.new_variables.end());
+  new_groups.insert(new_groups.end(), other.new_groups.begin(), other.new_groups.end());
+  // A group that was introduced and later removed within the merged window
+  // never existed in the materialized distribution: cancel the pair instead
+  // of recording a removal (which would wrongly subtract it from Pr(0)).
+  for (GroupId removed : other.removed_groups) {
+    auto it = std::find(new_groups.begin(), new_groups.end(), removed);
+    if (it != new_groups.end()) {
+      new_groups.erase(it);
+    } else {
+      removed_groups.push_back(removed);
+    }
+  }
+  modified_groups.insert(modified_groups.end(), other.modified_groups.begin(),
+                         other.modified_groups.end());
+  weight_changes.insert(weight_changes.end(), other.weight_changes.begin(),
+                        other.weight_changes.end());
+  evidence_changes.insert(evidence_changes.end(), other.evidence_changes.begin(),
+                          other.evidence_changes.end());
+}
+
+double DeltaLogDensityRatio(const FactorGraph& graph, const GraphDelta& delta,
+                            const std::function<bool(VarId)>& value_of) {
+  // New evidence constrains Pr(Δ)'s support.
+  for (const GraphDelta::EvidenceChange& ec : delta.evidence_changes) {
+    if (ec.new_value.has_value() && value_of(ec.var) != *ec.new_value) {
+      return -std::numeric_limits<double>::infinity();
+    }
+  }
+
+  double ratio = 0.0;
+  for (GroupId gid : delta.new_groups) {
+    // New groups exist only in Pr(Δ). GroupLogWeight skips inactive groups,
+    // so evaluate directly even if the group was since deactivated.
+    ratio += graph.GroupLogWeight(gid, value_of);
+  }
+  for (GroupId gid : delta.removed_groups) {
+    // Removed groups existed only in Pr(0); they are deactivated in the
+    // graph, so recompute their weight manually.
+    const FactorGroup& g = graph.group(gid);
+    const double sign = value_of(g.head) ? 1.0 : -1.0;
+    const double w = graph.WeightValue(g.weight);
+    ratio -= w * sign * GCount(g.semantics, graph.SatisfiedClauses(gid, value_of));
+  }
+  for (const GraphDelta::GroupMod& mod : delta.modified_groups) {
+    const FactorGroup& g = graph.group(mod.group);
+    const double sign = value_of(g.head) ? 1.0 : -1.0;
+    const double w = graph.WeightValue(g.weight);
+    auto clause_satisfied = [&](ClauseId cid) {
+      for (const Literal& lit : graph.clause(cid).literals) {
+        if (value_of(lit.var) == lit.negated) return false;
+      }
+      return true;
+    };
+    // n under Pr(Δ) = current active satisfied count; n under Pr(0) removes
+    // the added clauses and restores the removed ones.
+    const int64_t n_new = graph.SatisfiedClauses(mod.group, value_of);
+    int64_t n_old = n_new;
+    for (ClauseId cid : mod.added) {
+      if (clause_satisfied(cid)) --n_old;
+    }
+    for (ClauseId cid : mod.removed) {
+      if (clause_satisfied(cid)) ++n_old;
+    }
+    ratio += w * sign *
+             (GCount(g.semantics, n_new) - GCount(g.semantics, n_old));
+  }
+  for (const GraphDelta::WeightChange& wc : delta.weight_changes) {
+    const double dw = wc.new_value - wc.old_value;
+    if (dw == 0.0) continue;
+    for (GroupId gid : graph.GroupsForWeight(wc.weight)) {
+      const FactorGroup& g = graph.group(gid);
+      if (!g.active) continue;
+      const double sign = value_of(g.head) ? 1.0 : -1.0;
+      ratio += dw * sign * GCount(g.semantics, graph.SatisfiedClauses(gid, value_of));
+    }
+  }
+  return ratio;
+}
+
+}  // namespace deepdive::factor

@@ -1,0 +1,187 @@
+#include "factor/graph_io.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace deepdive::factor {
+
+namespace {
+
+constexpr uint64_t kMagic = 0xdd11f4c7'06172026ULL;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WritePod<uint64_t>(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::ifstream& in, std::string* s) {
+  uint64_t n = 0;
+  if (!ReadPod(in, &n)) return false;
+  s->resize(n);
+  in.read(s->data(), static_cast<std::streamsize>(n));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveGraph(const FactorGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+
+  WritePod(out, kMagic);
+  WritePod<uint64_t>(out, graph.NumVariables());
+  for (VarId v = 0; v < graph.NumVariables(); ++v) {
+    const auto ev = graph.EvidenceValue(v);
+    const int8_t tag = !ev.has_value() ? 0 : (*ev ? 1 : -1);
+    WritePod(out, tag);
+  }
+  WritePod<uint64_t>(out, graph.NumWeights());
+  for (WeightId w = 0; w < graph.NumWeights(); ++w) {
+    const Weight& weight = graph.weight(w);
+    WritePod(out, weight.value);
+    WritePod<uint8_t>(out, weight.learnable ? 1 : 0);
+    WriteString(out, weight.description);
+  }
+  WritePod<uint64_t>(out, graph.NumGroups());
+  for (GroupId g = 0; g < graph.NumGroups(); ++g) {
+    const FactorGroup& group = graph.group(g);
+    WritePod(out, group.rule_id);
+    WritePod(out, group.head);
+    WritePod(out, group.weight);
+    WritePod<uint8_t>(out, static_cast<uint8_t>(group.semantics));
+    WritePod<uint8_t>(out, group.active ? 1 : 0);
+    WritePod<uint64_t>(out, group.clauses.size());
+    for (ClauseId cid : group.clauses) {
+      const Clause& clause = graph.clause(cid);
+      WritePod<uint8_t>(out, clause.active ? 1 : 0);
+      WritePod<uint64_t>(out, clause.literals.size());
+      for (const Literal& lit : clause.literals) {
+        WritePod(out, lit.var);
+        WritePod<uint8_t>(out, lit.negated ? 1 : 0);
+      }
+    }
+  }
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+StatusOr<FactorGraph> LoadGraph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+
+  uint64_t magic = 0;
+  if (!ReadPod(in, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("'" + path + "' is not a factor graph snapshot");
+  }
+  FactorGraph graph;
+  uint64_t num_vars = 0;
+  if (!ReadPod(in, &num_vars)) return Status::InvalidArgument("truncated snapshot");
+  if (num_vars > 0) graph.AddVariables(num_vars);
+  for (uint64_t v = 0; v < num_vars; ++v) {
+    int8_t tag = 0;
+    if (!ReadPod(in, &tag)) return Status::InvalidArgument("truncated snapshot");
+    if (tag != 0) graph.SetEvidence(static_cast<VarId>(v), tag > 0);
+  }
+  uint64_t num_weights = 0;
+  if (!ReadPod(in, &num_weights)) return Status::InvalidArgument("truncated snapshot");
+  for (uint64_t w = 0; w < num_weights; ++w) {
+    double value = 0.0;
+    uint8_t learnable = 0;
+    std::string description;
+    if (!ReadPod(in, &value) || !ReadPod(in, &learnable) ||
+        !ReadString(in, &description)) {
+      return Status::InvalidArgument("truncated snapshot");
+    }
+    graph.AddWeight(value, learnable != 0, std::move(description));
+  }
+  uint64_t num_groups = 0;
+  if (!ReadPod(in, &num_groups)) return Status::InvalidArgument("truncated snapshot");
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    uint32_t rule_id = 0;
+    VarId head = 0;
+    WeightId weight = 0;
+    uint8_t semantics = 0, active = 0;
+    uint64_t num_clauses = 0;
+    if (!ReadPod(in, &rule_id) || !ReadPod(in, &head) || !ReadPod(in, &weight) ||
+        !ReadPod(in, &semantics) || !ReadPod(in, &active) || !ReadPod(in, &num_clauses)) {
+      return Status::InvalidArgument("truncated snapshot");
+    }
+    const GroupId gid =
+        graph.AddGroup(rule_id, head, weight, static_cast<Semantics>(semantics));
+    for (uint64_t c = 0; c < num_clauses; ++c) {
+      uint8_t clause_active = 1;
+      uint64_t num_lits = 0;
+      if (!ReadPod(in, &clause_active) || !ReadPod(in, &num_lits)) {
+        return Status::InvalidArgument("truncated snapshot");
+      }
+      std::vector<Literal> lits;
+      lits.reserve(num_lits);
+      for (uint64_t l = 0; l < num_lits; ++l) {
+        Literal lit;
+        uint8_t negated = 0;
+        if (!ReadPod(in, &lit.var) || !ReadPod(in, &negated)) {
+          return Status::InvalidArgument("truncated snapshot");
+        }
+        lit.negated = negated != 0;
+        lits.push_back(lit);
+      }
+      const ClauseId cid = graph.AddClause(gid, std::move(lits));
+      if (clause_active == 0) graph.DeactivateClause(cid);
+    }
+    if (active == 0) graph.DeactivateGroup(gid);
+  }
+  return graph;
+}
+
+bool GraphsEqual(const FactorGraph& a, const FactorGraph& b) {
+  if (a.NumVariables() != b.NumVariables() || a.NumWeights() != b.NumWeights() ||
+      a.NumGroups() != b.NumGroups() || a.NumClauses() != b.NumClauses()) {
+    return false;
+  }
+  for (VarId v = 0; v < a.NumVariables(); ++v) {
+    if (a.EvidenceValue(v) != b.EvidenceValue(v)) return false;
+  }
+  for (WeightId w = 0; w < a.NumWeights(); ++w) {
+    if (a.weight(w).value != b.weight(w).value ||
+        a.weight(w).learnable != b.weight(w).learnable ||
+        a.weight(w).description != b.weight(w).description) {
+      return false;
+    }
+  }
+  for (GroupId g = 0; g < a.NumGroups(); ++g) {
+    const FactorGroup& ga = a.group(g);
+    const FactorGroup& gb = b.group(g);
+    if (ga.rule_id != gb.rule_id || ga.head != gb.head || ga.weight != gb.weight ||
+        ga.semantics != gb.semantics || ga.active != gb.active ||
+        ga.clauses.size() != gb.clauses.size()) {
+      return false;
+    }
+    for (size_t c = 0; c < ga.clauses.size(); ++c) {
+      const Clause& ca = a.clause(ga.clauses[c]);
+      const Clause& cb = b.clause(gb.clauses[c]);
+      if (ca.active != cb.active || ca.literals.size() != cb.literals.size()) {
+        return false;
+      }
+      for (size_t l = 0; l < ca.literals.size(); ++l) {
+        if (ca.literals[l].var != cb.literals[l].var ||
+            ca.literals[l].negated != cb.literals[l].negated) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace deepdive::factor

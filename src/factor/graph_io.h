@@ -1,0 +1,24 @@
+#ifndef DEEPDIVE_FACTOR_GRAPH_IO_H_
+#define DEEPDIVE_FACTOR_GRAPH_IO_H_
+
+#include <string>
+
+#include "factor/factor_graph.h"
+#include "util/status.h"
+
+namespace deepdive::factor {
+
+/// Binary snapshot of a factor graph. The materialization phase persists the
+/// graph alongside its sample store so later inference phases (possibly in a
+/// new process) can reuse it.
+Status SaveGraph(const FactorGraph& graph, const std::string& path);
+
+StatusOr<FactorGraph> LoadGraph(const std::string& path);
+
+/// Structural equality (variables, evidence, weights, groups, clauses);
+/// used by round-trip tests.
+bool GraphsEqual(const FactorGraph& a, const FactorGraph& b);
+
+}  // namespace deepdive::factor
+
+#endif  // DEEPDIVE_FACTOR_GRAPH_IO_H_

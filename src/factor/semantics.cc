@@ -1,0 +1,34 @@
+#include "factor/semantics.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace deepdive::factor {
+
+const char* SemanticsName(Semantics semantics) {
+  switch (semantics) {
+    case Semantics::kLinear:
+      return "linear";
+    case Semantics::kRatio:
+      return "ratio";
+    case Semantics::kLogical:
+      return "logical";
+  }
+  return "?";
+}
+
+double GCount(Semantics semantics, int64_t n) {
+  DD_CHECK_GE(n, 0);
+  switch (semantics) {
+    case Semantics::kLinear:
+      return static_cast<double>(n);
+    case Semantics::kRatio:
+      return std::log1p(static_cast<double>(n));
+    case Semantics::kLogical:
+      return n > 0 ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace deepdive::factor

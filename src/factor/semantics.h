@@ -1,0 +1,26 @@
+#ifndef DEEPDIVE_FACTOR_SEMANTICS_H_
+#define DEEPDIVE_FACTOR_SEMANTICS_H_
+
+#include <cstdint>
+
+namespace deepdive::factor {
+
+/// The grounding-count transformation g(n) of Equation 1 / Figure 4.
+/// DeepDive's departure from vanilla MLN semantics: the weight of a rule in a
+/// possible world is w * sign(head) * g(#satisfied groundings), and the choice
+/// of g changes both quality (Section 2.4, Example 2.5) and Gibbs mixing time
+/// (Appendix A: Logical/Ratio mix in O(n log n); Linear can take 2^Ω(n)).
+enum class Semantics : uint8_t {
+  kLinear = 0,   // g(n) = n
+  kRatio = 1,    // g(n) = log(1 + n)
+  kLogical = 2,  // g(n) = 1{n > 0}
+};
+
+const char* SemanticsName(Semantics semantics);
+
+/// Evaluates g(n). n must be >= 0.
+double GCount(Semantics semantics, int64_t n);
+
+}  // namespace deepdive::factor
+
+#endif  // DEEPDIVE_FACTOR_SEMANTICS_H_

@@ -1,0 +1,32 @@
+#include "grounding/grounder.h"
+
+#include "grounding/incremental_grounder.h"
+
+namespace deepdive::grounding {
+
+factor::VarId GroundGraph::FindVariable(const std::string& relation,
+                                        const Tuple& tuple) const {
+  auto rit = var_index.find(relation);
+  if (rit == var_index.end()) return factor::kNoVar;
+  auto tit = rit->second.find(tuple);
+  return tit == rit->second.end() ? factor::kNoVar : tit->second;
+}
+
+std::vector<factor::VarId> GroundGraph::VariablesOf(const std::string& relation) const {
+  std::vector<factor::VarId> out;
+  auto rit = var_index.find(relation);
+  if (rit == var_index.end()) return out;
+  out.reserve(rit->second.size());
+  for (const auto& [_, var] : rit->second) out.push_back(var);
+  return out;
+}
+
+StatusOr<GroundGraph> GroundProgram(const dsl::Program& program, Database* db) {
+  GroundGraph ground;
+  IncrementalGrounder grounder(&program, db, &ground);
+  DD_RETURN_IF_ERROR(grounder.Initialize());
+  DD_RETURN_IF_ERROR(grounder.GroundAll().status());
+  return ground;
+}
+
+}  // namespace deepdive::grounding

@@ -1,0 +1,42 @@
+#ifndef DEEPDIVE_GROUNDING_GROUNDER_H_
+#define DEEPDIVE_GROUNDING_GROUNDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dsl/program.h"
+#include "factor/factor_graph.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace deepdive::grounding {
+
+/// The grounded model plus the tuple <-> variable correspondence ("every
+/// tuple in the database is a random variable", Section 2.5).
+struct GroundGraph {
+  factor::FactorGraph graph;
+
+  /// Query-relation tuple -> variable.
+  std::map<std::string, std::map<Tuple, factor::VarId>> var_index;
+
+  /// VarId -> (relation, tuple); parallel to graph variables.
+  std::vector<std::pair<std::string, Tuple>> var_tuples;
+
+  /// Variable for a query tuple, or kNoVar.
+  factor::VarId FindVariable(const std::string& relation, const Tuple& tuple) const;
+
+  /// All variables of one query relation.
+  std::vector<factor::VarId> VariablesOf(const std::string& relation) const;
+};
+
+/// Grounds a program over a database from scratch: creates one Boolean
+/// variable per query-relation tuple, applies evidence relations, and
+/// evaluates every factor rule into Equation-1 groups. (Internally this is
+/// the incremental grounder run against an empty graph; there is exactly one
+/// grounding code path.)
+StatusOr<GroundGraph> GroundProgram(const dsl::Program& program, Database* db);
+
+}  // namespace deepdive::grounding
+
+#endif  // DEEPDIVE_GROUNDING_GROUNDER_H_

@@ -1,0 +1,106 @@
+#ifndef DEEPDIVE_GROUNDING_INCREMENTAL_GROUNDER_H_
+#define DEEPDIVE_GROUNDING_INCREMENTAL_GROUNDER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dsl/program.h"
+#include "engine/rule_evaluator.h"
+#include "engine/view_maintenance.h"
+#include "factor/graph_delta.h"
+#include "grounding/grounder.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace deepdive::grounding {
+
+/// Incremental grounding (Section 3, phase 1): turns set-level relation
+/// deltas (from DRed view maintenance) and program changes into a factor-
+/// graph delta (ΔV, ΔF):
+///   * new query tuples        -> new variables
+///   * evidence tuple changes  -> evidence (re)assignments
+///   * factor-rule body deltas -> ground clauses added to / retracted from
+///     their Equation-1 groups (via the same telescoping delta evaluation
+///     used for views)
+///   * rule addition/removal   -> full evaluation / group deactivation
+class IncrementalGrounder {
+ public:
+  /// `ground` may be empty (fresh grounding) or a previously built graph.
+  IncrementalGrounder(const dsl::Program* program, Database* db, GroundGraph* ground);
+
+  /// Compiles the program's factor rules. Call once before grounding.
+  Status Initialize();
+
+  /// Grounds everything from the current database state (assumes the graph
+  /// has no groundings yet for these rules). Returns the delta (which, for a
+  /// fresh graph, describes the whole graph).
+  StatusOr<factor::GraphDelta> GroundAll();
+
+  /// Applies relation set-deltas produced by ViewMaintainer::ApplyUpdate.
+  StatusOr<factor::GraphDelta> ApplyRelationDeltas(const engine::RelationDeltas& deltas);
+
+  /// Adds one factor rule to the running system (grounds it fully).
+  StatusOr<factor::GraphDelta> AddFactorRule(const dsl::FactorRule& rule);
+
+  /// Retracts a factor rule by label: deactivates all its groups.
+  StatusOr<factor::GraphDelta> RemoveFactorRule(const std::string& label);
+
+  size_t NumFactorRules() const { return rules_.size(); }
+
+ private:
+  struct CompiledFactorRule {
+    dsl::FactorRule rule;
+    uint32_t rule_id = 0;
+    engine::CompiledRuleBody body;
+    factor::WeightId fixed_weight = 0;   // for non-tied weights
+    bool has_fixed_weight = false;
+    std::vector<int> head_slots;         // slot per head term (-1 = constant)
+    std::vector<int> weight_slots;       // slots of tied-weight variables
+    /// Body atoms over query relations: (relation, negated, slots per term).
+    struct QueryAtom {
+      std::string relation;
+      bool negated = false;
+      std::vector<int> slots;            // -1 = constant
+      std::vector<Value> constants;      // aligned with slots
+    };
+    std::vector<QueryAtom> query_atoms;
+  };
+
+  Status CompileFactorRule(const dsl::FactorRule& rule);
+
+  /// Creates (or finds) the variable for a query tuple; records creation.
+  factor::VarId GetOrCreateVariable(const std::string& relation, const Tuple& tuple,
+                                    factor::GraphDelta* delta);
+
+  /// Processes one grounding (binding of the rule body) with sign +/-1.
+  void ProcessGrounding(const CompiledFactorRule& cr, const std::vector<Value>& values,
+                        int64_t sign, factor::GraphDelta* delta);
+
+  /// Applies evidence-relation changes for a target variable by rescanning
+  /// the evidence tables for that tuple.
+  void ReapplyEvidence(const std::string& query_relation, const Tuple& tuple,
+                       factor::GraphDelta* delta);
+
+  const dsl::Program* program_;
+  Database* db_;
+  GroundGraph* ground_;
+  std::vector<CompiledFactorRule> rules_;
+
+  // (rule_id, head var, weight) -> group.
+  std::map<std::tuple<uint32_t, factor::VarId, factor::WeightId>, factor::GroupId>
+      group_index_;
+  // Scratch: per-update map group -> index into delta.modified_groups, and
+  // the set of groups created during the current update (their clauses are
+  // implicitly "new" and need no GroupMod record).
+  std::map<factor::GroupId, size_t> mod_index_;
+  std::set<factor::GroupId> fresh_groups_;
+
+  uint32_t next_rule_id_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace deepdive::grounding
+
+#endif  // DEEPDIVE_GROUNDING_INCREMENTAL_GROUNDER_H_

@@ -1,0 +1,416 @@
+#include "incremental/engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "incremental/decomposition.h"
+#include "inference/world.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace deepdive::incremental {
+
+using factor::GraphDelta;
+using factor::GroupId;
+using factor::VarId;
+
+IncrementalEngine::IncrementalEngine(factor::FactorGraph* graph) : graph_(graph) {}
+
+Status IncrementalEngine::Materialize(const MaterializationOptions& options) {
+  Timer timer;
+  store_.Clear();
+  cumulative_ = GraphDelta{};
+
+  // Sampling materialization: draw as many samples as the budget allows.
+  inference::GibbsOptions gopts;
+  gopts.burn_in_sweeps = options.gibbs_burn_in;
+  gopts.seed = options.seed;
+  inference::GibbsSampler sampler(graph_);
+  {
+    inference::World world(graph_);
+    Rng rng(options.seed);
+    world.InitValues(&rng, /*random_init=*/true);
+    for (size_t i = 0; i < options.gibbs_burn_in; ++i) sampler.Sweep(&world, &rng);
+    for (size_t s = 0; s < options.num_samples; ++s) {
+      for (size_t t = 0; t < std::max<size_t>(1, options.gibbs_thin); ++t) {
+        sampler.Sweep(&world, &rng);
+      }
+      store_.Add(world.ToBits());
+      if (options.time_budget_seconds > 0 &&
+          timer.Seconds() > options.time_budget_seconds) {
+        break;
+      }
+    }
+  }
+
+  // Materialized marginals: sample averages.
+  marginals_.assign(graph_->NumVariables(), 0.5);
+  if (!store_.empty()) {
+    std::vector<double> sums(graph_->NumVariables(), 0.0);
+    for (size_t s = 0; s < store_.size(); ++s) {
+      const BitVector& bits = store_.sample(s);
+      for (VarId v = 0; v < graph_->NumVariables(); ++v) {
+        sums[v] += bits.Get(v) ? 1.0 : 0.0;
+      }
+    }
+    for (VarId v = 0; v < graph_->NumVariables(); ++v) {
+      marginals_[v] = sums[v] / static_cast<double>(store_.size());
+    }
+  }
+  for (VarId v = 0; v < graph_->NumVariables(); ++v) {
+    const auto ev = graph_->EvidenceValue(v);
+    if (ev.has_value()) marginals_[v] = *ev ? 1.0 : 0.0;
+  }
+  materialized_marginals_ = marginals_;
+
+  // Variational materialization.
+  VariationalOptions vopts = options.variational;
+  vopts.seed = options.seed + 101;
+  auto vmat = VariationalMaterialization::Materialize(*graph_, vopts);
+  if (vmat.ok()) {
+    variational_ = std::move(vmat).value();
+  } else {
+    variational_.reset();
+    DD_LOG(Warning) << "variational materialization failed: "
+                    << vmat.status().ToString();
+  }
+
+  // Optional strawman (tiny graphs only).
+  strawman_.reset();
+  mat_stats_.strawman_built = false;
+  if (options.materialize_strawman) {
+    auto sm = StrawmanMaterialization::Materialize(*graph_);
+    if (sm.ok()) {
+      strawman_ = std::move(sm).value();
+      mat_stats_.strawman_built = true;
+    }
+  }
+
+  mat_stats_.samples_collected = store_.size();
+  mat_stats_.sample_bytes = store_.ByteSize();
+  mat_stats_.variational_edges = variational_ ? variational_->NumEdges() : 0;
+  mat_stats_.seconds = timer.Seconds();
+  return Status::OK();
+}
+
+std::vector<bool> IncrementalEngine::TouchedVars(const GraphDelta& delta) const {
+  std::vector<bool> touched(graph_->NumVariables(), false);
+  auto touch_group = [&](GroupId g) {
+    const factor::FactorGroup& group = graph_->group(g);
+    touched[group.head] = true;
+    for (factor::ClauseId cid : group.clauses) {
+      for (const factor::Literal& lit : graph_->clause(cid).literals) {
+        touched[lit.var] = true;
+      }
+    }
+  };
+  for (GroupId g : delta.new_groups) touch_group(g);
+  for (GroupId g : delta.removed_groups) touch_group(g);
+  for (const GraphDelta::GroupMod& mod : delta.modified_groups) touch_group(mod.group);
+  for (const GraphDelta::WeightChange& wc : delta.weight_changes) {
+    for (GroupId g : graph_->GroupsForWeight(wc.weight)) touch_group(g);
+  }
+  for (const GraphDelta::EvidenceChange& ec : delta.evidence_changes) {
+    touched[ec.var] = true;
+  }
+  for (VarId v : delta.new_variables) touched[v] = true;
+  return touched;
+}
+
+std::vector<VarId> IncrementalEngine::AffectedVars(const GraphDelta& delta,
+                                                   bool decomposition_enabled) const {
+  std::vector<VarId> out;
+  if (!decomposition_enabled) {
+    out.resize(graph_->NumVariables());
+    for (VarId v = 0; v < graph_->NumVariables(); ++v) out[v] = v;
+    return out;
+  }
+  const std::vector<bool> touched = TouchedVars(delta);
+  // Expand to full components: a delta factor shifts the distribution of
+  // everything connected to it; disconnected components are untouched.
+  const auto components = ConnectedComponents(*graph_);
+  for (const auto& comp : components) {
+    bool hit = false;
+    for (VarId v : comp) {
+      if (touched[v]) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) out.insert(out.end(), comp.begin(), comp.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+StatusOr<UpdateOutcome> IncrementalEngine::ApplyDelta(const GraphDelta& delta,
+                                                      const EngineOptions& options) {
+  Timer timer;
+  cumulative_.Merge(delta);
+  ++update_seq_;
+  marginals_.resize(graph_->NumVariables(), 0.5);
+
+  if (cumulative_.empty() && (!options.forced_strategy.has_value() ||
+                              *options.forced_strategy == Strategy::kSampling)) {
+    // Analysis-only workload (rule A1): the distribution equals the
+    // materialized one, so its marginals are the exact answer — the 100%-
+    // acceptance case where the sampling approach needs no computation.
+    UpdateOutcome outcome;
+    outcome.marginals = materialized_marginals_;
+    outcome.marginals.resize(graph_->NumVariables(), 0.5);
+    outcome.strategy = Strategy::kSampling;
+    outcome.reason = "no change; materialized marginals";
+    outcome.acceptance_rate = 1.0;
+    marginals_ = outcome.marginals;
+    outcome.seconds = timer.Seconds();
+    return outcome;
+  }
+
+  const std::vector<VarId> affected =
+      AffectedVars(cumulative_, options.decomposition_enabled);
+
+  OptimizerDecision decision;
+  if (options.forced_strategy.has_value()) {
+    decision.strategy = *options.forced_strategy;
+    decision.reason = "forced";
+  } else {
+    RuleBasedOptimizer optimizer(options.optimizer);
+    decision = optimizer.Choose(*graph_, delta, !store_.exhausted());
+    if (decision.strategy == Strategy::kVariational && !variational_.has_value()) {
+      decision.strategy = Strategy::kRerun;
+      decision.reason += " (no variational materialization)";
+    }
+  }
+
+  UpdateOutcome outcome;
+  if (!options.forced_strategy.has_value() && options.per_group_strategy &&
+      options.decomposition_enabled && decision.strategy != Strategy::kRerun) {
+    DD_ASSIGN_OR_RETURN(outcome, RunPerGroup(options, affected));
+    outcome.affected_vars = affected.size();
+    marginals_ = outcome.marginals;
+    outcome.seconds = timer.Seconds();
+    return outcome;
+  }
+  switch (decision.strategy) {
+    case Strategy::kSampling: {
+      DD_ASSIGN_OR_RETURN(outcome, RunSampling(options, affected));
+      break;
+    }
+    case Strategy::kVariational:
+      outcome = RunVariational(options, affected);
+      break;
+    case Strategy::kStrawman: {
+      if (!strawman_.has_value()) {
+        return Status::FailedPrecondition("strawman was not materialized");
+      }
+      auto marginals = strawman_->InferUpdated(*graph_, cumulative_);
+      if (!marginals.ok()) return marginals.status();
+      outcome.marginals = std::move(marginals).value();
+      break;
+    }
+    case Strategy::kRerun:
+      outcome = RunRerun(options);
+      break;
+  }
+  outcome.strategy = decision.strategy;
+  if (outcome.reason.empty()) outcome.reason = decision.reason;
+  outcome.affected_vars = affected.size();
+
+  // Fold into the engine's marginal state.
+  marginals_ = outcome.marginals;
+  outcome.seconds = timer.Seconds();
+  return outcome;
+}
+
+StatusOr<UpdateOutcome> IncrementalEngine::RunPerGroup(
+    const EngineOptions& options, const std::vector<VarId>& affected) {
+  // Classify each affected component by what the cumulative delta does to
+  // it: evidence-modified components go variational (rule 2), the rest ride
+  // the sampling chain (rules 1/3) while samples last.
+  std::vector<bool> is_affected(graph_->NumVariables(), false);
+  for (VarId v : affected) is_affected[v] = true;
+  // Per-variable classification signals: evidence modified (rule 2) and
+  // fixed-weight structural changes such as inference rules, whose many
+  // correlated factors collapse MH acceptance (see RuleBasedOptimizer).
+  std::vector<bool> wants_variational(graph_->NumVariables(), false);
+  for (const GraphDelta::EvidenceChange& ec : cumulative_.evidence_changes) {
+    wants_variational[ec.var] = true;
+  }
+  auto mark_group = [&](GroupId gid) {
+    const factor::FactorGroup& group = graph_->group(gid);
+    if (graph_->weight(group.weight).learnable) return;  // new feature: sampling
+    wants_variational[group.head] = true;
+    for (factor::ClauseId cid : group.clauses) {
+      for (const factor::Literal& lit : graph_->clause(cid).literals) {
+        wants_variational[lit.var] = true;
+      }
+    }
+  };
+  for (GroupId gid : cumulative_.new_groups) mark_group(gid);
+  for (GroupId gid : cumulative_.removed_groups) mark_group(gid);
+
+  std::vector<VarId> sampling_vars, variational_vars;
+  for (const auto& component : ConnectedComponents(*graph_)) {
+    bool touched = false, variational = false;
+    for (VarId v : component) {
+      touched |= is_affected[v];
+      variational |= wants_variational[v];
+    }
+    if (!touched) continue;
+    auto& bucket = (variational && variational_.has_value() &&
+                    options.optimizer.variational_enabled)
+                       ? variational_vars
+                       : sampling_vars;
+    bucket.insert(bucket.end(), component.begin(), component.end());
+  }
+  if (!options.optimizer.sampling_enabled) {
+    variational_vars.insert(variational_vars.end(), sampling_vars.begin(),
+                            sampling_vars.end());
+    sampling_vars.clear();
+  }
+
+  UpdateOutcome outcome;
+  outcome.marginals = materialized_marginals_;
+  outcome.marginals.resize(graph_->NumVariables(), 0.5);
+  outcome.sampling_vars = sampling_vars.size();
+  outcome.variational_vars = variational_vars.size();
+
+  if (!sampling_vars.empty()) {
+    DD_ASSIGN_OR_RETURN(UpdateOutcome s, RunSampling(options, sampling_vars));
+    for (VarId v : sampling_vars) outcome.marginals[v] = s.marginals[v];
+    outcome.acceptance_rate = s.acceptance_rate;
+    outcome.fell_back_to_variational = s.fell_back_to_variational;
+    if (s.fell_back_to_variational) {
+      outcome.sampling_vars = 0;
+      outcome.variational_vars += sampling_vars.size();
+    }
+  }
+  if (!variational_vars.empty()) {
+    if (!variational_.has_value()) {
+      UpdateOutcome r = RunRerun(options);
+      for (VarId v : variational_vars) outcome.marginals[v] = r.marginals[v];
+    } else {
+      UpdateOutcome v_outcome = RunVariational(options, variational_vars);
+      for (VarId v : variational_vars) outcome.marginals[v] = v_outcome.marginals[v];
+    }
+  }
+  for (VarId v = 0; v < graph_->NumVariables(); ++v) {
+    const auto ev = graph_->EvidenceValue(v);
+    if (ev.has_value()) outcome.marginals[v] = *ev ? 1.0 : 0.0;
+  }
+  outcome.strategy = outcome.variational_vars > outcome.sampling_vars
+                         ? Strategy::kVariational
+                         : Strategy::kSampling;
+  outcome.reason =
+      StrFormat("per-group: %zu vars sampling, %zu vars variational",
+                outcome.sampling_vars, outcome.variational_vars);
+  return outcome;
+}
+
+StatusOr<UpdateOutcome> IncrementalEngine::RunSampling(
+    const EngineOptions& options, const std::vector<VarId>& affected) {
+  UpdateOutcome outcome;
+  IndependentMH mh(graph_, &cumulative_);
+  MHOptions mh_options;
+  // The paper's cost model: the chain consumes proposals until it has
+  // gathered enough *effective* (accepted) samples — SI samples cost SI/rho
+  // proposals — or until the store runs dry.
+  mh_options.target_steps = std::numeric_limits<size_t>::max();  // store-bounded
+  mh_options.target_accepted = options.mh_target_steps;
+  mh_options.seed = 977 * (update_seq_ + 1);
+  mh_options.track_vars = &affected;  // untouched components keep Pr(0) marginals
+  DD_ASSIGN_OR_RETURN(MHResult result, mh.Run(&store_, mh_options));
+  outcome.acceptance_rate = result.acceptance_rate;
+
+  const bool too_few_steps =
+      result.exhausted &&
+      result.accepted < std::max<size_t>(2, options.mh_target_steps / 2);
+  if (too_few_steps) {
+    // Optimizer rule 4 at execution time: the store ran dry before the chain
+    // gathered enough accepted moves.
+    if (variational_.has_value() && options.optimizer.variational_enabled) {
+      outcome = RunVariational(options, affected);
+      outcome.fell_back_to_variational = true;
+      outcome.acceptance_rate = result.acceptance_rate;
+      outcome.reason = "samples exhausted; fell back to variational";
+    } else {
+      outcome = RunRerun(options);
+      outcome.acceptance_rate = result.acceptance_rate;
+      outcome.reason = "samples exhausted; no variational; rerunning";
+    }
+    return outcome;
+  }
+
+  // Refresh only affected variables; untouched components keep their
+  // materialized marginals (exact, since the cumulative delta does not
+  // reach them).
+  outcome.marginals = materialized_marginals_;
+  outcome.marginals.resize(graph_->NumVariables(), 0.5);
+  for (VarId v : affected) outcome.marginals[v] = result.marginals[v];
+  for (VarId v = 0; v < graph_->NumVariables(); ++v) {
+    const auto ev = graph_->EvidenceValue(v);
+    if (ev.has_value()) outcome.marginals[v] = *ev ? 1.0 : 0.0;
+  }
+  return outcome;
+}
+
+UpdateOutcome IncrementalEngine::RunVariational(const EngineOptions& options,
+                                                const std::vector<VarId>& affected) {
+  UpdateOutcome outcome;
+  DD_CHECK(variational_.has_value());
+  factor::FactorGraph inference_graph = BuildVariationalInferenceGraph(
+      *graph_, variational_->approx_graph(), cumulative_);
+
+  inference::GibbsSampler sampler(&inference_graph);
+  inference::World world(&inference_graph);
+  Rng rng(options.gibbs.seed + update_seq_);
+  // Start from the current marginal estimates (warm start).
+  for (VarId v = 0; v < inference_graph.NumVariables(); ++v) {
+    const auto ev = inference_graph.EvidenceValue(v);
+    const bool value = ev.has_value() ? *ev : (v < marginals_.size() && marginals_[v] > 0.5);
+    world.Flip(v, value);
+  }
+  world.RecomputeStats();
+
+  std::vector<VarId> sweep_vars;
+  for (VarId v : affected) {
+    if (!inference_graph.IsEvidence(v)) sweep_vars.push_back(v);
+  }
+  std::vector<double> sums(inference_graph.NumVariables(), 0.0);
+  for (size_t i = 0; i < options.gibbs.burn_in_sweeps; ++i) {
+    sampler.SweepVars(&world, &rng, sweep_vars);
+  }
+  const size_t sample_sweeps = std::max<size_t>(1, options.gibbs.sample_sweeps);
+  for (size_t i = 0; i < sample_sweeps; ++i) {
+    sampler.SweepVars(&world, &rng, sweep_vars);
+    for (VarId v : sweep_vars) sums[v] += world.value(v) ? 1.0 : 0.0;
+  }
+
+  outcome.marginals = materialized_marginals_;
+  outcome.marginals.resize(graph_->NumVariables(), 0.5);
+  for (VarId v : sweep_vars) {
+    outcome.marginals[v] = sums[v] / static_cast<double>(sample_sweeps);
+  }
+  for (VarId v = 0; v < graph_->NumVariables(); ++v) {
+    const auto ev = graph_->EvidenceValue(v);
+    if (ev.has_value()) outcome.marginals[v] = *ev ? 1.0 : 0.0;
+  }
+  return outcome;
+}
+
+UpdateOutcome IncrementalEngine::RunRerun(const EngineOptions& options) {
+  UpdateOutcome outcome;
+  inference::GibbsSampler sampler(graph_);
+  inference::GibbsOptions gopts = options.rerun_gibbs;
+  gopts.seed += update_seq_;
+  outcome.marginals = sampler.EstimateMarginals(gopts).marginals;
+  for (VarId v = 0; v < graph_->NumVariables(); ++v) {
+    const auto ev = graph_->EvidenceValue(v);
+    if (ev.has_value()) outcome.marginals[v] = *ev ? 1.0 : 0.0;
+  }
+  outcome.reason = "rerun";
+  return outcome;
+}
+
+}  // namespace deepdive::incremental

@@ -1,0 +1,141 @@
+#ifndef DEEPDIVE_INCREMENTAL_ENGINE_H_
+#define DEEPDIVE_INCREMENTAL_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "factor/factor_graph.h"
+#include "factor/graph_delta.h"
+#include "incremental/mh_sampler.h"
+#include "incremental/optimizer.h"
+#include "incremental/sample_store.h"
+#include "incremental/strawman.h"
+#include "incremental/variational.h"
+#include "inference/gibbs.h"
+#include "util/status.h"
+
+namespace deepdive::incremental {
+
+struct MaterializationOptions {
+  /// Samples stored for the sampling approach (SM of Figure 5's cost model).
+  /// Sized so several updates' worth of effective samples fit before rule 4
+  /// (out of samples) forces the variational path.
+  size_t num_samples = 5000;
+  size_t gibbs_burn_in = 50;
+  size_t gibbs_thin = 1;
+  VariationalOptions variational;
+  /// Also build the strawman (only succeeds on tiny graphs).
+  bool materialize_strawman = false;
+  /// Best-effort time budget in seconds (0 = none): sample collection stops
+  /// early when exceeded, mirroring DeepDive's "as many samples as possible
+  /// in a user-specified interval" policy (Section 3.3 / Appendix B.2).
+  double time_budget_seconds = 0.0;
+  uint64_t seed = 31;
+};
+
+struct MaterializationStats {
+  size_t samples_collected = 0;
+  size_t sample_bytes = 0;
+  size_t variational_edges = 0;
+  double seconds = 0.0;
+  bool strawman_built = false;
+};
+
+struct EngineOptions {
+  OptimizerConfig optimizer;
+  std::optional<Strategy> forced_strategy;
+  /// Confine re-inference to graph components touched by the delta
+  /// (Appendix B.1). Disable to reproduce the NoDecomposition lesion.
+  bool decomposition_enabled = true;
+  /// Choose the strategy *per affected component* from what the delta does
+  /// there (Section 3.3 / Figure 11: "different materialization strategies
+  /// for different groups of variables"): components whose local delta
+  /// modifies evidence go to the variational approach, the rest ride the
+  /// sampling chain. Disable to classify once per update (the
+  /// NoWorkloadInfo-adjacent behavior).
+  bool per_group_strategy = true;
+  size_t mh_target_steps = 1000;
+  /// Gibbs budget for the (warm-started, component-confined) variational path.
+  inference::GibbsOptions gibbs;
+  /// Gibbs budget for a full rerun fallback — a cold chain over the whole
+  /// graph, so typically a larger budget than `gibbs`.
+  inference::GibbsOptions rerun_gibbs;
+};
+
+struct UpdateOutcome {
+  std::vector<double> marginals;   // full vector, all variables
+  Strategy strategy = Strategy::kSampling;
+  std::string reason;
+  double seconds = 0.0;
+  double acceptance_rate = -1.0;   // sampling path only
+  size_t affected_vars = 0;
+  bool fell_back_to_variational = false;
+  /// Per-group execution accounting (per_group_strategy mode).
+  size_t sampling_vars = 0;
+  size_t variational_vars = 0;
+};
+
+/// Orchestrates incremental inference (Section 3.3): materializes *both* the
+/// sampling and the variational approaches up front, then, per update,
+/// classifies the delta with the rule-based optimizer and executes the
+/// chosen strategy, confined to the affected graph components. Successive
+/// updates accumulate into one delta against the materialized distribution,
+/// so the sampling approach's acceptance rate decays naturally as the
+/// distribution drifts — exactly the dynamics the optimizer arbitrates.
+class IncrementalEngine {
+ public:
+  explicit IncrementalEngine(factor::FactorGraph* graph);
+
+  Status Materialize(const MaterializationOptions& options);
+  const MaterializationStats& materialization_stats() const { return mat_stats_; }
+
+  /// Applies one update's delta (already applied to the graph structure) and
+  /// refreshes marginals.
+  StatusOr<UpdateOutcome> ApplyDelta(const factor::GraphDelta& delta,
+                                     const EngineOptions& options);
+
+  /// Current marginal estimates (materialized values for untouched vars).
+  const std::vector<double>& marginals() const { return marginals_; }
+
+  size_t SamplesRemaining() const { return store_.remaining(); }
+  bool HasVariational() const { return variational_.has_value(); }
+  const factor::GraphDelta& cumulative_delta() const { return cumulative_; }
+
+ private:
+  /// Variables directly referenced by a delta.
+  std::vector<bool> TouchedVars(const factor::GraphDelta& delta) const;
+
+  /// Expands touched variables to whole connected components (or all
+  /// variables when decomposition is disabled).
+  std::vector<factor::VarId> AffectedVars(const factor::GraphDelta& delta,
+                                          bool decomposition_enabled) const;
+
+  StatusOr<UpdateOutcome> RunSampling(const EngineOptions& options,
+                                      const std::vector<factor::VarId>& affected);
+  UpdateOutcome RunVariational(const EngineOptions& options,
+                               const std::vector<factor::VarId>& affected);
+  UpdateOutcome RunRerun(const EngineOptions& options);
+
+  /// Splits the affected variables into per-component strategy buckets from
+  /// the cumulative delta (Section 3.3 applied per group) and executes each
+  /// bucket with its strategy.
+  StatusOr<UpdateOutcome> RunPerGroup(const EngineOptions& options,
+                                      const std::vector<factor::VarId>& affected);
+
+  factor::FactorGraph* graph_;
+  SampleStore store_;
+  std::optional<VariationalMaterialization> variational_;
+  std::optional<StrawmanMaterialization> strawman_;
+  /// Marginals under Pr(0). Variables untouched by the cumulative delta
+  /// keep exactly these values (their distribution has not changed).
+  std::vector<double> materialized_marginals_;
+  std::vector<double> marginals_;
+  factor::GraphDelta cumulative_;
+  MaterializationStats mat_stats_;
+  uint64_t update_seq_ = 0;
+};
+
+}  // namespace deepdive::incremental
+
+#endif  // DEEPDIVE_INCREMENTAL_ENGINE_H_

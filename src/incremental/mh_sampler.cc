@@ -1,0 +1,130 @@
+#include "incremental/mh_sampler.h"
+
+#include <cmath>
+
+#include "inference/gibbs.h"
+#include "util/logging.h"
+
+namespace deepdive::incremental {
+
+using factor::GraphDelta;
+using factor::VarId;
+
+IndependentMH::IndependentMH(const factor::FactorGraph* graph, const GraphDelta* delta)
+    : graph_(graph), delta_(delta) {}
+
+StatusOr<MHResult> IndependentMH::Run(SampleStore* store, const MHOptions& options) {
+  MHResult result;
+  const size_t n = graph_->NumVariables();
+  result.marginals.assign(n, 0.0);
+  if (store->exhausted()) {
+    result.exhausted = true;
+    return result;
+  }
+
+  Rng rng(options.seed);
+
+  // Variables created after materialization need proposal extension by
+  // restricted Gibbs; that path pays for a World per proposal. The common
+  // fast path (no new variables) evaluates the delta's log-density ratio
+  // directly on the stored bits — per proposal cost O(|delta|), never
+  // O(graph), which is the whole point of the sampling approach.
+  std::vector<VarId> extension_vars;
+  for (VarId v = static_cast<VarId>(store->num_vars()); v < n; ++v) {
+    extension_vars.push_back(v);
+  }
+
+  inference::GibbsSampler sampler(graph_);
+  std::optional<inference::World> extension_world;
+  if (!extension_vars.empty()) extension_world.emplace(graph_);
+
+  // The proposal world as a full-width bit vector.
+  BitVector proposal_bits(n);
+  auto load_proposal = [&](const BitVector& raw) {
+    if (extension_vars.empty()) {
+      proposal_bits = raw;
+      return;
+    }
+    // Raw sample bits verbatim; evidence added after materialization is
+    // handled by the acceptance test, not coerced into the proposal. New
+    // *evidence* variables take their labels (they have no Pr(0)
+    // coordinate); other new variables get extension sweeps.
+    extension_world->LoadBitsPrefix(raw, /*fill=*/false, /*apply_evidence=*/false);
+    for (VarId v : extension_vars) {
+      const auto ev = graph_->EvidenceValue(v);
+      if (ev.has_value()) extension_world->Flip(v, *ev);
+    }
+    for (size_t s = 0; s < options.extension_sweeps; ++s) {
+      sampler.SweepVars(&*extension_world, &rng, extension_vars);
+    }
+    proposal_bits = extension_world->ToBits();
+  };
+
+  BitVector current(n);
+  auto current_of = [&](VarId v) { return current.Get(v); };
+  auto proposal_of = [&](VarId v) { return proposal_bits.Get(v); };
+
+  const BitVector* first = store->NextProposal();
+  DD_CHECK(first != nullptr);
+  load_proposal(*first);
+  current = proposal_bits;
+  double current_ratio = factor::DeltaLogDensityRatio(*graph_, *delta_, current_of);
+  ++result.proposals;
+  ++result.accepted;  // the chain starts at the first proposal
+
+  auto accumulate = [&]() {
+    if (options.track_vars != nullptr) {
+      for (VarId v : *options.track_vars) result.marginals[v] += current.Get(v);
+    } else {
+      for (VarId v = 0; v < n; ++v) result.marginals[v] += current.Get(v);
+    }
+  };
+
+  size_t steps = 1;
+  accumulate();
+
+  while (steps < options.target_steps &&
+         (options.target_accepted == 0 || result.accepted < options.target_accepted)) {
+    const BitVector* raw = store->NextProposal();
+    if (raw == nullptr) {
+      result.exhausted = true;
+      break;
+    }
+    ++result.proposals;
+    load_proposal(*raw);
+    const double proposed_ratio =
+        factor::DeltaLogDensityRatio(*graph_, *delta_, proposal_of);
+    bool accept;
+    if (std::isinf(current_ratio) && current_ratio < 0.0) {
+      // Current state has zero probability under Pr(Δ) (e.g. it violates new
+      // evidence): escape to any supported proposal.
+      accept = !(std::isinf(proposed_ratio) && proposed_ratio < 0.0);
+    } else {
+      const double log_alpha = proposed_ratio - current_ratio;
+      accept = log_alpha >= 0.0 || rng.Uniform() < std::exp(log_alpha);
+    }
+    if (accept) {
+      ++result.accepted;
+      current = proposal_bits;
+      current_ratio = proposed_ratio;
+    }
+    ++steps;
+    accumulate();
+  }
+
+  for (VarId v = 0; v < n; ++v) {
+    result.marginals[v] /= static_cast<double>(steps);
+  }
+  // Evidence variables report their labels exactly.
+  for (VarId v = 0; v < n; ++v) {
+    const auto ev = graph_->EvidenceValue(v);
+    if (ev.has_value()) result.marginals[v] = *ev ? 1.0 : 0.0;
+  }
+  result.acceptance_rate =
+      result.proposals > 0
+          ? static_cast<double>(result.accepted) / static_cast<double>(result.proposals)
+          : 0.0;
+  return result;
+}
+
+}  // namespace deepdive::incremental

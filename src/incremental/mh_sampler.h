@@ -1,0 +1,64 @@
+#ifndef DEEPDIVE_INCREMENTAL_MH_SAMPLER_H_
+#define DEEPDIVE_INCREMENTAL_MH_SAMPLER_H_
+
+#include <vector>
+
+#include "factor/factor_graph.h"
+#include "factor/graph_delta.h"
+#include "incremental/sample_store.h"
+#include "inference/world.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace deepdive::incremental {
+
+struct MHOptions {
+  /// Stop after this many chain steps (or when the store runs dry).
+  size_t target_steps = 1000;
+  /// If nonzero, additionally stop once this many proposals were *accepted*
+  /// — the paper's cost model (SI effective samples cost SI/ρ proposals,
+  /// Figure 5's sampling column).
+  size_t target_accepted = 0;
+  uint64_t seed = 11;
+  /// Gibbs sweeps used to extend a proposal onto variables that did not
+  /// exist when the samples were materialized.
+  size_t extension_sweeps = 2;
+  /// If set, marginals are accumulated only for these variables (the
+  /// decomposition optimization: untouched components keep materialized
+  /// marginals, so the chain need not track them). Others report 0.
+  const std::vector<factor::VarId>* track_vars = nullptr;
+};
+
+struct MHResult {
+  std::vector<double> marginals;
+  size_t proposals = 0;
+  size_t accepted = 0;
+  double acceptance_rate = 0.0;
+  /// True if the store ran out before target_steps proposals were made —
+  /// the optimizer's "out of samples -> variational" trigger.
+  bool exhausted = false;
+};
+
+/// The sampling approach's inference phase (Section 3.2.2): an independent
+/// Metropolis-Hastings chain whose proposal distribution is the materialized
+/// Pr(0) (realized by replaying stored samples). Because proposal and target
+/// differ only by the delta, the acceptance test
+///     a = min(1, exp(r(I') - r(I))),   r = log Pr(Δ)/Pr(0)
+/// touches only ΔV/ΔF — no factor of the original graph is fetched.
+class IndependentMH {
+ public:
+  IndependentMH(const factor::FactorGraph* graph, const factor::GraphDelta* delta);
+
+  /// Consumes proposals from `store` (advancing its cursor). Marginals are
+  /// averaged over the chain. Variables beyond the stored sample width are
+  /// extended by restricted Gibbs sweeps.
+  StatusOr<MHResult> Run(SampleStore* store, const MHOptions& options);
+
+ private:
+  const factor::FactorGraph* graph_;
+  const factor::GraphDelta* delta_;
+};
+
+}  // namespace deepdive::incremental
+
+#endif  // DEEPDIVE_INCREMENTAL_MH_SAMPLER_H_

@@ -1,0 +1,57 @@
+#ifndef DEEPDIVE_INCREMENTAL_SAMPLE_STORE_H_
+#define DEEPDIVE_INCREMENTAL_SAMPLE_STORE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/bitvector.h"
+#include "util/status.h"
+
+namespace deepdive::incremental {
+
+/// MCDB-style tuple-bundle storage (Section 3.2.2): worlds drawn from the
+/// materialized distribution Pr(0), one bit per variable per sample. The
+/// inference phase consumes samples as Metropolis-Hastings proposals through
+/// a cursor; when the cursor reaches the end the store is exhausted and the
+/// optimizer falls back to the variational approach.
+class SampleStore {
+ public:
+  SampleStore() = default;
+
+  void Add(BitVector sample);
+  void AddAll(std::vector<BitVector> samples);
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const BitVector& sample(size_t i) const { return samples_[i]; }
+
+  /// Number of variables per sample (0 if empty).
+  size_t num_vars() const { return samples_.empty() ? 0 : samples_[0].size(); }
+
+  /// Storage footprint (the "<5% of the factor graph" accounting).
+  size_t ByteSize() const;
+
+  /// Next unconsumed sample, or nullptr when exhausted.
+  const BitVector* NextProposal();
+
+  size_t remaining() const { return samples_.size() - cursor_; }
+  bool exhausted() const { return cursor_ >= samples_.size(); }
+
+  void ResetCursor() { cursor_ = 0; }
+  void Clear();
+
+  /// Persists the store (bit-packed) so an overnight materialization can be
+  /// reused by later sessions. The cursor is not persisted (a loaded store
+  /// starts fresh).
+  Status Save(const std::string& path) const;
+  static StatusOr<SampleStore> Load(const std::string& path);
+
+ private:
+  std::vector<BitVector> samples_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace deepdive::incremental
+
+#endif  // DEEPDIVE_INCREMENTAL_SAMPLE_STORE_H_

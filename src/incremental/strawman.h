@@ -1,0 +1,46 @@
+#ifndef DEEPDIVE_INCREMENTAL_STRAWMAN_H_
+#define DEEPDIVE_INCREMENTAL_STRAWMAN_H_
+
+#include <vector>
+
+#include "factor/factor_graph.h"
+#include "factor/graph_delta.h"
+#include "util/status.h"
+
+namespace deepdive::incremental {
+
+/// Complete materialization (Section 3.2.1): stores log Pr(0)[I] for every
+/// possible world I. Exponential space/time in the number of free variables
+/// — the paper's baseline, infeasible beyond ~20 variables but exact.
+/// Incremental inference reweights each stored world by the delta's
+/// log-density ratio and renormalizes.
+class StrawmanMaterialization {
+ public:
+  /// Enumerates and stores every world. Errors if the graph has more than
+  /// `max_free_vars` non-evidence variables.
+  static StatusOr<StrawmanMaterialization> Materialize(const factor::FactorGraph& graph,
+                                                       size_t max_free_vars = 22);
+
+  /// Exact marginals under Pr(0).
+  const std::vector<double>& OriginalMarginals() const { return original_marginals_; }
+
+  /// Exact marginals under Pr(Δ). Errors if the delta introduced variables
+  /// that were not enumerated.
+  StatusOr<std::vector<double>> InferUpdated(const factor::FactorGraph& graph,
+                                             const factor::GraphDelta& delta) const;
+
+  /// Stored bytes: 2^k log-weights (the exponential blowup of Figure 5(a)).
+  size_t ByteSize() const { return log_weights_.size() * sizeof(double); }
+
+  size_t NumWorlds() const { return log_weights_.size(); }
+
+ private:
+  std::vector<double> log_weights_;        // per enumerated world
+  std::vector<factor::VarId> free_vars_;   // bit order
+  std::vector<uint8_t> evidence_values_;   // fixed values per variable
+  std::vector<double> original_marginals_;
+};
+
+}  // namespace deepdive::incremental
+
+#endif  // DEEPDIVE_INCREMENTAL_STRAWMAN_H_

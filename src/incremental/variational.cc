@@ -1,0 +1,216 @@
+#include "incremental/variational.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "inference/gibbs.h"
+#include "inference/world.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace deepdive::incremental {
+
+using factor::FactorGraph;
+using factor::GraphDelta;
+using factor::GroupId;
+using factor::Literal;
+using factor::VarId;
+using factor::WeightId;
+
+StatusOr<VariationalMaterialization> VariationalMaterialization::Materialize(
+    const FactorGraph& graph, const VariationalOptions& options) {
+  VariationalMaterialization m;
+  const size_t n = graph.NumVariables();
+
+  // 1. Draw N samples from the original graph (Algorithm 1, line 1).
+  inference::GibbsOptions gopts;
+  gopts.burn_in_sweeps = options.gibbs_burn_in;
+  gopts.seed = options.seed;
+  inference::GibbsSampler sampler(&graph);
+  std::vector<BitVector> samples =
+      sampler.DrawSamples(options.num_samples, options.gibbs_thin, gopts);
+  if (samples.empty()) return Status::InvalidArgument("num_samples must be > 0");
+
+  // 2. NZ pairs: variables co-occurring in some factor (line 2), and spin
+  //    means/covariances over the samples (line 3).
+  std::vector<double> mean(n, 0.0);  // E[s], s = 2x - 1
+  for (const BitVector& s : samples) {
+    for (VarId v = 0; v < n; ++v) mean[v] += s.Get(v) ? 1.0 : -1.0;
+  }
+  for (VarId v = 0; v < n; ++v) mean[v] /= static_cast<double>(samples.size());
+
+  std::set<std::pair<VarId, VarId>> nz;
+  for (VarId v = 0; v < n; ++v) {
+    for (VarId u : graph.Neighbors(v)) {
+      if (u > v) nz.emplace(v, u);
+    }
+  }
+  m.num_nz_pairs_ = nz.size();
+
+  for (const auto& [a, b] : nz) {
+    double e_ab = 0.0;
+    for (const BitVector& s : samples) {
+      const double sa = s.Get(a) ? 1.0 : -1.0;
+      const double sb = s.Get(b) ? 1.0 : -1.0;
+      e_ab += sa * sb;
+    }
+    e_ab /= static_cast<double>(samples.size());
+    m.edge_stats_.push_back(EdgeStat{a, b, e_ab - mean[a] * mean[b]});
+  }
+
+  // 3. Build the sparse pairwise skeleton: unary group per variable, one
+  //    tied symmetric pair of groups per surviving edge (lines 4-7).
+  m.approx_graph_ = std::make_unique<FactorGraph>();
+  FactorGraph& ag = *m.approx_graph_;
+  if (n > 0) ag.AddVariables(n);
+  for (VarId v = 0; v < n; ++v) {
+    const auto ev = graph.EvidenceValue(v);
+    if (ev.has_value()) ag.SetEvidence(v, ev);
+  }
+  std::vector<WeightId> unary(n);
+  for (VarId v = 0; v < n; ++v) {
+    unary[v] = ag.AddWeight(0.0, /*learnable=*/true, StrFormat("vh/%u", v));
+    ag.AddSimpleFactor(v, {}, unary[v]);  // empty clause: bias on sign(v)
+  }
+  for (const EdgeStat& e : m.edge_stats_) {
+    if (std::abs(e.covariance) <= options.lambda) continue;
+    const WeightId w =
+        ag.AddWeight(0.0, /*learnable=*/true, StrFormat("vJ/%u-%u", e.a, e.b));
+    // Symmetric interaction: w * (sign(a) 1{b} + sign(b) 1{a}).
+    ag.AddSimpleFactor(e.a, {Literal{e.b, false}}, w);
+    ag.AddSimpleFactor(e.b, {Literal{e.a, false}}, w);
+    ++m.num_edges_;
+  }
+
+  // 4. Fit weights by maximum likelihood against the drawn samples:
+  //    gradient(w) = E_samples[f_w] - E_model[f_w].
+  std::vector<double> empirical(ag.NumWeights(), 0.0);
+  {
+    inference::World sw(&ag);
+    for (const BitVector& s : samples) {
+      sw.LoadBits(s);
+      for (WeightId w = 0; w < ag.NumWeights(); ++w) {
+        empirical[w] += sw.WeightFeature(w);
+      }
+    }
+    for (double& e : empirical) e /= static_cast<double>(samples.size());
+  }
+  {
+    inference::GibbsSampler fit_sampler(&ag);
+    Rng rng(options.seed + 1);
+    inference::World model(&ag);
+    model.InitValues(&rng, /*random_init=*/true);
+    double lr = options.fit_learning_rate;
+    for (size_t epoch = 0; epoch < options.fit_epochs; ++epoch) {
+      // The model chain samples every variable (the approximation targets
+      // the full materialized distribution, evidence included).
+      fit_sampler.Sweep(&model, &rng, /*sample_evidence=*/true);
+      for (WeightId w = 0; w < ag.NumWeights(); ++w) {
+        const double grad = empirical[w] - model.WeightFeature(w);
+        ag.SetWeightValue(w, ag.WeightValue(w) + lr * grad);
+      }
+      lr *= options.fit_decay;
+    }
+  }
+  return m;
+}
+
+FactorGraph BuildVariationalInferenceGraph(const FactorGraph& original,
+                                           const FactorGraph& approx,
+                                           const GraphDelta& delta) {
+  FactorGraph out;
+  // Clone the approximation (variables, evidence, weights, groups, clauses).
+  if (original.NumVariables() > 0) out.AddVariables(original.NumVariables());
+  for (VarId v = 0; v < approx.NumVariables(); ++v) {
+    out.SetEvidence(v, approx.EvidenceValue(v));
+  }
+  std::vector<WeightId> approx_wmap(approx.NumWeights());
+  for (WeightId w = 0; w < approx.NumWeights(); ++w) {
+    approx_wmap[w] = out.AddWeight(approx.weight(w).value, approx.weight(w).learnable,
+                                   approx.weight(w).description);
+  }
+  for (GroupId g = 0; g < approx.NumGroups(); ++g) {
+    const factor::FactorGroup& group = approx.group(g);
+    if (!group.active) continue;
+    const GroupId ng =
+        out.AddGroup(group.rule_id, group.head, approx_wmap[group.weight],
+                     group.semantics);
+    for (factor::ClauseId cid : group.clauses) {
+      const factor::Clause& clause = approx.clause(cid);
+      if (clause.active) out.AddClause(ng, clause.literals);
+    }
+  }
+
+  // Append delta factors from the original graph (copying their weights).
+  std::map<WeightId, WeightId> orig_wmap;
+  auto map_weight = [&](WeightId w) {
+    auto it = orig_wmap.find(w);
+    if (it != orig_wmap.end()) return it->second;
+    const WeightId nw = out.AddWeight(original.weight(w).value,
+                                      original.weight(w).learnable,
+                                      original.weight(w).description);
+    orig_wmap.emplace(w, nw);
+    return nw;
+  };
+  auto copy_group = [&](GroupId g, const std::vector<factor::ClauseId>* only_clauses) {
+    const factor::FactorGroup& group = original.group(g);
+    if (!group.active) return;  // added then retracted within the window
+    const GroupId ng =
+        out.AddGroup(group.rule_id, group.head, map_weight(group.weight),
+                     group.semantics);
+    if (only_clauses != nullptr) {
+      for (factor::ClauseId cid : *only_clauses) {
+        out.AddClause(ng, original.clause(cid).literals);
+      }
+    } else {
+      for (factor::ClauseId cid : group.clauses) {
+        const factor::Clause& clause = original.clause(cid);
+        if (clause.active) out.AddClause(ng, clause.literals);
+      }
+    }
+  };
+  for (GroupId g : delta.new_groups) copy_group(g, nullptr);
+  for (const GraphDelta::GroupMod& mod : delta.modified_groups) {
+    if (!mod.added.empty()) copy_group(mod.group, &mod.added);
+    // Removed clauses were part of the approximated distribution; they
+    // cannot be subtracted from the learned pairwise weights.
+  }
+  for (const GraphDelta::EvidenceChange& ec : delta.evidence_changes) {
+    out.SetEvidence(ec.var, ec.new_value);
+  }
+  return out;
+}
+
+StatusOr<double> SearchLambda(const FactorGraph& graph,
+                              const VariationalOptions& base_options, double lambda_min,
+                              double kl_threshold,
+                              const std::vector<double>& reference_marginals) {
+  double best = lambda_min;
+  for (double lambda = lambda_min; lambda <= 10.0; lambda *= 10.0) {
+    VariationalOptions options = base_options;
+    options.lambda = lambda;
+    DD_ASSIGN_OR_RETURN(VariationalMaterialization m,
+                        VariationalMaterialization::Materialize(graph, options));
+    inference::GibbsOptions gopts;
+    gopts.seed = options.seed + 17;
+    inference::GibbsSampler sampler(&m.approx_graph());
+    const auto marginals = sampler.EstimateMarginals(gopts).marginals;
+    // Symmetric KL between Bernoulli marginals, averaged over variables.
+    double kl = 0.0;
+    size_t count = 0;
+    for (VarId v = 0; v < graph.NumVariables(); ++v) {
+      if (graph.IsEvidence(v)) continue;
+      const double p = std::clamp(reference_marginals[v], 1e-6, 1.0 - 1e-6);
+      const double q = std::clamp(marginals[v], 1e-6, 1.0 - 1e-6);
+      kl += (p - q) * (std::log(p / q) + std::log((1 - q) / (1 - p)));
+      ++count;
+    }
+    if (count > 0) kl /= static_cast<double>(count);
+    if (kl > kl_threshold) break;
+    best = lambda;
+  }
+  return best;
+}
+
+}  // namespace deepdive::incremental

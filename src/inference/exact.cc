@@ -1,0 +1,63 @@
+#include "inference/exact.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace deepdive::inference {
+
+using factor::VarId;
+
+StatusOr<ExactResult> ExactInference(const factor::FactorGraph& graph,
+                                     size_t max_free_vars) {
+  ExactResult result;
+  for (VarId v = 0; v < graph.NumVariables(); ++v) {
+    if (!graph.IsEvidence(v)) result.free_vars.push_back(v);
+  }
+  const size_t k = result.free_vars.size();
+  if (k > max_free_vars) {
+    return Status::OutOfRange(
+        StrFormat("%zu free variables exceed the enumeration limit %zu", k,
+                  max_free_vars));
+  }
+
+  std::vector<uint8_t> values(graph.NumVariables(), 0);
+  for (VarId v = 0; v < graph.NumVariables(); ++v) {
+    const auto ev = graph.EvidenceValue(v);
+    if (ev.has_value()) values[v] = *ev ? 1 : 0;
+  }
+  auto value_of = [&](VarId v) { return values[v] != 0; };
+
+  const uint64_t num_worlds = uint64_t{1} << k;
+  std::vector<double> log_weights(num_worlds);
+  double max_log = -1e300;
+  for (uint64_t world = 0; world < num_worlds; ++world) {
+    for (size_t i = 0; i < k; ++i) {
+      values[result.free_vars[i]] = (world >> i) & 1;
+    }
+    const double lw = graph.TotalLogWeight(value_of);
+    log_weights[world] = lw;
+    if (lw > max_log) max_log = lw;
+  }
+
+  double z = 0.0;
+  for (double lw : log_weights) z += std::exp(lw - max_log);
+  result.log_partition = max_log + std::log(z);
+
+  result.world_probs.resize(num_worlds);
+  result.marginals.assign(graph.NumVariables(), 0.0);
+  for (VarId v = 0; v < graph.NumVariables(); ++v) {
+    const auto ev = graph.EvidenceValue(v);
+    if (ev.has_value()) result.marginals[v] = *ev ? 1.0 : 0.0;
+  }
+  for (uint64_t world = 0; world < num_worlds; ++world) {
+    const double p = std::exp(log_weights[world] - result.log_partition);
+    result.world_probs[world] = p;
+    for (size_t i = 0; i < k; ++i) {
+      if ((world >> i) & 1) result.marginals[result.free_vars[i]] += p;
+    }
+  }
+  return result;
+}
+
+}  // namespace deepdive::inference

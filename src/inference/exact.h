@@ -1,0 +1,29 @@
+#ifndef DEEPDIVE_INFERENCE_EXACT_H_
+#define DEEPDIVE_INFERENCE_EXACT_H_
+
+#include <vector>
+
+#include "factor/factor_graph.h"
+#include "util/status.h"
+
+namespace deepdive::inference {
+
+/// Exact result of full world enumeration.
+struct ExactResult {
+  std::vector<double> marginals;      // P(v = 1), evidence vars at {0,1}
+  double log_partition = 0.0;         // log Z (over query variables)
+  /// Probability of each world, indexed by the bit pattern of the
+  /// *non-evidence* variables (bit i = i-th non-evidence variable).
+  std::vector<double> world_probs;
+  std::vector<factor::VarId> free_vars;  // bit order of world_probs
+};
+
+/// Enumerates all assignments of the non-evidence variables. #P-hard in
+/// general; usable up to ~24 free variables. This is both the correctness
+/// oracle for the samplers and the "strawman" materialization's ground truth.
+StatusOr<ExactResult> ExactInference(const factor::FactorGraph& graph,
+                                     size_t max_free_vars = 24);
+
+}  // namespace deepdive::inference
+
+#endif  // DEEPDIVE_INFERENCE_EXACT_H_

@@ -1,0 +1,87 @@
+#include "inference/learner.h"
+
+#include <cmath>
+
+#include "inference/gibbs.h"
+#include "util/logging.h"
+
+namespace deepdive::inference {
+
+using factor::FactorGraph;
+using factor::VarId;
+using factor::WeightId;
+
+Learner::Learner(FactorGraph* graph) : graph_(graph) {}
+
+double Learner::EvidenceLoss() const {
+  // Clamped world: evidence at labels, query variables at their conditional
+  // mode given an all-false start (cheap deterministic proxy; the loss is
+  // used for relative learning curves, not as the training objective).
+  World world(graph_);
+  GibbsSampler sampler(graph_);
+  double loss = 0.0;
+  size_t count = 0;
+  for (VarId v = 0; v < graph_->NumVariables(); ++v) {
+    const auto ev = graph_->EvidenceValue(v);
+    if (!ev.has_value()) continue;
+    const double log_odds = sampler.ConditionalLogOdds(world, v);
+    // -log P(label | rest)
+    const double z = *ev ? log_odds : -log_odds;
+    // log(1 + e^-z), numerically stable.
+    loss += z > 0 ? std::log1p(std::exp(-z)) : -z + std::log1p(std::exp(z));
+    ++count;
+  }
+  return count > 0 ? loss / static_cast<double>(count) : 0.0;
+}
+
+LearnStats Learner::Learn(const LearnerOptions& options) {
+  LearnStats stats;
+
+  if (!options.warmstart) {
+    for (WeightId w = 0; w < graph_->NumWeights(); ++w) {
+      if (graph_->weight(w).learnable) graph_->SetWeightValue(w, 0.0);
+    }
+  }
+  stats.initial_loss = EvidenceLoss();
+
+  GibbsSampler sampler(graph_);
+  Rng rng(options.seed);
+
+  // Persistent chains.
+  World clamped(graph_);
+  World free(graph_);
+  clamped.InitValues(&rng, /*random_init=*/true);
+  free.InitValues(&rng, /*random_init=*/true);
+
+  const size_t num_weights = graph_->NumWeights();
+  std::vector<double> grad(num_weights, 0.0);
+
+  double lr = options.learning_rate;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    const size_t sweeps = std::max<size_t>(1, options.sweeps_per_epoch);
+    for (size_t s = 0; s < sweeps; ++s) {
+      sampler.Sweep(&clamped, &rng, /*sample_evidence=*/false);
+      sampler.Sweep(&free, &rng, /*sample_evidence=*/true);
+      for (WeightId w = 0; w < num_weights; ++w) {
+        if (!graph_->weight(w).learnable) continue;
+        grad[w] += clamped.WeightFeature(w) - free.WeightFeature(w);
+      }
+    }
+    for (WeightId w = 0; w < num_weights; ++w) {
+      if (!graph_->weight(w).learnable) continue;
+      const double g = grad[w] / static_cast<double>(sweeps);
+      const double updated =
+          graph_->WeightValue(w) + lr * (g - options.l2 * graph_->WeightValue(w));
+      graph_->SetWeightValue(w, updated);
+    }
+    lr *= options.decay;
+    stats.epoch_losses.push_back(EvidenceLoss());
+    ++stats.epochs_run;
+  }
+  stats.final_loss = stats.epoch_losses.empty() ? stats.initial_loss
+                                                : stats.epoch_losses.back();
+  return stats;
+}
+
+}  // namespace deepdive::inference

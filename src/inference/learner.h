@@ -1,0 +1,58 @@
+#ifndef DEEPDIVE_INFERENCE_LEARNER_H_
+#define DEEPDIVE_INFERENCE_LEARNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "factor/factor_graph.h"
+#include "inference/world.h"
+
+namespace deepdive::inference {
+
+struct LearnerOptions {
+  size_t epochs = 60;
+  double learning_rate = 0.5;
+  double decay = 0.96;        // multiplicative step decay per epoch
+  double l2 = 1e-4;
+  /// Sweeps of each chain per gradient estimate. 1 = stochastic (SGD);
+  /// larger values average more sweeps per update (gradient-descent style).
+  size_t sweeps_per_epoch = 1;
+  /// Keep current weight values as the starting point (Appendix B.3).
+  /// When false, learnable weights are reset to zero first.
+  bool warmstart = true;
+  uint64_t seed = 7;
+};
+
+struct LearnStats {
+  std::vector<double> epoch_losses;  // pseudo-likelihood loss per epoch
+  double initial_loss = 0.0;
+  double final_loss = 0.0;
+  size_t epochs_run = 0;
+};
+
+/// Weight learning by stochastic maximum likelihood (persistent contrastive
+/// divergence), the standard Gibbs-based procedure of Tuffy/DeepDive:
+/// maintain a "clamped" chain (evidence fixed to labels) and a "free" chain
+/// (evidence resampled); the gradient of a weight is the difference of its
+/// sufficient statistic sign(head) * g(n_sat) between the chains. Only
+/// weights flagged learnable move. Warmstart (keep previous weights) is the
+/// incremental-learning technique evaluated in Figure 16.
+class Learner {
+ public:
+  explicit Learner(factor::FactorGraph* graph);
+
+  LearnStats Learn(const LearnerOptions& options);
+
+  /// Negative pseudo-log-likelihood of the evidence variables under the
+  /// current weights, evaluated on a world with evidence clamped:
+  /// sum over e in E of -log sigma(+/- logodds(e)). The learning curves of
+  /// Figures 16/17 report this.
+  double EvidenceLoss() const;
+
+ private:
+  factor::FactorGraph* graph_;
+};
+
+}  // namespace deepdive::inference
+
+#endif  // DEEPDIVE_INFERENCE_LEARNER_H_

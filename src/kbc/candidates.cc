@@ -1,0 +1,29 @@
+#include "kbc/candidates.h"
+
+#include "kbc/nlp.h"
+#include "util/random.h"
+
+namespace deepdive::kbc {
+
+CandidateRows GenerateCandidates(const Corpus& corpus, uint64_t seed) {
+  CandidateRows rows;
+  Rng rng(seed);
+  for (const SentenceRecord& sent : corpus.sentences) {
+    rows.sentences.push_back(
+        {Value(sent.doc_id), Value(sent.sent_id), Value(sent.content)});
+    const auto tokens = TokenizeSentence(sent.content);
+    for (const MentionSpan& span : ExtractPersonMentions(tokens)) {
+      const int64_t mention_id =
+          sent.sent_id * kMentionStride + static_cast<int64_t>(span.token_index);
+      rows.person_candidates.push_back({Value(sent.sent_id), Value(mention_id)});
+      int64_t entity = span.surface_entity;
+      if (!rng.Bernoulli(corpus.profile.el_accuracy)) {
+        entity = static_cast<int64_t>(rng.UniformInt(corpus.profile.num_entities));
+      }
+      rows.entity_links.push_back({Value(mention_id), Value(entity)});
+    }
+  }
+  return rows;
+}
+
+}  // namespace deepdive::kbc

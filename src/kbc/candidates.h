@@ -1,0 +1,32 @@
+#ifndef DEEPDIVE_KBC_CANDIDATES_H_
+#define DEEPDIVE_KBC_CANDIDATES_H_
+
+#include <vector>
+
+#include "kbc/corpus.h"
+#include "storage/value.h"
+
+namespace deepdive::kbc {
+
+/// Output of candidate generation (phase 1 of Figure 1): person-mention
+/// candidates and their (noisy) entity links.
+struct CandidateRows {
+  /// PersonCandidate(sent: int, mention: int)
+  std::vector<Tuple> person_candidates;
+  /// EL(mention: int, entity: int) — wrong with prob 1 - el_accuracy.
+  std::vector<Tuple> entity_links;
+  /// Sentence(doc: int, sent: int, content: string)
+  std::vector<Tuple> sentences;
+};
+
+/// Mention ids are sent_id * kMentionStride + token_index.
+inline constexpr int64_t kMentionStride = 64;
+
+/// Runs mention extraction over the corpus text (the candidate-mapping
+/// "low-precision high-recall ETL" of Example 2.2) and entity linking with
+/// profile-controlled noise.
+CandidateRows GenerateCandidates(const Corpus& corpus, uint64_t seed);
+
+}  // namespace deepdive::kbc
+
+#endif  // DEEPDIVE_KBC_CANDIDATES_H_

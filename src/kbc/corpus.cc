@@ -1,0 +1,225 @@
+#include "kbc/corpus.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace deepdive::kbc {
+
+const char* SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kAdversarial:
+      return "Adversarial";
+    case SystemKind::kNews:
+      return "News";
+    case SystemKind::kGenomics:
+      return "Genomics";
+    case SystemKind::kPharma:
+      return "Pharma.";
+    case SystemKind::kPaleontology:
+      return "Paleontology";
+  }
+  return "?";
+}
+
+SystemProfile ProfileFor(SystemKind kind) {
+  SystemProfile p;
+  p.kind = kind;
+  p.name = SystemName(kind);
+  switch (kind) {
+    case SystemKind::kAdversarial:
+      // 5M ad documents, 1 relation, 1-2 noisy sentences each. Quality is
+      // decent (F1 ~0.72) because the relation is simple despite the noise.
+      p.paper_docs = 5'000'000;
+      p.paper_relations = 1;
+      p.paper_rules = 10;
+      p.num_documents = 600;
+      p.sentences_per_doc = 1;
+      p.num_entities = 150;
+      p.num_true_pairs = 70;
+      p.phrase_noise = 0.22;
+      p.phrase_strength = 0.92;
+      p.true_pair_rate = 0.45;
+      p.el_accuracy = 0.9;
+      p.kb_coverage = 0.55;
+      break;
+    case SystemKind::kNews:
+      // 1.8M articles, 34 relations; ambiguous relations ("member of") and
+      // slightly degraded writing -> the lowest F1 (~0.34).
+      p.paper_docs = 1'800'000;
+      p.paper_relations = 34;
+      p.paper_rules = 22;
+      p.num_documents = 450;
+      p.sentences_per_doc = 2;
+      p.num_entities = 160;
+      p.num_true_pairs = 60;
+      p.phrase_noise = 0.4;
+      p.phrase_strength = 0.55;
+      p.true_pair_rate = 0.22;
+      p.el_accuracy = 0.85;
+      p.kb_coverage = 0.4;
+      break;
+    case SystemKind::kGenomics:
+      // Precise text, linguistically ambiguous relationships (F1 ~0.53).
+      p.paper_docs = 200'000;
+      p.paper_relations = 3;
+      p.paper_rules = 15;
+      p.num_documents = 300;
+      p.sentences_per_doc = 2;
+      p.num_entities = 100;
+      p.num_true_pairs = 45;
+      p.phrase_noise = 0.3;
+      p.phrase_strength = 0.65;
+      p.true_pair_rate = 0.3;
+      p.el_accuracy = 0.95;
+      p.kb_coverage = 0.45;
+      break;
+    case SystemKind::kPharma:
+      p.paper_docs = 600'000;
+      p.paper_relations = 9;
+      p.paper_rules = 24;
+      p.num_documents = 350;
+      p.sentences_per_doc = 2;
+      p.num_entities = 110;
+      p.num_true_pairs = 50;
+      p.phrase_noise = 0.28;
+      p.phrase_strength = 0.7;
+      p.true_pair_rate = 0.3;
+      p.el_accuracy = 0.95;
+      p.kb_coverage = 0.5;
+      break;
+    case SystemKind::kPaleontology:
+      // Well-curated journal articles, precise writing (F1 ~0.81).
+      p.paper_docs = 300'000;
+      p.paper_relations = 8;
+      p.paper_rules = 29;
+      p.num_documents = 350;
+      p.sentences_per_doc = 2;
+      p.num_entities = 100;
+      p.num_true_pairs = 50;
+      p.phrase_noise = 0.08;
+      p.phrase_strength = 0.95;
+      p.true_pair_rate = 0.4;
+      p.el_accuracy = 0.98;
+      p.kb_coverage = 0.6;
+      break;
+  }
+  return p;
+}
+
+std::vector<SystemProfile> AllProfiles() {
+  return {ProfileFor(SystemKind::kAdversarial), ProfileFor(SystemKind::kNews),
+          ProfileFor(SystemKind::kGenomics), ProfileFor(SystemKind::kPharma),
+          ProfileFor(SystemKind::kPaleontology)};
+}
+
+namespace {
+
+std::vector<std::string> MakePhrases(const char* stem, size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(StrFormat("%s_%zu", stem, i));
+  return out;
+}
+
+std::pair<int64_t, int64_t> OrderedPair(int64_t a, int64_t b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+Corpus GenerateCorpus(const SystemProfile& profile, uint64_t seed) {
+  Corpus corpus;
+  corpus.profile = profile;
+  Rng rng(seed);
+
+  // Gold relation pairs and a disjoint negative relation.
+  while (corpus.true_pairs.size() < profile.num_true_pairs) {
+    const int64_t a = static_cast<int64_t>(rng.UniformInt(profile.num_entities));
+    const int64_t b = static_cast<int64_t>(rng.UniformInt(profile.num_entities));
+    if (a == b) continue;
+    corpus.true_pairs.insert(OrderedPair(a, b));
+  }
+  while (corpus.negative_pairs.size() < profile.num_negative_pairs) {
+    const int64_t a = static_cast<int64_t>(rng.UniformInt(profile.num_entities));
+    const int64_t b = static_cast<int64_t>(rng.UniformInt(profile.num_entities));
+    if (a == b) continue;
+    const auto p = OrderedPair(a, b);
+    if (corpus.true_pairs.count(p)) continue;
+    corpus.negative_pairs.insert(p);
+  }
+  for (const auto& p : corpus.true_pairs) {
+    if (rng.Bernoulli(profile.kb_coverage)) corpus.known_pairs.insert(p);
+  }
+
+  const std::vector<std::string> indicative =
+      MakePhrases("and_his_wife", profile.num_indicative_phrases);
+  const std::vector<std::string> misleading =
+      MakePhrases("and_his_sister", profile.num_misleading_phrases);
+  const std::vector<std::string> neutral =
+      MakePhrases("met_with", profile.num_neutral_phrases);
+  // Ambiguous phrases appear with BOTH true and negative pairs ("member
+  // of"-style): they acquire mildly positive learned weights and repeat, so
+  // linear g(n) lets their votes saturate entity-level facts while ratio /
+  // logical stay robust (Example 2.5).
+  const std::vector<std::string> ambiguous = MakePhrases("together_with", 4);
+  std::vector<std::pair<int64_t, int64_t>> true_list(corpus.true_pairs.begin(),
+                                                     corpus.true_pairs.end());
+  std::vector<std::pair<int64_t, int64_t>> neg_list(corpus.negative_pairs.begin(),
+                                                    corpus.negative_pairs.end());
+
+  int64_t sent_id = 0;
+  for (size_t d = 0; d < profile.num_documents; ++d) {
+    for (size_t s = 0; s < profile.sentences_per_doc; ++s) {
+      SentenceRecord rec;
+      rec.doc_id = static_cast<int64_t>(d);
+      rec.sent_id = sent_id++;
+
+      // Pick the entity pair.
+      const double r = rng.Uniform();
+      if (r < profile.true_pair_rate && !true_list.empty()) {
+        const auto& p = true_list[rng.UniformInt(true_list.size())];
+        rec.entity1 = p.first;
+        rec.entity2 = p.second;
+        rec.expresses_relation = true;
+      } else if (r < profile.true_pair_rate + 0.2 && !neg_list.empty()) {
+        const auto& p = neg_list[rng.UniformInt(neg_list.size())];
+        rec.entity1 = p.first;
+        rec.entity2 = p.second;
+      } else {
+        rec.entity1 = static_cast<int64_t>(rng.UniformInt(profile.num_entities));
+        do {
+          rec.entity2 = static_cast<int64_t>(rng.UniformInt(profile.num_entities));
+        } while (rec.entity2 == rec.entity1);
+        rec.expresses_relation =
+            corpus.true_pairs.count(OrderedPair(rec.entity1, rec.entity2)) > 0;
+      }
+
+      // Pick the inter-mention phrase.
+      const bool noisy = rng.Bernoulli(profile.phrase_noise);
+      std::string phrase;
+      if (rng.Bernoulli(0.35)) {
+        // Ambiguous context, regardless of the pair's truth.
+        phrase = ambiguous[rng.UniformInt(ambiguous.size())];
+      } else if (rec.expresses_relation != noisy) {
+        // Clean true pair or noisy false pair: indicative w.p. strength.
+        phrase = rng.Bernoulli(profile.phrase_strength)
+                     ? indicative[rng.UniformInt(indicative.size())]
+                     : neutral[rng.UniformInt(neutral.size())];
+      } else {
+        // Clean false pair or noisy true pair: misleading or neutral.
+        phrase = rng.Bernoulli(0.4) ? misleading[rng.UniformInt(misleading.size())]
+                                    : neutral[rng.UniformInt(neutral.size())];
+      }
+
+      rec.content = StrFormat("PERSON_%lld %s PERSON_%lld .",
+                              static_cast<long long>(rec.entity1), phrase.c_str(),
+                              static_cast<long long>(rec.entity2));
+      corpus.sentences.push_back(std::move(rec));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace deepdive::kbc

@@ -1,0 +1,78 @@
+#ifndef DEEPDIVE_KBC_CORPUS_H_
+#define DEEPDIVE_KBC_CORPUS_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace deepdive::kbc {
+
+/// Which of the paper's five KBC systems a synthetic corpus emulates
+/// (Figure 7). Scale is reduced per DESIGN.md §4.1; the *relative* text
+/// quality / ambiguity across systems follows Section 4.1's description.
+enum class SystemKind { kAdversarial, kNews, kGenomics, kPharma, kPaleontology };
+
+const char* SystemName(SystemKind kind);
+
+/// Generation parameters for one system.
+struct SystemProfile {
+  SystemKind kind = SystemKind::kNews;
+  std::string name;
+
+  // Paper-reported statistics (Figure 7), for reporting only.
+  size_t paper_docs = 0;
+  size_t paper_relations = 0;
+  size_t paper_rules = 0;
+
+  // Scaled synthetic sizes.
+  size_t num_documents = 400;
+  size_t sentences_per_doc = 3;
+  size_t num_entities = 120;
+  size_t num_true_pairs = 60;
+
+  // Text quality knobs.
+  size_t num_indicative_phrases = 12;   // phrases that signal the relation
+  size_t num_misleading_phrases = 8;    // phrases that co-occur with negatives
+  size_t num_neutral_phrases = 30;
+  double true_pair_rate = 0.35;     // P(sentence mentions a true pair)
+  double phrase_noise = 0.2;        // P(wrong phrase class for the pair)
+  double phrase_strength = 0.9;     // P(indicative phrase | true pair, no noise)
+  double el_accuracy = 0.95;        // entity-linking correctness
+  double kb_coverage = 0.5;         // fraction of true pairs in the distant KB
+  size_t num_negative_pairs = 60;   // disjoint (sibling-like) KB
+};
+
+/// The five built-in profiles. Tuned so the relative quality ordering of
+/// Figure 10(b) (Paleontology/Adversarial high, News lowest) is reproduced.
+SystemProfile ProfileFor(SystemKind kind);
+std::vector<SystemProfile> AllProfiles();
+
+/// One generated sentence: surface text plus (hidden) generation truth.
+struct SentenceRecord {
+  int64_t doc_id = 0;
+  int64_t sent_id = 0;
+  std::string content;        // e.g. "PERSON_3 and his wife PERSON_17 ..."
+  int64_t entity1 = 0;        // generation truth (not visible to the system)
+  int64_t entity2 = 0;
+  bool expresses_relation = false;
+};
+
+/// A synthetic corpus plus its gold standard.
+struct Corpus {
+  SystemProfile profile;
+  std::vector<SentenceRecord> sentences;
+  std::set<std::pair<int64_t, int64_t>> true_pairs;      // gold relation
+  std::set<std::pair<int64_t, int64_t>> negative_pairs;  // disjoint relation
+  /// Subset of true_pairs in the (incomplete) distant-supervision KB.
+  std::set<std::pair<int64_t, int64_t>> known_pairs;
+};
+
+/// Generates a corpus for a profile. Deterministic given the seed.
+Corpus GenerateCorpus(const SystemProfile& profile, uint64_t seed);
+
+}  // namespace deepdive::kbc
+
+#endif  // DEEPDIVE_KBC_CORPUS_H_

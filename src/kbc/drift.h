@@ -1,0 +1,63 @@
+#ifndef DEEPDIVE_KBC_DRIFT_H_
+#define DEEPDIVE_KBC_DRIFT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "factor/factor_graph.h"
+#include "util/status.h"
+
+namespace deepdive::kbc {
+
+/// A chronological spam-like document stream whose token-label association
+/// flips for part of the vocabulary at `drift_point` — the stand-in for the
+/// email corpus of Appendix B.4 [63].
+struct DriftOptions {
+  size_t num_docs = 400;
+  size_t tokens_per_doc = 6;
+  size_t vocab_size = 40;
+  /// Fraction of the vocabulary whose polarity flips at the drift point.
+  double drifting_fraction = 0.4;
+  /// Position in the stream (0..1) where the distribution changes.
+  double drift_point = 0.35;
+  double label_noise = 0.05;
+  /// Position (0..1) after which documents also draw from a *second*
+  /// vocabulary — new features arriving mid-stream, the F2-style update of
+  /// Appendix B.3's learning experiment. 1.0 disables.
+  double new_vocab_at = 1.0;
+  size_t new_vocab_size = 40;
+  uint64_t seed = 77;
+};
+
+struct DriftDocument {
+  int64_t doc_id = 0;
+  std::vector<std::string> tokens;
+  bool spam = false;
+};
+
+std::vector<DriftDocument> GenerateDriftStream(const DriftOptions& options);
+
+/// A logistic-regression-style classifier graph (Example 2.6): one query
+/// variable per document, one tied weight per token. Labels are applied as
+/// evidence for documents in [0, train_frac); the rest are the test split.
+struct DriftModel {
+  factor::FactorGraph graph;
+  std::vector<factor::VarId> doc_vars;   // doc i -> variable
+  std::vector<bool> labels;              // gold labels, all docs
+  size_t train_count = 0;
+};
+
+DriftModel BuildDriftModel(const std::vector<DriftDocument>& docs, double train_frac);
+
+/// Extends the evidence of an existing model to a larger training prefix
+/// (the incremental arrival of labeled data).
+void ExtendTraining(DriftModel* model, double train_frac);
+
+/// Mean logistic loss of the current weights on the test split
+/// (documents >= train_count).
+double TestLoss(const DriftModel& model);
+
+}  // namespace deepdive::kbc
+
+#endif  // DEEPDIVE_KBC_DRIFT_H_

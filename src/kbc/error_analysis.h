@@ -1,0 +1,42 @@
+#ifndef DEEPDIVE_KBC_ERROR_ANALYSIS_H_
+#define DEEPDIVE_KBC_ERROR_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace deepdive::kbc {
+
+/// One misprediction surfaced to the developer.
+struct ErrorCase {
+  Tuple mention_pair;
+  double marginal = 0.0;
+  bool truth = false;
+  std::vector<std::string> features;  // features firing on this pair
+};
+
+/// Aggregate behavior of one tied-weight feature.
+struct FeatureStat {
+  std::string feature;
+  size_t on_true = 0;    // occurrences on genuinely-related pairs
+  size_t on_false = 0;   // occurrences on unrelated pairs
+  double weight = 0.0;   // current learned weight
+  double precision = 0.0;
+};
+
+/// The error-analysis report of Section 2.2: "understanding the most common
+/// mistakes (incorrect extractions, too-specific features, candidate
+/// mistakes) and deciding how to correct them". In DeepDive this is SQL over
+/// the output KB; here it is a structured report the examples print.
+struct ErrorAnalysis {
+  std::vector<ErrorCase> false_positives;  // confident but wrong, p desc
+  std::vector<ErrorCase> false_negatives;  // missed, p asc
+  std::vector<FeatureStat> feature_stats;  // by |weight| desc
+  size_t total_predictions = 0;
+  size_t total_correct = 0;
+};
+
+}  // namespace deepdive::kbc
+
+#endif  // DEEPDIVE_KBC_ERROR_ANALYSIS_H_

@@ -1,0 +1,38 @@
+#include "kbc/features.h"
+
+#include "kbc/candidates.h"
+#include "kbc/nlp.h"
+
+namespace deepdive::kbc {
+
+FeatureRows ExtractFeatures(const Corpus& corpus) {
+  FeatureRows rows;
+  for (const SentenceRecord& sent : corpus.sentences) {
+    const auto tokens = TokenizeSentence(sent.content);
+    const auto mentions = ExtractPersonMentions(tokens);
+    for (size_t i = 0; i < mentions.size(); ++i) {
+      for (size_t j = 0; j < mentions.size(); ++j) {
+        if (i == j) continue;
+        const int64_t m1 =
+            sent.sent_id * kMentionStride + static_cast<int64_t>(mentions[i].token_index);
+        const int64_t m2 =
+            sent.sent_id * kMentionStride + static_cast<int64_t>(mentions[j].token_index);
+        const std::string phrase =
+            PhraseBetween(tokens, mentions[i].token_index, mentions[j].token_index);
+        if (phrase.empty()) continue;
+        rows.shallow.push_back(
+            {Value(sent.sent_id), Value(m1), Value(m2), Value(phrase)});
+        // "Deeper NLP feature": the phrase plus mention order — a cheap
+        // stand-in for a dependency path, which distinguishes subject/object
+        // direction the shallow feature conflates.
+        const std::string deep =
+            (mentions[i].token_index < mentions[j].token_index ? "fwd:" : "rev:") +
+            phrase;
+        rows.deep.push_back({Value(sent.sent_id), Value(m1), Value(m2), Value(deep)});
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace deepdive::kbc

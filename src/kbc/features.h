@@ -1,0 +1,28 @@
+#ifndef DEEPDIVE_KBC_FEATURES_H_
+#define DEEPDIVE_KBC_FEATURES_H_
+
+#include <vector>
+
+#include "kbc/corpus.h"
+#include "storage/value.h"
+
+namespace deepdive::kbc {
+
+/// Output of the feature-extraction UDFs (Example 2.3): one row per mention
+/// pair per feature. `shallow` is the inter-mention phrase (rule FE1);
+/// `deep` is a dependency-path-style refinement (rule FE2).
+struct FeatureRows {
+  /// PhraseFeature(sent: int, m1: int, m2: int, f: string)
+  std::vector<Tuple> shallow;
+  /// DeepFeature(sent: int, m1: int, m2: int, f: string)
+  std::vector<Tuple> deep;
+};
+
+/// Extracts features for every ordered mention pair in every sentence.
+/// This is the phrase(m1, m2, sent) UDF whose return value the tied weight
+/// w(f) keys on.
+FeatureRows ExtractFeatures(const Corpus& corpus);
+
+}  // namespace deepdive::kbc
+
+#endif  // DEEPDIVE_KBC_FEATURES_H_

@@ -1,0 +1,93 @@
+#include "kbc/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace deepdive::kbc {
+
+PrecisionRecall ComputePrecisionRecall(const std::vector<bool>& predicted,
+                                       const std::vector<bool>& actual) {
+  DD_CHECK_EQ(predicted.size(), actual.size());
+  PrecisionRecall pr;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] && actual[i]) ++pr.true_positives;
+    if (predicted[i] && !actual[i]) ++pr.false_positives;
+    if (!predicted[i] && actual[i]) ++pr.false_negatives;
+  }
+  const size_t denom_p = pr.true_positives + pr.false_positives;
+  const size_t denom_r = pr.true_positives + pr.false_negatives;
+  pr.precision = denom_p > 0 ? static_cast<double>(pr.true_positives) / denom_p : 0.0;
+  pr.recall = denom_r > 0 ? static_cast<double>(pr.true_positives) / denom_r : 0.0;
+  pr.f1 = (pr.precision + pr.recall) > 0
+              ? 2.0 * pr.precision * pr.recall / (pr.precision + pr.recall)
+              : 0.0;
+  return pr;
+}
+
+std::vector<CalibrationBucket> CalibrationCurve(const std::vector<double>& probabilities,
+                                                const std::vector<bool>& actual,
+                                                size_t buckets) {
+  DD_CHECK_EQ(probabilities.size(), actual.size());
+  DD_CHECK_GT(buckets, 0u);
+  std::vector<CalibrationBucket> out(buckets);
+  std::vector<size_t> correct(buckets, 0);
+  for (size_t b = 0; b < buckets; ++b) {
+    out[b].lo = static_cast<double>(b) / buckets;
+    out[b].hi = static_cast<double>(b + 1) / buckets;
+  }
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    size_t b = static_cast<size_t>(probabilities[i] * buckets);
+    if (b >= buckets) b = buckets - 1;
+    ++out[b].count;
+    out[b].mean_probability += probabilities[i];
+    if (actual[i]) ++correct[b];
+  }
+  for (size_t b = 0; b < buckets; ++b) {
+    if (out[b].count > 0) {
+      out[b].mean_probability /= static_cast<double>(out[b].count);
+      out[b].empirical_accuracy =
+          static_cast<double>(correct[b]) / static_cast<double>(out[b].count);
+    }
+  }
+  return out;
+}
+
+double MeanSymmetricKL(const std::vector<double>& p, const std::vector<double>& q) {
+  DD_CHECK_EQ(p.size(), q.size());
+  if (p.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double a = std::clamp(p[i], 1e-6, 1.0 - 1e-6);
+    const double b = std::clamp(q[i], 1e-6, 1.0 - 1e-6);
+    total += (a - b) * (std::log(a / b) + std::log((1.0 - b) / (1.0 - a)));
+  }
+  return total / static_cast<double>(p.size());
+}
+
+double FractionDiffering(const std::vector<double>& p, const std::vector<double>& q,
+                         double tolerance) {
+  DD_CHECK_EQ(p.size(), q.size());
+  if (p.empty()) return 0.0;
+  size_t differing = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (std::abs(p[i] - q[i]) > tolerance) ++differing;
+  }
+  return static_cast<double>(differing) / static_cast<double>(p.size());
+}
+
+double HighConfidenceAgreement(const std::vector<double>& p, const std::vector<double>& q,
+                               double threshold) {
+  DD_CHECK_EQ(p.size(), q.size());
+  size_t high = 0, agree = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] >= threshold) {
+      ++high;
+      if (q[i] >= threshold) ++agree;
+    }
+  }
+  return high > 0 ? static_cast<double>(agree) / static_cast<double>(high) : 1.0;
+}
+
+}  // namespace deepdive::kbc

@@ -1,0 +1,54 @@
+#ifndef DEEPDIVE_KBC_METRICS_H_
+#define DEEPDIVE_KBC_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace deepdive::kbc {
+
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+};
+
+/// Computes precision/recall/F1 from per-item (predicted, actual) pairs.
+PrecisionRecall ComputePrecisionRecall(const std::vector<bool>& predicted,
+                                       const std::vector<bool>& actual);
+
+/// Calibration curve (Section 1: "if one examined all facts with probability
+/// 0.9, approximately 90% would be correct"): per probability bucket, the
+/// empirical accuracy.
+struct CalibrationBucket {
+  double lo = 0.0;
+  double hi = 0.0;
+  size_t count = 0;
+  double mean_probability = 0.0;
+  double empirical_accuracy = 0.0;
+};
+
+std::vector<CalibrationBucket> CalibrationCurve(const std::vector<double>& probabilities,
+                                                const std::vector<bool>& actual,
+                                                size_t buckets = 10);
+
+/// Mean symmetric KL divergence between two Bernoulli marginal vectors
+/// (clamped away from 0/1). Used by the λ search and the quality-parity
+/// checks of Section 4.2.
+double MeanSymmetricKL(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Fraction of entries whose |p - q| exceeds `tolerance` (the "fewer than 4%
+/// of facts differ by more than 0.05" statistic).
+double FractionDiffering(const std::vector<double>& p, const std::vector<double>& q,
+                         double tolerance);
+
+/// Of the items with p >= threshold, the fraction whose q is also >=
+/// threshold ("99% of high-confidence facts also appear", Section 4.2).
+double HighConfidenceAgreement(const std::vector<double>& p,
+                               const std::vector<double>& q, double threshold);
+
+}  // namespace deepdive::kbc
+
+#endif  // DEEPDIVE_KBC_METRICS_H_

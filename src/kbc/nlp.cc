@@ -1,0 +1,43 @@
+#include "kbc/nlp.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace deepdive::kbc {
+
+std::vector<std::string> TokenizeSentence(std::string_view content) {
+  return SplitString(content, ' ');
+}
+
+std::optional<int64_t> ParsePersonToken(std::string_view token) {
+  constexpr std::string_view kPrefix = "PERSON_";
+  if (!StartsWith(token, kPrefix)) return std::nullopt;
+  const std::string digits(token.substr(kPrefix.size()));
+  if (digits.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long long id = std::strtoll(digits.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return static_cast<int64_t>(id);
+}
+
+std::vector<MentionSpan> ExtractPersonMentions(const std::vector<std::string>& tokens) {
+  std::vector<MentionSpan> out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const auto id = ParsePersonToken(tokens[i]);
+    if (id.has_value()) out.push_back(MentionSpan{i, *id});
+  }
+  return out;
+}
+
+std::string PhraseBetween(const std::vector<std::string>& tokens, size_t lo, size_t hi) {
+  if (lo > hi) std::swap(lo, hi);
+  std::string out;
+  for (size_t i = lo + 1; i < hi && i < tokens.size(); ++i) {
+    if (!out.empty()) out += '_';
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace deepdive::kbc

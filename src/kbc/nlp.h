@@ -1,0 +1,34 @@
+#ifndef DEEPDIVE_KBC_NLP_H_
+#define DEEPDIVE_KBC_NLP_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deepdive::kbc {
+
+/// Minimal NLP preprocessing (the stand-in for DeepDive's standard NLP
+/// pipeline): whitespace tokenization plus person-mention recognition over
+/// the synthetic "PERSON_<id>" convention.
+std::vector<std::string> TokenizeSentence(std::string_view content);
+
+/// A recognized person mention: token position and the surface entity id.
+struct MentionSpan {
+  size_t token_index = 0;
+  int64_t surface_entity = 0;  // from "PERSON_<id>"
+};
+
+/// Extracts person mentions from a tokenized sentence.
+std::vector<MentionSpan> ExtractPersonMentions(const std::vector<std::string>& tokens);
+
+/// If `token` is a person mention ("PERSON_<id>"), returns the id.
+std::optional<int64_t> ParsePersonToken(std::string_view token);
+
+/// Tokens strictly between two positions, joined with '_' — the phrase(m1,
+/// m2, sent) UDF of Example 2.3. Empty when the mentions are adjacent.
+std::string PhraseBetween(const std::vector<std::string>& tokens, size_t lo, size_t hi);
+
+}  // namespace deepdive::kbc
+
+#endif  // DEEPDIVE_KBC_NLP_H_

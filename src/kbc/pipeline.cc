@@ -1,0 +1,285 @@
+#include "kbc/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace deepdive::kbc {
+
+namespace {
+
+/// Base program: mention-level extraction plus an entity-level fact layer.
+/// The SpouseKB aggregation factor "votes" over the mention-level variables
+/// that link to an entity pair — the place where the g(n) semantics of
+/// Section 2.4 (Example 2.5) changes behavior, parameterized below.
+std::string BaseProgram(dsl::Semantics semantics, bool entity_layer) {
+  std::string program = R"(
+# Spouse-extraction KBC system (Example 2.2 shape).
+relation Sentence(doc: int, sent: int, content: string).
+relation PersonCandidate(sent: int, mention: int).
+relation EL(mention: int, entity: int).
+relation KnownSpouse(e1: int, e2: int).
+relation KnownNegative(e1: int, e2: int).
+query relation HasSpouse(m1: int, m2: int).
+evidence HasSpouseLabel(m1: int, m2: int, l: bool) for HasSpouse.
+
+# Candidate mapping (rule R1): every co-occurring mention pair.
+rule CAND: HasSpouse(m1, m2) :-
+  PersonCandidate(s, m1), PersonCandidate(s, m2), m1 != m2.
+
+# Weak negative prior: most candidate pairs are not spouses.
+factor PRIOR: HasSpouse(m1, m2) :-
+  PersonCandidate(s, m1), PersonCandidate(s, m2), m1 != m2
+  weight = -0.8 semantics = logical.
+)";
+  if (entity_layer) {
+    program += StrFormat(R"(
+# Entity-level fact layer: candidates via entity linking, a weak prior, and
+# an aggregation factor in which mention-level extractions vote for the
+# entity-level fact — n counts supporting mention pairs and g(n) is the
+# configured semantics (Example 2.5's voting).
+query relation SpouseKB(e1: int, e2: int).
+rule KBCAND: SpouseKB(e1, e2) :-
+  PersonCandidate(s, m1), PersonCandidate(s, m2),
+  EL(m1, e1), EL(m2, e2), m1 != m2.
+factor KBPRIOR: SpouseKB(e1, e2) :-
+  PersonCandidate(s, m1), PersonCandidate(s, m2),
+  EL(m1, e1), EL(m2, e2), m1 != m2
+  weight = -0.6 semantics = logical.
+factor AGG: SpouseKB(e1, e2) :-
+  HasSpouse(m1, m2), EL(m1, e1), EL(m2, e2)
+  weight = 1.2 semantics = %s.
+)",
+                         dsl::SemanticsName(semantics));
+  }
+  return program;
+}
+
+}  // namespace
+
+const char* KbcPipeline::QueryRelation() { return "HasSpouse"; }
+
+std::vector<std::string> KbcPipeline::UpdateSequence() {
+  return {"A1", "FE1", "FE2", "I1", "S1", "S2"};
+}
+
+KbcPipeline::KbcPipeline(Corpus corpus, PipelineOptions options)
+    : corpus_(std::move(corpus)), options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<KbcPipeline>> KbcPipeline::Build(const SystemProfile& profile,
+                                                          const PipelineOptions& options) {
+  Corpus corpus = GenerateCorpus(profile, options.seed);
+  std::unique_ptr<KbcPipeline> pipeline(new KbcPipeline(std::move(corpus), options));
+  pipeline->candidates_ = GenerateCandidates(pipeline->corpus_, options.seed + 1);
+  pipeline->features_ = ExtractFeatures(pipeline->corpus_);
+  pipeline->kb_ = BuildKnowledgeBase(pipeline->corpus_);
+  DD_ASSIGN_OR_RETURN(pipeline->dd_,
+                      core::DeepDive::Create(
+                          BaseProgram(options.semantics, options.entity_layer),
+                          options.config));
+  return pipeline;
+}
+
+Status KbcPipeline::Initialize() {
+  DD_RETURN_IF_ERROR(dd_->LoadRows("Sentence", candidates_.sentences));
+  DD_RETURN_IF_ERROR(dd_->LoadRows("PersonCandidate", candidates_.person_candidates));
+  DD_RETURN_IF_ERROR(dd_->LoadRows("EL", candidates_.entity_links));
+  DD_RETURN_IF_ERROR(dd_->LoadRows("KnownSpouse", kb_.known_positive));
+  DD_RETURN_IF_ERROR(dd_->LoadRows("KnownNegative", kb_.known_negative));
+  return dd_->Initialize();
+}
+
+StatusOr<core::UpdateReport> KbcPipeline::ApplyUpdate(const std::string& label) {
+  core::UpdateSpec spec;
+  spec.label = label;
+  const char* semantics = dsl::SemanticsName(options_.semantics);
+
+  if (label == "A1") {
+    spec.analysis_only = true;
+  } else if (label == "FE1") {
+    spec.add_rules = StrFormat(
+        R"(relation PhraseFeature(sent: int, m1: int, m2: int, f: string).
+           factor FE1: HasSpouse(m1, m2) :- PhraseFeature(s, m1, m2, f)
+             weight = w(f) semantics = %s.)",
+        semantics);
+    spec.inserts["PhraseFeature"] = features_.shallow;
+  } else if (label == "FE2") {
+    spec.add_rules = StrFormat(
+        R"(relation DeepFeature(sent: int, m1: int, m2: int, f: string).
+           factor FE2: HasSpouse(m1, m2) :- DeepFeature(s, m1, m2, f)
+             weight = w(f) semantics = %s.)",
+        semantics);
+    spec.inserts["DeepFeature"] = features_.deep;
+  } else if (label == "I1") {
+    // Symmetry of the spouse relation.
+    spec.add_rules =
+        R"(factor I1: HasSpouse(m2, m1) :- HasSpouse(m1, m2)
+             weight = 1.5 semantics = logical.)";
+  } else if (label == "S1") {
+    spec.add_rules =
+        R"(rule S1: HasSpouseLabel(m1, m2, true) :-
+             PersonCandidate(s, m1), PersonCandidate(s, m2),
+             EL(m1, e1), EL(m2, e2), KnownSpouse(e1, e2), m1 != m2.)";
+  } else if (label == "S2") {
+    spec.add_rules =
+        R"(rule S2: HasSpouseLabel(m1, m2, false) :-
+             PersonCandidate(s, m1), PersonCandidate(s, m2),
+             EL(m1, e1), EL(m2, e2), KnownNegative(e1, e2), m1 != m2.)";
+  } else {
+    return Status::InvalidArgument("unknown update '" + label + "'");
+  }
+  return dd_->ApplyUpdate(spec);
+}
+
+bool KbcPipeline::MentionPairTruth(const Tuple& tuple) const {
+  const int64_t m1 = tuple[0].AsInt();
+  const int64_t sent = m1 / kMentionStride;
+  if (sent < 0 || static_cast<size_t>(sent) >= corpus_.sentences.size()) return false;
+  return corpus_.sentences[static_cast<size_t>(sent)].expresses_relation;
+}
+
+PrecisionRecall KbcPipeline::EvaluateMentions(double threshold) const {
+  std::vector<bool> predicted, actual;
+  for (const auto& [tuple, marginal] : dd_->Marginals(QueryRelation())) {
+    predicted.push_back(marginal >= threshold);
+    actual.push_back(MentionPairTruth(tuple));
+  }
+  return ComputePrecisionRecall(predicted, actual);
+}
+
+PrecisionRecall KbcPipeline::EvaluateFacts(double threshold) const {
+  // Predicted entity pairs: SpouseKB marginals (the entity-level layer
+  // aggregating mention votes under the configured semantics).
+  std::set<std::pair<int64_t, int64_t>> predicted_pairs;
+  std::set<std::pair<int64_t, int64_t>> extractable;
+  for (const SentenceRecord& s : corpus_.sentences) {
+    const auto p = s.entity1 < s.entity2 ? std::make_pair(s.entity1, s.entity2)
+                                         : std::make_pair(s.entity2, s.entity1);
+    if (corpus_.true_pairs.count(p)) extractable.insert(p);
+  }
+  if (options_.entity_layer) {
+    for (const auto& [tuple, marginal] : dd_->Marginals("SpouseKB")) {
+      if (marginal < threshold) continue;
+      const int64_t e1 = tuple[0].AsInt();
+      const int64_t e2 = tuple[1].AsInt();
+      predicted_pairs.insert(e1 < e2 ? std::make_pair(e1, e2)
+                                     : std::make_pair(e2, e1));
+    }
+  } else {
+    // No entity layer: promote confident mention pairs through the gold
+    // mention -> entity mapping.
+    for (const auto& [tuple, marginal] : dd_->Marginals(QueryRelation())) {
+      if (marginal < threshold) continue;
+      const int64_t sent = tuple[0].AsInt() / kMentionStride;
+      if (sent < 0 || static_cast<size_t>(sent) >= corpus_.sentences.size()) continue;
+      const SentenceRecord& s = corpus_.sentences[static_cast<size_t>(sent)];
+      predicted_pairs.insert(s.entity1 < s.entity2
+                                 ? std::make_pair(s.entity1, s.entity2)
+                                 : std::make_pair(s.entity2, s.entity1));
+    }
+  }
+  PrecisionRecall pr;
+  for (const auto& p : predicted_pairs) {
+    if (corpus_.true_pairs.count(p)) {
+      ++pr.true_positives;
+    } else {
+      ++pr.false_positives;
+    }
+  }
+  for (const auto& p : extractable) {
+    if (!predicted_pairs.count(p)) ++pr.false_negatives;
+  }
+  const size_t dp = pr.true_positives + pr.false_positives;
+  const size_t dr = pr.true_positives + pr.false_negatives;
+  pr.precision = dp > 0 ? static_cast<double>(pr.true_positives) / dp : 0.0;
+  pr.recall = dr > 0 ? static_cast<double>(pr.true_positives) / dr : 0.0;
+  pr.f1 = (pr.precision + pr.recall) > 0
+              ? 2 * pr.precision * pr.recall / (pr.precision + pr.recall)
+              : 0.0;
+  return pr;
+}
+
+ErrorAnalysis KbcPipeline::AnalyzeErrors(double threshold, size_t top_k) const {
+  ErrorAnalysis report;
+
+  // Features firing per mention pair (shallow + deep).
+  std::map<std::pair<int64_t, int64_t>, std::vector<std::string>> pair_features;
+  for (const std::vector<Tuple>* rows : {&features_.shallow, &features_.deep}) {
+    for (const Tuple& row : *rows) {
+      pair_features[{row[1].AsInt(), row[2].AsInt()}].push_back(row[3].AsString());
+    }
+  }
+
+  // Learned weights by feature value (tied-weight keys are "FE1/<f>" or
+  // "FE2/<f>").
+  std::map<std::string, double> feature_weights;
+  const factor::FactorGraph& graph = dd_->ground().graph;
+  for (factor::WeightId w = 0; w < graph.NumWeights(); ++w) {
+    const factor::Weight& weight = graph.weight(w);
+    const size_t slash = weight.description.find('/');
+    if (!weight.learnable || slash == std::string::npos) continue;
+    feature_weights[weight.description.substr(slash + 1)] = weight.value;
+  }
+
+  std::map<std::string, FeatureStat> stats;
+  for (const auto& [tuple, marginal] : dd_->Marginals(QueryRelation())) {
+    const bool truth = MentionPairTruth(tuple);
+    const bool predicted = marginal >= threshold;
+    ++report.total_predictions;
+    if (predicted == truth) ++report.total_correct;
+
+    ErrorCase error;
+    error.mention_pair = tuple;
+    error.marginal = marginal;
+    error.truth = truth;
+    auto fit = pair_features.find({tuple[0].AsInt(), tuple[1].AsInt()});
+    if (fit != pair_features.end()) error.features = fit->second;
+
+    for (const std::string& f : error.features) {
+      FeatureStat& stat = stats[f];
+      stat.feature = f;
+      if (truth) {
+        ++stat.on_true;
+      } else {
+        ++stat.on_false;
+      }
+    }
+    if (predicted && !truth) report.false_positives.push_back(std::move(error));
+    if (!predicted && truth) report.false_negatives.push_back(std::move(error));
+  }
+
+  std::sort(report.false_positives.begin(), report.false_positives.end(),
+            [](const ErrorCase& a, const ErrorCase& b) { return a.marginal > b.marginal; });
+  std::sort(report.false_negatives.begin(), report.false_negatives.end(),
+            [](const ErrorCase& a, const ErrorCase& b) { return a.marginal < b.marginal; });
+  if (report.false_positives.size() > top_k) report.false_positives.resize(top_k);
+  if (report.false_negatives.size() > top_k) report.false_negatives.resize(top_k);
+
+  for (auto& [f, stat] : stats) {
+    auto wit = feature_weights.find(f);
+    if (wit != feature_weights.end()) stat.weight = wit->second;
+    const size_t total = stat.on_true + stat.on_false;
+    stat.precision = total > 0 ? static_cast<double>(stat.on_true) / total : 0.0;
+    report.feature_stats.push_back(stat);
+  }
+  std::sort(report.feature_stats.begin(), report.feature_stats.end(),
+            [](const FeatureStat& a, const FeatureStat& b) {
+              return std::abs(a.weight) > std::abs(b.weight);
+            });
+  return report;
+}
+
+std::vector<double> KbcPipeline::QueryMarginals() const {
+  std::vector<double> out;
+  for (const auto& [tuple, marginal] : dd_->Marginals(QueryRelation())) {
+    (void)tuple;
+    out.push_back(marginal);
+  }
+  return out;
+}
+
+}  // namespace deepdive::kbc

@@ -1,0 +1,90 @@
+#ifndef DEEPDIVE_KBC_PIPELINE_H_
+#define DEEPDIVE_KBC_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/deepdive.h"
+#include "kbc/candidates.h"
+#include "kbc/corpus.h"
+#include "kbc/error_analysis.h"
+#include "kbc/features.h"
+#include "kbc/metrics.h"
+#include "kbc/supervision.h"
+
+namespace deepdive::kbc {
+
+struct PipelineOptions {
+  core::DeepDiveConfig config;
+  /// Semantics used by the entity-level aggregation factor (Figure 10(b)
+  /// compares linear / logical / ratio — the voting of Example 2.5).
+  dsl::Semantics semantics = dsl::Semantics::kRatio;
+  /// Include the entity-level SpouseKB layer. It densifies the graph into
+  /// one connected component (entities shared across sentences); disable it
+  /// to study per-sentence decomposition (Figure 14).
+  bool entity_layer = true;
+  uint64_t seed = 5;
+};
+
+/// An end-to-end KBC system in the shape of Figure 1 / Example 2.2: a
+/// spouse-like binary relation extracted from a synthetic corpus. The system
+/// starts with only candidate generation and a prior, and grows through the
+/// six rule updates of Figure 8:
+///   A1  analysis (recompute marginals)         FE1 shallow phrase features
+///   FE2 deeper (direction-aware) features      I1  symmetry inference rule
+///   S1  distant-supervision positives          S2  negative examples
+class KbcPipeline {
+ public:
+  static StatusOr<std::unique_ptr<KbcPipeline>> Build(const SystemProfile& profile,
+                                                      const PipelineOptions& options);
+
+  /// Loads corpus-derived base data and initializes the DeepDive engine
+  /// (views, grounding, materialization in incremental mode).
+  Status Initialize();
+
+  /// The canonical update sequence (Figure 8 / Figure 9 rows).
+  static std::vector<std::string> UpdateSequence();
+
+  /// Applies one update by label ("A1", "FE1", "FE2", "I1", "S1", "S2").
+  StatusOr<core::UpdateReport> ApplyUpdate(const std::string& label);
+
+  /// Mention-level quality: a candidate pair is correct iff its sentence
+  /// genuinely expresses the relation.
+  PrecisionRecall EvaluateMentions(double threshold) const;
+
+  /// Fact-level quality: entity pairs (via gold mentions) vs gold relation,
+  /// restricted to extractable pairs (those co-occurring in some sentence).
+  PrecisionRecall EvaluateFacts(double threshold) const;
+
+  /// Marginal vector aligned with query-variable ids, for agreement stats.
+  std::vector<double> QueryMarginals() const;
+
+  /// The error-analysis phase (Section 2.2): confident mistakes, misses,
+  /// and per-feature precision/weight statistics, capped at `top_k` cases.
+  ErrorAnalysis AnalyzeErrors(double threshold, size_t top_k = 10) const;
+
+  core::DeepDive& deepdive() { return *dd_; }
+  const Corpus& corpus() const { return corpus_; }
+  const PipelineOptions& options() const { return options_; }
+
+  /// Name of the query relation ("HasSpouse").
+  static const char* QueryRelation();
+
+ private:
+  KbcPipeline(Corpus corpus, PipelineOptions options);
+
+  /// Truth of a mention pair: does its sentence express the relation?
+  bool MentionPairTruth(const Tuple& tuple) const;
+
+  Corpus corpus_;
+  PipelineOptions options_;
+  CandidateRows candidates_;
+  FeatureRows features_;
+  KnowledgeBaseRows kb_;
+  std::unique_ptr<core::DeepDive> dd_;
+};
+
+}  // namespace deepdive::kbc
+
+#endif  // DEEPDIVE_KBC_PIPELINE_H_

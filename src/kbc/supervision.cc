@@ -1,0 +1,18 @@
+#include "kbc/supervision.h"
+
+namespace deepdive::kbc {
+
+KnowledgeBaseRows BuildKnowledgeBase(const Corpus& corpus) {
+  KnowledgeBaseRows rows;
+  for (const auto& [a, b] : corpus.known_pairs) {
+    rows.known_positive.push_back({Value(a), Value(b)});
+    rows.known_positive.push_back({Value(b), Value(a)});
+  }
+  for (const auto& [a, b] : corpus.negative_pairs) {
+    rows.known_negative.push_back({Value(a), Value(b)});
+    rows.known_negative.push_back({Value(b), Value(a)});
+  }
+  return rows;
+}
+
+}  // namespace deepdive::kbc

@@ -1,0 +1,25 @@
+#ifndef DEEPDIVE_KBC_SUPERVISION_H_
+#define DEEPDIVE_KBC_SUPERVISION_H_
+
+#include <vector>
+
+#include "kbc/corpus.h"
+#include "storage/value.h"
+
+namespace deepdive::kbc {
+
+/// Distant-supervision knowledge base (Example 2.4): an incomplete list of
+/// known positive pairs and a disjoint negative relation (sibling-like).
+/// Supervision rules S1/S2 join these with entity links to label candidates.
+struct KnowledgeBaseRows {
+  /// KnownSpouse(e1: int, e2: int) — both orientations are emitted.
+  std::vector<Tuple> known_positive;
+  /// KnownNegative(e1: int, e2: int)
+  std::vector<Tuple> known_negative;
+};
+
+KnowledgeBaseRows BuildKnowledgeBase(const Corpus& corpus);
+
+}  // namespace deepdive::kbc
+
+#endif  // DEEPDIVE_KBC_SUPERVISION_H_

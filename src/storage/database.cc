@@ -1,0 +1,42 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+namespace deepdive {
+
+StatusOr<Table*> Database::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  names_.push_back(name);
+  return ptr;
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Database::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table '" + name + "'");
+  tables_.erase(it);
+  names_.erase(std::remove(names_.begin(), names_.end(), name), names_.end());
+  return Status::OK();
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [_, table] : tables_) total += table->size();
+  return total;
+}
+
+}  // namespace deepdive

@@ -1,0 +1,47 @@
+#ifndef DEEPDIVE_STORAGE_DATABASE_H_
+#define DEEPDIVE_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace deepdive {
+
+/// A named collection of tables: the "user schema" of a DeepDive program.
+/// Pointers returned by GetTable remain valid for the database's lifetime.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table. Error if the name is taken.
+  StatusOr<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Looks up a table by name; nullptr if absent.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const { return tables_.count(name) > 0; }
+
+  /// Drops a table. Error if absent.
+  Status DropTable(const std::string& name);
+
+  /// Names of all tables, in creation order.
+  std::vector<std::string> TableNames() const { return names_; }
+
+  /// Total live rows across all tables.
+  size_t TotalRows() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace deepdive
+
+#endif  // DEEPDIVE_STORAGE_DATABASE_H_

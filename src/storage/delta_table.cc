@@ -1,0 +1,68 @@
+#include "storage/delta_table.h"
+
+#include "util/hash.h"
+
+namespace deepdive {
+
+uint64_t DeltaTable::KeyFor(const Tuple& tuple) const {
+  // Open-addressing over the hash value: advance until we find either an
+  // empty slot or the slot holding exactly this tuple. Collisions are rare;
+  // the loop nearly always exits on the first probe.
+  uint64_t key = HashTuple(tuple);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.tuple == tuple) return key;
+    key = HashMix(key + 1);
+  }
+}
+
+void DeltaTable::Add(const Tuple& tuple, int64_t count) {
+  if (count == 0) return;
+  const uint64_t key = KeyFor(tuple);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    entries_.emplace(key, Entry{tuple, count});
+  } else {
+    // Zero-count entries are kept (not erased) so probe chains built by
+    // KeyFor stay intact; ForEach/size skip them.
+    it->second.count += count;
+  }
+}
+
+int64_t DeltaTable::Count(const Tuple& tuple) const {
+  uint64_t key = HashTuple(tuple);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return 0;
+    if (it->second.tuple == tuple) return it->second.count;
+    key = HashMix(key + 1);
+  }
+}
+
+bool DeltaTable::empty() const { return size() == 0; }
+
+size_t DeltaTable::size() const {
+  size_t n = 0;
+  for (const auto& [_, entry] : entries_) {
+    if (entry.count != 0) ++n;
+  }
+  return n;
+}
+
+std::vector<Tuple> DeltaTable::Insertions() const {
+  std::vector<Tuple> out;
+  ForEach([&](const Tuple& t, int64_t c) {
+    if (c > 0) out.push_back(t);
+  });
+  return out;
+}
+
+std::vector<Tuple> DeltaTable::Deletions() const {
+  std::vector<Tuple> out;
+  ForEach([&](const Tuple& t, int64_t c) {
+    if (c < 0) out.push_back(t);
+  });
+  return out;
+}
+
+}  // namespace deepdive

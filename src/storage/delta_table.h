@@ -1,0 +1,65 @@
+#ifndef DEEPDIVE_STORAGE_DELTA_TABLE_H_
+#define DEEPDIVE_STORAGE_DELTA_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace deepdive {
+
+/// A counted multiset of tuples: the DRed "delta relation" R^δ of [21].
+/// Each tuple carries a signed derivation-count change; +k means the tuple
+/// gained k derivations, -k lost k. DRed view maintenance (engine/
+/// view_maintenance) folds these into per-view derivation counts and decides
+/// which tuples appear in / disappear from the view.
+class DeltaTable {
+ public:
+  DeltaTable() = default;
+  explicit DeltaTable(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds `count` derivations for the tuple (negative for removals).
+  void Add(const Tuple& tuple, int64_t count = 1);
+
+  /// Signed count for a tuple (0 if absent).
+  int64_t Count(const Tuple& tuple) const;
+
+  bool empty() const;
+
+  /// Distinct tuples with non-zero count.
+  size_t size() const;
+
+  /// Visits every (tuple, count) pair with count != 0.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, entry] : entries_) {
+      (void)key;
+      if (entry.count != 0) fn(entry.tuple, entry.count);
+    }
+  }
+
+  /// Splits into insertion-side (count>0) and deletion-side (count<0) tuples.
+  std::vector<Tuple> Insertions() const;
+  std::vector<Tuple> Deletions() const;
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    Tuple tuple;
+    int64_t count = 0;
+  };
+  // Keyed by tuple hash; collisions resolved by probing alternate keys.
+  std::unordered_map<uint64_t, Entry> entries_;
+
+  uint64_t KeyFor(const Tuple& tuple) const;
+
+  std::string name_;
+};
+
+}  // namespace deepdive
+
+#endif  // DEEPDIVE_STORAGE_DELTA_TABLE_H_

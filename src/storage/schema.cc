@@ -1,0 +1,43 @@
+#include "storage/schema.h"
+
+#include "util/string_util.h"
+
+namespace deepdive {
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::ValidateTuple(const Tuple& tuple) const {
+  if (tuple.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("tuple arity %zu does not match schema arity %zu", tuple.size(),
+                  columns_.size()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i].is_null()) continue;
+    if (tuple[i].type() != columns_[i].type) {
+      return Status::InvalidArgument(
+          StrFormat("column '%s' expects %s but tuple has %s", columns_[i].name.c_str(),
+                    ValueTypeName(columns_[i].type), ValueTypeName(tuple[i].type())));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].name;
+    out += ": ";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace deepdive

@@ -1,0 +1,49 @@
+#ifndef DEEPDIVE_STORAGE_SCHEMA_H_
+#define DEEPDIVE_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace deepdive {
+
+/// One column: a name plus its declared type.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered column list for a relation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t arity() const { return columns_.size(); }
+  const std::vector<Column>& columns() const { return columns_; }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the named column, or -1.
+  int FindColumn(const std::string& name) const;
+
+  /// Verifies a tuple's arity and per-column types (nulls allowed anywhere).
+  Status ValidateTuple(const Tuple& tuple) const;
+
+  bool operator==(const Schema& other) const { return columns_ == other.columns_; }
+
+  /// e.g. "(sent_id: int, mention: string)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace deepdive
+
+#endif  // DEEPDIVE_STORAGE_SCHEMA_H_

@@ -1,0 +1,109 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace deepdive {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  column_indexes_.resize(schema_.arity());
+  column_index_built_.assign(schema_.arity(), false);
+}
+
+StatusOr<RowId> Table::Insert(Tuple tuple) {
+  DD_RETURN_IF_ERROR(schema_.ValidateTuple(tuple));
+  const uint64_t h = HashTuple(tuple);
+  auto it = tuple_index_.find(h);
+  if (it != tuple_index_.end()) {
+    for (RowId id : it->second) {
+      if (!dead_[id] && rows_[id] == tuple) return id;  // already present
+    }
+  }
+  const RowId id = static_cast<RowId>(rows_.size());
+  tuple_index_[h].push_back(id);
+  // Maintain any already-built column indexes before moving the tuple in.
+  for (size_t c = 0; c < schema_.arity(); ++c) {
+    if (column_index_built_[c]) {
+      column_indexes_[c][tuple[c].Hash()].push_back(id);
+    }
+  }
+  rows_.push_back(std::move(tuple));
+  dead_.push_back(false);
+  ++live_count_;
+  return id;
+}
+
+bool Table::Erase(const Tuple& tuple) {
+  const RowId id = Find(tuple);
+  if (id == kInvalidRowId) return false;
+  dead_[id] = true;
+  --live_count_;
+  return true;
+}
+
+bool Table::Contains(const Tuple& tuple) const { return Find(tuple) != kInvalidRowId; }
+
+RowId Table::Find(const Tuple& tuple) const {
+  auto it = tuple_index_.find(HashTuple(tuple));
+  if (it == tuple_index_.end()) return kInvalidRowId;
+  for (RowId id : it->second) {
+    if (!dead_[id] && rows_[id] == tuple) return id;
+  }
+  return kInvalidRowId;
+}
+
+const Tuple& Table::row(RowId id) const {
+  DD_CHECK(IsLive(id)) << "dead or out-of-range row " << id << " in " << name_;
+  return rows_[id];
+}
+
+void Table::Scan(const std::function<void(RowId, const Tuple&)>& fn) const {
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (!dead_[id]) fn(id, rows_[id]);
+  }
+}
+
+std::vector<Tuple> Table::Rows() const {
+  std::vector<Tuple> out;
+  out.reserve(live_count_);
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (!dead_[id]) out.push_back(rows_[id]);
+  }
+  return out;
+}
+
+void Table::EnsureColumnIndex(size_t col) const {
+  if (column_index_built_[col]) return;
+  auto& index = column_indexes_[col];
+  index.clear();
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    index[rows_[id][col].Hash()].push_back(id);
+  }
+  column_index_built_[col] = true;
+}
+
+std::vector<RowId> Table::Lookup(size_t col, const Value& v) const {
+  DD_CHECK_LT(col, schema_.arity());
+  EnsureColumnIndex(col);
+  std::vector<RowId> out;
+  auto it = column_indexes_[col].find(v.Hash());
+  if (it != column_indexes_[col].end()) {
+    for (RowId id : it->second) {
+      if (!dead_[id] && rows_[id][col] == v) out.push_back(id);
+    }
+  }
+  return out;
+}
+
+void Table::Clear() {
+  rows_.clear();
+  dead_.clear();
+  live_count_ = 0;
+  tuple_index_.clear();
+  for (auto& idx : column_indexes_) idx.clear();
+  column_index_built_.assign(schema_.arity(), false);
+}
+
+}  // namespace deepdive

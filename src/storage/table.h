@@ -1,0 +1,88 @@
+#ifndef DEEPDIVE_STORAGE_TABLE_H_
+#define DEEPDIVE_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace deepdive {
+
+/// Row identifier within a table. Stable for the lifetime of the row.
+using RowId = uint32_t;
+inline constexpr RowId kInvalidRowId = static_cast<RowId>(-1);
+
+/// In-memory relation with set semantics: a row store plus
+///   * a whole-tuple hash index (duplicate elimination, point deletes), and
+///   * lazily built per-column hash indexes used by the join evaluator.
+///
+/// Deletions tombstone the row; Scan and index probes skip tombstones. This is
+/// the Postgres stand-in described in DESIGN.md §4.2.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Number of live rows.
+  size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+  /// Inserts a tuple. Returns the new RowId, or the existing row's id if the
+  /// tuple is already present (set semantics). Error on schema mismatch.
+  StatusOr<RowId> Insert(Tuple tuple);
+
+  /// Returns true iff the tuple was present (and is now removed).
+  bool Erase(const Tuple& tuple);
+
+  /// True if the tuple is present.
+  bool Contains(const Tuple& tuple) const;
+
+  /// Row id of an existing tuple, or kInvalidRowId.
+  RowId Find(const Tuple& tuple) const;
+
+  /// The tuple stored at `id`; id must refer to a live row.
+  const Tuple& row(RowId id) const;
+
+  bool IsLive(RowId id) const { return id < rows_.size() && !dead_[id]; }
+
+  /// Calls `fn` for every live row.
+  void Scan(const std::function<void(RowId, const Tuple&)>& fn) const;
+
+  /// All live rows, in insertion order (copy).
+  std::vector<Tuple> Rows() const;
+
+  /// Probes the per-column index: ids of live rows whose `col` equals `v`.
+  /// Builds the index on first use for that column.
+  std::vector<RowId> Lookup(size_t col, const Value& v) const;
+
+  /// Removes all rows.
+  void Clear();
+
+ private:
+  void EnsureColumnIndex(size_t col) const;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  std::vector<bool> dead_;
+  size_t live_count_ = 0;
+
+  // Whole-tuple index: hash -> row ids with that hash (collision chains).
+  std::unordered_map<uint64_t, std::vector<RowId>> tuple_index_;
+
+  // Per-column indexes (built lazily, invalidated on delete only via the
+  // liveness filter in Lookup). value-hash -> row ids.
+  mutable std::vector<std::unordered_map<uint64_t, std::vector<RowId>>> column_indexes_;
+  mutable std::vector<bool> column_index_built_;
+};
+
+}  // namespace deepdive
+
+#endif  // DEEPDIVE_STORAGE_TABLE_H_

@@ -1,0 +1,151 @@
+#include "storage/text_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace deepdive {
+
+namespace {
+
+StatusOr<Value> ParseField(const Column& column, const std::string& field) {
+  if (field == "\\N") return Value::Null();
+  switch (column.type) {
+    case ValueType::kInt: {
+      char* end = nullptr;
+      const long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("column '" + column.name +
+                                       "': not an int: '" + field + "'");
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("column '" + column.name +
+                                       "': not a double: '" + field + "'");
+      }
+      return Value(v);
+    }
+    case ValueType::kBool:
+      if (field == "true" || field == "t" || field == "1") return Value(true);
+      if (field == "false" || field == "f" || field == "0") return Value(false);
+      return Status::InvalidArgument("column '" + column.name + "': not a bool: '" +
+                                     field + "'");
+    case ValueType::kString:
+      return Value(field);
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Status::Internal("unhandled column type");
+}
+
+std::vector<std::string> SplitTsv(const std::string& line) {
+  // Unlike SplitString, empty fields are preserved.
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (;;) {
+    const size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+}  // namespace
+
+StatusOr<Tuple> ParseTsvLine(const Schema& schema, const std::string& line) {
+  const std::vector<std::string> fields = SplitTsv(line);
+  if (fields.size() != schema.arity()) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu fields, got %zu in line: %s", schema.arity(),
+                  fields.size(), line.c_str()));
+  }
+  Tuple tuple;
+  tuple.reserve(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    DD_ASSIGN_OR_RETURN(Value v, ParseField(schema.column(i), fields[i]));
+    tuple.push_back(std::move(v));
+  }
+  return tuple;
+}
+
+namespace {
+
+StatusOr<size_t> LoadTsvStream(std::istream& in, Table* table) {
+  size_t inserted = 0;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    auto tuple = ParseTsvLine(table->schema(), line);
+    if (!tuple.ok()) {
+      return Status::InvalidArgument(StrFormat("line %zu: %s", line_number,
+                                               tuple.status().message().c_str()));
+    }
+    const size_t before = table->size();
+    DD_RETURN_IF_ERROR(table->Insert(std::move(tuple).value()).status());
+    if (table->size() > before) ++inserted;
+  }
+  return inserted;
+}
+
+}  // namespace
+
+StatusOr<size_t> LoadTsvFile(const std::string& path, Table* table) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  return LoadTsvStream(in, table);
+}
+
+StatusOr<size_t> LoadTsvString(const std::string& content, Table* table) {
+  std::istringstream in(content);
+  return LoadTsvStream(in, table);
+}
+
+StatusOr<std::string> FormatTsvLine(const Tuple& tuple) {
+  std::string out;
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i) out += '\t';
+    if (tuple[i].is_null()) {
+      out += "\\N";
+      continue;
+    }
+    const std::string field = tuple[i].ToString();
+    if (field.find('\t') != std::string::npos ||
+        field.find('\n') != std::string::npos) {
+      return Status::InvalidArgument("field contains tab/newline: " + field);
+    }
+    out += field;
+  }
+  return out;
+}
+
+Status DumpTsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  Status status = Status::OK();
+  table.Scan([&](RowId, const Tuple& tuple) {
+    if (!status.ok()) return;
+    auto line = FormatTsvLine(tuple);
+    if (!line.ok()) {
+      status = line.status();
+      return;
+    }
+    out << *line << '\n';
+  });
+  if (status.ok() && !out) status = Status::Internal("write to '" + path + "' failed");
+  return status;
+}
+
+}  // namespace deepdive

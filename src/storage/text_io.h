@@ -1,0 +1,35 @@
+#ifndef DEEPDIVE_STORAGE_TEXT_IO_H_
+#define DEEPDIVE_STORAGE_TEXT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace deepdive {
+
+/// Parses one tab-separated line into a tuple under `schema`. Fields are
+/// converted by column type; the literal `\N` is NULL. Errors carry the
+/// column name.
+StatusOr<Tuple> ParseTsvLine(const Schema& schema, const std::string& line);
+
+/// Loads tab-separated rows from `path` into `table` (one row per line,
+/// empty lines and `#` comments skipped). Returns the number of rows
+/// inserted (duplicates are counted once, set semantics).
+StatusOr<size_t> LoadTsvFile(const std::string& path, Table* table);
+
+/// Parses TSV content from a string (testing / in-memory use).
+StatusOr<size_t> LoadTsvString(const std::string& content, Table* table);
+
+/// Renders a tuple as a TSV line (strings are written verbatim; they must
+/// not contain tabs or newlines — validated).
+StatusOr<std::string> FormatTsvLine(const Tuple& tuple);
+
+/// Writes all rows of `table` to `path` as TSV.
+Status DumpTsvFile(const Table& table, const std::string& path);
+
+}  // namespace deepdive
+
+#endif  // DEEPDIVE_STORAGE_TEXT_IO_H_

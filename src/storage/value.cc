@@ -1,0 +1,84 @@
+#include "storage/value.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace deepdive {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+bool Value::operator<(const Value& other) const {
+  if (rep_.index() != other.rep_.index()) return rep_.index() < other.rep_.index();
+  return rep_ < other.rep_;
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x6eed0e9da4d94a4fULL;
+    case ValueType::kBool:
+      return HashMix(AsBool() ? 0x2545f491ULL : 0x9e3779b9ULL);
+    case ValueType::kInt:
+      return HashMix(static_cast<uint64_t>(AsInt()) + 0x51afd7edULL);
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashMix(bits + 0xc4ceb9feULL);
+    }
+    case ValueType::kString:
+      return HashString(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble:
+      return StrFormat("%g", AsDouble());
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+uint64_t HashTuple(const Tuple& tuple) {
+  uint64_t h = 0x8f1bbcdcbfa53e0bULL;
+  for (const Value& v : tuple) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+std::string TupleToString(const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i) out += ", ";
+    out += tuple[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace deepdive

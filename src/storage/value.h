@@ -1,0 +1,63 @@
+#ifndef DEEPDIVE_STORAGE_VALUE_H_
+#define DEEPDIVE_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace deepdive {
+
+/// Column types supported by the relational substrate. KBC schemas use
+/// integers for ids, strings for mentions/features, doubles for scores.
+enum class ValueType { kNull = 0, kBool, kInt, kDouble, kString };
+
+const char* ValueTypeName(ValueType type);
+
+/// A single typed cell. Small, copyable, hashable, totally ordered within a
+/// type (cross-type comparison orders by type tag, which gives tables a
+/// deterministic sort order).
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(bool b) : rep_(b) {}
+  explicit Value(int64_t i) : rep_(i) {}
+  explicit Value(int i) : rep_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : rep_(d) {}
+  explicit Value(std::string s) : rep_(std::move(s)) {}
+  explicit Value(const char* s) : rep_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const { return static_cast<ValueType>(rep_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return rep_ != other.rep_; }
+  bool operator<(const Value& other) const;
+
+  uint64_t Hash() const;
+
+  /// Debug/CSV rendering; strings are not quoted.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> rep_;
+};
+
+/// A row: one Value per schema column.
+using Tuple = std::vector<Value>;
+
+uint64_t HashTuple(const Tuple& tuple);
+std::string TupleToString(const Tuple& tuple);
+
+}  // namespace deepdive
+
+#endif  // DEEPDIVE_STORAGE_VALUE_H_

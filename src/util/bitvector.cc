@@ -1,0 +1,43 @@
+#include "util/bitvector.h"
+
+#include <bit>
+
+#include "util/logging.h"
+
+namespace deepdive {
+
+BitVector::BitVector(size_t n, bool value) { Resize(n, value); }
+
+void BitVector::Resize(size_t n, bool value) {
+  const size_t old_size = size_;
+  const size_t words = (n + 63) / 64;
+  words_.resize(words, value ? ~uint64_t{0} : 0);
+  size_ = n;
+  if (value && n > old_size && old_size % 64 != 0) {
+    // The partially used word kept stale zero bits; set the new ones.
+    for (size_t i = old_size; i < std::min(n, (old_size / 64 + 1) * 64); ++i) {
+      Set(i, true);
+    }
+  }
+  // Clear bits beyond size in the last word so PopCount stays exact.
+  if (n % 64 != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << (n % 64)) - 1;
+  }
+}
+
+size_t BitVector::PopCount() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+size_t BitVector::HammingDistance(const BitVector& other) const {
+  DD_CHECK_EQ(size_, other.size_);
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] ^ other.words_[i]);
+  }
+  return total;
+}
+
+}  // namespace deepdive

@@ -1,0 +1,37 @@
+#ifndef DEEPDIVE_UTIL_HASH_H_
+#define DEEPDIVE_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace deepdive {
+
+/// 64-bit mix suitable for combining hash values (boost::hash_combine style
+/// but with a full-width avalanche).
+inline uint64_t HashMix(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return HashMix(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// FNV-1a for strings; cheap and stable across platforms.
+inline uint64_t HashString(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace deepdive
+
+#endif  // DEEPDIVE_UTIL_HASH_H_

@@ -1,0 +1,50 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+#include "util/status.h"
+
+namespace deepdive {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  // Strip directories for terse output.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::cerr << stream_.str() << std::endl;
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace deepdive

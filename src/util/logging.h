@@ -1,0 +1,81 @@
+#ifndef DEEPDIVE_UTIL_LOGGING_H_
+#define DEEPDIVE_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace deepdive {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Accumulates one log line and flushes it (to stderr) on destruction.
+/// Fatal messages abort the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a disabled log statement's stream operands.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace deepdive
+
+#define DD_LOG(level)                                              \
+  if (static_cast<int>(::deepdive::LogLevel::k##level) <           \
+      static_cast<int>(::deepdive::GetLogLevel())) {               \
+  } else /* NOLINT */                                              \
+    ::deepdive::internal_logging::LogMessage(                      \
+        ::deepdive::LogLevel::k##level, __FILE__, __LINE__)
+
+#define DD_LOG_STREAM(level)                            \
+  ::deepdive::internal_logging::LogMessage(             \
+      ::deepdive::LogLevel::k##level, __FILE__, __LINE__)
+
+/// CHECK-style invariant assertions; these abort on failure and are kept in
+/// release builds (grounding/inference correctness beats speed here).
+#define DD_CHECK(cond)                                                     \
+  while (!(cond))                                                          \
+  ::deepdive::internal_logging::LogMessage(::deepdive::LogLevel::kFatal,   \
+                                           __FILE__, __LINE__)             \
+      << "Check failed: " #cond " "
+
+#define DD_CHECK_OK(expr)                                                   \
+  do {                                                                      \
+    ::deepdive::Status _dd_chk = (expr);                                    \
+    DD_CHECK(_dd_chk.ok()) << _dd_chk.ToString();                           \
+  } while (0)
+
+#define DD_CHECK_EQ(a, b) DD_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DD_CHECK_NE(a, b) DD_CHECK((a) != (b))
+#define DD_CHECK_LT(a, b) DD_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DD_CHECK_LE(a, b) DD_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DD_CHECK_GT(a, b) DD_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DD_CHECK_GE(a, b) DD_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // DEEPDIVE_UTIL_LOGGING_H_

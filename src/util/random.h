@@ -1,0 +1,53 @@
+#ifndef DEEPDIVE_UTIL_RANDOM_H_
+#define DEEPDIVE_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace deepdive {
+
+/// Fast deterministic PRNG (xoshiro256**). All stochastic components
+/// (Gibbs, MH, corpus generation) take an explicit Rng so experiments are
+/// reproducible and tests can pin seeds.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Gaussian with the given mean / stddev.
+  double Gaussian(double mean, double stddev);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Samples an index proportionally to the (non-negative) weights.
+  /// Requires at least one strictly positive weight.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle of [0, n) stored in `perm`.
+  void Shuffle(std::vector<uint32_t>* perm);
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace deepdive
+
+#endif  // DEEPDIVE_UTIL_RANDOM_H_

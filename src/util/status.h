@@ -1,0 +1,117 @@
+#ifndef DEEPDIVE_UTIL_STATUS_H_
+#define DEEPDIVE_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace deepdive {
+
+/// Error categories used across the library. Mirrors the usual
+/// database-system status taxonomy (OK / InvalidArgument / NotFound / ...).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight error-or-success result. The library does not throw across
+/// public API boundaries; fallible operations return Status or StatusOr<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value and from error Status, mirroring absl::StatusOr.
+  StatusOr(T value) : value_(std::move(value)) {}              // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {}      // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace deepdive
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define DD_RETURN_IF_ERROR(expr)                   \
+  do {                                             \
+    ::deepdive::Status _dd_status = (expr);        \
+    if (!_dd_status.ok()) return _dd_status;       \
+  } while (0)
+
+/// Evaluates a StatusOr expression, assigning the value or returning the error.
+#define DD_ASSIGN_OR_RETURN(lhs, expr)             \
+  DD_ASSIGN_OR_RETURN_IMPL_(                       \
+      DD_STATUS_CONCAT_(_dd_statusor, __LINE__), lhs, expr)
+
+#define DD_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, expr) \
+  auto statusor = (expr);                              \
+  if (!statusor.ok()) return statusor.status();        \
+  lhs = std::move(statusor).value()
+
+#define DD_STATUS_CONCAT_(a, b) DD_STATUS_CONCAT_IMPL_(a, b)
+#define DD_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // DEEPDIVE_UTIL_STATUS_H_

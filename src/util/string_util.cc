@@ -1,0 +1,55 @@
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace deepdive {
+
+std::vector<std::string> SplitString(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(sep, start);
+    if (end == std::string_view::npos) end = text.size();
+    if (end > start) out.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t b = 0, e = text.size();
+  while (b < e && (text[b] == ' ' || text[b] == '\t' || text[b] == '\n' || text[b] == '\r')) ++b;
+  while (e > b && (text[e - 1] == ' ' || text[e - 1] == '\t' || text[e - 1] == '\n' ||
+                   text[e - 1] == '\r'))
+    --e;
+  return text.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(needed > 0 ? needed : 0, '\0');
+  if (needed > 0) vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace deepdive

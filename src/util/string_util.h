@@ -1,0 +1,27 @@
+#ifndef DEEPDIVE_UTIL_STRING_UTIL_H_
+#define DEEPDIVE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deepdive {
+
+/// Splits on `sep`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+/// Joins pieces with `sep`.
+std::string JoinStrings(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace deepdive
+
+#endif  // DEEPDIVE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,31 @@
+#ifndef DEEPDIVE_UTIL_TIMER_H_
+#define DEEPDIVE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace deepdive {
+
+/// Wall-clock stopwatch used by the bench harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace deepdive
+
+#endif  // DEEPDIVE_UTIL_TIMER_H_

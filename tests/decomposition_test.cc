@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "factor/factor_graph.h"
+#include "util/random.h"
+#include "incremental/decomposition.h"
+
+namespace deepdive::incremental {
+namespace {
+
+using factor::FactorGraph;
+using factor::VarId;
+using factor::WeightId;
+
+/// v0-v1-v2-v3-v4 chain (pairwise factors).
+FactorGraph Chain(size_t n) {
+  FactorGraph g;
+  g.AddVariables(n);
+  const WeightId w = g.AddWeight(1.0, false);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    g.AddSimpleFactor(static_cast<VarId>(i), {{static_cast<VarId>(i + 1), false}}, w);
+  }
+  return g;
+}
+
+TEST(ConnectedComponentsTest, SingleChain) {
+  FactorGraph g = Chain(5);
+  auto comps = ConnectedComponents(g);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].size(), 5u);
+}
+
+TEST(ConnectedComponentsTest, DisconnectedPieces) {
+  FactorGraph g;
+  g.AddVariables(6);
+  const WeightId w = g.AddWeight(1.0, false);
+  g.AddSimpleFactor(0, {{1, false}}, w);
+  g.AddSimpleFactor(3, {{4, false}}, w);
+  auto comps = ConnectedComponents(g);
+  // {0,1}, {2}, {3,4}, {5}.
+  EXPECT_EQ(comps.size(), 4u);
+}
+
+TEST(DecompositionTest, ActiveVariableCutsChain) {
+  // Chain 0-1-2-3-4 with 2 active: components {0,1} and {3,4}, both with
+  // boundary {2}; the merge rule (|A_j ∪ A_k| == max) combines them.
+  FactorGraph g = Chain(5);
+  std::vector<bool> active(5, false);
+  active[2] = true;
+  auto groups = DecomposeWithInactive(g, active);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].inactive.size(), 4u);
+  EXPECT_EQ(groups[0].active, (std::vector<VarId>{2}));
+}
+
+TEST(DecompositionTest, DisjointBoundariesStaySeparate) {
+  // Two chains with different active boundaries must not merge:
+  // 0-1-2 (active 2) and 3-4-5 (active 5) -> boundaries {2} and {5}.
+  FactorGraph g;
+  g.AddVariables(6);
+  const WeightId w = g.AddWeight(1.0, false);
+  g.AddSimpleFactor(0, {{1, false}}, w);
+  g.AddSimpleFactor(1, {{2, false}}, w);
+  g.AddSimpleFactor(3, {{4, false}}, w);
+  g.AddSimpleFactor(4, {{5, false}}, w);
+  std::vector<bool> active(6, false);
+  active[2] = true;
+  active[5] = true;
+  auto groups = DecomposeWithInactive(g, active);
+  ASSERT_EQ(groups.size(), 2u);
+}
+
+TEST(DecompositionTest, NestedBoundariesMerge) {
+  // Star: active hub 0 touches inactive 1, 2, 3 -> three singleton
+  // components all with boundary {0}; they merge into one group.
+  FactorGraph g;
+  g.AddVariables(4);
+  const WeightId w = g.AddWeight(1.0, false);
+  for (VarId v = 1; v <= 3; ++v) g.AddSimpleFactor(v, {{0, false}}, w);
+  std::vector<bool> active(4, false);
+  active[0] = true;
+  auto groups = DecomposeWithInactive(g, active);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].inactive.size(), 3u);
+  EXPECT_EQ(groups[0].active, (std::vector<VarId>{0}));
+}
+
+TEST(DecompositionTest, AllActiveYieldsNoGroups) {
+  FactorGraph g = Chain(4);
+  std::vector<bool> active(4, true);
+  EXPECT_TRUE(DecomposeWithInactive(g, active).empty());
+}
+
+TEST(DecompositionTest, NoActiveYieldsComponents) {
+  FactorGraph g;
+  g.AddVariables(4);
+  const WeightId w = g.AddWeight(1.0, false);
+  g.AddSimpleFactor(0, {{1, false}}, w);
+  g.AddSimpleFactor(2, {{3, false}}, w);
+  std::vector<bool> active(4, false);
+  auto groups = DecomposeWithInactive(g, active);
+  ASSERT_EQ(groups.size(), 2u);
+  for (const auto& grp : groups) EXPECT_TRUE(grp.active.empty());
+}
+
+// Property: Algorithm 2's guarantee — conditioned on its active boundary,
+// each group's inactive variables are independent of all other inactive
+// variables. Structurally: no factor connects inactive variables of two
+// different groups.
+class DecompositionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DecompositionProperty, GroupsAreConditionallyIndependent) {
+  Rng rng(GetParam());
+  FactorGraph g;
+  const size_t n = 12 + rng.UniformInt(12);
+  g.AddVariables(n);
+  const WeightId w = g.AddWeight(1.0, false);
+  const size_t factors = n + rng.UniformInt(n);
+  for (size_t i = 0; i < factors; ++i) {
+    const VarId a = static_cast<VarId>(rng.UniformInt(n));
+    const VarId b = static_cast<VarId>(rng.UniformInt(n));
+    if (a != b) g.AddSimpleFactor(a, {{b, false}}, w);
+  }
+  std::vector<bool> active(n, false);
+  for (VarId v = 0; v < n; ++v) active[v] = rng.Bernoulli(0.3);
+
+  const auto groups = DecomposeWithInactive(g, active);
+
+  // Map inactive var -> group index.
+  std::vector<int> group_of(n, -1);
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    for (VarId v : groups[gi].inactive) {
+      ASSERT_FALSE(active[v]);
+      ASSERT_EQ(group_of[v], -1) << "groups must partition inactive vars";
+      group_of[v] = static_cast<int>(gi);
+    }
+  }
+  for (VarId v = 0; v < n; ++v) {
+    if (!active[v]) ASSERT_NE(group_of[v], -1) << "inactive var " << v << " unassigned";
+  }
+
+  // No edge connects inactive vars of two different groups, and every
+  // active neighbor of a group's inactive vars is in its boundary.
+  for (VarId v = 0; v < n; ++v) {
+    if (active[v]) continue;
+    for (VarId u : g.Neighbors(v)) {
+      if (active[u]) {
+        const auto& boundary = groups[group_of[v]].active;
+        EXPECT_TRUE(std::find(boundary.begin(), boundary.end(), u) != boundary.end())
+            << "active neighbor " << u << " missing from boundary of group "
+            << group_of[v];
+      } else {
+        EXPECT_EQ(group_of[v], group_of[u])
+            << "inactive vars " << v << " and " << u
+            << " share a factor but live in different groups";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecompositionProperty,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38, 39, 40));
+
+TEST(DecompositionTest, GroupsPartitionInactiveVariables) {
+  FactorGraph g = Chain(9);
+  std::vector<bool> active(9, false);
+  active[3] = true;
+  active[6] = true;
+  auto groups = DecomposeWithInactive(g, active);
+  std::vector<bool> seen(9, false);
+  size_t total = 0;
+  for (const auto& grp : groups) {
+    for (VarId v : grp.inactive) {
+      EXPECT_FALSE(seen[v]);
+      EXPECT_FALSE(active[v]);
+      seen[v] = true;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 7u);
+}
+
+}  // namespace
+}  // namespace deepdive::incremental

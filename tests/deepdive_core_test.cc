@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "core/deepdive.h"
+#include "kbc/metrics.h"
+
+namespace deepdive::core {
+namespace {
+
+constexpr char kProgram[] = R"(
+  relation Person(s: int, m: int).
+  relation Feature(m1: int, m2: int, f: string).
+  query relation HasSpouse(m1: int, m2: int).
+  evidence HasSpouseEv(m1: int, m2: int, l: bool) for HasSpouse.
+  rule CAND: HasSpouse(m1, m2) :- Person(s, m1), Person(s, m2), m1 != m2.
+  factor PRIOR: HasSpouse(m1, m2) :- Person(s, m1), Person(s, m2), m1 != m2
+    weight = -0.5 semantics = logical.
+)";
+
+std::vector<Tuple> PersonRows() {
+  return {{Value(1), Value(10)}, {Value(1), Value(11)},
+          {Value(2), Value(20)}, {Value(2), Value(21)}};
+}
+
+std::unique_ptr<DeepDive> Make(ExecutionMode mode) {
+  DeepDiveConfig config = FastTestConfig();
+  config.mode = mode;
+  auto dd = DeepDive::Create(kProgram, config);
+  EXPECT_TRUE(dd.ok()) << dd.status().ToString();
+  EXPECT_TRUE(dd.value()->LoadRows("Person", PersonRows()).ok());
+  EXPECT_TRUE(dd.value()->Initialize().ok());
+  return std::move(dd).value();
+}
+
+TEST(DeepDiveTest, CreateRejectsBadProgram) {
+  EXPECT_FALSE(DeepDive::Create("relation R(", FastTestConfig()).ok());
+}
+
+TEST(DeepDiveTest, InitializeGroundsCandidates) {
+  auto dd = Make(ExecutionMode::kIncremental);
+  // 2 sentences x 2 ordered pairs each.
+  EXPECT_EQ(dd->ground().graph.NumVariables(), 4u);
+  EXPECT_EQ(dd->Marginals("HasSpouse").size(), 4u);
+  // The negative prior pushes marginals below 0.5.
+  for (const auto& [tuple, p] : dd->Marginals("HasSpouse")) {
+    EXPECT_LT(p, 0.5) << TupleToString(tuple);
+  }
+}
+
+TEST(DeepDiveTest, AnalysisUpdateUsesSamplingWithFullAcceptance) {
+  auto dd = Make(ExecutionMode::kIncremental);
+  UpdateSpec spec;
+  spec.label = "A1";
+  spec.analysis_only = true;
+  auto report = dd->ApplyUpdate(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->strategy, incremental::Strategy::kSampling);
+  EXPECT_DOUBLE_EQ(report->acceptance_rate, 1.0);
+}
+
+TEST(DeepDiveTest, DataUpdateCreatesVariables) {
+  auto dd = Make(ExecutionMode::kIncremental);
+  UpdateSpec spec;
+  spec.label = "data";
+  spec.inserts["Person"] = {{Value(3), Value(30)}, {Value(3), Value(31)}};
+  auto report = dd->ApplyUpdate(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(dd->ground().graph.NumVariables(), 6u);
+  EXPECT_NE(dd->MarginalOf("HasSpouse", {Value(30), Value(31)}), 0.5);
+}
+
+TEST(DeepDiveTest, DataDeletionRetractsCandidates) {
+  auto dd = Make(ExecutionMode::kIncremental);
+  UpdateSpec spec;
+  spec.label = "del";
+  spec.deletes["Person"] = {{Value(2), Value(21)}};
+  auto report = dd->ApplyUpdate(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(dd->db()->GetTable("HasSpouse")->Contains({Value(20), Value(21)}));
+  // Marginals are still reported for the surviving pairs.
+  EXPECT_EQ(dd->Marginals("HasSpouse").size(), 4u);  // index keeps ghosts
+}
+
+TEST(DeepDiveTest, RuleUpdateAddsFactorsAndLearns) {
+  auto dd = Make(ExecutionMode::kIncremental);
+  UpdateSpec fe;
+  fe.label = "FE1";
+  fe.add_rules = R"(
+    factor FE1: HasSpouse(m1, m2) :- Feature(m1, m2, f) weight = w(f).
+  )";
+  fe.inserts["Feature"] = {{Value(10), Value(11), Value("wife")}};
+  ASSERT_TRUE(dd->ApplyUpdate(fe).ok());
+
+  UpdateSpec sup;
+  sup.label = "S1";
+  sup.inserts["HasSpouseEv"] = {{Value(10), Value(11), Value(true)}};
+  auto report = dd->ApplyUpdate(sup);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Evidence variable reports its label.
+  EXPECT_DOUBLE_EQ(dd->MarginalOf("HasSpouse", {Value(10), Value(11)}), 1.0);
+  EXPECT_GT(report->learning_seconds, 0.0);
+}
+
+TEST(DeepDiveTest, RemoveRuleRetractsGroups) {
+  auto dd = Make(ExecutionMode::kIncremental);
+  UpdateSpec add;
+  add.label = "I1";
+  add.add_rules = R"(
+    factor BONUS: HasSpouse(m1, m2) :- Person(s, m1), Person(s, m2), m1 != m2
+      weight = 3.0 semantics = logical.
+  )";
+  ASSERT_TRUE(dd->ApplyUpdate(add).ok());
+  UpdateSpec remove;
+  remove.label = "undo";
+  remove.remove_rule_labels = {"BONUS"};
+  auto report = dd->ApplyUpdate(remove);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // After retraction the strong positive factor is gone: marginals low again.
+  for (const auto& [tuple, p] : dd->Marginals("HasSpouse")) {
+    EXPECT_LT(p, 0.6) << TupleToString(tuple);
+  }
+}
+
+TEST(DeepDiveTest, FragmentRelationWithDataInSameUpdate) {
+  // Regression: a rule fragment that *declares* a new relation and the same
+  // update inserting rows into it — the view layer must pick up the new
+  // relation or the rows are silently dropped.
+  auto dd = Make(ExecutionMode::kIncremental);
+  const size_t factors_before = dd->ground().graph.NumActiveClauses();
+  UpdateSpec spec;
+  spec.label = "FE-new";
+  spec.add_rules = R"(
+    relation NewFeature(m1: int, m2: int, f: string).
+    factor FEN: HasSpouse(m1, m2) :- NewFeature(m1, m2, f) weight = w(f).
+  )";
+  spec.inserts["NewFeature"] = {{Value(10), Value(11), Value("wife")},
+                                {Value(20), Value(21), Value("wife")}};
+  auto report = dd->ApplyUpdate(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(dd->db()->GetTable("NewFeature")->size(), 2u);
+  EXPECT_EQ(dd->ground().graph.NumActiveClauses(), factors_before + 2);
+}
+
+TEST(DeepDiveTest, UnknownRelationInUpdateIsError) {
+  auto dd = Make(ExecutionMode::kIncremental);
+  UpdateSpec spec;
+  spec.inserts["Bogus"] = {{Value(1)}};
+  EXPECT_FALSE(dd->ApplyUpdate(spec).ok());
+}
+
+TEST(DeepDiveTest, UnknownRemoveLabelIsError) {
+  auto dd = Make(ExecutionMode::kIncremental);
+  UpdateSpec spec;
+  spec.remove_rule_labels = {"NOPE"};
+  EXPECT_FALSE(dd->ApplyUpdate(spec).ok());
+}
+
+TEST(DeepDiveTest, RerunModeProducesSimilarMarginals) {
+  auto inc = Make(ExecutionMode::kIncremental);
+  auto rerun = Make(ExecutionMode::kRerun);
+  UpdateSpec spec;
+  spec.label = "FE1";
+  spec.add_rules = R"(
+    factor FE1: HasSpouse(m1, m2) :- Feature(m1, m2, f) weight = w(f).
+  )";
+  spec.inserts["Feature"] = {{Value(10), Value(11), Value("wife")},
+                             {Value(20), Value(21), Value("met")}};
+  ASSERT_TRUE(inc->ApplyUpdate(spec).ok());
+  ASSERT_TRUE(rerun->ApplyUpdate(spec).ok());
+
+  std::vector<double> pi, pr;
+  for (const auto& [tuple, p] : inc->Marginals("HasSpouse")) {
+    pi.push_back(p);
+    pr.push_back(rerun->MarginalOf("HasSpouse", tuple));
+  }
+  // Same facts at similar probabilities (Section 4.2's parity check).
+  EXPECT_LT(kbc::MeanSymmetricKL(pi, pr), 0.25);
+}
+
+TEST(DeepDiveTest, HistoryAccumulates) {
+  auto dd = Make(ExecutionMode::kIncremental);
+  UpdateSpec spec;
+  spec.label = "A1";
+  spec.analysis_only = true;
+  ASSERT_TRUE(dd->ApplyUpdate(spec).ok());
+  ASSERT_TRUE(dd->ApplyUpdate(spec).ok());
+  ASSERT_EQ(dd->history().size(), 2u);
+  EXPECT_EQ(dd->history()[0].label, "A1");
+  EXPECT_GT(dd->history()[0].graph_variables, 0u);
+}
+
+TEST(DeepDiveTest, MaterializationStatsPopulated) {
+  auto dd = Make(ExecutionMode::kIncremental);
+  EXPECT_GT(dd->materialization_stats().samples_collected, 0u);
+  auto rerun = Make(ExecutionMode::kRerun);
+  EXPECT_EQ(rerun->materialization_stats().samples_collected, 0u);
+}
+
+}  // namespace
+}  // namespace deepdive::core

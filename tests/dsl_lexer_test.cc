@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "dsl/lexer.h"
+
+namespace deepdive::dsl {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokens) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto tokens = Tokenize("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, Identifiers) {
+  auto tokens = Tokenize("Foo bar_1 _x");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "Foo");
+  EXPECT_EQ((*tokens)[1].text, "bar_1");
+  EXPECT_EQ((*tokens)[2].text, "_x");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Tokenize("42 -7 0.5 -1.5 1e3 2.5e-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].int_value, -7);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ((*tokens)[2].double_value, 0.5);
+  EXPECT_DOUBLE_EQ((*tokens)[3].double_value, -1.5);
+  EXPECT_DOUBLE_EQ((*tokens)[4].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ((*tokens)[5].double_value, 0.025);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = Tokenize(R"("and his wife" "a\"b" "x\ny")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "and his wife");
+  EXPECT_EQ((*tokens)[1].text, "a\"b");
+  EXPECT_EQ((*tokens)[2].text, "x\ny");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(Tokenize("\"abc").ok());
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Tokenize(":- : != ! == = <= < >= > ( ) , . ?");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Kinds(*tokens),
+            (std::vector<TokenKind>{
+                TokenKind::kColonDash, TokenKind::kColon, TokenKind::kNe,
+                TokenKind::kBang, TokenKind::kEqEq, TokenKind::kEq, TokenKind::kLe,
+                TokenKind::kLt, TokenKind::kGe, TokenKind::kGt, TokenKind::kLParen,
+                TokenKind::kRParen, TokenKind::kComma, TokenKind::kDot,
+                TokenKind::kQuestion, TokenKind::kEof}));
+}
+
+TEST(LexerTest, CommentsRunToEndOfLine) {
+  auto tokens = Tokenize("a # comment with : symbols\nb");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[1].text, "b");
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  auto tokens = Tokenize("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  auto result = Tokenize("a @ b");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unexpected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deepdive::dsl

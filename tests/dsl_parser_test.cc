@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "dsl/parser.h"
+
+namespace deepdive::dsl {
+namespace {
+
+TEST(ParserTest, RelationDecl) {
+  auto ast = ParseProgram("relation R(a: int, b: string).");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  ASSERT_EQ(ast->relations.size(), 1u);
+  EXPECT_EQ(ast->relations[0].name, "R");
+  EXPECT_EQ(ast->relations[0].kind, RelationKind::kBase);
+  EXPECT_EQ(ast->relations[0].schema.arity(), 2u);
+  EXPECT_EQ(ast->relations[0].schema.column(1).type, ValueType::kString);
+}
+
+TEST(ParserTest, QueryRelationDecl) {
+  auto ast = ParseProgram("query relation Q(x: int).");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ(ast->relations[0].kind, RelationKind::kQuery);
+}
+
+TEST(ParserTest, EvidenceDecl) {
+  auto ast = ParseProgram("evidence E(x: int, l: bool) for Q.");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ(ast->relations[0].kind, RelationKind::kEvidence);
+  EXPECT_EQ(ast->relations[0].evidence_for, "Q");
+}
+
+TEST(ParserTest, ZeroArityRelation) {
+  auto ast = ParseProgram("query relation Q().");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ(ast->relations[0].schema.arity(), 0u);
+}
+
+TEST(ParserTest, DeductiveRuleWithLabelAndCondition) {
+  auto ast = ParseProgram(
+      "rule R1: Married(m1, m2) :- Person(s, m1), Person(s, m2), m1 != m2.");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  ASSERT_EQ(ast->deductive_rules.size(), 1u);
+  const DeductiveRule& r = ast->deductive_rules[0];
+  EXPECT_EQ(r.label, "R1");
+  EXPECT_EQ(r.head.predicate, "Married");
+  EXPECT_EQ(r.body.size(), 2u);
+  ASSERT_EQ(r.conditions.size(), 1u);
+  EXPECT_EQ(r.conditions[0].op, CompareOp::kNe);
+}
+
+TEST(ParserTest, RuleWithoutLabel) {
+  auto ast = ParseProgram("rule H(x) :- B(x).");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_TRUE(ast->deductive_rules[0].label.empty());
+}
+
+TEST(ParserTest, ConstantsInAtoms) {
+  auto ast = ParseProgram("rule E(m, true) :- C(m, 3, \"str\", 2.5, false).");
+  ASSERT_TRUE(ast.ok());
+  const DeductiveRule& r = ast->deductive_rules[0];
+  EXPECT_EQ(r.head.terms[1].constant, Value(true));
+  EXPECT_EQ(r.body[0].terms[1].constant, Value(3));
+  EXPECT_EQ(r.body[0].terms[2].constant, Value("str"));
+  EXPECT_EQ(r.body[0].terms[3].constant, Value(2.5));
+  EXPECT_EQ(r.body[0].terms[4].constant, Value(false));
+}
+
+TEST(ParserTest, NegatedAtom) {
+  auto ast = ParseProgram("rule H(x) :- B(x), !C(x).");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_FALSE(ast->deductive_rules[0].body[0].negated);
+  EXPECT_TRUE(ast->deductive_rules[0].body[1].negated);
+}
+
+TEST(ParserTest, FactorRuleFixedWeight) {
+  auto ast = ParseProgram("factor F: Q(x) :- R(x) weight = -1.5.");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  ASSERT_EQ(ast->factor_rules.size(), 1u);
+  EXPECT_EQ(ast->factor_rules[0].weight.kind, WeightSpec::Kind::kFixed);
+  EXPECT_DOUBLE_EQ(ast->factor_rules[0].weight.fixed_value, -1.5);
+  EXPECT_FALSE(ast->factor_rules[0].weight.learnable);
+  EXPECT_EQ(ast->factor_rules[0].semantics, Semantics::kLinear);
+}
+
+TEST(ParserTest, FactorRuleLearnableWeight) {
+  auto ast = ParseProgram("factor Q(x) :- R(x) weight = ?.");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_TRUE(ast->factor_rules[0].weight.learnable);
+}
+
+TEST(ParserTest, FactorRuleTiedWeightAndSemantics) {
+  auto ast = ParseProgram("factor Q(x) :- R(x, f) weight = w(f) semantics = ratio.");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  const FactorRule& r = ast->factor_rules[0];
+  EXPECT_EQ(r.weight.kind, WeightSpec::Kind::kTied);
+  EXPECT_EQ(r.weight.tied_vars, (std::vector<std::string>{"f"}));
+  EXPECT_TRUE(r.weight.learnable);
+  EXPECT_EQ(r.semantics, Semantics::kRatio);
+}
+
+TEST(ParserTest, AllSemantics) {
+  for (const char* sem : {"linear", "ratio", "logical"}) {
+    auto ast = ParseProgram(std::string("factor Q(x) :- R(x) weight = 1 semantics = ") +
+                            sem + ".");
+    ASSERT_TRUE(ast.ok()) << sem;
+  }
+  EXPECT_FALSE(ParseProgram("factor Q(x) :- R(x) weight = 1 semantics = bogus.").ok());
+}
+
+TEST(ParserTest, IntegerWeightParses) {
+  auto ast = ParseProgram("factor Q(x) :- R(x) weight = 2.");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_DOUBLE_EQ(ast->factor_rules[0].weight.fixed_value, 2.0);
+}
+
+TEST(ParserTest, MultiStatementProgram) {
+  auto ast = ParseProgram(R"(
+    # a comment
+    relation R(x: int).
+    query relation Q(x: int).
+    rule Q(x) :- R(x).
+    factor F: Q(x) :- R(x) weight = 0.5.
+  )");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  EXPECT_EQ(ast->relations.size(), 2u);
+  EXPECT_EQ(ast->deductive_rules.size(), 1u);
+  EXPECT_EQ(ast->factor_rules.size(), 1u);
+}
+
+TEST(ParserTest, ErrorsIncludePosition) {
+  // ": -" lexes ':' then a stray '-' (lex error); "rule H(x) := ..." is a
+  // parse error. Both must carry a position.
+  auto lex_error = ParseProgram("rule H(x) : - B(x).");
+  ASSERT_FALSE(lex_error.ok());
+  EXPECT_NE(lex_error.status().message().find("error at"), std::string::npos);
+  auto parse_error = ParseProgram("rule H(x) B(x).");
+  ASSERT_FALSE(parse_error.ok());
+  EXPECT_NE(parse_error.status().message().find("parse error"), std::string::npos);
+}
+
+TEST(ParserTest, MissingDotIsError) {
+  EXPECT_FALSE(ParseProgram("relation R(x: int)").ok());
+}
+
+TEST(ParserTest, MissingWeightIsError) {
+  EXPECT_FALSE(ParseProgram("factor Q(x) :- R(x).").ok());
+}
+
+TEST(ParserTest, UnknownTypeIsError) {
+  EXPECT_FALSE(ParseProgram("relation R(x: float).").ok());
+}
+
+TEST(ParserTest, RoundTripToString) {
+  auto ast = ParseProgram(
+      "factor FE1: Q(m1, m2) :- C(m1, m2), F(m1, m2, f) weight = w(f) "
+      "semantics = logical.");
+  ASSERT_TRUE(ast.ok());
+  const std::string s = FactorRuleToString(ast->factor_rules[0]);
+  EXPECT_NE(s.find("FE1"), std::string::npos);
+  EXPECT_NE(s.find("w(f)"), std::string::npos);
+  EXPECT_NE(s.find("logical"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deepdive::dsl

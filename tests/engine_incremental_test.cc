@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "factor/factor_graph.h"
+#include "incremental/engine.h"
+#include "inference/exact.h"
+#include "util/random.h"
+
+namespace deepdive::incremental {
+namespace {
+
+using factor::FactorGraph;
+using factor::GraphDelta;
+using factor::VarId;
+using factor::WeightId;
+
+FactorGraph TwoComponentGraph(uint64_t seed) {
+  // Two disconnected 4-variable chains.
+  FactorGraph g;
+  Rng rng(seed);
+  g.AddVariables(8);
+  for (VarId base : {VarId{0}, VarId{4}}) {
+    for (VarId i = 0; i < 3; ++i) {
+      g.AddSimpleFactor(base + i, {{static_cast<VarId>(base + i + 1), false}},
+                        g.AddWeight(rng.Uniform(-0.8, 0.8), false));
+    }
+  }
+  for (VarId v = 0; v < 8; ++v) {
+    g.AddSimpleFactor(v, {}, g.AddWeight(rng.Uniform(-0.3, 0.3), false));
+  }
+  return g;
+}
+
+MaterializationOptions TestMaterialization() {
+  MaterializationOptions options;
+  options.num_samples = 8000;
+  options.gibbs_thin = 2;
+  options.gibbs_burn_in = 100;
+  options.variational.num_samples = 300;
+  options.variational.fit_epochs = 150;
+  options.variational.lambda = 0.05;
+  return options;
+}
+
+EngineOptions TestEngine() {
+  EngineOptions options;
+  options.mh_target_steps = 3000;
+  options.gibbs.burn_in_sweeps = 100;
+  options.gibbs.sample_sweeps = 1500;
+  return options;
+}
+
+TEST(IncrementalEngineTest, MaterializeProducesStatsAndMarginals) {
+  FactorGraph g = TwoComponentGraph(1);
+  IncrementalEngine engine(&g);
+  ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
+  const auto& stats = engine.materialization_stats();
+  EXPECT_EQ(stats.samples_collected, 8000u);
+  EXPECT_GT(stats.sample_bytes, 0u);
+  EXPECT_GT(stats.seconds, 0.0);
+  EXPECT_TRUE(engine.HasVariational());
+
+  auto exact = inference::ExactInference(g);
+  ASSERT_TRUE(exact.ok());
+  for (VarId v = 0; v < g.NumVariables(); ++v) {
+    EXPECT_NEAR(engine.marginals()[v], exact->marginals[v], 0.1);
+  }
+}
+
+TEST(IncrementalEngineTest, EmptyDeltaUsesSamplingWithFullAcceptance) {
+  FactorGraph g = TwoComponentGraph(2);
+  IncrementalEngine engine(&g);
+  ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
+  auto outcome = engine.ApplyDelta(GraphDelta{}, TestEngine());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->strategy, Strategy::kSampling);
+  EXPECT_DOUBLE_EQ(outcome->acceptance_rate, 1.0);
+  EXPECT_EQ(outcome->affected_vars, 0u);  // nothing touched
+}
+
+TEST(IncrementalEngineTest, StructuralDeltaMatchesExact) {
+  FactorGraph g = TwoComponentGraph(3);
+  IncrementalEngine engine(&g);
+  ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
+
+  GraphDelta delta;
+  delta.new_groups.push_back(
+      g.AddSimpleFactor(1, {{2, false}}, g.AddWeight(0.9, /*learnable=*/true)));
+  auto outcome = engine.ApplyDelta(delta, TestEngine());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->strategy, Strategy::kSampling);
+  // Only the first component is affected.
+  EXPECT_EQ(outcome->affected_vars, 4u);
+
+  auto exact = inference::ExactInference(g);
+  ASSERT_TRUE(exact.ok());
+  for (VarId v = 0; v < g.NumVariables(); ++v) {
+    EXPECT_NEAR(outcome->marginals[v], exact->marginals[v], 0.12) << "var " << v;
+  }
+}
+
+TEST(IncrementalEngineTest, EvidenceDeltaUsesVariational) {
+  FactorGraph g = TwoComponentGraph(4);
+  IncrementalEngine engine(&g);
+  ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
+
+  GraphDelta delta;
+  g.SetEvidence(0, true);
+  delta.evidence_changes.push_back({0, std::nullopt, true});
+  auto outcome = engine.ApplyDelta(delta, TestEngine());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->strategy, Strategy::kVariational);
+  EXPECT_DOUBLE_EQ(outcome->marginals[0], 1.0);
+
+  // Evidence on a strongly coupled chain must drag its neighbor in the
+  // right direction relative to the exact answer.
+  auto exact = inference::ExactInference(g);
+  ASSERT_TRUE(exact.ok());
+  for (VarId v = 0; v < 4; ++v) {
+    EXPECT_NEAR(outcome->marginals[v], exact->marginals[v], 0.2) << "var " << v;
+  }
+}
+
+TEST(IncrementalEngineTest, FallsBackToVariationalWhenSamplesExhausted) {
+  FactorGraph g = TwoComponentGraph(5);
+  IncrementalEngine engine(&g);
+  MaterializationOptions mopts = TestMaterialization();
+  mopts.num_samples = 20;  // tiny store
+  ASSERT_TRUE(engine.Materialize(mopts).ok());
+
+  GraphDelta delta;
+  // Large change: acceptance collapses, store drains immediately.
+  for (VarId v = 0; v < 4; ++v) {
+    delta.new_groups.push_back(g.AddSimpleFactor(v, {}, g.AddWeight(3.0, false)));
+  }
+  EngineOptions eopts = TestEngine();
+  eopts.mh_target_steps = 2000;
+  auto outcome = engine.ApplyDelta(delta, eopts);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->fell_back_to_variational ||
+              outcome->strategy == Strategy::kVariational);
+}
+
+TEST(IncrementalEngineTest, ForcedStrategyIsRespected) {
+  FactorGraph g = TwoComponentGraph(6);
+  IncrementalEngine engine(&g);
+  ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
+  EngineOptions eopts = TestEngine();
+  eopts.forced_strategy = Strategy::kRerun;
+  auto outcome = engine.ApplyDelta(GraphDelta{}, eopts);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->strategy, Strategy::kRerun);
+}
+
+TEST(IncrementalEngineTest, SuccessiveDeltasAccumulate) {
+  FactorGraph g = TwoComponentGraph(7);
+  IncrementalEngine engine(&g);
+  ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
+
+  GraphDelta d1;
+  d1.new_groups.push_back(
+      g.AddSimpleFactor(0, {}, g.AddWeight(0.5, /*learnable=*/true)));
+  ASSERT_TRUE(engine.ApplyDelta(d1, TestEngine()).ok());
+  GraphDelta d2;
+  d2.new_groups.push_back(
+      g.AddSimpleFactor(5, {}, g.AddWeight(-0.5, /*learnable=*/true)));
+  auto outcome = engine.ApplyDelta(d2, TestEngine());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(engine.cumulative_delta().new_groups.size(), 2u);
+  // Both components are now affected by the cumulative delta.
+  EXPECT_EQ(outcome->affected_vars, 8u);
+
+  auto exact = inference::ExactInference(g);
+  ASSERT_TRUE(exact.ok());
+  for (VarId v = 0; v < g.NumVariables(); ++v) {
+    EXPECT_NEAR(outcome->marginals[v], exact->marginals[v], 0.12) << "var " << v;
+  }
+}
+
+TEST(IncrementalEngineTest, DecompositionDisabledTouchesEverything) {
+  FactorGraph g = TwoComponentGraph(8);
+  IncrementalEngine engine(&g);
+  ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
+  GraphDelta delta;
+  delta.new_groups.push_back(
+      g.AddSimpleFactor(0, {}, g.AddWeight(0.3, /*learnable=*/true)));
+  EngineOptions eopts = TestEngine();
+  eopts.decomposition_enabled = false;
+  auto outcome = engine.ApplyDelta(delta, eopts);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->affected_vars, 8u);
+}
+
+TEST(IncrementalEngineTest, PerGroupStrategySplitsComponents) {
+  // Component 1 gets new evidence (variational bucket); component 2 gets a
+  // new feature factor (sampling bucket). Both sets of marginals must track
+  // the exact posterior of the combined update.
+  FactorGraph g = TwoComponentGraph(11);
+  IncrementalEngine engine(&g);
+  ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
+
+  GraphDelta delta;
+  g.SetEvidence(1, true);
+  delta.evidence_changes.push_back({1, std::nullopt, true});
+  delta.new_groups.push_back(
+      g.AddSimpleFactor(5, {{6, false}}, g.AddWeight(0.7, /*learnable=*/true)));
+
+  EngineOptions eopts = TestEngine();
+  eopts.per_group_strategy = true;
+  auto outcome = engine.ApplyDelta(delta, eopts);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->variational_vars, 4u);  // the evidence component
+  EXPECT_EQ(outcome->sampling_vars, 4u);     // the feature component
+  EXPECT_NE(outcome->reason.find("per-group"), std::string::npos);
+  EXPECT_DOUBLE_EQ(outcome->marginals[1], 1.0);
+
+  auto exact = inference::ExactInference(g);
+  ASSERT_TRUE(exact.ok());
+  for (VarId v = 4; v < 8; ++v) {
+    // The sampling component's marginals track exactly.
+    EXPECT_NEAR(outcome->marginals[v], exact->marginals[v], 0.12) << "var " << v;
+  }
+  for (VarId v = 0; v < 4; ++v) {
+    // The variational component approximates.
+    EXPECT_NEAR(outcome->marginals[v], exact->marginals[v], 0.2) << "var " << v;
+  }
+}
+
+TEST(IncrementalEngineTest, PerGroupDisabledFallsBackToGlobalChoice) {
+  FactorGraph g = TwoComponentGraph(12);
+  IncrementalEngine engine(&g);
+  ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
+  GraphDelta delta;
+  g.SetEvidence(0, false);
+  delta.evidence_changes.push_back({0, std::nullopt, false});
+  EngineOptions eopts = TestEngine();
+  eopts.per_group_strategy = false;
+  auto outcome = engine.ApplyDelta(delta, eopts);
+  ASSERT_TRUE(outcome.ok());
+  // Global classification: evidence modified -> variational for everything.
+  EXPECT_EQ(outcome->strategy, Strategy::kVariational);
+  EXPECT_EQ(outcome->sampling_vars, 0u);
+}
+
+TEST(IncrementalEngineTest, TimeBudgetLimitsSampleCollection) {
+  FactorGraph g = TwoComponentGraph(9);
+  IncrementalEngine engine(&g);
+  MaterializationOptions mopts = TestMaterialization();
+  mopts.num_samples = 100000000;  // absurd target
+  mopts.time_budget_seconds = 0.05;
+  ASSERT_TRUE(engine.Materialize(mopts).ok());
+  EXPECT_LT(engine.materialization_stats().samples_collected, 100000000u);
+  EXPECT_GT(engine.materialization_stats().samples_collected, 0u);
+}
+
+}  // namespace
+}  // namespace deepdive::incremental

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "factor/factor_graph.h"
+#include "factor/graph_delta.h"
+#include "factor/graph_io.h"
+#include "factor/semantics.h"
+
+namespace deepdive::factor {
+namespace {
+
+TEST(SemanticsTest, GCountValues) {
+  EXPECT_DOUBLE_EQ(GCount(Semantics::kLinear, 0), 0.0);
+  EXPECT_DOUBLE_EQ(GCount(Semantics::kLinear, 5), 5.0);
+  EXPECT_DOUBLE_EQ(GCount(Semantics::kRatio, 0), 0.0);
+  EXPECT_NEAR(GCount(Semantics::kRatio, 1), std::log(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(GCount(Semantics::kLogical, 0), 0.0);
+  EXPECT_DOUBLE_EQ(GCount(Semantics::kLogical, 1), 1.0);
+  EXPECT_DOUBLE_EQ(GCount(Semantics::kLogical, 100), 1.0);
+}
+
+TEST(SemanticsTest, Names) {
+  EXPECT_STREQ(SemanticsName(Semantics::kLinear), "linear");
+  EXPECT_STREQ(SemanticsName(Semantics::kRatio), "ratio");
+  EXPECT_STREQ(SemanticsName(Semantics::kLogical), "logical");
+}
+
+TEST(FactorGraphTest, AddVariablesAndEvidence) {
+  FactorGraph g;
+  const VarId a = g.AddVariable();
+  const VarId b = g.AddVariables(3);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(g.NumVariables(), 4u);
+  EXPECT_FALSE(g.IsEvidence(0));
+  g.SetEvidence(0, true);
+  EXPECT_TRUE(g.IsEvidence(0));
+  EXPECT_EQ(g.EvidenceValue(0), std::optional<bool>(true));
+  g.SetEvidence(0, std::nullopt);
+  EXPECT_FALSE(g.IsEvidence(0));
+}
+
+TEST(FactorGraphTest, TiedWeightsDeduplicate) {
+  FactorGraph g;
+  const WeightId w1 = g.GetOrCreateTiedWeight("FE1/and_his_wife");
+  const WeightId w2 = g.GetOrCreateTiedWeight("FE1/and_his_wife");
+  const WeightId w3 = g.GetOrCreateTiedWeight("FE1/other");
+  EXPECT_EQ(w1, w2);
+  EXPECT_NE(w1, w3);
+  EXPECT_TRUE(g.weight(w1).learnable);
+  EXPECT_EQ(g.weight(w1).description, "FE1/and_his_wife");
+}
+
+TEST(FactorGraphTest, GroupsAndClauses) {
+  FactorGraph g;
+  const VarId h = g.AddVariable();
+  const VarId b1 = g.AddVariable();
+  const VarId b2 = g.AddVariable();
+  const WeightId w = g.AddWeight(1.0, false, "test");
+  const GroupId grp = g.AddGroup(7, h, w, Semantics::kRatio);
+  g.AddClause(grp, {{b1, false}});
+  g.AddClause(grp, {{b1, false}, {b2, true}});
+  EXPECT_EQ(g.NumGroups(), 1u);
+  EXPECT_EQ(g.NumClauses(), 2u);
+  EXPECT_EQ(g.NumActiveClauses(), 2u);
+  EXPECT_EQ(g.group(grp).rule_id, 7u);
+  EXPECT_EQ(g.HeadGroups(h).size(), 1u);
+  EXPECT_EQ(g.BodyRefs(b1).size(), 2u);
+  EXPECT_EQ(g.BodyRefs(b2).size(), 1u);
+  EXPECT_TRUE(g.BodyRefs(b2)[0].negated);
+  EXPECT_EQ(g.GroupsForWeight(w).size(), 1u);
+}
+
+TEST(FactorGraphTest, SatisfiedClausesAndLogWeight) {
+  FactorGraph g;
+  const VarId h = g.AddVariable();
+  const VarId b = g.AddVariable();
+  const WeightId w = g.AddWeight(2.0, false);
+  const GroupId grp = g.AddGroup(0, h, w, Semantics::kLinear);
+  g.AddClause(grp, {{b, false}});
+  g.AddClause(grp, {});  // always satisfied
+
+  std::vector<bool> values = {true, false};
+  auto value_of = [&](VarId v) { return values[v]; };
+  EXPECT_EQ(g.SatisfiedClauses(grp, value_of), 1);
+  EXPECT_DOUBLE_EQ(g.GroupLogWeight(grp, value_of), 2.0 * 1.0 * 1.0);
+
+  values[1] = true;
+  EXPECT_EQ(g.SatisfiedClauses(grp, value_of), 2);
+  values[0] = false;
+  EXPECT_DOUBLE_EQ(g.GroupLogWeight(grp, value_of), 2.0 * -1.0 * 2.0);
+  EXPECT_DOUBLE_EQ(g.TotalLogWeight(value_of), -4.0);
+}
+
+TEST(FactorGraphTest, DeactivationRemovesContribution) {
+  FactorGraph g;
+  const VarId h = g.AddVariable();
+  const WeightId w = g.AddWeight(3.0, false);
+  const GroupId grp = g.AddSimpleFactor(h, {}, w);
+  auto value_of = [](VarId) { return true; };
+  EXPECT_DOUBLE_EQ(g.TotalLogWeight(value_of), 3.0);
+  g.DeactivateGroup(grp);
+  EXPECT_DOUBLE_EQ(g.TotalLogWeight(value_of), 0.0);
+  EXPECT_EQ(g.NumActiveClauses(), 0u);
+}
+
+TEST(FactorGraphTest, ClauseDeactivation) {
+  FactorGraph g;
+  const VarId h = g.AddVariable();
+  const WeightId w = g.AddWeight(1.0, false);
+  const GroupId grp = g.AddGroup(0, h, w, Semantics::kLinear);
+  g.AddClause(grp, {});
+  const ClauseId c2 = g.AddClause(grp, {});
+  auto value_of = [](VarId) { return true; };
+  EXPECT_EQ(g.SatisfiedClauses(grp, value_of), 2);
+  g.DeactivateClause(c2);
+  EXPECT_EQ(g.SatisfiedClauses(grp, value_of), 1);
+  EXPECT_EQ(g.NumActiveClauses(), 1u);
+}
+
+TEST(FactorGraphTest, FindActiveClause) {
+  FactorGraph g;
+  const VarId h = g.AddVariable();
+  const VarId b = g.AddVariable();
+  const WeightId w = g.AddWeight(1.0, false);
+  const GroupId grp = g.AddGroup(0, h, w, Semantics::kLinear);
+  const ClauseId c = g.AddClause(grp, {{b, false}});
+  EXPECT_EQ(g.FindActiveClause(grp, {{b, false}}), c);
+  EXPECT_EQ(g.FindActiveClause(grp, {{b, true}}), kNoClause);
+  g.DeactivateClause(c);
+  EXPECT_EQ(g.FindActiveClause(grp, {{b, false}}), kNoClause);
+}
+
+TEST(FactorGraphTest, Neighbors) {
+  FactorGraph g;
+  const VarId a = g.AddVariable();
+  const VarId b = g.AddVariable();
+  const VarId c = g.AddVariable();
+  const WeightId w = g.AddWeight(1.0, false);
+  g.AddSimpleFactor(a, {{b, false}}, w);
+  g.AddSimpleFactor(b, {{c, false}}, w);
+  EXPECT_EQ(g.Neighbors(a), (std::vector<VarId>{b}));
+  EXPECT_EQ(g.Neighbors(b), (std::vector<VarId>{a, c}));
+  EXPECT_EQ(g.Neighbors(c), (std::vector<VarId>{b}));
+}
+
+TEST(GraphDeltaTest, EmptyAndClassification) {
+  GraphDelta delta;
+  EXPECT_TRUE(delta.empty());
+  EXPECT_FALSE(delta.structure_changed());
+  delta.weight_changes.push_back({0, 0.0, 1.0});
+  EXPECT_FALSE(delta.structure_changed());
+  EXPECT_FALSE(delta.empty());
+  delta.new_groups.push_back(0);
+  EXPECT_TRUE(delta.structure_changed());
+  GraphDelta other;
+  other.evidence_changes.push_back({1, std::nullopt, true});
+  delta.Merge(other);
+  EXPECT_TRUE(delta.evidence_changed());
+}
+
+TEST(GraphDeltaTest, DeltaLogDensityRatioNewGroup) {
+  FactorGraph g;
+  const VarId a = g.AddVariable();
+  const WeightId w = g.AddWeight(1.5, false);
+  const GroupId grp = g.AddSimpleFactor(a, {}, w);
+  GraphDelta delta;
+  delta.new_groups.push_back(grp);
+  auto all_true = [](VarId) { return true; };
+  auto all_false = [](VarId) { return false; };
+  EXPECT_DOUBLE_EQ(DeltaLogDensityRatio(g, delta, all_true), 1.5);
+  EXPECT_DOUBLE_EQ(DeltaLogDensityRatio(g, delta, all_false), -1.5);
+}
+
+TEST(GraphDeltaTest, DeltaLogDensityRatioEvidenceConflict) {
+  FactorGraph g;
+  const VarId a = g.AddVariable();
+  g.SetEvidence(a, true);
+  GraphDelta delta;
+  delta.evidence_changes.push_back({a, std::nullopt, true});
+  auto violates = [](VarId) { return false; };
+  EXPECT_TRUE(std::isinf(DeltaLogDensityRatio(g, delta, violates)));
+  auto satisfies = [](VarId) { return true; };
+  EXPECT_DOUBLE_EQ(DeltaLogDensityRatio(g, delta, satisfies), 0.0);
+}
+
+TEST(GraphDeltaTest, DeltaLogDensityRatioModifiedGroup) {
+  FactorGraph g;
+  const VarId h = g.AddVariable();
+  const VarId b = g.AddVariable();
+  const WeightId w = g.AddWeight(2.0, false);
+  const GroupId grp = g.AddGroup(0, h, w, Semantics::kLinear);
+  const ClauseId c_old = g.AddClause(grp, {});
+  // Update: clause {b} added, empty clause removed.
+  const ClauseId c_new = g.AddClause(grp, {{b, false}});
+  g.DeactivateClause(c_old);
+  GraphDelta delta;
+  delta.modified_groups.push_back({grp, {c_new}, {c_old}});
+
+  // World: h=true, b=false. New n = 0, old n = 1. Ratio = 2*(0 - 1) = -2.
+  std::vector<bool> values = {true, false};
+  auto value_of = [&](VarId v) { return values[v]; };
+  EXPECT_DOUBLE_EQ(DeltaLogDensityRatio(g, delta, value_of), -2.0);
+
+  // World: h=true, b=true. New n = 1, old n = 1. Ratio = 0.
+  values[1] = true;
+  EXPECT_DOUBLE_EQ(DeltaLogDensityRatio(g, delta, value_of), 0.0);
+}
+
+TEST(GraphDeltaTest, DeltaLogDensityRatioWeightChange) {
+  FactorGraph g;
+  const VarId a = g.AddVariable();
+  const WeightId w = g.AddWeight(2.0, true);
+  g.AddSimpleFactor(a, {}, w);
+  GraphDelta delta;
+  delta.weight_changes.push_back({w, 0.5, 2.0});
+  auto all_true = [](VarId) { return true; };
+  EXPECT_DOUBLE_EQ(DeltaLogDensityRatio(g, delta, all_true), 1.5);
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  FactorGraph g;
+  const VarId a = g.AddVariable();
+  const VarId b = g.AddVariable();
+  g.SetEvidence(b, false);
+  const WeightId w1 = g.AddWeight(0.5, true, "w1");
+  const WeightId w2 = g.GetOrCreateTiedWeight("FE1/x");
+  const GroupId g1 = g.AddGroup(1, a, w1, Semantics::kRatio);
+  g.AddClause(g1, {{b, true}});
+  const GroupId g2 = g.AddGroup(2, b, w2, Semantics::kLogical);
+  const ClauseId c = g.AddClause(g2, {{a, false}});
+  g.DeactivateClause(c);
+  g.DeactivateGroup(g2);
+
+  const std::string path = ::testing::TempDir() + "/graph_roundtrip.bin";
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(GraphsEqual(g, *loaded));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs("not a graph", f);
+  fclose(f);
+  EXPECT_FALSE(LoadGraph(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadGraph("/nonexistent/path.bin").ok());
+}
+
+}  // namespace
+}  // namespace deepdive::factor

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "dsl/program.h"
+#include "grounding/grounder.h"
+#include "storage/database.h"
+
+namespace deepdive::grounding {
+namespace {
+
+constexpr char kSpouseProgram[] = R"(
+  relation Person(s: int, m: int).
+  relation Feature(m1: int, m2: int, f: string).
+  query relation HasSpouse(m1: int, m2: int).
+  evidence HasSpouseEv(m1: int, m2: int, l: bool) for HasSpouse.
+  rule CAND: HasSpouse(m1, m2) :- Person(s, m1), Person(s, m2), m1 != m2.
+  factor FE: HasSpouse(m1, m2) :- Feature(m1, m2, f) weight = w(f) semantics = ratio.
+  factor SYM: HasSpouse(m2, m1) :- HasSpouse(m1, m2) weight = 0.5.
+)";
+
+struct Fixture {
+  dsl::Program program;
+  Database db;
+
+  Fixture() {
+    auto p = dsl::CompileProgram(kSpouseProgram);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    program = std::move(p).value();
+    EXPECT_TRUE(program.InstantiateSchema(&db).ok());
+  }
+
+  void LoadScenario() {
+    // Sentence 1 mentions 10, 11; sentence 2 mentions 11, 12.
+    Table* person = db.GetTable("Person");
+    ASSERT_TRUE(person->Insert({Value(1), Value(10)}).ok());
+    ASSERT_TRUE(person->Insert({Value(1), Value(11)}).ok());
+    ASSERT_TRUE(person->Insert({Value(2), Value(11)}).ok());
+    ASSERT_TRUE(person->Insert({Value(2), Value(12)}).ok());
+    // Candidates (the CAND rule would produce these; grounding reads the
+    // query table, so materialize them here as the view layer would).
+    Table* spouse = db.GetTable("HasSpouse");
+    for (auto [a, b] : {std::pair{10, 11}, {11, 10}, {11, 12}, {12, 11}}) {
+      ASSERT_TRUE(spouse->Insert({Value(a), Value(b)}).ok());
+    }
+    Table* feature = db.GetTable("Feature");
+    ASSERT_TRUE(feature->Insert({Value(10), Value(11), Value("and_his_wife")}).ok());
+    ASSERT_TRUE(feature->Insert({Value(11), Value(12), Value("met_with")}).ok());
+    ASSERT_TRUE(feature->Insert({Value(11), Value(10), Value("and_his_wife")}).ok());
+    // Evidence: (10, 11) is a positive example.
+    ASSERT_TRUE(
+        db.GetTable("HasSpouseEv")->Insert({Value(10), Value(11), Value(true)}).ok());
+  }
+};
+
+TEST(GrounderTest, VariablesCreatedPerQueryTuple) {
+  Fixture f;
+  f.LoadScenario();
+  auto ground = GroundProgram(f.program, &f.db);
+  ASSERT_TRUE(ground.ok()) << ground.status().ToString();
+  EXPECT_EQ(ground->graph.NumVariables(), 4u);
+  EXPECT_NE(ground->FindVariable("HasSpouse", {Value(10), Value(11)}), factor::kNoVar);
+  EXPECT_EQ(ground->FindVariable("HasSpouse", {Value(99), Value(1)}), factor::kNoVar);
+  EXPECT_EQ(ground->VariablesOf("HasSpouse").size(), 4u);
+}
+
+TEST(GrounderTest, EvidenceApplied) {
+  Fixture f;
+  f.LoadScenario();
+  auto ground = GroundProgram(f.program, &f.db);
+  ASSERT_TRUE(ground.ok());
+  const factor::VarId v = ground->FindVariable("HasSpouse", {Value(10), Value(11)});
+  EXPECT_EQ(ground->graph.EvidenceValue(v), std::optional<bool>(true));
+  const factor::VarId u = ground->FindVariable("HasSpouse", {Value(11), Value(12)});
+  EXPECT_FALSE(ground->graph.IsEvidence(u));
+}
+
+TEST(GrounderTest, TiedWeightsSharedAcrossGroundings) {
+  Fixture f;
+  f.LoadScenario();
+  auto ground = GroundProgram(f.program, &f.db);
+  ASSERT_TRUE(ground.ok());
+  // Both "and_his_wife" groundings must use the same weight; "met_with"
+  // gets its own. Plus the fixed SYM weight.
+  size_t learnable = 0;
+  for (factor::WeightId w = 0; w < ground->graph.NumWeights(); ++w) {
+    if (ground->graph.weight(w).learnable) ++learnable;
+  }
+  EXPECT_EQ(learnable, 2u);  // w(and_his_wife), w(met_with)
+}
+
+TEST(GrounderTest, SymmetryRuleCreatesBodyLiterals) {
+  Fixture f;
+  f.LoadScenario();
+  auto ground = GroundProgram(f.program, &f.db);
+  ASSERT_TRUE(ground.ok());
+  const factor::VarId v_ab = ground->FindVariable("HasSpouse", {Value(10), Value(11)});
+  const factor::VarId v_ba = ground->FindVariable("HasSpouse", {Value(11), Value(10)});
+  // SYM gives v_ab a head group whose clause contains v_ba, and vice versa.
+  bool found = false;
+  for (factor::GroupId g : ground->graph.HeadGroups(v_ba)) {
+    for (factor::ClauseId c : ground->graph.group(g).clauses) {
+      for (const factor::Literal& lit : ground->graph.clause(c).literals) {
+        found |= lit.var == v_ab;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GrounderTest, GroupCountsMatchExpectation) {
+  Fixture f;
+  f.LoadScenario();
+  auto ground = GroundProgram(f.program, &f.db);
+  ASSERT_TRUE(ground.ok());
+  // FE: 3 feature rows -> 3 groups (distinct (head, weight) pairs).
+  // SYM: 4 candidate orderings -> 4 groups.
+  EXPECT_EQ(ground->graph.NumGroups(), 7u);
+  EXPECT_EQ(ground->graph.NumActiveClauses(), 7u);
+}
+
+TEST(GrounderTest, EmptyDatabaseGroundsEmptyGraph) {
+  Fixture f;
+  auto ground = GroundProgram(f.program, &f.db);
+  ASSERT_TRUE(ground.ok());
+  EXPECT_EQ(ground->graph.NumVariables(), 0u);
+  EXPECT_EQ(ground->graph.NumGroups(), 0u);
+}
+
+TEST(GrounderTest, DeterministicAcrossRuns) {
+  Fixture f1, f2;
+  f1.LoadScenario();
+  f2.LoadScenario();
+  auto g1 = GroundProgram(f1.program, &f1.db);
+  auto g2 = GroundProgram(f2.program, &f2.db);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g1->graph.NumVariables(), g2->graph.NumVariables());
+  EXPECT_EQ(g1->graph.NumGroups(), g2->graph.NumGroups());
+  EXPECT_EQ(g1->graph.NumClauses(), g2->graph.NumClauses());
+  EXPECT_EQ(g1->var_index, g2->var_index);
+}
+
+}  // namespace
+}  // namespace deepdive::grounding

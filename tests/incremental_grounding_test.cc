@@ -1,0 +1,229 @@
+// Property tests: incremental grounding after arbitrary update sequences
+// yields the same *distribution* (per-tuple exact marginals) as grounding
+// the final state from scratch — for data insertions, deletions, evidence
+// changes, and rule additions/removals.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "dsl/program.h"
+#include "util/hash.h"
+#include "engine/view_maintenance.h"
+#include "grounding/grounder.h"
+#include "grounding/incremental_grounder.h"
+#include "inference/exact.h"
+#include "storage/database.h"
+#include "util/random.h"
+
+namespace deepdive::grounding {
+namespace {
+
+constexpr char kProgram[] = R"(
+  relation Person(s: int, m: int).
+  relation Feature(m1: int, m2: int, f: string).
+  query relation HasSpouse(m1: int, m2: int).
+  evidence HasSpouseEv(m1: int, m2: int, l: bool) for HasSpouse.
+  rule CAND: HasSpouse(m1, m2) :- Person(s, m1), Person(s, m2), m1 != m2.
+  factor FE: HasSpouse(m1, m2) :- Feature(m1, m2, f) weight = w(f) semantics = ratio.
+  factor SYM: HasSpouse(m2, m1) :- HasSpouse(m1, m2) weight = 0.4.
+)";
+
+struct System {
+  dsl::Program program;
+  Database db;
+  std::unique_ptr<engine::ViewMaintainer> vm;
+  GroundGraph ground;
+  std::unique_ptr<IncrementalGrounder> grounder;
+
+  System() {
+    auto p = dsl::CompileProgram(kProgram);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    program = std::move(p).value();
+    EXPECT_TRUE(program.InstantiateSchema(&db).ok());
+  }
+
+  void Start() {
+    vm = std::make_unique<engine::ViewMaintainer>(&program, &db);
+    ASSERT_TRUE(vm->Initialize().ok());
+    grounder = std::make_unique<IncrementalGrounder>(&program, &db, &ground);
+    ASSERT_TRUE(grounder->Initialize().ok());
+    // Grounding weights: give tied weights deterministic nonzero values so
+    // marginals are sensitive to the feature structure.
+    ASSERT_TRUE(grounder->GroundAll().ok());
+    for (factor::WeightId w = 0; w < ground.graph.NumWeights(); ++w) {
+      if (ground.graph.weight(w).learnable) {
+        ground.graph.SetWeightValue(w, WeightFor(ground.graph.weight(w).description));
+      }
+    }
+  }
+
+  static double WeightFor(const std::string& description) {
+    // Deterministic pseudo-weight from the tied-weight key, in [-1, 1].
+    return static_cast<double>(HashString(description) % 2000) / 1000.0 - 1.0;
+  }
+
+  StatusOr<factor::GraphDelta> Apply(const engine::RelationDeltas& external) {
+    DD_ASSIGN_OR_RETURN(engine::RelationDeltas set_deltas, vm->ApplyUpdate(external));
+    DD_ASSIGN_OR_RETURN(factor::GraphDelta delta,
+                        grounder->ApplyRelationDeltas(set_deltas));
+    // New tied weights also get deterministic values.
+    for (factor::WeightId w = 0; w < ground.graph.NumWeights(); ++w) {
+      if (ground.graph.weight(w).learnable && ground.graph.WeightValue(w) == 0.0) {
+        ground.graph.SetWeightValue(w, WeightFor(ground.graph.weight(w).description));
+      }
+    }
+    return delta;
+  }
+
+  /// Exact marginal per HasSpouse tuple.
+  std::map<std::string, double> TupleMarginals() {
+    auto exact = inference::ExactInference(ground.graph, 24);
+    EXPECT_TRUE(exact.ok()) << exact.status().ToString();
+    std::map<std::string, double> out;
+    for (const auto& [tuple, var] : ground.var_index["HasSpouse"]) {
+      // Tuples whose variable became isolated (all groundings retracted and
+      // not in the table) are skipped — they are not part of the output KB.
+      if (db.GetTable("HasSpouse")->Contains(tuple)) {
+        out[TupleToString(tuple)] = exact->marginals[var];
+      }
+    }
+    return out;
+  }
+};
+
+class IncrementalGroundingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalGroundingProperty, MatchesFromScratchDistribution) {
+  Rng rng(GetParam());
+
+  System inc;
+  // Small random initial state.
+  std::set<std::pair<int64_t, int64_t>> persons;  // (sentence, mention)
+  std::set<std::tuple<int64_t, int64_t, std::string>> features;
+  std::set<std::tuple<int64_t, int64_t, bool>> evidence;
+  const std::vector<std::string> feature_names = {"fa", "fb"};
+
+  for (int i = 0; i < 4; ++i) {
+    persons.insert({static_cast<int64_t>(rng.UniformInt(2)),
+                    static_cast<int64_t>(rng.UniformInt(4))});
+  }
+  for (const auto& [s, m] : persons) {
+    ASSERT_TRUE(inc.db.GetTable("Person")->Insert({Value(s), Value(m)}).ok());
+  }
+  inc.Start();
+
+  // Random update sequence over persons, features, and evidence.
+  for (int step = 0; step < 5; ++step) {
+    engine::RelationDeltas external;
+    for (int i = 0; i < 2; ++i) {
+      const int64_t s = static_cast<int64_t>(rng.UniformInt(2));
+      const int64_t m = static_cast<int64_t>(rng.UniformInt(4));
+      if (persons.count({s, m})) {
+        if (rng.Bernoulli(0.35)) {
+          external["Person"].Add({Value(s), Value(m)}, -1);
+          persons.erase({s, m});
+        }
+      } else {
+        external["Person"].Add({Value(s), Value(m)}, 1);
+        persons.insert({s, m});
+      }
+    }
+    {
+      const int64_t m1 = static_cast<int64_t>(rng.UniformInt(4));
+      const int64_t m2 = static_cast<int64_t>(rng.UniformInt(4));
+      const std::string& f = feature_names[rng.UniformInt(feature_names.size())];
+      if (!features.count({m1, m2, f})) {
+        external["Feature"].Add({Value(m1), Value(m2), Value(f)}, 1);
+        features.insert({m1, m2, f});
+      }
+    }
+    if (rng.Bernoulli(0.5)) {
+      const int64_t m1 = static_cast<int64_t>(rng.UniformInt(4));
+      const int64_t m2 = static_cast<int64_t>(rng.UniformInt(4));
+      const bool label = rng.Bernoulli(0.5);
+      if (!evidence.count({m1, m2, label})) {
+        external["HasSpouseEv"].Add({Value(m1), Value(m2), Value(label)}, 1);
+        evidence.insert({m1, m2, label});
+      }
+    }
+    ASSERT_TRUE(inc.Apply(external).ok());
+  }
+
+  // From-scratch system over the final base state.
+  System scratch;
+  for (const auto& [s, m] : persons) {
+    ASSERT_TRUE(scratch.db.GetTable("Person")->Insert({Value(s), Value(m)}).ok());
+  }
+  for (const auto& [m1, m2, f] : features) {
+    ASSERT_TRUE(
+        scratch.db.GetTable("Feature")->Insert({Value(m1), Value(m2), Value(f)}).ok());
+  }
+  for (const auto& [m1, m2, l] : evidence) {
+    ASSERT_TRUE(
+        scratch.db.GetTable("HasSpouseEv")->Insert({Value(m1), Value(m2), Value(l)}).ok());
+  }
+  scratch.Start();
+
+  auto inc_marginals = inc.TupleMarginals();
+  auto scratch_marginals = scratch.TupleMarginals();
+  ASSERT_EQ(inc_marginals.size(), scratch_marginals.size()) << "seed " << GetParam();
+  for (const auto& [tuple, p] : scratch_marginals) {
+    ASSERT_TRUE(inc_marginals.count(tuple)) << tuple << " seed " << GetParam();
+    EXPECT_NEAR(inc_marginals[tuple], p, 1e-9) << tuple << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, IncrementalGroundingProperty,
+                         ::testing::Values(41, 42, 43, 44, 45, 46, 47, 48));
+
+TEST(IncrementalGrounderTest, AddAndRemoveFactorRule) {
+  System sys;
+  ASSERT_TRUE(sys.db.GetTable("Person")->Insert({Value(1), Value(10)}).ok());
+  ASSERT_TRUE(sys.db.GetTable("Person")->Insert({Value(1), Value(11)}).ok());
+  sys.Start();
+  const size_t groups_before = sys.ground.graph.NumGroups();
+
+  auto fragment = dsl::AnalyzeFragment(sys.program, R"(
+    factor PRIOR: HasSpouse(m1, m2) :- Person(s, m1), Person(s, m2), m1 != m2
+      weight = -0.7 semantics = logical.
+  )");
+  ASSERT_TRUE(fragment.ok()) << fragment.status().ToString();
+  auto delta = sys.grounder->AddFactorRule(fragment->factor_rules()[0]);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  EXPECT_GT(sys.ground.graph.NumGroups(), groups_before);
+  EXPECT_FALSE(delta->new_groups.empty());
+
+  auto removal = sys.grounder->RemoveFactorRule("PRIOR");
+  ASSERT_TRUE(removal.ok());
+  EXPECT_EQ(removal->removed_groups.size(), delta->new_groups.size());
+  for (factor::GroupId g : removal->removed_groups) {
+    EXPECT_FALSE(sys.ground.graph.group(g).active);
+  }
+  EXPECT_FALSE(sys.grounder->RemoveFactorRule("PRIOR").ok());
+}
+
+TEST(IncrementalGrounderTest, EvidenceRetractionClearsLabel) {
+  System sys;
+  ASSERT_TRUE(sys.db.GetTable("Person")->Insert({Value(1), Value(10)}).ok());
+  ASSERT_TRUE(sys.db.GetTable("Person")->Insert({Value(1), Value(11)}).ok());
+  sys.Start();
+
+  engine::RelationDeltas add;
+  add["HasSpouseEv"].Add({Value(10), Value(11), Value(true)}, 1);
+  auto d1 = sys.Apply(add);
+  ASSERT_TRUE(d1.ok());
+  const factor::VarId v = sys.ground.FindVariable("HasSpouse", {Value(10), Value(11)});
+  EXPECT_EQ(sys.ground.graph.EvidenceValue(v), std::optional<bool>(true));
+  ASSERT_EQ(d1->evidence_changes.size(), 1u);
+
+  engine::RelationDeltas remove;
+  remove["HasSpouseEv"].Add({Value(10), Value(11), Value(true)}, -1);
+  auto d2 = sys.Apply(remove);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_FALSE(sys.ground.graph.IsEvidence(v));
+}
+
+}  // namespace
+}  // namespace deepdive::grounding

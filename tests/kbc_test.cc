@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kbc/candidates.h"
+#include "kbc/corpus.h"
+#include "kbc/drift.h"
+#include "kbc/features.h"
+#include "kbc/metrics.h"
+#include "kbc/nlp.h"
+#include "kbc/supervision.h"
+
+namespace deepdive::kbc {
+namespace {
+
+TEST(CorpusTest, ProfilesCoverAllSystems) {
+  const auto profiles = AllProfiles();
+  ASSERT_EQ(profiles.size(), 5u);
+  EXPECT_EQ(profiles[0].name, "Adversarial");
+  EXPECT_EQ(profiles[1].name, "News");
+  EXPECT_EQ(profiles[4].name, "Paleontology");
+  // Paper statistics recorded.
+  EXPECT_EQ(profiles[1].paper_docs, 1'800'000u);
+  EXPECT_EQ(profiles[1].paper_relations, 34u);
+}
+
+TEST(CorpusTest, DeterministicForSeed) {
+  const SystemProfile profile = ProfileFor(SystemKind::kNews);
+  Corpus a = GenerateCorpus(profile, 5);
+  Corpus b = GenerateCorpus(profile, 5);
+  ASSERT_EQ(a.sentences.size(), b.sentences.size());
+  for (size_t i = 0; i < a.sentences.size(); ++i) {
+    EXPECT_EQ(a.sentences[i].content, b.sentences[i].content);
+  }
+  EXPECT_EQ(a.true_pairs, b.true_pairs);
+  EXPECT_EQ(a.known_pairs, b.known_pairs);
+}
+
+TEST(CorpusTest, SizesMatchProfile) {
+  SystemProfile profile = ProfileFor(SystemKind::kGenomics);
+  Corpus corpus = GenerateCorpus(profile, 7);
+  EXPECT_EQ(corpus.sentences.size(), profile.num_documents * profile.sentences_per_doc);
+  EXPECT_EQ(corpus.true_pairs.size(), profile.num_true_pairs);
+  EXPECT_EQ(corpus.negative_pairs.size(), profile.num_negative_pairs);
+  EXPECT_LE(corpus.known_pairs.size(), corpus.true_pairs.size());
+  EXPECT_GT(corpus.known_pairs.size(), 0u);
+}
+
+TEST(CorpusTest, NegativePairsDisjointFromTruePairs) {
+  Corpus corpus = GenerateCorpus(ProfileFor(SystemKind::kPharma), 9);
+  for (const auto& p : corpus.negative_pairs) {
+    EXPECT_EQ(corpus.true_pairs.count(p), 0u);
+  }
+}
+
+TEST(CorpusTest, CleanProfilesHaveMoreFaithfulSentences) {
+  auto fidelity = [](SystemKind kind) {
+    Corpus c = GenerateCorpus(ProfileFor(kind), 11);
+    size_t faithful = 0, relation_sentences = 0;
+    for (const auto& s : c.sentences) {
+      if (!s.expresses_relation) continue;
+      ++relation_sentences;
+      if (s.content.find("and_his_wife") != std::string::npos) ++faithful;
+    }
+    return relation_sentences == 0
+               ? 0.0
+               : static_cast<double>(faithful) / relation_sentences;
+  };
+  EXPECT_GT(fidelity(SystemKind::kPaleontology), fidelity(SystemKind::kNews));
+}
+
+TEST(NlpTest, TokenizeAndMentions) {
+  const auto tokens = TokenizeSentence("PERSON_3 and his wife PERSON_17 .");
+  ASSERT_EQ(tokens.size(), 6u);
+  const auto mentions = ExtractPersonMentions(tokens);
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(mentions[0].surface_entity, 3);
+  EXPECT_EQ(mentions[0].token_index, 0u);
+  EXPECT_EQ(mentions[1].surface_entity, 17);
+}
+
+TEST(NlpTest, ParsePersonTokenRejectsJunk) {
+  EXPECT_FALSE(ParsePersonToken("PERSON_").has_value());
+  EXPECT_FALSE(ParsePersonToken("PERSON_x").has_value());
+  EXPECT_FALSE(ParsePersonToken("ORG_3").has_value());
+  EXPECT_EQ(ParsePersonToken("PERSON_42"), std::optional<int64_t>(42));
+}
+
+TEST(NlpTest, PhraseBetween) {
+  const std::vector<std::string> tokens = {"A", "and", "his", "wife", "B"};
+  EXPECT_EQ(PhraseBetween(tokens, 0, 4), "and_his_wife");
+  EXPECT_EQ(PhraseBetween(tokens, 4, 0), "and_his_wife");  // order-insensitive
+  EXPECT_EQ(PhraseBetween(tokens, 0, 1), "");
+}
+
+TEST(CandidatesTest, MentionsAndLinks) {
+  Corpus corpus = GenerateCorpus(ProfileFor(SystemKind::kPaleontology), 13);
+  CandidateRows rows = GenerateCandidates(corpus, 17);
+  // Two mentions per sentence.
+  EXPECT_EQ(rows.person_candidates.size(), 2 * corpus.sentences.size());
+  EXPECT_EQ(rows.entity_links.size(), rows.person_candidates.size());
+  EXPECT_EQ(rows.sentences.size(), corpus.sentences.size());
+
+  // With a 98%-accurate linker, most links are correct.
+  size_t correct = 0;
+  for (size_t i = 0; i < rows.entity_links.size(); ++i) {
+    const int64_t mention = rows.entity_links[i][0].AsInt();
+    const int64_t entity = rows.entity_links[i][1].AsInt();
+    const int64_t sent = mention / kMentionStride;
+    const auto& rec = corpus.sentences[static_cast<size_t>(sent)];
+    if (entity == rec.entity1 || entity == rec.entity2) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / rows.entity_links.size(), 0.9);
+}
+
+TEST(FeaturesTest, ShallowAndDeepPerOrderedPair) {
+  Corpus corpus = GenerateCorpus(ProfileFor(SystemKind::kGenomics), 19);
+  FeatureRows rows = ExtractFeatures(corpus);
+  // Each sentence has 2 mentions -> 2 ordered pairs, both with a phrase.
+  EXPECT_EQ(rows.shallow.size(), 2 * corpus.sentences.size());
+  EXPECT_EQ(rows.deep.size(), rows.shallow.size());
+  // Deep features carry direction prefixes.
+  bool fwd = false, rev = false;
+  for (const Tuple& t : rows.deep) {
+    const std::string& f = t[3].AsString();
+    fwd |= f.rfind("fwd:", 0) == 0;
+    rev |= f.rfind("rev:", 0) == 0;
+  }
+  EXPECT_TRUE(fwd);
+  EXPECT_TRUE(rev);
+}
+
+TEST(SupervisionTest, KbRowsBothOrientations) {
+  Corpus corpus = GenerateCorpus(ProfileFor(SystemKind::kAdversarial), 23);
+  KnowledgeBaseRows rows = BuildKnowledgeBase(corpus);
+  EXPECT_EQ(rows.known_positive.size(), 2 * corpus.known_pairs.size());
+  EXPECT_EQ(rows.known_negative.size(), 2 * corpus.negative_pairs.size());
+}
+
+TEST(MetricsTest, PrecisionRecallF1) {
+  const std::vector<bool> predicted = {true, true, false, false, true};
+  const std::vector<bool> actual = {true, false, true, false, true};
+  const PrecisionRecall pr = ComputePrecisionRecall(predicted, actual);
+  EXPECT_EQ(pr.true_positives, 2u);
+  EXPECT_EQ(pr.false_positives, 1u);
+  EXPECT_EQ(pr.false_negatives, 1u);
+  EXPECT_NEAR(pr.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pr.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pr.f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, EmptyPredictionsHaveZeroF1) {
+  const PrecisionRecall pr =
+      ComputePrecisionRecall({false, false}, {true, false});
+  EXPECT_EQ(pr.f1, 0.0);
+}
+
+TEST(MetricsTest, CalibrationCurveBuckets) {
+  std::vector<double> probs = {0.05, 0.95, 0.92, 0.88};
+  std::vector<bool> actual = {false, true, true, false};
+  auto curve = CalibrationCurve(probs, actual, 10);
+  ASSERT_EQ(curve.size(), 10u);
+  EXPECT_EQ(curve[0].count, 1u);
+  EXPECT_EQ(curve[9].count, 2u);
+  EXPECT_DOUBLE_EQ(curve[9].empirical_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(curve[8].empirical_accuracy, 0.0);
+}
+
+TEST(MetricsTest, KlAndAgreement) {
+  const std::vector<double> p = {0.9, 0.1, 0.5};
+  EXPECT_DOUBLE_EQ(MeanSymmetricKL(p, p), 0.0);
+  EXPECT_GT(MeanSymmetricKL(p, {0.1, 0.9, 0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(FractionDiffering(p, {0.9, 0.1, 0.4}, 0.05), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(HighConfidenceAgreement({0.95, 0.91, 0.2}, {0.92, 0.5, 0.99}, 0.9),
+                   0.5);
+}
+
+TEST(DriftTest, StreamShiftsDistribution) {
+  DriftOptions options;
+  options.num_docs = 300;
+  const auto docs = GenerateDriftStream(options);
+  ASSERT_EQ(docs.size(), 300u);
+  for (const auto& d : docs) EXPECT_FALSE(d.tokens.empty());
+}
+
+TEST(DriftTest, ModelLabelsTrainPrefixOnly) {
+  DriftOptions options;
+  options.num_docs = 100;
+  const auto docs = GenerateDriftStream(options);
+  DriftModel model = BuildDriftModel(docs, 0.3);
+  EXPECT_EQ(model.train_count, 30u);
+  EXPECT_TRUE(model.graph.IsEvidence(model.doc_vars[0]));
+  EXPECT_FALSE(model.graph.IsEvidence(model.doc_vars[50]));
+  ExtendTraining(&model, 0.6);
+  EXPECT_TRUE(model.graph.IsEvidence(model.doc_vars[50]));
+}
+
+TEST(DriftTest, TestLossFiniteAndUntrainedIsChance) {
+  DriftOptions options;
+  options.num_docs = 100;
+  const auto docs = GenerateDriftStream(options);
+  DriftModel model = BuildDriftModel(docs, 0.3);
+  const double loss = TestLoss(model);
+  // All weights zero: loss = ln 2 per document.
+  EXPECT_NEAR(loss, std::log(2.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace deepdive::kbc

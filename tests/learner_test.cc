@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "factor/factor_graph.h"
+#include "inference/learner.h"
+#include "util/random.h"
+
+namespace deepdive::inference {
+namespace {
+
+using factor::FactorGraph;
+using factor::Semantics;
+using factor::VarId;
+using factor::WeightId;
+
+/// Builds a logistic-regression-style graph (Example 2.6): objects with two
+/// features; feature "pos" implies the class, feature "neg" implies not.
+/// All objects are labeled (evidence) so the learner must recover weights
+/// with the right signs.
+struct PlantedModel {
+  FactorGraph graph;
+  WeightId w_pos = 0;
+  WeightId w_neg = 0;
+  std::vector<VarId> vars;
+};
+
+PlantedModel BuildPlanted(size_t objects, uint64_t seed) {
+  PlantedModel m;
+  Rng rng(seed);
+  m.w_pos = m.graph.GetOrCreateTiedWeight("f/pos");
+  m.w_neg = m.graph.GetOrCreateTiedWeight("f/neg");
+  for (size_t i = 0; i < objects; ++i) {
+    const VarId v = m.graph.AddVariable();
+    m.vars.push_back(v);
+    const bool label = rng.Bernoulli(0.5);
+    // Feature assignment correlates deterministically with the label.
+    m.graph.AddSimpleFactor(v, {}, label ? m.w_pos : m.w_neg, Semantics::kLinear);
+    m.graph.SetEvidence(v, label);
+  }
+  return m;
+}
+
+TEST(LearnerTest, RecoversPlantedSigns) {
+  PlantedModel m = BuildPlanted(60, 3);
+  Learner learner(&m.graph);
+  LearnerOptions options;
+  options.epochs = 80;
+  options.learning_rate = 0.2;
+  options.seed = 5;
+  options.warmstart = false;
+  const LearnStats stats = learner.Learn(options);
+  EXPECT_GT(m.graph.WeightValue(m.w_pos), 0.5);
+  EXPECT_LT(m.graph.WeightValue(m.w_neg), -0.5);
+  EXPECT_LT(stats.final_loss, stats.initial_loss);
+}
+
+TEST(LearnerTest, LossDecreasesOverEpochs) {
+  PlantedModel m = BuildPlanted(60, 7);
+  Learner learner(&m.graph);
+  LearnerOptions options;
+  options.epochs = 60;
+  options.warmstart = false;
+  options.seed = 11;
+  const LearnStats stats = learner.Learn(options);
+  ASSERT_EQ(stats.epochs_run, 60u);
+  // Compare early-epoch loss to late-epoch loss (allowing SGD noise; on
+  // separable data both can converge to ~0 within the first epochs).
+  double early = 0, late = 0;
+  for (size_t i = 0; i < 5; ++i) early += stats.epoch_losses[i];
+  for (size_t i = 55; i < 60; ++i) late += stats.epoch_losses[i];
+  EXPECT_LE(late, early + 1e-6);
+  EXPECT_LT(stats.final_loss, stats.initial_loss);
+}
+
+TEST(LearnerTest, NonLearnableWeightsUntouched) {
+  PlantedModel m = BuildPlanted(20, 9);
+  const WeightId fixed = m.graph.AddWeight(2.5, /*learnable=*/false, "fixed");
+  m.graph.AddSimpleFactor(m.vars[0], {}, fixed);
+  Learner learner(&m.graph);
+  LearnerOptions options;
+  options.epochs = 10;
+  learner.Learn(options);
+  EXPECT_DOUBLE_EQ(m.graph.WeightValue(fixed), 2.5);
+}
+
+TEST(LearnerTest, ColdStartResetsWeights) {
+  PlantedModel m = BuildPlanted(20, 13);
+  m.graph.SetWeightValue(m.w_pos, 99.0);
+  Learner learner(&m.graph);
+  LearnerOptions options;
+  options.epochs = 0;  // reset only, no training
+  options.warmstart = false;
+  learner.Learn(options);
+  EXPECT_DOUBLE_EQ(m.graph.WeightValue(m.w_pos), 0.0);
+}
+
+TEST(LearnerTest, WarmstartStartsFromLowerLoss) {
+  // Train a model, then "re-learn" with warmstart vs cold start: the
+  // warmstarted run must begin at (much) lower loss (Appendix B.3).
+  PlantedModel m = BuildPlanted(60, 17);
+  Learner learner(&m.graph);
+  LearnerOptions train;
+  train.epochs = 80;
+  train.warmstart = false;
+  train.seed = 19;
+  learner.Learn(train);
+  const double trained_loss = learner.EvidenceLoss();
+
+  LearnerOptions warm;
+  warm.epochs = 0;
+  warm.warmstart = true;
+  const LearnStats warm_stats = learner.Learn(warm);
+  EXPECT_DOUBLE_EQ(warm_stats.initial_loss, trained_loss);
+
+  LearnerOptions cold;
+  cold.epochs = 0;
+  cold.warmstart = false;
+  const LearnStats cold_stats = learner.Learn(cold);
+  EXPECT_GT(cold_stats.initial_loss, trained_loss);
+}
+
+TEST(LearnerTest, GradientStyleAveragingAlsoLearns) {
+  PlantedModel m = BuildPlanted(40, 23);
+  Learner learner(&m.graph);
+  LearnerOptions options;
+  options.epochs = 25;
+  options.sweeps_per_epoch = 5;  // GD-style averaged gradient
+  options.warmstart = false;
+  options.seed = 29;
+  const LearnStats stats = learner.Learn(options);
+  EXPECT_LT(stats.final_loss, stats.initial_loss);
+  EXPECT_GT(m.graph.WeightValue(m.w_pos), 0.0);
+}
+
+}  // namespace
+}  // namespace deepdive::inference

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "factor/factor_graph.h"
+#include "incremental/mh_sampler.h"
+#include "incremental/sample_store.h"
+#include "inference/exact.h"
+#include "inference/gibbs.h"
+#include "util/random.h"
+
+namespace deepdive::incremental {
+namespace {
+
+using factor::FactorGraph;
+using factor::GraphDelta;
+using factor::VarId;
+using factor::WeightId;
+
+FactorGraph ChainGraph(uint64_t seed, size_t num_vars) {
+  FactorGraph g;
+  Rng rng(seed);
+  g.AddVariables(num_vars);
+  for (size_t i = 0; i + 1 < num_vars; ++i) {
+    g.AddSimpleFactor(static_cast<VarId>(i), {{static_cast<VarId>(i + 1), false}},
+                      g.AddWeight(rng.Uniform(-0.6, 0.6), false));
+  }
+  for (size_t i = 0; i < num_vars; ++i) {
+    g.AddSimpleFactor(static_cast<VarId>(i), {},
+                      g.AddWeight(rng.Uniform(-0.4, 0.4), false));
+  }
+  return g;
+}
+
+SampleStore MaterializeSamples(const FactorGraph& g, size_t count, uint64_t seed) {
+  inference::GibbsSampler sampler(&g);
+  inference::GibbsOptions options;
+  options.burn_in_sweeps = 200;
+  options.seed = seed;
+  SampleStore store;
+  store.AddAll(sampler.DrawSamples(count, 3, options));
+  return store;
+}
+
+TEST(SampleStoreTest, CursorAndExhaustion) {
+  SampleStore store;
+  store.Add(BitVector(4));
+  store.Add(BitVector(4, true));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.remaining(), 2u);
+  EXPECT_NE(store.NextProposal(), nullptr);
+  EXPECT_NE(store.NextProposal(), nullptr);
+  EXPECT_EQ(store.NextProposal(), nullptr);
+  EXPECT_TRUE(store.exhausted());
+  store.ResetCursor();
+  EXPECT_EQ(store.remaining(), 2u);
+}
+
+TEST(SampleStoreTest, ByteSizeCountsBits) {
+  SampleStore store;
+  for (int i = 0; i < 100; ++i) store.Add(BitVector(64));
+  EXPECT_EQ(store.ByteSize(), 100u * 8u);
+}
+
+TEST(IndependentMHTest, EmptyDeltaAcceptsEverything) {
+  FactorGraph g = ChainGraph(1, 10);
+  SampleStore store = MaterializeSamples(g, 300, 7);
+  GraphDelta empty;
+  IndependentMH mh(&g, &empty);
+  MHOptions options;
+  options.target_steps = 300;
+  auto result = mh.Run(&store, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->acceptance_rate, 1.0);
+
+  // Marginals should match a fresh Gibbs estimate of the (unchanged) graph.
+  auto exact = inference::ExactInference(g);
+  ASSERT_TRUE(exact.ok());
+  for (VarId v = 0; v < g.NumVariables(); ++v) {
+    EXPECT_NEAR(result->marginals[v], exact->marginals[v], 0.12) << "var " << v;
+  }
+}
+
+TEST(IndependentMHTest, ConvergesToUpdatedDistribution) {
+  FactorGraph g = ChainGraph(3, 8);
+  SampleStore store = MaterializeSamples(g, 4000, 9);
+
+  // Moderate update: one new factor.
+  GraphDelta delta;
+  delta.new_groups.push_back(
+      g.AddSimpleFactor(2, {{6, false}}, g.AddWeight(0.7, false)));
+
+  IndependentMH mh(&g, &delta);
+  MHOptions options;
+  options.target_steps = 4000;
+  auto result = mh.Run(&store, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->acceptance_rate, 0.3);
+  EXPECT_LT(result->acceptance_rate, 1.0);
+
+  auto exact = inference::ExactInference(g);
+  ASSERT_TRUE(exact.ok());
+  for (VarId v = 0; v < g.NumVariables(); ++v) {
+    EXPECT_NEAR(result->marginals[v], exact->marginals[v], 0.08) << "var " << v;
+  }
+}
+
+TEST(IndependentMHTest, NewEvidenceForcesLabelsAndLowersAcceptance) {
+  FactorGraph g = ChainGraph(5, 8);
+  SampleStore store = MaterializeSamples(g, 3000, 11);
+
+  GraphDelta delta;
+  g.SetEvidence(0, true);
+  g.SetEvidence(7, false);
+  delta.evidence_changes.push_back({0, std::nullopt, true});
+  delta.evidence_changes.push_back({7, std::nullopt, false});
+
+  IndependentMH mh(&g, &delta);
+  MHOptions options;
+  options.target_steps = 3000;
+  auto result = mh.Run(&store, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->acceptance_rate, 1.0);
+  EXPECT_DOUBLE_EQ(result->marginals[0], 1.0);
+  EXPECT_DOUBLE_EQ(result->marginals[7], 0.0);
+}
+
+TEST(IndependentMHTest, ExhaustionReported) {
+  FactorGraph g = ChainGraph(7, 6);
+  SampleStore store = MaterializeSamples(g, 50, 13);
+  GraphDelta empty;
+  IndependentMH mh(&g, &empty);
+  MHOptions options;
+  options.target_steps = 500;
+  auto result = mh.Run(&store, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->exhausted);
+  EXPECT_TRUE(store.exhausted());
+}
+
+TEST(IndependentMHTest, ExtendsProposalsOverNewVariables) {
+  FactorGraph g = ChainGraph(9, 6);
+  SampleStore store = MaterializeSamples(g, 2000, 15);
+
+  // Add a new variable strongly tied to variable 0.
+  const VarId nv = g.AddVariable();
+  GraphDelta delta;
+  delta.new_variables.push_back(nv);
+  delta.new_groups.push_back(g.AddSimpleFactor(nv, {}, g.AddWeight(2.0, false)));
+
+  IndependentMH mh(&g, &delta);
+  MHOptions options;
+  options.target_steps = 2000;
+  auto result = mh.Run(&store, options);
+  ASSERT_TRUE(result.ok());
+  // sigmoid(2 * 2.0) ~ 0.982.
+  EXPECT_NEAR(result->marginals[nv], 0.982, 0.05);
+}
+
+TEST(IndependentMHTest, EmptyStoreIsExhaustedImmediately) {
+  FactorGraph g = ChainGraph(11, 4);
+  SampleStore store;
+  GraphDelta empty;
+  IndependentMH mh(&g, &empty);
+  auto result = mh.Run(&store, MHOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->exhausted);
+  EXPECT_EQ(result->accepted, 0u);
+}
+
+// Property: acceptance rate decreases monotonically (roughly) with the
+// magnitude of the distribution change — the "amount of change" axis of
+// Figure 5(b).
+TEST(IndependentMHTest, AcceptanceDecreasesWithChangeMagnitude) {
+  double last_rate = 1.1;
+  for (double dw : {0.0, 0.8, 2.5}) {
+    FactorGraph g = ChainGraph(21, 8);
+    SampleStore store = MaterializeSamples(g, 2000, 17);
+    GraphDelta delta;
+    if (dw > 0) {
+      for (VarId v = 0; v < 4; ++v) {
+        delta.new_groups.push_back(
+            g.AddSimpleFactor(v, {}, g.AddWeight(dw, false)));
+      }
+    }
+    IndependentMH mh(&g, &delta);
+    MHOptions options;
+    options.target_steps = 2000;
+    auto result = mh.Run(&store, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LT(result->acceptance_rate, last_rate + 0.02);
+    last_rate = result->acceptance_rate;
+  }
+  EXPECT_LT(last_rate, 0.7);
+}
+
+}  // namespace
+}  // namespace deepdive::incremental

@@ -1,0 +1,143 @@
+// Persistence round-trips: factor-graph snapshots and sample stores, plus a
+// randomized (fuzz-style) round-trip sweep — materializations must survive a
+// process restart bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "factor/factor_graph.h"
+#include "factor/graph_io.h"
+#include "incremental/sample_store.h"
+#include "inference/exact.h"
+#include "util/random.h"
+
+namespace deepdive {
+namespace {
+
+using factor::FactorGraph;
+using factor::Semantics;
+using factor::VarId;
+
+FactorGraph RandomGraph(uint64_t seed) {
+  FactorGraph g;
+  Rng rng(seed);
+  const size_t n = 2 + rng.UniformInt(12);
+  g.AddVariables(n);
+  for (VarId v = 0; v < n; ++v) {
+    if (rng.Bernoulli(0.3)) g.SetEvidence(v, rng.Bernoulli(0.5));
+  }
+  const size_t groups = 1 + rng.UniformInt(10);
+  for (size_t i = 0; i < groups; ++i) {
+    const VarId head = static_cast<VarId>(rng.UniformInt(n));
+    const auto w = rng.Bernoulli(0.5)
+                       ? g.AddWeight(rng.Uniform(-2, 2), rng.Bernoulli(0.5),
+                                     "w" + std::to_string(i))
+                       : g.GetOrCreateTiedWeight("tied/" + std::to_string(i % 3));
+    const auto sem = static_cast<Semantics>(rng.UniformInt(3));
+    const auto grp = g.AddGroup(static_cast<uint32_t>(i), head, w, sem);
+    const size_t clauses = rng.UniformInt(4);
+    for (size_t c = 0; c < clauses; ++c) {
+      std::vector<factor::Literal> lits;
+      const size_t n_lits = rng.UniformInt(3);
+      for (size_t l = 0; l < n_lits; ++l) {
+        const VarId v = static_cast<VarId>(rng.UniformInt(n));
+        if (v == head) continue;
+        bool dup = false;
+        for (const auto& lit : lits) dup |= lit.var == v;
+        if (!dup) lits.push_back({v, rng.Bernoulli(0.3)});
+      }
+      const auto cid = g.AddClause(grp, lits);
+      if (rng.Bernoulli(0.15)) g.DeactivateClause(cid);
+    }
+    if (rng.Bernoulli(0.1)) g.DeactivateGroup(grp);
+  }
+  return g;
+}
+
+class GraphRoundTripFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphRoundTripFuzz, SaveLoadPreservesStructureAndDistribution) {
+  const std::string path =
+      ::testing::TempDir() + "/fuzz_graph_" + std::to_string(GetParam()) + ".bin";
+  FactorGraph g = RandomGraph(GetParam());
+  ASSERT_TRUE(factor::SaveGraph(g, path).ok());
+  auto loaded = factor::LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(factor::GraphsEqual(g, *loaded));
+
+  // Structural equality must imply identical distributions.
+  auto e1 = inference::ExactInference(g, 16);
+  auto e2 = inference::ExactInference(*loaded, 16);
+  if (e1.ok() && e2.ok()) {
+    for (VarId v = 0; v < g.NumVariables(); ++v) {
+      EXPECT_NEAR(e1->marginals[v], e2->marginals[v], 1e-12);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphRoundTripFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                                           14, 15, 16));
+
+TEST(SampleStorePersistenceTest, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/store_roundtrip.bin";
+  incremental::SampleStore store;
+  Rng rng(5);
+  for (int s = 0; s < 50; ++s) {
+    BitVector bits(77);
+    for (size_t i = 0; i < 77; ++i) bits.Set(i, rng.Bernoulli(0.4));
+    store.Add(std::move(bits));
+  }
+  ASSERT_TRUE(store.Save(path).ok());
+  auto loaded = incremental::SampleStore::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 50u);
+  EXPECT_EQ(loaded->num_vars(), 77u);
+  for (size_t s = 0; s < 50; ++s) {
+    EXPECT_EQ(loaded->sample(s), store.sample(s)) << "sample " << s;
+  }
+  EXPECT_EQ(loaded->remaining(), 50u);  // cursor starts fresh
+  std::remove(path.c_str());
+}
+
+TEST(SampleStorePersistenceTest, EmptyStoreRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/store_empty.bin";
+  incremental::SampleStore store;
+  ASSERT_TRUE(store.Save(path).ok());
+  auto loaded = incremental::SampleStore::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(SampleStorePersistenceTest, RejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/store_garbage.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs("garbage", f);
+  fclose(f);
+  EXPECT_FALSE(incremental::SampleStore::Load(path).ok());
+  std::remove(path.c_str());
+  EXPECT_EQ(incremental::SampleStore::Load("/nonexistent.bin").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SampleStorePersistenceTest, NonMultipleOf8Width) {
+  // Widths straddling byte boundaries must round-trip exactly.
+  for (size_t width : {1u, 7u, 8u, 9u, 63u, 64u, 65u}) {
+    const std::string path =
+        ::testing::TempDir() + "/store_w" + std::to_string(width) + ".bin";
+    incremental::SampleStore store;
+    BitVector bits(width, true);
+    if (width > 2) bits.Set(width / 2, false);
+    store.Add(bits);
+    ASSERT_TRUE(store.Save(path).ok());
+    auto loaded = incremental::SampleStore::Load(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded->sample(0), bits) << "width " << width;
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace deepdive

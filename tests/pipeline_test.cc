@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "kbc/pipeline.h"
+#include "kbc/snapshots.h"
+
+namespace deepdive::kbc {
+namespace {
+
+SystemProfile TinyProfile() {
+  SystemProfile p = ProfileFor(SystemKind::kPaleontology);
+  p.num_documents = 40;
+  p.sentences_per_doc = 1;
+  p.num_entities = 24;
+  p.num_true_pairs = 10;
+  p.num_negative_pairs = 10;
+  return p;
+}
+
+PipelineOptions TinyOptions() {
+  PipelineOptions options;
+  options.config = core::FastTestConfig();
+  options.seed = 3;
+  return options;
+}
+
+TEST(KbcPipelineTest, BuildAndInitialize) {
+  auto pipeline = KbcPipeline::Build(TinyProfile(), TinyOptions());
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  ASSERT_TRUE((*pipeline)->Initialize().ok());
+  auto& dd = (*pipeline)->deepdive();
+  EXPECT_GT(dd.ground().graph.NumVariables(), 0u);
+  EXPECT_GT(dd.db()->GetTable("PersonCandidate")->size(), 0u);
+  EXPECT_GT(dd.db()->GetTable("HasSpouse")->size(), 0u);
+}
+
+TEST(KbcPipelineTest, UpdateSequenceIsFigure8) {
+  EXPECT_EQ(KbcPipeline::UpdateSequence(),
+            (std::vector<std::string>{"A1", "FE1", "FE2", "I1", "S1", "S2"}));
+}
+
+TEST(KbcPipelineTest, UnknownUpdateRejected) {
+  auto pipeline = KbcPipeline::Build(TinyProfile(), TinyOptions());
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Initialize().ok());
+  EXPECT_FALSE((*pipeline)->ApplyUpdate("ZZZ").ok());
+}
+
+TEST(KbcPipelineTest, FullUpdateSequenceImprovesQuality) {
+  auto pipeline = KbcPipeline::Build(TinyProfile(), TinyOptions());
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Initialize().ok());
+
+  const double f1_before = (*pipeline)->EvaluateMentions(0.5).f1;
+  for (const std::string& rule : KbcPipeline::UpdateSequence()) {
+    auto report = (*pipeline)->ApplyUpdate(rule);
+    ASSERT_TRUE(report.ok()) << rule << ": " << report.status().ToString();
+  }
+  const double f1_after = (*pipeline)->EvaluateMentions(0.5).f1;
+  // Supervision + features must lift quality well above the featureless
+  // prior-only baseline (which predicts nothing).
+  EXPECT_GT(f1_after, f1_before);
+  EXPECT_GT(f1_after, 0.4);
+}
+
+TEST(KbcPipelineTest, FactLevelEvaluationRuns) {
+  auto pipeline = KbcPipeline::Build(TinyProfile(), TinyOptions());
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Initialize().ok());
+  for (const std::string& rule : KbcPipeline::UpdateSequence()) {
+    ASSERT_TRUE((*pipeline)->ApplyUpdate(rule).ok());
+  }
+  const PrecisionRecall facts = (*pipeline)->EvaluateFacts(0.7);
+  EXPECT_GE(facts.precision, 0.0);
+  EXPECT_LE(facts.precision, 1.0);
+  EXPECT_GT(facts.true_positives + facts.false_negatives, 0u);
+}
+
+TEST(KbcPipelineTest, ErrorAnalysisReport) {
+  auto pipeline = KbcPipeline::Build(TinyProfile(), TinyOptions());
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Initialize().ok());
+  for (const std::string& rule : KbcPipeline::UpdateSequence()) {
+    ASSERT_TRUE((*pipeline)->ApplyUpdate(rule).ok());
+  }
+  const ErrorAnalysis report = (*pipeline)->AnalyzeErrors(0.5, 5);
+  EXPECT_GT(report.total_predictions, 0u);
+  EXPECT_GT(report.total_correct, 0u);
+  EXPECT_LE(report.false_positives.size(), 5u);
+  EXPECT_LE(report.false_negatives.size(), 5u);
+  // False positives are sorted most-confident-first and are genuinely wrong.
+  for (size_t i = 0; i + 1 < report.false_positives.size(); ++i) {
+    EXPECT_GE(report.false_positives[i].marginal,
+              report.false_positives[i + 1].marginal);
+  }
+  for (const auto& fp : report.false_positives) {
+    EXPECT_FALSE(fp.truth);
+    EXPECT_GE(fp.marginal, 0.5);
+  }
+  // Feature statistics exist, carry learned weights, and indicative features
+  // outrank neutral ones in precision.
+  ASSERT_FALSE(report.feature_stats.empty());
+  double indicative_precision = -1, neutral_precision = -1;
+  for (const auto& s : report.feature_stats) {
+    if (s.feature.rfind("and_his_wife", 0) == 0 && indicative_precision < 0) {
+      indicative_precision = s.precision;
+    }
+    if (s.feature.rfind("met_with", 0) == 0 && neutral_precision < 0) {
+      neutral_precision = s.precision;
+    }
+  }
+  if (indicative_precision >= 0 && neutral_precision >= 0) {
+    EXPECT_GT(indicative_precision, neutral_precision);
+  }
+}
+
+TEST(SnapshotComparisonTest, IncrementalBeatsRerunOnInferenceTime) {
+  SystemProfile profile = TinyProfile();
+  profile.num_documents = 60;
+  auto result = RunSnapshotComparison(profile, TinyOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 6u);
+  EXPECT_EQ(result->rows[0].rule, "A1");
+
+  // The analysis rule must be dramatically cheaper incrementally.
+  EXPECT_GT(result->rows[0].speedup, 1.0);
+  // Overall, incremental must beat rerun.
+  EXPECT_LT(result->incremental_total_seconds, result->rerun_total_seconds);
+  // Quality parity after the full sequence.
+  const SnapshotRow& last = result->rows.back();
+  EXPECT_NEAR(last.rerun_f1, last.incremental_f1, 0.35);
+}
+
+}  // namespace
+}  // namespace deepdive::kbc

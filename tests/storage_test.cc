@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/delta_table.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace deepdive {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value(int64_t{5}).AsInt(), 5);
+  EXPECT_EQ(Value(3).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_NE(Value(1), Value("1"));
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value("a"), Value("b"));
+  // Cross-type ordering is by type tag, and is total.
+  EXPECT_TRUE(Value(1) < Value("x") || Value("x") < Value(1));
+}
+
+TEST(ValueTest, HashConsistency) {
+  EXPECT_EQ(Value(7).Hash(), Value(7).Hash());
+  EXPECT_NE(Value(7).Hash(), Value(8).Hash());
+  EXPECT_EQ(Value("spouse").Hash(), Value("spouse").Hash());
+  EXPECT_NE(Value().Hash(), Value(0).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("x").ToString(), "x");
+}
+
+TEST(TupleTest, HashAndToString) {
+  Tuple t = {Value(1), Value("a")};
+  EXPECT_EQ(HashTuple(t), HashTuple({Value(1), Value("a")}));
+  EXPECT_NE(HashTuple(t), HashTuple({Value("a"), Value(1)}));
+  EXPECT_EQ(TupleToString(t), "(1, a)");
+}
+
+Schema TwoColSchema() {
+  return Schema({{"id", ValueType::kInt}, {"name", ValueType::kString}});
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema s = TwoColSchema();
+  EXPECT_EQ(s.FindColumn("id"), 0);
+  EXPECT_EQ(s.FindColumn("name"), 1);
+  EXPECT_EQ(s.FindColumn("missing"), -1);
+}
+
+TEST(SchemaTest, ValidateTuple) {
+  Schema s = TwoColSchema();
+  EXPECT_TRUE(s.ValidateTuple({Value(1), Value("x")}).ok());
+  EXPECT_TRUE(s.ValidateTuple({Value(1), Value::Null()}).ok());
+  EXPECT_FALSE(s.ValidateTuple({Value(1)}).ok());
+  EXPECT_FALSE(s.ValidateTuple({Value("x"), Value("y")}).ok());
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(TwoColSchema().ToString(), "(id: int, name: string)");
+}
+
+TEST(TableTest, InsertDeduplicates) {
+  Table t("T", TwoColSchema());
+  auto id1 = t.Insert({Value(1), Value("a")});
+  auto id2 = t.Insert({Value(1), Value("a")});
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(*id1, *id2);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TableTest, InsertValidatesSchema) {
+  Table t("T", TwoColSchema());
+  EXPECT_FALSE(t.Insert({Value("wrong"), Value("a")}).ok());
+}
+
+TEST(TableTest, EraseAndContains) {
+  Table t("T", TwoColSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("a")}).ok());
+  EXPECT_TRUE(t.Contains({Value(1), Value("a")}));
+  EXPECT_TRUE(t.Erase({Value(1), Value("a")}));
+  EXPECT_FALSE(t.Contains({Value(1), Value("a")}));
+  EXPECT_FALSE(t.Erase({Value(1), Value("a")}));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TableTest, ReinsertAfterErase) {
+  Table t("T", TwoColSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("a")}).ok());
+  t.Erase({Value(1), Value("a")});
+  ASSERT_TRUE(t.Insert({Value(1), Value("a")}).ok());
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.Contains({Value(1), Value("a")}));
+}
+
+TEST(TableTest, ScanSkipsTombstones) {
+  Table t("T", TwoColSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("a")}).ok());
+  ASSERT_TRUE(t.Insert({Value(2), Value("b")}).ok());
+  t.Erase({Value(1), Value("a")});
+  size_t count = 0;
+  t.Scan([&](RowId, const Tuple& row) {
+    ++count;
+    EXPECT_EQ(row[0].AsInt(), 2);
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(TableTest, LookupByColumn) {
+  Table t("T", TwoColSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("a")}).ok());
+  ASSERT_TRUE(t.Insert({Value(1), Value("b")}).ok());
+  ASSERT_TRUE(t.Insert({Value(2), Value("a")}).ok());
+  EXPECT_EQ(t.Lookup(0, Value(1)).size(), 2u);
+  EXPECT_EQ(t.Lookup(1, Value("a")).size(), 2u);
+  EXPECT_EQ(t.Lookup(0, Value(99)).size(), 0u);
+}
+
+TEST(TableTest, LookupSeesInsertsAfterIndexBuild) {
+  Table t("T", TwoColSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("a")}).ok());
+  EXPECT_EQ(t.Lookup(0, Value(1)).size(), 1u);  // builds the index
+  ASSERT_TRUE(t.Insert({Value(1), Value("z")}).ok());
+  EXPECT_EQ(t.Lookup(0, Value(1)).size(), 2u);  // maintained incrementally
+  t.Erase({Value(1), Value("a")});
+  EXPECT_EQ(t.Lookup(0, Value(1)).size(), 1u);
+}
+
+TEST(TableTest, RowsAndClear) {
+  Table t("T", TwoColSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("a")}).ok());
+  ASSERT_TRUE(t.Insert({Value(2), Value("b")}).ok());
+  EXPECT_EQ(t.Rows().size(), 2u);
+  t.Clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.Lookup(0, Value(1)).size(), 0u);
+}
+
+TEST(DatabaseTest, CreateGetDrop) {
+  Database db;
+  auto t = db.CreateTable("T", TwoColSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_NE(db.GetTable("T"), nullptr);
+  EXPECT_TRUE(db.HasTable("T"));
+  EXPECT_FALSE(db.CreateTable("T", TwoColSchema()).ok());
+  EXPECT_TRUE(db.DropTable("T").ok());
+  EXPECT_EQ(db.GetTable("T"), nullptr);
+  EXPECT_FALSE(db.DropTable("T").ok());
+}
+
+TEST(DatabaseTest, TotalRowsAndNames) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("A", TwoColSchema()).ok());
+  ASSERT_TRUE(db.CreateTable("B", TwoColSchema()).ok());
+  ASSERT_TRUE(db.GetTable("A")->Insert({Value(1), Value("x")}).ok());
+  EXPECT_EQ(db.TotalRows(), 1u);
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(DeltaTableTest, CountingSemantics) {
+  DeltaTable dt("d");
+  Tuple t = {Value(1)};
+  EXPECT_TRUE(dt.empty());
+  dt.Add(t, 1);
+  EXPECT_EQ(dt.Count(t), 1);
+  dt.Add(t, 2);
+  EXPECT_EQ(dt.Count(t), 3);
+  dt.Add(t, -3);
+  EXPECT_EQ(dt.Count(t), 0);
+  EXPECT_TRUE(dt.empty());
+}
+
+TEST(DeltaTableTest, InsertionsAndDeletions) {
+  DeltaTable dt;
+  dt.Add({Value(1)}, 1);
+  dt.Add({Value(2)}, -1);
+  dt.Add({Value(3)}, 1);
+  EXPECT_EQ(dt.Insertions().size(), 2u);
+  EXPECT_EQ(dt.Deletions().size(), 1u);
+  EXPECT_EQ(dt.size(), 3u);
+}
+
+TEST(DeltaTableTest, ForEachSkipsZeroCounts) {
+  DeltaTable dt;
+  dt.Add({Value(1)}, 1);
+  dt.Add({Value(1)}, -1);
+  dt.Add({Value(2)}, 5);
+  size_t visited = 0;
+  dt.ForEach([&](const Tuple& t, int64_t c) {
+    ++visited;
+    EXPECT_EQ(t[0].AsInt(), 2);
+    EXPECT_EQ(c, 5);
+  });
+  EXPECT_EQ(visited, 1u);
+}
+
+TEST(DeltaTableTest, ClearResets) {
+  DeltaTable dt;
+  dt.Add({Value(1)}, 1);
+  dt.Clear();
+  EXPECT_TRUE(dt.empty());
+  EXPECT_EQ(dt.Count({Value(1)}), 0);
+}
+
+}  // namespace
+}  // namespace deepdive

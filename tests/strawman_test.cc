@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "factor/factor_graph.h"
+#include "incremental/strawman.h"
+#include "inference/exact.h"
+#include "util/random.h"
+
+namespace deepdive::incremental {
+namespace {
+
+using factor::FactorGraph;
+using factor::GraphDelta;
+using factor::Semantics;
+using factor::VarId;
+using factor::WeightId;
+
+FactorGraph SmallGraph(uint64_t seed, size_t num_vars) {
+  FactorGraph g;
+  Rng rng(seed);
+  g.AddVariables(num_vars);
+  for (size_t i = 0; i + 1 < num_vars; ++i) {
+    const WeightId w = g.AddWeight(rng.Uniform(-0.8, 0.8), false);
+    g.AddSimpleFactor(static_cast<VarId>(i),
+                      {{static_cast<VarId>(i + 1), false}}, w);
+  }
+  for (size_t i = 0; i < num_vars; ++i) {
+    g.AddSimpleFactor(static_cast<VarId>(i), {}, g.AddWeight(rng.Uniform(-0.5, 0.5), false));
+  }
+  return g;
+}
+
+TEST(StrawmanTest, OriginalMarginalsMatchExact) {
+  FactorGraph g = SmallGraph(3, 8);
+  auto strawman = StrawmanMaterialization::Materialize(g);
+  ASSERT_TRUE(strawman.ok()) << strawman.status().ToString();
+  auto exact = inference::ExactInference(g);
+  ASSERT_TRUE(exact.ok());
+  for (VarId v = 0; v < g.NumVariables(); ++v) {
+    EXPECT_NEAR(strawman->OriginalMarginals()[v], exact->marginals[v], 1e-9);
+  }
+  EXPECT_EQ(strawman->NumWorlds(), 1u << 8);
+}
+
+TEST(StrawmanTest, RefusesLargeGraphs) {
+  FactorGraph g;
+  g.AddVariables(30);
+  auto strawman = StrawmanMaterialization::Materialize(g, 22);
+  ASSERT_FALSE(strawman.ok());
+  EXPECT_EQ(strawman.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StrawmanTest, EvidenceReducesWorldCount) {
+  FactorGraph g = SmallGraph(5, 8);
+  g.SetEvidence(0, true);
+  g.SetEvidence(1, false);
+  auto strawman = StrawmanMaterialization::Materialize(g);
+  ASSERT_TRUE(strawman.ok());
+  EXPECT_EQ(strawman->NumWorlds(), 1u << 6);
+  EXPECT_DOUBLE_EQ(strawman->OriginalMarginals()[0], 1.0);
+  EXPECT_DOUBLE_EQ(strawman->OriginalMarginals()[1], 0.0);
+}
+
+TEST(StrawmanTest, IncrementalUpdateMatchesExact) {
+  FactorGraph g = SmallGraph(7, 9);
+  auto strawman = StrawmanMaterialization::Materialize(g);
+  ASSERT_TRUE(strawman.ok());
+
+  // Update: a new factor and a weight change.
+  GraphDelta delta;
+  const WeightId w_new = g.AddWeight(0.9, false);
+  delta.new_groups.push_back(g.AddSimpleFactor(2, {{5, false}}, w_new));
+  delta.weight_changes.push_back({0, g.WeightValue(0), g.WeightValue(0) + 0.4});
+  g.SetWeightValue(0, g.WeightValue(0) + 0.4);
+
+  auto updated = strawman->InferUpdated(g, delta);
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  auto exact = inference::ExactInference(g);
+  ASSERT_TRUE(exact.ok());
+  for (VarId v = 0; v < g.NumVariables(); ++v) {
+    EXPECT_NEAR((*updated)[v], exact->marginals[v], 1e-9) << "var " << v;
+  }
+}
+
+TEST(StrawmanTest, IncrementalEvidenceUpdateMatchesExact) {
+  FactorGraph g = SmallGraph(11, 8);
+  auto strawman = StrawmanMaterialization::Materialize(g);
+  ASSERT_TRUE(strawman.ok());
+
+  GraphDelta delta;
+  delta.evidence_changes.push_back({3, std::nullopt, true});
+  g.SetEvidence(3, true);
+
+  auto updated = strawman->InferUpdated(g, delta);
+  ASSERT_TRUE(updated.ok());
+  auto exact = inference::ExactInference(g);
+  ASSERT_TRUE(exact.ok());
+  for (VarId v = 0; v < g.NumVariables(); ++v) {
+    EXPECT_NEAR((*updated)[v], exact->marginals[v], 1e-9) << "var " << v;
+  }
+}
+
+TEST(StrawmanTest, RejectsNewVariables) {
+  FactorGraph g = SmallGraph(13, 6);
+  auto strawman = StrawmanMaterialization::Materialize(g);
+  ASSERT_TRUE(strawman.ok());
+  GraphDelta delta;
+  delta.new_variables.push_back(g.AddVariable());
+  auto updated = strawman->InferUpdated(g, delta);
+  EXPECT_FALSE(updated.ok());
+}
+
+TEST(StrawmanTest, ByteSizeIsExponential) {
+  FactorGraph small = SmallGraph(17, 4);
+  FactorGraph big = SmallGraph(17, 10);
+  auto s = StrawmanMaterialization::Materialize(small);
+  auto b = StrawmanMaterialization::Materialize(big);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(s->ByteSize(), (1u << 4) * sizeof(double));
+  EXPECT_EQ(b->ByteSize(), (1u << 10) * sizeof(double));
+}
+
+}  // namespace
+}  // namespace deepdive::incremental

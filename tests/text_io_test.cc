@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "storage/text_io.h"
+
+namespace deepdive {
+namespace {
+
+Schema MixedSchema() {
+  return Schema({{"id", ValueType::kInt},
+                 {"name", ValueType::kString},
+                 {"score", ValueType::kDouble},
+                 {"flag", ValueType::kBool}});
+}
+
+TEST(TextIoTest, ParseTsvLineAllTypes) {
+  auto t = ParseTsvLine(MixedSchema(), "42\thello world\t2.5\ttrue");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ((*t)[0], Value(42));
+  EXPECT_EQ((*t)[1], Value("hello world"));
+  EXPECT_EQ((*t)[2], Value(2.5));
+  EXPECT_EQ((*t)[3], Value(true));
+}
+
+TEST(TextIoTest, ParseTsvLineNulls) {
+  auto t = ParseTsvLine(MixedSchema(), "\\N\t\\N\t\\N\t\\N");
+  ASSERT_TRUE(t.ok());
+  for (const Value& v : *t) EXPECT_TRUE(v.is_null());
+}
+
+TEST(TextIoTest, ParseBoolVariants) {
+  Schema s({{"b", ValueType::kBool}});
+  EXPECT_EQ((*ParseTsvLine(s, "t"))[0], Value(true));
+  EXPECT_EQ((*ParseTsvLine(s, "1"))[0], Value(true));
+  EXPECT_EQ((*ParseTsvLine(s, "f"))[0], Value(false));
+  EXPECT_EQ((*ParseTsvLine(s, "0"))[0], Value(false));
+  EXPECT_FALSE(ParseTsvLine(s, "yes").ok());
+}
+
+TEST(TextIoTest, ParseErrorsNameTheColumn) {
+  auto t = ParseTsvLine(MixedSchema(), "notanint\tx\t1.0\ttrue");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("'id'"), std::string::npos);
+}
+
+TEST(TextIoTest, ArityMismatchRejected) {
+  EXPECT_FALSE(ParseTsvLine(MixedSchema(), "1\tx").ok());
+  EXPECT_FALSE(ParseTsvLine(MixedSchema(), "1\tx\t1.0\ttrue\textra").ok());
+}
+
+TEST(TextIoTest, EmptyStringFieldAllowed) {
+  Schema s({{"a", ValueType::kInt}, {"s", ValueType::kString}});
+  auto t = ParseTsvLine(s, "7\t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)[1], Value(""));
+}
+
+TEST(TextIoTest, LoadTsvStringSkipsCommentsAndBlanks) {
+  Table table("T", Schema({{"a", ValueType::kInt}, {"b", ValueType::kString}}));
+  auto n = LoadTsvString("# header\n1\tx\n\n2\ty\n1\tx\n", &table);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 2u);  // duplicate counted once
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(TextIoTest, LoadReportsLineNumbers) {
+  Table table("T", Schema({{"a", ValueType::kInt}}));
+  auto n = LoadTsvString("1\n2\nbogus\n", &table);
+  ASSERT_FALSE(n.ok());
+  EXPECT_NE(n.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(TextIoTest, FormatTsvLineRoundTrips) {
+  const Tuple t = {Value(5), Value("abc"), Value(1.5), Value(false)};
+  auto line = FormatTsvLine(t);
+  ASSERT_TRUE(line.ok());
+  auto parsed = ParseTsvLine(MixedSchema(), *line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(TextIoTest, FormatRejectsEmbeddedTabs) {
+  EXPECT_FALSE(FormatTsvLine({Value("a\tb")}).ok());
+}
+
+TEST(TextIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/text_io_roundtrip.tsv";
+  Table table("T", Schema({{"a", ValueType::kInt}, {"b", ValueType::kString}}));
+  ASSERT_TRUE(table.Insert({Value(1), Value("x")}).ok());
+  ASSERT_TRUE(table.Insert({Value(2), Value("y z")}).ok());
+  ASSERT_TRUE(DumpTsvFile(table, path).ok());
+
+  Table loaded("T2", table.schema());
+  auto n = LoadTsvFile(path, &loaded);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+  EXPECT_TRUE(loaded.Contains({Value(2), Value("y z")}));
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, MissingFileIsNotFound) {
+  Table table("T", Schema({{"a", ValueType::kInt}}));
+  EXPECT_EQ(LoadTsvFile("/nonexistent/file.tsv", &table).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TextIoTest, CrLfTolerated) {
+  Table table("T", Schema({{"a", ValueType::kInt}}));
+  auto n = LoadTsvString("1\r\n2\r\n", &table);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+}
+
+}  // namespace
+}  // namespace deepdive

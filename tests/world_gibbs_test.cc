@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "factor/factor_graph.h"
+#include "inference/exact.h"
+#include "inference/gibbs.h"
+#include "inference/world.h"
+#include "util/random.h"
+
+namespace deepdive::inference {
+namespace {
+
+using factor::FactorGraph;
+using factor::GroupId;
+using factor::Semantics;
+using factor::VarId;
+using factor::WeightId;
+
+/// Random small graph: a mix of priors and grouped multi-clause factors.
+FactorGraph RandomGraph(uint64_t seed, size_t num_vars, size_t num_groups,
+                        Semantics semantics, size_t evidence_count = 0) {
+  FactorGraph g;
+  Rng rng(seed);
+  g.AddVariables(num_vars);
+  for (size_t i = 0; i < num_groups; ++i) {
+    const VarId head = static_cast<VarId>(rng.UniformInt(num_vars));
+    const WeightId w = g.AddWeight(rng.Uniform(-1.0, 1.0), false);
+    const GroupId grp = g.AddGroup(static_cast<uint32_t>(i), head, w, semantics);
+    const size_t clauses = 1 + rng.UniformInt(3);
+    for (size_t c = 0; c < clauses; ++c) {
+      std::vector<factor::Literal> lits;
+      const size_t n_lits = rng.UniformInt(3);
+      for (size_t l = 0; l < n_lits; ++l) {
+        VarId v = static_cast<VarId>(rng.UniformInt(num_vars));
+        if (v == head) continue;
+        bool dup = false;
+        for (const auto& lit : lits) dup |= lit.var == v;
+        if (dup) continue;
+        lits.push_back({v, rng.Bernoulli(0.3)});
+      }
+      g.AddClause(grp, lits);
+    }
+  }
+  for (size_t e = 0; e < evidence_count; ++e) {
+    g.SetEvidence(static_cast<VarId>(rng.UniformInt(num_vars)), rng.Bernoulli(0.5));
+  }
+  return g;
+}
+
+TEST(WorldTest, StatsMatchBruteForceAfterRandomFlips) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    FactorGraph g = RandomGraph(seed, 8, 10, Semantics::kLinear);
+    World world(&g);
+    Rng rng(seed + 100);
+    world.InitValues(&rng, true);
+    for (int step = 0; step < 50; ++step) {
+      const VarId v = static_cast<VarId>(rng.UniformInt(8));
+      world.Flip(v, rng.Bernoulli(0.5));
+      // Brute-force group stats.
+      auto value_of = [&](VarId u) { return world.value(u); };
+      for (GroupId grp = 0; grp < g.NumGroups(); ++grp) {
+        ASSERT_EQ(world.GroupSat(grp), g.SatisfiedClauses(grp, value_of))
+            << "seed " << seed << " step " << step;
+      }
+      ASSERT_NEAR(world.TotalLogWeight(), g.TotalLogWeight(value_of), 1e-9);
+    }
+  }
+}
+
+TEST(WorldTest, EvidenceForcedOnInit) {
+  FactorGraph g;
+  g.AddVariables(3);
+  g.SetEvidence(0, true);
+  g.SetEvidence(1, false);
+  World world(&g);
+  Rng rng(5);
+  world.InitValues(&rng, true);
+  EXPECT_TRUE(world.value(0));
+  EXPECT_FALSE(world.value(1));
+}
+
+TEST(WorldTest, BitsRoundTrip) {
+  FactorGraph g = RandomGraph(9, 10, 5, Semantics::kRatio);
+  World world(&g);
+  Rng rng(17);
+  world.InitValues(&rng, true);
+  const BitVector bits = world.ToBits();
+  World other(&g);
+  other.LoadBits(bits);
+  for (VarId v = 0; v < 10; ++v) EXPECT_EQ(world.value(v), other.value(v));
+  EXPECT_NEAR(world.TotalLogWeight(), other.TotalLogWeight(), 1e-12);
+}
+
+TEST(WorldTest, LoadBitsPrefixFills) {
+  FactorGraph g;
+  g.AddVariables(4);
+  World world(&g);
+  BitVector bits(2);
+  bits.Set(0, true);
+  world.LoadBitsPrefix(bits, /*fill=*/true);
+  EXPECT_TRUE(world.value(0));
+  EXPECT_FALSE(world.value(1));
+  EXPECT_TRUE(world.value(2));
+  EXPECT_TRUE(world.value(3));
+}
+
+TEST(WorldTest, SyncStructureAbsorbsNewClauses) {
+  FactorGraph g;
+  const VarId a = g.AddVariable();
+  const WeightId w = g.AddWeight(1.0, false);
+  g.AddSimpleFactor(a, {}, w);
+  World world(&g);
+  world.Flip(a, true);
+  // Extend the graph.
+  const VarId b = g.AddVariable();
+  const GroupId grp = g.AddGroup(1, b, w, Semantics::kLinear);
+  g.AddClause(grp, {{a, false}});
+  world.SyncStructure();
+  EXPECT_EQ(world.NumVariables(), 2u);
+  EXPECT_EQ(world.GroupSat(grp), 1);  // a is true
+}
+
+TEST(WorldTest, WeightFeature) {
+  FactorGraph g;
+  const VarId a = g.AddVariable();
+  const VarId b = g.AddVariable();
+  const WeightId w = g.AddWeight(0.0, true);
+  g.AddSimpleFactor(a, {}, w, Semantics::kLinear);
+  g.AddSimpleFactor(b, {}, w, Semantics::kLinear);
+  World world(&g);
+  world.Flip(a, true);  // b stays false
+  EXPECT_DOUBLE_EQ(world.WeightFeature(w), 1.0 - 1.0);
+  world.Flip(b, true);
+  EXPECT_DOUBLE_EQ(world.WeightFeature(w), 2.0);
+}
+
+TEST(GibbsTest, ConditionalLogOddsMatchesExactOnPair) {
+  // h with prior w1 and pairwise factor w2 * sign(h) * 1{b}.
+  FactorGraph g;
+  const VarId h = g.AddVariable();
+  const VarId b = g.AddVariable();
+  const WeightId w1 = g.AddWeight(0.7, false);
+  const WeightId w2 = g.AddWeight(-0.4, false);
+  g.AddSimpleFactor(h, {}, w1);
+  g.AddSimpleFactor(h, {{b, false}}, w2);
+
+  World world(&g);
+  world.Flip(b, true);
+  GibbsSampler sampler(&g);
+  // W(h=1) - W(h=0) = 2*(0.7 + -0.4) = 0.6.
+  EXPECT_NEAR(sampler.ConditionalLogOdds(world, h), 0.6, 1e-12);
+  world.Flip(b, false);
+  EXPECT_NEAR(sampler.ConditionalLogOdds(world, h), 2 * 0.7, 1e-12);
+
+  // For b: body membership of the h-headed group. h currently false:
+  // dW = w2 * (-1) * (g(1) - g(0)) = 0.4.
+  world.Flip(h, false);
+  EXPECT_NEAR(sampler.ConditionalLogOdds(world, b), 0.4, 1e-12);
+  world.Flip(h, true);
+  EXPECT_NEAR(sampler.ConditionalLogOdds(world, b), -0.4, 1e-12);
+}
+
+struct GibbsVsExactCase {
+  uint64_t seed;
+  Semantics semantics;
+  size_t evidence;
+};
+
+class GibbsVsExact : public ::testing::TestWithParam<GibbsVsExactCase> {};
+
+TEST_P(GibbsVsExact, MarginalsConverge) {
+  const auto& param = GetParam();
+  FactorGraph g = RandomGraph(param.seed, 7, 9, param.semantics, param.evidence);
+  auto exact = ExactInference(g);
+  ASSERT_TRUE(exact.ok());
+
+  GibbsSampler sampler(&g);
+  GibbsOptions options;
+  options.burn_in_sweeps = 300;
+  options.sample_sweeps = 6000;
+  options.seed = param.seed * 7 + 1;
+  const auto result = sampler.EstimateMarginals(options);
+  for (VarId v = 0; v < g.NumVariables(); ++v) {
+    EXPECT_NEAR(result.marginals[v], exact->marginals[v], 0.04)
+        << "var " << v << " seed " << param.seed << " semantics "
+        << SemanticsName(param.semantics);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GibbsVsExact,
+    ::testing::Values(GibbsVsExactCase{1, Semantics::kLinear, 0},
+                      GibbsVsExactCase{2, Semantics::kLinear, 2},
+                      GibbsVsExactCase{3, Semantics::kRatio, 0},
+                      GibbsVsExactCase{4, Semantics::kRatio, 2},
+                      GibbsVsExactCase{5, Semantics::kLogical, 0},
+                      GibbsVsExactCase{6, Semantics::kLogical, 2},
+                      GibbsVsExactCase{7, Semantics::kRatio, 1},
+                      GibbsVsExactCase{8, Semantics::kLinear, 1}));
+
+TEST(GibbsTest, EvidenceNeverResampled) {
+  FactorGraph g;
+  const VarId a = g.AddVariable();
+  const WeightId w = g.AddWeight(5.0, false);  // strongly pulls a to true
+  g.AddSimpleFactor(a, {}, w);
+  g.SetEvidence(a, false);
+  GibbsSampler sampler(&g);
+  GibbsOptions options;
+  options.sample_sweeps = 50;
+  const auto result = sampler.EstimateMarginals(options);
+  EXPECT_DOUBLE_EQ(result.marginals[a], 0.0);
+}
+
+TEST(GibbsTest, SampleEvidenceModeFreesEvidence) {
+  FactorGraph g;
+  const VarId a = g.AddVariable();
+  const WeightId w = g.AddWeight(5.0, false);
+  g.AddSimpleFactor(a, {}, w);
+  g.SetEvidence(a, false);
+  GibbsSampler sampler(&g);
+  GibbsOptions options;
+  options.sample_sweeps = 100;
+  options.sample_evidence = true;
+  const auto result = sampler.EstimateMarginals(options);
+  EXPECT_GT(result.marginals[a], 0.9);  // the strong prior wins
+}
+
+TEST(GibbsTest, DrawSamplesShapeAndDeterminism) {
+  FactorGraph g = RandomGraph(11, 6, 6, Semantics::kLinear);
+  GibbsSampler sampler(&g);
+  GibbsOptions options;
+  options.burn_in_sweeps = 10;
+  options.seed = 33;
+  const auto s1 = sampler.DrawSamples(5, 2, options);
+  const auto s2 = sampler.DrawSamples(5, 2, options);
+  ASSERT_EQ(s1.size(), 5u);
+  EXPECT_EQ(s1[0].size(), 6u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(s1[i], s2[i]);
+}
+
+TEST(ExactTest, RejectsTooManyVariables) {
+  FactorGraph g;
+  g.AddVariables(30);
+  EXPECT_FALSE(ExactInference(g, 24).ok());
+}
+
+TEST(ExactTest, TwoIndependentPriors) {
+  FactorGraph g;
+  const VarId a = g.AddVariable();
+  const VarId b = g.AddVariable();
+  g.AddSimpleFactor(a, {}, g.AddWeight(0.5, false));
+  g.AddSimpleFactor(b, {}, g.AddWeight(-1.0, false));
+  auto exact = ExactInference(g);
+  ASSERT_TRUE(exact.ok());
+  // P(v=1) = e^w / (e^w + e^-w) = sigmoid(2w).
+  EXPECT_NEAR(exact->marginals[a], 1.0 / (1.0 + std::exp(-1.0)), 1e-9);
+  EXPECT_NEAR(exact->marginals[b], 1.0 / (1.0 + std::exp(2.0)), 1e-9);
+  // World probabilities sum to 1.
+  double total = 0;
+  for (double p : exact->world_probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace deepdive::inference

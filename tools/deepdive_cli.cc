@@ -1,0 +1,263 @@
+// deepdive_cli — run a DeepDive program from the command line.
+//
+//   deepdive_cli run PROGRAM.ddl [options]
+//
+// Options:
+//   --data REL=FILE.tsv     load base rows (repeatable)
+//   --output REL=FILE.tsv   write "<marginal>\t<cols...>" for a query
+//                           relation (repeatable); default prints to stdout
+//   --update FILE.ddl       apply a rule fragment incrementally after the
+//                           initial run (repeatable, applied in order)
+//   --update-data REL=FILE.tsv  data arriving with the *next* --update
+//   --mode incremental|rerun    execution mode (default incremental)
+//   --threshold P           only output facts with marginal >= P (default 0)
+//   --seed N                RNG seed (default 42)
+//   --epochs N              learning epochs (default 60)
+//
+// Example:
+//   deepdive_cli run spouse.ddl --data Person=persons.tsv \
+//       --data HasSpouseLabel=labels.tsv --output HasSpouse=out.tsv \
+//       --update fe1.ddl --update-data PhraseFeature=phrases.tsv
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/deepdive.h"
+#include "storage/text_io.h"
+#include "util/string_util.h"
+
+namespace deepdive::cli {
+namespace {
+
+struct Args {
+  std::string program_path;
+  std::vector<std::pair<std::string, std::string>> data;     // relation, file
+  std::vector<std::pair<std::string, std::string>> outputs;  // relation, file ("" = stdout)
+  struct Update {
+    std::string rules_path;  // may be empty (data-only update)
+    std::vector<std::pair<std::string, std::string>> data;
+  };
+  std::vector<Update> updates;
+  core::ExecutionMode mode = core::ExecutionMode::kIncremental;
+  double threshold = 0.0;
+  uint64_t seed = 42;
+  size_t epochs = 60;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: deepdive_cli run PROGRAM.ddl [--data REL=FILE]...\n"
+               "       [--output REL[=FILE]]... [--update FILE.ddl]...\n"
+               "       [--update-data REL=FILE]... [--mode incremental|rerun]\n"
+               "       [--threshold P] [--seed N] [--epochs N]\n");
+}
+
+StatusOr<std::pair<std::string, std::string>> SplitAssignment(const std::string& arg) {
+  const size_t eq = arg.find('=');
+  if (eq == std::string::npos) return std::make_pair(arg, std::string());
+  return std::make_pair(arg.substr(0, eq), arg.substr(eq + 1));
+}
+
+StatusOr<Args> ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc < 3 || std::strcmp(argv[1], "run") != 0) {
+    return Status::InvalidArgument("expected: deepdive_cli run PROGRAM.ddl ...");
+  }
+  args.program_path = argv[2];
+  // --update-data attaches to the most recent --update; before any --update
+  // it is an error.
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> StatusOr<std::string> {
+      if (i + 1 >= argc) return Status::InvalidArgument(flag + " needs a value");
+      return std::string(argv[++i]);
+    };
+    if (flag == "--data") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      DD_ASSIGN_OR_RETURN(auto kv, SplitAssignment(v));
+      if (kv.second.empty()) return Status::InvalidArgument("--data needs REL=FILE");
+      args.data.push_back(kv);
+    } else if (flag == "--output") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      DD_ASSIGN_OR_RETURN(auto kv, SplitAssignment(v));
+      args.outputs.push_back(kv);
+    } else if (flag == "--update") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      Args::Update update;
+      update.rules_path = v;
+      args.updates.push_back(std::move(update));
+    } else if (flag == "--update-data") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      DD_ASSIGN_OR_RETURN(auto kv, SplitAssignment(v));
+      if (kv.second.empty()) {
+        return Status::InvalidArgument("--update-data needs REL=FILE");
+      }
+      if (args.updates.empty()) {
+        return Status::InvalidArgument("--update-data must follow an --update");
+      }
+      args.updates.back().data.push_back(kv);
+    } else if (flag == "--mode") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      if (v == "incremental") {
+        args.mode = core::ExecutionMode::kIncremental;
+      } else if (v == "rerun") {
+        args.mode = core::ExecutionMode::kRerun;
+      } else {
+        return Status::InvalidArgument("unknown mode '" + v + "'");
+      }
+    } else if (flag == "--threshold") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      args.threshold = std::strtod(v.c_str(), nullptr);
+    } else if (flag == "--seed") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      args.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--epochs") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      args.epochs = std::strtoull(v.c_str(), nullptr, 10);
+    } else {
+      return Status::InvalidArgument("unknown flag '" + flag + "'");
+    }
+  }
+  return args;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+StatusOr<std::vector<Tuple>> ReadRows(const core::DeepDive& dd,
+                                      const std::string& relation,
+                                      const std::string& path) {
+  const dsl::RelationDecl* decl = dd.program().FindRelation(relation);
+  if (decl == nullptr) return Status::NotFound("unknown relation '" + relation + "'");
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::vector<Tuple> rows;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    auto tuple = ParseTsvLine(decl->schema, line);
+    if (!tuple.ok()) {
+      return Status::InvalidArgument(StrFormat("%s:%zu: %s", path.c_str(), line_number,
+                                               tuple.status().message().c_str()));
+    }
+    rows.push_back(std::move(tuple).value());
+  }
+  return rows;
+}
+
+Status WriteMarginals(const core::DeepDive& dd, const std::string& relation,
+                      const std::string& path, double threshold) {
+  if (!dd.program().IsQueryRelation(relation)) {
+    return Status::InvalidArgument("'" + relation + "' is not a query relation");
+  }
+  std::FILE* out = stdout;
+  if (!path.empty()) {
+    out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) return Status::Internal("cannot open '" + path + "'");
+  }
+  for (const auto& [tuple, marginal] : dd.Marginals(relation)) {
+    if (marginal < threshold) continue;
+    auto line = FormatTsvLine(tuple);
+    if (!line.ok()) continue;
+    std::fprintf(out, "%.6f\t%s\n", marginal, line->c_str());
+  }
+  if (out != stdout) std::fclose(out);
+  return Status::OK();
+}
+
+Status Run(const Args& args) {
+  DD_ASSIGN_OR_RETURN(std::string source, ReadFile(args.program_path));
+
+  core::DeepDiveConfig config;
+  config.mode = args.mode;
+  config.seed = args.seed;
+  config.learner.epochs = args.epochs;
+  DD_ASSIGN_OR_RETURN(std::unique_ptr<core::DeepDive> dd,
+                      core::DeepDive::Create(source, config));
+
+  for (const auto& [relation, file] : args.data) {
+    DD_ASSIGN_OR_RETURN(std::vector<Tuple> rows, ReadRows(*dd, relation, file));
+    DD_RETURN_IF_ERROR(dd->LoadRows(relation, rows));
+    std::fprintf(stderr, "loaded %zu rows into %s\n", rows.size(), relation.c_str());
+  }
+
+  DD_RETURN_IF_ERROR(dd->Initialize());
+  std::fprintf(stderr, "grounded: %zu variables, %zu factors\n",
+               dd->ground().graph.NumVariables(), dd->ground().graph.NumActiveClauses());
+
+  for (size_t u = 0; u < args.updates.size(); ++u) {
+    const Args::Update& update = args.updates[u];
+    core::UpdateSpec spec;
+    spec.label = StrFormat("update#%zu", u + 1);
+    if (!update.rules_path.empty()) {
+      DD_ASSIGN_OR_RETURN(spec.add_rules, ReadFile(update.rules_path));
+    }
+    // Fragment relations must exist before reading their data, so apply a
+    // rules-only spec first if the data targets a fragment relation.
+    for (const auto& [relation, file] : update.data) {
+      if (dd->program().FindRelation(relation) == nullptr && !spec.add_rules.empty()) {
+        // Defer: parse data after the fragment is merged. Easiest correct
+        // path: apply the rules first, then a second data-only update.
+        core::UpdateSpec rules_only;
+        rules_only.label = spec.label + "/rules";
+        rules_only.add_rules = spec.add_rules;
+        DD_RETURN_IF_ERROR(dd->ApplyUpdate(rules_only).status());
+        spec.add_rules.clear();
+      }
+      DD_ASSIGN_OR_RETURN(std::vector<Tuple> rows, ReadRows(*dd, relation, file));
+      spec.inserts[relation] = std::move(rows);
+    }
+    DD_ASSIGN_OR_RETURN(core::UpdateReport report, dd->ApplyUpdate(spec));
+    std::fprintf(stderr,
+                 "%s: grounding %.3fs, learning %.3fs, inference %.3fs (%s)\n",
+                 report.label.c_str(), report.grounding_seconds,
+                 report.learning_seconds, report.inference_seconds,
+                 incremental::StrategyName(report.strategy));
+  }
+
+  if (args.outputs.empty()) {
+    // Default: every query relation to stdout.
+    for (const dsl::RelationDecl& rel : dd->program().relations()) {
+      if (rel.kind == dsl::RelationKind::kQuery) {
+        std::printf("# %s\n", rel.name.c_str());
+        DD_RETURN_IF_ERROR(WriteMarginals(*dd, rel.name, "", args.threshold));
+      }
+    }
+  } else {
+    for (const auto& [relation, file] : args.outputs) {
+      DD_RETURN_IF_ERROR(WriteMarginals(*dd, relation, file, args.threshold));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace deepdive::cli
+
+int main(int argc, char** argv) {
+  auto args = deepdive::cli::ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    deepdive::cli::Usage();
+    return 2;
+  }
+  const deepdive::Status status = deepdive::cli::Run(*args);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
