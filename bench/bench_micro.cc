@@ -9,6 +9,7 @@
 #include "factor/graph_delta.h"
 #include "incremental/sample_store.h"
 #include "inference/gibbs.h"
+#include "inference/parallel_gibbs.h"
 #include "inference/world.h"
 #include "storage/table.h"
 #include "util/string_util.h"
@@ -31,15 +32,39 @@ void BM_GibbsSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_GibbsSweep)->Arg(100)->Arg(1000)->Arg(10000);
 
+// Hogwild sweep throughput at a given thread count — the speedup story of
+// the parallel inference subsystem. Compare items/sec against BM_GibbsSweep
+// at the same variable count (the acceptance target is >= 3x at 8 threads).
+void BM_ParallelGibbsSweep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  factor::FactorGraph g = PairwiseGraph(n, 1.0, 7);
+  inference::ParallelGibbsSampler sampler(&g, threads);
+  inference::AtomicWorld world(&g);
+  Rng init_rng(3);
+  world.InitValues(&init_rng, true);
+  std::vector<Rng> rngs = sampler.MakeRngStreams(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sweep(&world, &rngs));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelGibbsSweep)
+    ->ArgsProduct({{10000, 100000}, {1, 2, 4, 8}})
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 void BM_ConditionalLogOdds(benchmark::State& state) {
   factor::FactorGraph g = PairwiseGraph(1000, 1.0, 11);
   inference::GibbsSampler sampler(&g);
   inference::World world(&g);
+  inference::GibbsScratch scratch;  // reused, as in the samplers' hot loops
   Rng rng(5);
   world.InitValues(&rng, true);
   factor::VarId v = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sampler.ConditionalLogOdds(world, v));
+    benchmark::DoNotOptimize(sampler.ConditionalLogOdds(world, v, &scratch));
     v = (v + 1) % 1000;
   }
 }

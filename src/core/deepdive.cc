@@ -4,6 +4,7 @@
 
 #include "inference/gibbs.h"
 #include "inference/learner.h"
+#include "inference/parallel_gibbs.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -58,9 +59,9 @@ Status DeepDive::Initialize() {
     learner.Learn(lopts);
   }
 
-  inference::GibbsSampler sampler(&ground_.graph);
   inference::GibbsOptions gopts = config_.gibbs;
   gopts.seed = config_.seed + 1;
+  inference::ParallelGibbsSampler sampler(&ground_.graph, gopts.num_threads);
   marginals_ = sampler.EstimateMarginals(gopts).marginals;
   for (VarId v = 0; v < ground_.graph.NumVariables(); ++v) {
     const auto ev = ground_.graph.EvidenceValue(v);
@@ -205,9 +206,9 @@ Status DeepDive::RunFullPipeline(UpdateReport* report, bool cold_learning) {
   report->learning_seconds = learn_timer.Seconds();
 
   Timer infer_timer;
-  inference::GibbsSampler sampler(&ground_.graph);
   inference::GibbsOptions gopts = config_.gibbs;
   gopts.seed = config_.seed + 13 * (history_.size() + 1);
+  inference::ParallelGibbsSampler sampler(&ground_.graph, gopts.num_threads);
   marginals_ = sampler.EstimateMarginals(gopts).marginals;
   for (VarId v = 0; v < ground_.graph.NumVariables(); ++v) {
     const auto ev = ground_.graph.EvidenceValue(v);

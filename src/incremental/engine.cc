@@ -4,7 +4,9 @@
 #include <limits>
 
 #include "incremental/decomposition.h"
+#include "inference/parallel_gibbs.h"
 #include "inference/world.h"
+#include "util/thread_pool.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -23,26 +25,19 @@ Status IncrementalEngine::Materialize(const MaterializationOptions& options) {
   cumulative_ = GraphDelta{};
 
   // Sampling materialization: draw as many samples as the budget allows.
+  // The chain runs through the parallel sampler — num_threads == 1 keeps the
+  // historical sequential chain bit-for-bit; more threads Hogwild the sweeps.
   inference::GibbsOptions gopts;
   gopts.burn_in_sweeps = options.gibbs_burn_in;
   gopts.seed = options.seed;
-  inference::GibbsSampler sampler(graph_);
-  {
-    inference::World world(graph_);
-    Rng rng(options.seed);
-    world.InitValues(&rng, /*random_init=*/true);
-    for (size_t i = 0; i < options.gibbs_burn_in; ++i) sampler.Sweep(&world, &rng);
-    for (size_t s = 0; s < options.num_samples; ++s) {
-      for (size_t t = 0; t < std::max<size_t>(1, options.gibbs_thin); ++t) {
-        sampler.Sweep(&world, &rng);
-      }
-      store_.Add(world.ToBits());
-      if (options.time_budget_seconds > 0 &&
-          timer.Seconds() > options.time_budget_seconds) {
-        break;
-      }
-    }
-  }
+  gopts.num_threads = options.num_threads;
+  inference::ParallelGibbsSampler sampler(graph_, options.num_threads);
+  sampler.SampleChain(gopts, options.num_samples, options.gibbs_thin,
+                      [&](const BitVector& bits) {
+                        store_.Add(bits);
+                        return !(options.time_budget_seconds > 0 &&
+                                 timer.Seconds() > options.time_budget_seconds);
+                      });
 
   // Materialized marginals: sample averages.
   marginals_.assign(graph_->NumVariables(), 0.5);
@@ -320,6 +315,7 @@ StatusOr<UpdateOutcome> IncrementalEngine::RunSampling(
   mh_options.target_accepted = options.mh_target_steps;
   mh_options.seed = 977 * (update_seq_ + 1);
   mh_options.track_vars = &affected;  // untouched components keep Pr(0) marginals
+  mh_options.num_threads = options.gibbs.num_threads;  // proposal extension only
   DD_ASSIGN_OR_RETURN(MHResult result, mh.Run(&store_, mh_options));
   outcome.acceptance_rate = result.acceptance_rate;
 
@@ -362,29 +358,52 @@ UpdateOutcome IncrementalEngine::RunVariational(const EngineOptions& options,
   factor::FactorGraph inference_graph = BuildVariationalInferenceGraph(
       *graph_, variational_->approx_graph(), cumulative_);
 
-  inference::GibbsSampler sampler(&inference_graph);
-  inference::World world(&inference_graph);
-  Rng rng(options.gibbs.seed + update_seq_);
-  // Start from the current marginal estimates (warm start).
-  for (VarId v = 0; v < inference_graph.NumVariables(); ++v) {
-    const auto ev = inference_graph.EvidenceValue(v);
-    const bool value = ev.has_value() ? *ev : (v < marginals_.size() && marginals_[v] > 0.5);
-    world.Flip(v, value);
-  }
-  world.RecomputeStats();
-
   std::vector<VarId> sweep_vars;
   for (VarId v : affected) {
     if (!inference_graph.IsEvidence(v)) sweep_vars.push_back(v);
   }
+  // Warm start from the current marginal estimates.
+  auto warm_value = [&](VarId v) {
+    const auto ev = inference_graph.EvidenceValue(v);
+    return ev.has_value() ? *ev : (v < marginals_.size() && marginals_[v] > 0.5);
+  };
   std::vector<double> sums(inference_graph.NumVariables(), 0.0);
-  for (size_t i = 0; i < options.gibbs.burn_in_sweeps; ++i) {
-    sampler.SweepVars(&world, &rng, sweep_vars);
-  }
   const size_t sample_sweeps = std::max<size_t>(1, options.gibbs.sample_sweeps);
-  for (size_t i = 0; i < sample_sweeps; ++i) {
-    sampler.SweepVars(&world, &rng, sweep_vars);
-    for (VarId v : sweep_vars) sums[v] += world.value(v) ? 1.0 : 0.0;
+  const size_t num_threads = options.gibbs.num_threads == 0
+                                 ? ThreadPool::DefaultThreads()
+                                 : options.gibbs.num_threads;
+  if (num_threads > 1) {
+    // Hogwild over the (sparse) inference graph, confined to the affected
+    // variables: the component decomposition shards across workers.
+    inference::ParallelGibbsSampler sampler(&inference_graph, num_threads);
+    inference::AtomicWorld world(&inference_graph);
+    for (VarId v = 0; v < inference_graph.NumVariables(); ++v) {
+      world.Flip(v, warm_value(v));
+    }
+    std::vector<Rng> rngs =
+        sampler.MakeRngStreams(options.gibbs.seed + update_seq_);
+    for (size_t i = 0; i < options.gibbs.burn_in_sweeps; ++i) {
+      sampler.SweepVars(&world, &rngs, sweep_vars);
+    }
+    for (size_t i = 0; i < sample_sweeps; ++i) {
+      sampler.SweepVars(&world, &rngs, sweep_vars);
+      for (VarId v : sweep_vars) sums[v] += world.value(v) ? 1.0 : 0.0;
+    }
+  } else {
+    inference::GibbsSampler sampler(&inference_graph);
+    inference::World world(&inference_graph);
+    Rng rng(options.gibbs.seed + update_seq_);
+    for (VarId v = 0; v < inference_graph.NumVariables(); ++v) {
+      world.Flip(v, warm_value(v));
+    }
+    world.RecomputeStats();
+    for (size_t i = 0; i < options.gibbs.burn_in_sweeps; ++i) {
+      sampler.SweepVars(&world, &rng, sweep_vars);
+    }
+    for (size_t i = 0; i < sample_sweeps; ++i) {
+      sampler.SweepVars(&world, &rng, sweep_vars);
+      for (VarId v : sweep_vars) sums[v] += world.value(v) ? 1.0 : 0.0;
+    }
   }
 
   outcome.marginals = materialized_marginals_;
@@ -401,9 +420,9 @@ UpdateOutcome IncrementalEngine::RunVariational(const EngineOptions& options,
 
 UpdateOutcome IncrementalEngine::RunRerun(const EngineOptions& options) {
   UpdateOutcome outcome;
-  inference::GibbsSampler sampler(graph_);
   inference::GibbsOptions gopts = options.rerun_gibbs;
   gopts.seed += update_seq_;
+  inference::ParallelGibbsSampler sampler(graph_, gopts.num_threads);
   outcome.marginals = sampler.EstimateMarginals(gopts).marginals;
   for (VarId v = 0; v < graph_->NumVariables(); ++v) {
     const auto ev = graph_->EvidenceValue(v);

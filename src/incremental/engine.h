@@ -32,6 +32,10 @@ struct MaterializationOptions {
   /// in a user-specified interval" policy (Section 3.3 / Appendix B.2).
   double time_budget_seconds = 0.0;
   uint64_t seed = 31;
+  /// Worker threads for the sampling materialization's Gibbs chain
+  /// (Hogwild; see ParallelGibbsSampler). 1 = sequential/deterministic.
+  /// The variational materialization has its own `variational.num_threads`.
+  size_t num_threads = 1;
 };
 
 struct MaterializationStats {

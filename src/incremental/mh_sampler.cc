@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "inference/gibbs.h"
+#include "inference/parallel_gibbs.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace deepdive::incremental {
 
@@ -35,8 +37,26 @@ StatusOr<MHResult> IndependentMH::Run(SampleStore* store, const MHOptions& optio
   }
 
   inference::GibbsSampler sampler(graph_);
+  // Parallel proposal extension (Hogwild sweeps over the new variables).
+  // Worth it only when there are extension variables at all; the MH chain
+  // proper stays sequential either way.
+  const size_t num_threads = options.num_threads == 0
+                                 ? ThreadPool::DefaultThreads()
+                                 : options.num_threads;
+  const bool parallel_extension = num_threads > 1 && !extension_vars.empty();
   std::optional<inference::World> extension_world;
-  if (!extension_vars.empty()) extension_world.emplace(graph_);
+  std::optional<inference::AtomicWorld> extension_aworld;
+  std::optional<inference::ParallelGibbsSampler> psampler;
+  std::vector<Rng> extension_rngs;
+  if (!extension_vars.empty()) {
+    if (parallel_extension) {
+      psampler.emplace(graph_, num_threads);
+      extension_aworld.emplace(graph_);
+      extension_rngs = psampler->MakeRngStreams(options.seed + 1);
+    } else {
+      extension_world.emplace(graph_);
+    }
+  }
 
   // The proposal world as a full-width bit vector.
   BitVector proposal_bits(n);
@@ -49,6 +69,19 @@ StatusOr<MHResult> IndependentMH::Run(SampleStore* store, const MHOptions& optio
     // handled by the acceptance test, not coerced into the proposal. New
     // *evidence* variables take their labels (they have no Pr(0)
     // coordinate); other new variables get extension sweeps.
+    if (parallel_extension) {
+      extension_aworld->LoadBitsPrefix(raw, /*fill=*/false, /*apply_evidence=*/false,
+                                       psampler->pool());
+      for (VarId v : extension_vars) {
+        const auto ev = graph_->EvidenceValue(v);
+        if (ev.has_value()) extension_aworld->Flip(v, *ev);
+      }
+      for (size_t s = 0; s < options.extension_sweeps; ++s) {
+        psampler->SweepVars(&*extension_aworld, &extension_rngs, extension_vars);
+      }
+      proposal_bits = extension_aworld->ToBits();
+      return;
+    }
     extension_world->LoadBitsPrefix(raw, /*fill=*/false, /*apply_evidence=*/false);
     for (VarId v : extension_vars) {
       const auto ev = graph_->EvidenceValue(v);

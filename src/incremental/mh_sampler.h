@@ -27,6 +27,10 @@ struct MHOptions {
   /// decomposition optimization: untouched components keep materialized
   /// marginals, so the chain need not track them). Others report 0.
   const std::vector<factor::VarId>* track_vars = nullptr;
+  /// Worker threads for the proposal-extension Gibbs sweeps (the only
+  /// parallelizable stage: the MH chain itself is inherently sequential).
+  /// 1 = sequential, bit-identical to the historical behavior.
+  size_t num_threads = 1;
 };
 
 struct MHResult {

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "inference/gibbs.h"
+#include "inference/parallel_gibbs.h"
 #include "inference/world.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -27,7 +28,8 @@ StatusOr<VariationalMaterialization> VariationalMaterialization::Materialize(
   inference::GibbsOptions gopts;
   gopts.burn_in_sweeps = options.gibbs_burn_in;
   gopts.seed = options.seed;
-  inference::GibbsSampler sampler(&graph);
+  gopts.num_threads = options.num_threads;
+  inference::ParallelGibbsSampler sampler(&graph, options.num_threads);
   std::vector<BitVector> samples =
       sampler.DrawSamples(options.num_samples, options.gibbs_thin, gopts);
   if (samples.empty()) return Status::InvalidArgument("num_samples must be > 0");
@@ -194,7 +196,8 @@ StatusOr<double> SearchLambda(const FactorGraph& graph,
                         VariationalMaterialization::Materialize(graph, options));
     inference::GibbsOptions gopts;
     gopts.seed = options.seed + 17;
-    inference::GibbsSampler sampler(&m.approx_graph());
+    gopts.num_threads = options.num_threads;
+    inference::ParallelGibbsSampler sampler(&m.approx_graph(), options.num_threads);
     const auto marginals = sampler.EstimateMarginals(gopts).marginals;
     // Symmetric KL between Bernoulli marginals, averaged over variables.
     double kl = 0.0;

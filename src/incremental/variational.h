@@ -26,6 +26,9 @@ struct VariationalOptions {
   double fit_learning_rate = 0.25;
   double fit_decay = 0.96;
   uint64_t seed = 23;
+  /// Worker threads for the covariance-estimation sample draw and the λ
+  /// search's approximate-graph inference. 1 = sequential (deterministic).
+  size_t num_threads = 1;
 };
 
 /// The variational approach (Section 3.2.3 / Algorithm 1): replace the

@@ -7,90 +7,31 @@
 namespace deepdive::inference {
 
 using factor::FactorGraph;
-using factor::GCount;
-using factor::GroupId;
 using factor::VarId;
 
 GibbsSampler::GibbsSampler(const FactorGraph* graph) : graph_(graph) {}
 
+double GibbsSampler::ConditionalLogOdds(const World& world, VarId v,
+                                        GibbsScratch* scratch) const {
+  return detail::ConditionalLogOddsImpl(*graph_, world, v, scratch);
+}
+
 double GibbsSampler::ConditionalLogOdds(const World& world, VarId v) const {
-  double log_odds = 0.0;
-
-  // Groups where v is the head: W(v=1) - W(v=0) = 2 w g(n); n does not
-  // depend on v because clauses may not contain their own head.
-  for (GroupId g : graph_->HeadGroups(v)) {
-    const factor::FactorGroup& group = graph_->group(g);
-    if (!group.active) continue;
-    log_odds +=
-        2.0 * graph_->WeightValue(group.weight) * GCount(group.semantics, world.GroupSat(g));
-  }
-
-  // Groups where v appears in clause bodies: accumulate dn = n(v=1) - n(v=0)
-  // per group, then add w sign(head) (g(n1) - g(n0)).
-  touched_.clear();
-  const bool cur = world.value(v);
-  for (const factor::BodyRef& ref : graph_->BodyRefs(v)) {
-    const factor::Clause& clause = graph_->clause(ref.clause);
-    if (!clause.active) continue;
-    const factor::FactorGroup& group = graph_->group(clause.group);
-    if (!group.active) continue;
-    // Other literals of the clause satisfied?
-    const bool lit_true_now = (cur != ref.negated);
-    const int32_t others_unsat = world.ClauseUnsat(ref.clause) - (lit_true_now ? 0 : 1);
-    if (others_unsat != 0) continue;  // clause state independent of v
-    const int64_t dn = ref.negated ? -1 : +1;
-    bool found = false;
-    for (auto& [gid, acc] : touched_) {
-      if (gid == clause.group) {
-        acc += dn;
-        found = true;
-        break;
-      }
-    }
-    if (!found) touched_.emplace_back(clause.group, dn);
-  }
-  for (const auto& [gid, dn] : touched_) {
-    if (dn == 0) continue;
-    const factor::FactorGroup& group = graph_->group(gid);
-    const int64_t n_now = world.GroupSat(gid);
-    const int64_t n1 = cur ? n_now : n_now + dn;
-    const int64_t n0 = cur ? n_now - dn : n_now;
-    const double sign = world.value(group.head) ? 1.0 : -1.0;
-    log_odds += graph_->WeightValue(group.weight) * sign *
-                (GCount(group.semantics, n1) - GCount(group.semantics, n0));
-  }
-  return log_odds;
+  GibbsScratch scratch;
+  return detail::ConditionalLogOddsImpl(*graph_, world, v, &scratch);
 }
 
 size_t GibbsSampler::Sweep(World* world, Rng* rng, bool sample_evidence) const {
-  size_t flips = 0;
-  for (VarId v = 0; v < graph_->NumVariables(); ++v) {
-    if (!sample_evidence && graph_->IsEvidence(v)) continue;
-    const double log_odds = ConditionalLogOdds(*world, v);
-    const double p1 = 1.0 / (1.0 + std::exp(-log_odds));
-    const bool new_value = rng->Bernoulli(p1);
-    if (new_value != world->value(v)) {
-      world->Flip(v, new_value);
-      ++flips;
-    }
-  }
-  return flips;
+  GibbsScratch scratch;
+  return detail::SweepRangeImpl(*graph_, world, rng, &scratch, nullptr, 0,
+                                graph_->NumVariables(), sample_evidence);
 }
 
 size_t GibbsSampler::SweepVars(World* world, Rng* rng,
                                const std::vector<VarId>& vars) const {
-  size_t flips = 0;
-  for (VarId v : vars) {
-    if (graph_->IsEvidence(v)) continue;
-    const double log_odds = ConditionalLogOdds(*world, v);
-    const double p1 = 1.0 / (1.0 + std::exp(-log_odds));
-    const bool new_value = rng->Bernoulli(p1);
-    if (new_value != world->value(v)) {
-      world->Flip(v, new_value);
-      ++flips;
-    }
-  }
-  return flips;
+  GibbsScratch scratch;
+  return detail::SweepRangeImpl(*graph_, world, rng, &scratch, &vars, 0, vars.size(),
+                                /*sample_evidence=*/false);
 }
 
 MarginalResult GibbsSampler::EstimateMarginals(const GibbsOptions& options) const {

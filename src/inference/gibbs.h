@@ -1,7 +1,9 @@
 #ifndef DEEPDIVE_INFERENCE_GIBBS_H_
 #define DEEPDIVE_INFERENCE_GIBBS_H_
 
+#include <cmath>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "factor/factor_graph.h"
@@ -19,6 +21,10 @@ struct GibbsOptions {
   /// When true, evidence variables are resampled like query variables
   /// (the "free" chain of weight learning).
   bool sample_evidence = false;
+  /// Worker threads for the parallel sampler (ParallelGibbsSampler).
+  /// 1 = sequential (bit-identical to GibbsSampler); 0 = one per hardware
+  /// thread. The sequential GibbsSampler ignores this field.
+  size_t num_threads = 1;
 };
 
 /// Per-variable marginal estimates plus chain accounting.
@@ -28,17 +34,118 @@ struct MarginalResult {
   size_t flips = 0;
 };
 
+/// Reusable per-group accumulation buffer for conditional evaluation.
+/// Callers that evaluate many conditionals (sweeps, learners, parallel
+/// workers) keep one per thread so the inner loop never allocates; the
+/// sampler itself holds no mutable state and can be shared across threads.
+struct GibbsScratch {
+  std::vector<std::pair<factor::GroupId, int64_t>> touched;
+};
+
+namespace detail {
+
+/// Core conditional computation, shared by the sequential and parallel
+/// samplers. `WorldT` must provide value(v), GroupSat(g) and ClauseUnsat(c);
+/// the parallel sampler instantiates it with AtomicWorld, whose reads may be
+/// stale under Hogwild sweeps (the races it tolerates by design).
+template <typename WorldT>
+double ConditionalLogOddsImpl(const factor::FactorGraph& graph, const WorldT& world,
+                              factor::VarId v, GibbsScratch* scratch) {
+  double log_odds = 0.0;
+
+  // Groups where v is the head: W(v=1) - W(v=0) = 2 w g(n); n does not
+  // depend on v because clauses may not contain their own head.
+  for (factor::GroupId g : graph.HeadGroups(v)) {
+    const factor::FactorGroup& group = graph.group(g);
+    if (!group.active) continue;
+    log_odds += 2.0 * graph.WeightValue(group.weight) *
+                factor::GCount(group.semantics, world.GroupSat(g));
+  }
+
+  // Groups where v appears in clause bodies: accumulate dn = n(v=1) - n(v=0)
+  // per group, then add w sign(head) (g(n1) - g(n0)).
+  auto& touched = scratch->touched;
+  touched.clear();
+  const bool cur = world.value(v);
+  for (const factor::BodyRef& ref : graph.BodyRefs(v)) {
+    const factor::Clause& clause = graph.clause(ref.clause);
+    if (!clause.active) continue;
+    const factor::FactorGroup& group = graph.group(clause.group);
+    if (!group.active) continue;
+    // Other literals of the clause satisfied?
+    const bool lit_true_now = (cur != ref.negated);
+    const int32_t others_unsat = world.ClauseUnsat(ref.clause) - (lit_true_now ? 0 : 1);
+    if (others_unsat != 0) continue;  // clause state independent of v
+    const int64_t dn = ref.negated ? -1 : +1;
+    bool found = false;
+    for (auto& [gid, acc] : touched) {
+      if (gid == clause.group) {
+        acc += dn;
+        found = true;
+        break;
+      }
+    }
+    if (!found) touched.emplace_back(clause.group, dn);
+  }
+  for (const auto& [gid, dn] : touched) {
+    if (dn == 0) continue;
+    const factor::FactorGroup& group = graph.group(gid);
+    const int64_t n_now = world.GroupSat(gid);
+    const int64_t n1 = cur ? n_now : n_now + dn;
+    const int64_t n0 = cur ? n_now - dn : n_now;
+    const double sign = world.value(group.head) ? 1.0 : -1.0;
+    log_odds += graph.WeightValue(group.weight) * sign *
+                (factor::GCount(group.semantics, n1) - factor::GCount(group.semantics, n0));
+  }
+  return log_odds;
+}
+
+/// Resamples positions [begin, end) of `vars` (or variable ids [begin, end)
+/// when `vars` is null) into `world`, consuming `rng` once per sampleable
+/// variable. The one sweep loop shared by the sequential sampler and every
+/// Hogwild worker — keeping a single copy is what guarantees the
+/// num_threads == 1 configurations stay bit-identical to GibbsSampler.
+template <typename WorldT>
+size_t SweepRangeImpl(const factor::FactorGraph& graph, WorldT* world, Rng* rng,
+                      GibbsScratch* scratch, const std::vector<factor::VarId>* vars,
+                      size_t begin, size_t end, bool sample_evidence) {
+  size_t flips = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const factor::VarId v =
+        vars != nullptr ? (*vars)[i] : static_cast<factor::VarId>(i);
+    if (!sample_evidence && graph.IsEvidence(v)) continue;
+    const double log_odds = ConditionalLogOddsImpl(graph, *world, v, scratch);
+    const double p1 = 1.0 / (1.0 + std::exp(-log_odds));
+    const bool new_value = rng->Bernoulli(p1);
+    if (new_value != world->value(v)) {
+      world->Flip(v, new_value);
+      ++flips;
+    }
+  }
+  return flips;
+}
+
+}  // namespace detail
+
 /// Systematic-scan Gibbs sampler over the grouped factor representation
 /// (Section 2.5). The conditional for one variable costs O(degree): head
 /// groups contribute 2 w g(n); body memberships contribute
 /// w sign(head) (g(n|v=1) - g(n|v=0)) via the maintained clause statistics.
+///
+/// The sampler is stateless (all scratch is caller- or call-local), so one
+/// `const` instance can be shared by any number of threads as long as each
+/// thread uses its own World/Rng/GibbsScratch.
 class GibbsSampler {
  public:
   explicit GibbsSampler(const factor::FactorGraph* graph);
 
   const factor::FactorGraph& graph() const { return *graph_; }
 
-  /// log [ Pr(v=1 | rest) / Pr(v=0 | rest) ] in `world`.
+  /// log [ Pr(v=1 | rest) / Pr(v=0 | rest) ] in `world`. The scratch overload
+  /// is allocation-free after warm-up; the convenience overload pays one
+  /// small allocation per call.
+  double ConditionalLogOdds(const World& world, factor::VarId v,
+                            GibbsScratch* scratch) const;
   double ConditionalLogOdds(const World& world, factor::VarId v) const;
 
   /// One systematic sweep over sampleable variables. Returns #flips.
@@ -61,9 +168,6 @@ class GibbsSampler {
 
  private:
   const factor::FactorGraph* graph_;
-  // Scratch for per-group dn accumulation in ConditionalLogOdds (single-
-  // threaded; the DimmWitted-style sharding would give each worker its own).
-  mutable std::vector<std::pair<factor::GroupId, int64_t>> touched_;
 };
 
 }  // namespace deepdive::inference

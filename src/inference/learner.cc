@@ -4,6 +4,7 @@
 
 #include "inference/gibbs.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace deepdive::inference {
 
@@ -19,12 +20,13 @@ double Learner::EvidenceLoss() const {
   // used for relative learning curves, not as the training objective).
   World world(graph_);
   GibbsSampler sampler(graph_);
+  GibbsScratch scratch;
   double loss = 0.0;
   size_t count = 0;
   for (VarId v = 0; v < graph_->NumVariables(); ++v) {
     const auto ev = graph_->EvidenceValue(v);
     if (!ev.has_value()) continue;
-    const double log_odds = sampler.ConditionalLogOdds(world, v);
+    const double log_odds = sampler.ConditionalLogOdds(world, v, &scratch);
     // -log P(label | rest)
     const double z = *ev ? log_odds : -log_odds;
     // log(1 + e^-z), numerically stable.
@@ -53,6 +55,17 @@ LearnStats Learner::Learn(const LearnerOptions& options) {
   clamped.InitValues(&rng, /*random_init=*/true);
   free.InitValues(&rng, /*random_init=*/true);
 
+  // The two chains are independent given the weights, so with num_threads
+  // >= 2 each epoch's sweeps run concurrently (the sampler is stateless and
+  // shared; each chain owns its world and RNG stream). The pool's Wait()
+  // inside Submit/Wait pairs orders the sweeps before WeightFeature reads.
+  const size_t num_threads = options.num_threads == 0
+                                 ? ThreadPool::DefaultThreads()
+                                 : options.num_threads;
+  const bool parallel_chains = num_threads >= 2;
+  ThreadPool pool(parallel_chains ? 2 : 1);
+  Rng free_rng(Rng::MixSeed(options.seed, 1));
+
   const size_t num_weights = graph_->NumWeights();
   std::vector<double> grad(num_weights, 0.0);
 
@@ -61,8 +74,14 @@ LearnStats Learner::Learn(const LearnerOptions& options) {
     std::fill(grad.begin(), grad.end(), 0.0);
     const size_t sweeps = std::max<size_t>(1, options.sweeps_per_epoch);
     for (size_t s = 0; s < sweeps; ++s) {
-      sampler.Sweep(&clamped, &rng, /*sample_evidence=*/false);
-      sampler.Sweep(&free, &rng, /*sample_evidence=*/true);
+      if (parallel_chains) {
+        pool.Submit([&] { sampler.Sweep(&clamped, &rng, /*sample_evidence=*/false); });
+        pool.Submit([&] { sampler.Sweep(&free, &free_rng, /*sample_evidence=*/true); });
+        pool.Wait();
+      } else {
+        sampler.Sweep(&clamped, &rng, /*sample_evidence=*/false);
+        sampler.Sweep(&free, &rng, /*sample_evidence=*/true);
+      }
       for (WeightId w = 0; w < num_weights; ++w) {
         if (!graph_->weight(w).learnable) continue;
         grad[w] += clamped.WeightFeature(w) - free.WeightFeature(w);

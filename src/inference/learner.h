@@ -21,6 +21,10 @@ struct LearnerOptions {
   /// When false, learnable weights are reset to zero first.
   bool warmstart = true;
   uint64_t seed = 7;
+  /// >= 2 runs the clamped and free chains concurrently on a thread pool
+  /// (each chain owns a decorrelated RNG stream). 1 keeps the historical
+  /// single-threaded interleaving, bit-identical for a given seed.
+  size_t num_threads = 1;
 };
 
 struct LearnStats {

@@ -95,10 +95,11 @@ void ExtendTraining(DriftModel* model, double train_frac) {
 double TestLoss(const DriftModel& model) {
   inference::World world(&model.graph);
   inference::GibbsSampler sampler(&model.graph);
+  inference::GibbsScratch scratch;
   double loss = 0.0;
   size_t count = 0;
   for (size_t d = model.train_count; d < model.doc_vars.size(); ++d) {
-    const double log_odds = sampler.ConditionalLogOdds(world, model.doc_vars[d]);
+    const double log_odds = sampler.ConditionalLogOdds(world, model.doc_vars[d], &scratch);
     const double z = model.labels[d] ? log_odds : -log_odds;
     loss += z > 0 ? std::log1p(std::exp(-z)) : -z + std::log1p(std::exp(z));
     ++count;

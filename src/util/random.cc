@@ -88,6 +88,11 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
+uint64_t Rng::MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  return SplitMix64(&x);
+}
+
 void Rng::Shuffle(std::vector<uint32_t>* perm) {
   for (size_t i = perm->size(); i > 1; --i) {
     size_t j = UniformInt(i);

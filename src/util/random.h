@@ -42,6 +42,11 @@ class Rng {
   /// In-place Fisher-Yates shuffle of [0, n) stored in `perm`.
   void Shuffle(std::vector<uint32_t>* perm);
 
+  /// Derives a decorrelated seed for stream `stream` of a base seed
+  /// (splitmix64 finalizer). Parallel samplers give worker t the stream-t
+  /// seed so Hogwild chains never share RNG state.
+  static uint64_t MixSeed(uint64_t seed, uint64_t stream);
+
  private:
   uint64_t s_[4];
   bool has_spare_gaussian_ = false;

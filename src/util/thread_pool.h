@@ -1,0 +1,68 @@
+#ifndef DEEPDIVE_UTIL_THREAD_POOL_H_
+#define DEEPDIVE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace deepdive {
+
+/// Fixed-size worker pool for data-parallel inference (the DimmWitted-style
+/// execution backbone: one pool, many Gibbs/grounding shards). Tasks are
+/// plain std::function<void()>; Wait() blocks until every submitted task has
+/// finished, which together with the internal mutex gives the caller a
+/// happens-before edge over all worker writes (so relaxed-atomic world state
+/// read after Wait() is quiescent and consistent).
+///
+/// A pool constructed with `num_threads <= 1` starts no workers; Submit and
+/// ParallelFor then run inline on the calling thread, so sequential
+/// configurations pay no synchronization cost and stay deterministic.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (0 when running inline).
+  size_t size() const { return workers_.size(); }
+
+  /// Shards ParallelFor splits work into: max(1, size()).
+  size_t shards() const { return workers_.empty() ? 1 : workers_.size(); }
+
+  /// Enqueues a task (or runs it inline when there are no workers).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  /// Partitions [0, n) into `shards()` contiguous ranges and runs
+  /// body(shard, begin, end) for each non-empty range, blocking until all
+  /// complete. Shard s always maps to the same range for a given n, so
+  /// per-shard RNG streams resample the same variables every sweep.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t shard, size_t begin, size_t end)>& body);
+
+  /// Hardware concurrency with a sane floor of 1.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  // queued + running
+  bool stop_ = false;
+};
+
+}  // namespace deepdive
+
+#endif  // DEEPDIVE_UTIL_THREAD_POOL_H_

@@ -13,6 +13,8 @@
 //   --threshold P           only output facts with marginal >= P (default 0)
 //   --seed N                RNG seed (default 42)
 //   --epochs N              learning epochs (default 60)
+//   --threads N             worker threads for Gibbs inference/learning
+//                           (default 1 = sequential; 0 = hardware threads)
 //
 // Example:
 //   deepdive_cli run spouse.ddl --data Person=persons.tsv \
@@ -46,6 +48,7 @@ struct Args {
   double threshold = 0.0;
   uint64_t seed = 42;
   size_t epochs = 60;
+  size_t threads = 1;
 };
 
 void Usage() {
@@ -53,7 +56,7 @@ void Usage() {
                "usage: deepdive_cli run PROGRAM.ddl [--data REL=FILE]...\n"
                "       [--output REL[=FILE]]... [--update FILE.ddl]...\n"
                "       [--update-data REL=FILE]... [--mode incremental|rerun]\n"
-               "       [--threshold P] [--seed N] [--epochs N]\n");
+               "       [--threshold P] [--seed N] [--epochs N] [--threads N]\n");
 }
 
 StatusOr<std::pair<std::string, std::string>> SplitAssignment(const std::string& arg) {
@@ -118,6 +121,15 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
     } else if (flag == "--epochs") {
       DD_ASSIGN_OR_RETURN(std::string v, next());
       args.epochs = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--threads") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      char* end = nullptr;
+      args.threads = std::strtoull(v.c_str(), &end, 10);
+      // strtoull silently wraps negatives to huge values; reject them here.
+      if (end == v.c_str() || *end != '\0' || v[0] == '-' || args.threads > 4096) {
+        return Status::InvalidArgument(
+            "--threads expects a number in [0, 4096], got '" + v + "'");
+      }
     } else {
       return Status::InvalidArgument("unknown flag '" + flag + "'");
     }
@@ -185,6 +197,13 @@ Status Run(const Args& args) {
   config.mode = args.mode;
   config.seed = args.seed;
   config.learner.epochs = args.epochs;
+  // Parallel inference everywhere a Gibbs chain runs (0 = hardware threads).
+  config.gibbs.num_threads = args.threads;
+  config.learner.num_threads = args.threads;
+  config.materialization.num_threads = args.threads;
+  config.materialization.variational.num_threads = args.threads;
+  config.engine.gibbs.num_threads = args.threads;
+  config.engine.rerun_gibbs.num_threads = args.threads;
   DD_ASSIGN_OR_RETURN(std::unique_ptr<core::DeepDive> dd,
                       core::DeepDive::Create(source, config));
 
