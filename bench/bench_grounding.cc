@@ -30,9 +30,11 @@ struct System {
   std::unique_ptr<engine::ViewMaintainer> vm;
   grounding::GroundGraph ground;
   std::unique_ptr<grounding::IncrementalGrounder> grounder;
+  double ground_seconds = 0.0;  // GroundAll wall time
 };
 
-std::unique_ptr<System> Build(size_t sentences, uint64_t seed) {
+std::unique_ptr<System> Build(size_t sentences, uint64_t seed,
+                              grounding::GroundingOptions options = {}) {
   auto sys = std::make_unique<System>();
   auto p = dsl::CompileProgram(kProgram);
   if (!p.ok()) return nullptr;
@@ -52,10 +54,48 @@ std::unique_ptr<System> Build(size_t sentences, uint64_t seed) {
   sys->vm = std::make_unique<engine::ViewMaintainer>(&sys->program, &sys->db);
   if (!sys->vm->Initialize().ok()) return nullptr;
   sys->grounder = std::make_unique<grounding::IncrementalGrounder>(
-      &sys->program, &sys->db, &sys->ground);
+      &sys->program, &sys->db, &sys->ground, options);
   if (!sys->grounder->Initialize().ok()) return nullptr;
+  Timer ground_timer;
   if (!sys->grounder->GroundAll().ok()) return nullptr;
+  sys->ground_seconds = ground_timer.Seconds();
   return sys;
+}
+
+/// Thread-count sweep over the largest synthetic program: per-thread
+/// grounding throughput for recording speedup curves on multi-core hosts.
+/// Output must be bit-identical at every thread count (the determinism suite
+/// asserts this; here we only cross-check the aggregate stats).
+void RunThreadSweep() {
+  PrintHeader("Sharded grounding: thread-count sweep (full GroundAll)");
+  constexpr size_t kSentences = 20000;
+  std::printf("%8s | %12s %16s | %8s\n", "threads", "ground (s)", "clauses/s",
+              "speedup");
+  double base_seconds = 0.0;
+  size_t base_clauses = 0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    grounding::GroundingOptions options;
+    options.num_threads = threads;
+    auto sys = Build(kSentences, 3, options);
+    if (sys == nullptr) {
+      std::printf("build failed\n");
+      return;
+    }
+    const size_t clauses = sys->ground.graph.NumClauses();
+    if (threads == 1) {
+      base_seconds = sys->ground_seconds;
+      base_clauses = clauses;
+    } else if (clauses != base_clauses) {
+      std::printf("DETERMINISM VIOLATION: %zu clauses at %zu threads vs %zu\n",
+                  clauses, threads, base_clauses);
+      return;
+    }
+    std::printf("%8zu | %12.4f %16.0f | %7.2fx\n", threads, sys->ground_seconds,
+                sys->ground_seconds > 0
+                    ? static_cast<double>(clauses) / sys->ground_seconds
+                    : 0.0,
+                sys->ground_seconds > 0 ? base_seconds / sys->ground_seconds : 0.0);
+  }
 }
 
 void Run() {
@@ -102,5 +142,6 @@ void Run() {
 
 int main() {
   deepdive::bench::Run();
+  deepdive::bench::RunThreadSweep();
   return 0;
 }

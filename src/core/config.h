@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "grounding/grounding_options.h"
 #include "incremental/engine.h"
 #include "inference/gibbs.h"
 #include "inference/learner.h"
@@ -18,6 +19,9 @@ const char* ExecutionModeName(ExecutionMode mode);
 
 struct DeepDiveConfig {
   ExecutionMode mode = ExecutionMode::kIncremental;
+
+  /// Sharded grounding pipeline (bit-identical output at any thread count).
+  grounding::GroundingOptions grounding;
 
   inference::GibbsOptions gibbs;
   inference::LearnerOptions learner;

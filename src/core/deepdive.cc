@@ -1,5 +1,6 @@
 #include "core/deepdive.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "inference/gibbs.h"
@@ -47,7 +48,8 @@ Status DeepDive::Initialize() {
   views_ = std::make_unique<engine::ViewMaintainer>(&program_, &db_);
   DD_RETURN_IF_ERROR(views_->Initialize());
 
-  grounder_ = std::make_unique<grounding::IncrementalGrounder>(&program_, &db_, &ground_);
+  grounder_ = std::make_unique<grounding::IncrementalGrounder>(&program_, &db_, &ground_,
+                                                               config_.grounding);
   DD_RETURN_IF_ERROR(grounder_->Initialize());
   DD_RETURN_IF_ERROR(grounder_->GroundAll().status());
 
@@ -190,7 +192,8 @@ Status DeepDive::RunFullPipeline(UpdateReport* report, bool cold_learning) {
   // Re-ground from scratch: fresh graph, fresh grounder (Rerun baseline).
   Timer ground_timer;
   ground_ = grounding::GroundGraph{};
-  grounder_ = std::make_unique<grounding::IncrementalGrounder>(&program_, &db_, &ground_);
+  grounder_ = std::make_unique<grounding::IncrementalGrounder>(&program_, &db_, &ground_,
+                                                               config_.grounding);
   DD_RETURN_IF_ERROR(grounder_->Initialize());
   DD_RETURN_IF_ERROR(grounder_->GroundAll().status());
   report->grounding_seconds += ground_timer.Seconds();
@@ -247,13 +250,21 @@ double DeepDive::MarginalOf(const std::string& relation, const Tuple& tuple) con
 
 std::vector<std::pair<Tuple, double>> DeepDive::Marginals(
     const std::string& relation) const {
+  // Enumerate the relation's variables (var_index is hash-ordered), then
+  // sort by tuple: pipelines with different variable-creation histories
+  // (e.g. a from-scratch rerun vs an incremental engine) must enumerate the
+  // same relation in the same order so marginal vectors compare
+  // positionally.
   std::vector<std::pair<Tuple, double>> out;
-  auto it = ground_.var_index.find(relation);
-  if (it == ground_.var_index.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& [tuple, var] : it->second) {
-    out.emplace_back(tuple, var < marginals_.size() ? marginals_[var] : 0.5);
+  auto rit = ground_.relation_vars.find(relation);
+  if (rit == ground_.relation_vars.end()) return out;
+  out.reserve(rit->second.size());
+  for (const VarId var : rit->second) {
+    out.emplace_back(ground_.var_tuples[var].second,
+                     var < marginals_.size() ? marginals_[var] : 0.5);
   }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 

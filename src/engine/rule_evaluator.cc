@@ -217,6 +217,11 @@ void CompiledRuleBody::Recurse(size_t atom_idx, std::vector<Value>* values,
 }
 
 void CompiledRuleBody::EvaluateFull(const BindingCallback& fn) const {
+  // Sequential entry point: keep the Recurse path, which probes the driver
+  // atom's column index when it has a constant term (the range path always
+  // scans, which only pays off once the scan is split across shards). The
+  // index yields rows in ascending RowId order, so enumeration order is
+  // identical to EvaluateFullRange(0, FullDriverDomain()).
   std::vector<Value> values(var_slots_.size());
   std::vector<bool> bound(var_slots_.size(), false);
   std::vector<AtomMode> modes(atoms_.size(), AtomMode::kCurrent);
@@ -224,15 +229,35 @@ void CompiledRuleBody::EvaluateFull(const BindingCallback& fn) const {
   Recurse(0, &values, &bound, 1, modes, deltas, fn);
 }
 
-Status CompiledRuleBody::EvaluateDelta(
-    const std::map<std::string, const DeltaTable*>& deltas,
-    const BindingCallback& fn) const {
+bool CompiledRuleBody::DriverHasConstantTerm() const {
+  if (!DriverShardable()) return false;
+  for (const TermPlan& t : atoms_[0].terms) {
+    if (!t.is_var) return true;
+  }
+  return false;
+}
+
+size_t CompiledRuleBody::FullDriverDomain() const {
+  return DriverShardable() ? atoms_[0].table->RowSlots() : 0;
+}
+
+void CompiledRuleBody::EvaluateFullRange(size_t begin, size_t end,
+                                         const BindingCallback& fn) const {
+  DD_CHECK(DriverShardable());
+  std::vector<AtomMode> modes(atoms_.size(), AtomMode::kCurrent);
+  std::vector<const DeltaTable*> deltas(atoms_.size(), nullptr);
+  RecurseDriverRange(begin, end, AtomMode::kCurrent, nullptr, nullptr, modes, deltas,
+                     fn);
+}
+
+StatusOr<CompiledRuleBody::DeltaEvalPlan> CompiledRuleBody::PlanDeltaEvaluation(
+    const std::map<std::string, const DeltaTable*>& deltas) const {
   // Positions (atom indexes) on changed relations, in a fixed global order:
   // (relation name, atom index). Each term of the telescoping sum puts one
   // position in DELTA mode, earlier positions in NEW (current) mode, later
   // ones in OLD mode.
-  std::vector<size_t> delta_positions;
-  std::vector<const DeltaTable*> atom_deltas(atoms_.size(), nullptr);
+  DeltaEvalPlan plan;
+  plan.atom_deltas.assign(atoms_.size(), nullptr);
   for (const auto& [relation, delta] : deltas) {
     if (delta == nullptr || delta->empty()) continue;
     for (size_t i = 0; i < atoms_.size(); ++i) {
@@ -241,29 +266,162 @@ Status CompiledRuleBody::EvaluateDelta(
         return Status::Unimplemented(
             "delta evaluation with a changed negated relation '" + relation + "'");
       }
-      atom_deltas[i] = delta;
-      delta_positions.push_back(i);
+      plan.atom_deltas[i] = delta;
+      plan.delta_positions.push_back(i);
     }
   }
   // Order by (relation, position): map iteration is already name-sorted and
   // inner loop is position-sorted, so delta_positions is in global order.
+  return plan;
+}
 
+void CompiledRuleBody::MaterializeDriverDelta(DeltaEvalPlan* plan) const {
+  if (plan->driver_materialized) return;
+  plan->driver_materialized = true;
+  // ForEach order is reused for every term, which keeps enumeration
+  // identical across shard layouts.
+  if (!atoms_.empty() && plan->atom_deltas[0] != nullptr) {
+    plan->atom_deltas[0]->ForEach([&](const Tuple& tuple, int64_t count) {
+      plan->driver_entries.emplace_back(tuple, count);
+      if (count < 0) plan->driver_deletions.push_back(tuple);
+    });
+  }
+}
+
+size_t CompiledRuleBody::DeltaTermDomain(const DeltaEvalPlan& plan, size_t term) const {
+  if (!DriverShardable()) return 0;
+  // The driver's mode in term `term` follows EvaluateDeltaTermRange's mode
+  // assignment: positions at telescoping index < term are NEW, == term is
+  // DELTA, > term is OLD. So the driver is NEW for terms *after* its own
+  // index and OLD for terms *before* it.
+  const size_t driver_term =
+      std::find(plan.delta_positions.begin(), plan.delta_positions.end(), size_t{0}) -
+      plan.delta_positions.begin();
+  if (plan.atom_deltas[0] == nullptr || term > driver_term) {
+    // Driver in NEW (current) mode.
+    return atoms_[0].table->RowSlots();
+  }
+  // Entry counts come from the delta table itself, so domains are exact
+  // whether or not MaterializeDriverDelta has run (routing needs them before
+  // the sharded path commits to materializing).
+  if (term == driver_term) return plan.atom_deltas[0]->size();
+  // Driver in OLD mode: current rows plus just-deleted tuples added back.
+  return atoms_[0].table->RowSlots() + plan.atom_deltas[0]->DeletionEntries();
+}
+
+std::vector<CompiledRuleBody::AtomMode> CompiledRuleBody::TermModes(
+    const DeltaEvalPlan& plan, size_t term) const {
+  std::vector<AtomMode> modes(atoms_.size(), AtomMode::kCurrent);
+  for (size_t mm = 0; mm < plan.delta_positions.size(); ++mm) {
+    if (mm < term) {
+      modes[plan.delta_positions[mm]] = AtomMode::kCurrent;  // NEW
+    } else if (mm == term) {
+      modes[plan.delta_positions[mm]] = AtomMode::kDelta;
+    } else {
+      modes[plan.delta_positions[mm]] = AtomMode::kOld;
+    }
+  }
+  return modes;
+}
+
+void CompiledRuleBody::EvaluateDeltaTermRange(const DeltaEvalPlan& plan, size_t term,
+                                              size_t begin, size_t end,
+                                              const BindingCallback& fn) const {
+  DD_CHECK(DriverShardable());
+  DD_CHECK(plan.atom_deltas[0] == nullptr || plan.driver_materialized)
+      << "call MaterializeDriverDelta before range evaluation";
+  const std::vector<AtomMode> modes = TermModes(plan, term);
+  RecurseDriverRange(begin, end, modes[0], &plan.driver_entries,
+                     &plan.driver_deletions, modes, plan.atom_deltas, fn);
+}
+
+void CompiledRuleBody::EvaluateDeltaTerm(const DeltaEvalPlan& plan, size_t term,
+                                         const BindingCallback& fn) const {
   std::vector<Value> values(var_slots_.size());
   std::vector<bool> bound(var_slots_.size(), false);
-  for (size_t m = 0; m < delta_positions.size(); ++m) {
-    std::vector<AtomMode> modes(atoms_.size(), AtomMode::kCurrent);
-    for (size_t mm = 0; mm < delta_positions.size(); ++mm) {
-      if (mm < m) {
-        modes[delta_positions[mm]] = AtomMode::kCurrent;  // NEW
-      } else if (mm == m) {
-        modes[delta_positions[mm]] = AtomMode::kDelta;
-      } else {
-        modes[delta_positions[mm]] = AtomMode::kOld;
-      }
-    }
-    Recurse(0, &values, &bound, 1, modes, atom_deltas, fn);
+  Recurse(0, &values, &bound, 1, TermModes(plan, term), plan.atom_deltas, fn);
+}
+
+Status CompiledRuleBody::EvaluateDelta(
+    const std::map<std::string, const DeltaTable*>& deltas,
+    const BindingCallback& fn) const {
+  DD_ASSIGN_OR_RETURN(DeltaEvalPlan plan, PlanDeltaEvaluation(deltas));
+  for (size_t m = 0; m < plan.num_terms(); ++m) {
+    EvaluateDeltaTerm(plan, m, fn);
   }
   return Status::OK();
+}
+
+void CompiledRuleBody::RecurseDriverRange(
+    size_t begin, size_t end, AtomMode driver_mode,
+    const std::vector<std::pair<Tuple, int64_t>>* driver_entries,
+    const std::vector<Tuple>* driver_deletions, const std::vector<AtomMode>& modes,
+    const std::vector<const DeltaTable*>& atom_deltas, const BindingCallback& fn) const {
+  const AtomPlan& atom = atoms_[0];
+  const DeltaTable* delta = atom_deltas[0];
+  std::vector<Value> values(var_slots_.size());
+  std::vector<bool> bound(var_slots_.size(), false);
+
+  auto try_tuple = [&](const Tuple& tuple, int64_t tuple_sign) {
+    std::vector<int> newly_bound;
+    if (MatchTuple(atom, tuple, &values, &bound, &newly_bound)) {
+      Recurse(1, &values, &bound, tuple_sign, modes, atom_deltas, fn);
+    }
+    for (int slot : newly_bound) bound[slot] = false;
+  };
+
+  if (driver_mode == AtomMode::kDelta) {
+    DD_CHECK(driver_entries != nullptr);
+    const size_t limit = std::min(end, driver_entries->size());
+    for (size_t i = begin; i < limit; ++i) {
+      const auto& [tuple, count] = (*driver_entries)[i];
+      try_tuple(tuple, count > 0 ? 1 : -1);
+    }
+    return;
+  }
+
+  const size_t slots = atom.table->RowSlots();
+  if (begin < slots) {
+    atom.table->ScanRange(static_cast<RowId>(begin),
+                          static_cast<RowId>(std::min(end, slots)),
+                          [&](RowId, const Tuple& tuple) {
+                            if (driver_mode == AtomMode::kOld && delta != nullptr &&
+                                delta->Count(tuple) > 0) {
+                              return;  // NEW-only tuple: not in OLD
+                            }
+                            try_tuple(tuple, 1);
+                          });
+  }
+  if (driver_mode == AtomMode::kOld && driver_deletions != nullptr && end > slots) {
+    // Add back just-deleted tuples; their domain indexes follow the rows.
+    const size_t del_begin = begin > slots ? begin - slots : 0;
+    const size_t del_end = std::min(end - slots, driver_deletions->size());
+    for (size_t i = del_begin; i < del_end; ++i) {
+      try_tuple((*driver_deletions)[i], 1);
+    }
+  }
+}
+
+void CompiledRuleBody::PrewarmIndexes() const {
+  // The probe column of every atom is static: the first term that is a
+  // constant or a variable bound by an earlier atom. (MatchTuple binds every
+  // variable of an atom, so the bound set at atom k does not depend on data.)
+  std::vector<bool> bound(var_slots_.size(), false);
+  for (size_t k = 0; k < atoms_.size(); ++k) {
+    const AtomPlan& atom = atoms_[k];
+    if (!atom.negated && k > 0) {
+      for (size_t i = 0; i < atom.terms.size(); ++i) {
+        const TermPlan& t = atom.terms[i];
+        if (!t.is_var || bound[t.slot]) {
+          atom.table->WarmColumnIndex(i);
+          break;
+        }
+      }
+    }
+    for (const TermPlan& t : atom.terms) {
+      if (t.is_var) bound[t.slot] = true;
+    }
+  }
 }
 
 }  // namespace deepdive::engine

@@ -53,6 +53,74 @@ class CompiledRuleBody {
   Status EvaluateDelta(const std::map<std::string, const DeltaTable*>& deltas,
                        const BindingCallback& fn) const;
 
+  // ---- sharded evaluation ----
+  //
+  // The driver atom (first body atom) defines a scan domain that can be
+  // partitioned into contiguous ranges; evaluating each range independently
+  // and concatenating the results in range order reproduces the sequential
+  // enumeration exactly. This is what lets the grounder run shards on a
+  // thread pool and still build a bit-identical graph.
+
+  /// True when the driver atom has a constant term: the sequential
+  /// recursion then probes the driver's column index (O(matching rows)),
+  /// which usually beats a sharded full scan — callers should prefer the
+  /// sequential path for such bodies.
+  bool DriverHasConstantTerm() const;
+
+  /// Size of the full-evaluation driver domain (the driver table's row-slot
+  /// count), or 0 if the body is not shardable (empty or negation-only).
+  size_t FullDriverDomain() const;
+
+  /// Enumerates exactly the derivations whose driver row-slot falls in
+  /// [begin, end). EvaluateFull == EvaluateFullRange(0, FullDriverDomain()).
+  /// Thread-safe against concurrent ranges once PrewarmIndexes() has run.
+  void EvaluateFullRange(size_t begin, size_t end, const BindingCallback& fn) const;
+
+  /// Precomputed state for one EvaluateDelta call: the telescoping terms plus
+  /// (for the sharded path) the driver atom's materialized delta entries.
+  struct DeltaEvalPlan {
+    std::vector<size_t> delta_positions;
+    std::vector<const DeltaTable*> atom_deltas;
+    /// Driver-atom delta entries / deletions in ForEach order, filled by
+    /// MaterializeDriverDelta. Only the indexed range evaluation needs them
+    /// (sequential term evaluation iterates the delta table directly).
+    std::vector<std::pair<Tuple, int64_t>> driver_entries;
+    std::vector<Tuple> driver_deletions;
+    bool driver_materialized = false;
+    size_t num_terms() const { return delta_positions.size(); }
+  };
+
+  /// Builds the telescoping-evaluation plan (same validation as
+  /// EvaluateDelta: errors on a changed negated relation).
+  StatusOr<DeltaEvalPlan> PlanDeltaEvaluation(
+      const std::map<std::string, const DeltaTable*>& deltas) const;
+
+  /// Copies the driver atom's delta entries into the plan so range
+  /// evaluation can index them. Required before EvaluateDeltaTermRange /
+  /// DeltaTermDomain when the driver is on a changed relation; idempotent.
+  void MaterializeDriverDelta(DeltaEvalPlan* plan) const;
+
+  /// Driver-domain size of one telescoping term, or 0 if not shardable.
+  size_t DeltaTermDomain(const DeltaEvalPlan& plan, size_t term) const;
+
+  /// Sequential evaluation of one telescoping term (the whole driver
+  /// domain), via the recursion that probes the driver's column index when
+  /// it has a constant term. Enumeration order equals
+  /// EvaluateDeltaTermRange(plan, term, 0, DeltaTermDomain(plan, term)).
+  void EvaluateDeltaTerm(const DeltaEvalPlan& plan, size_t term,
+                         const BindingCallback& fn) const;
+
+  /// Enumerates term `term`'s derivations with driver index in [begin, end).
+  /// Covering [0, DeltaTermDomain()) for every term in order reproduces
+  /// EvaluateDelta exactly.
+  void EvaluateDeltaTermRange(const DeltaEvalPlan& plan, size_t term, size_t begin,
+                              size_t end, const BindingCallback& fn) const;
+
+  /// Builds every column index the evaluation will probe. Call before
+  /// evaluating ranges concurrently: index construction is lazy and not
+  /// thread-safe, but probing built indexes is.
+  void PrewarmIndexes() const;
+
  private:
   struct TermPlan {
     bool is_var = false;
@@ -77,6 +145,24 @@ class CompiledRuleBody {
                int64_t sign, const std::vector<AtomMode>& modes,
                const std::vector<const DeltaTable*>& atom_deltas,
                const BindingCallback& fn) const;
+
+  /// True when the driver atom can be enumerated by domain index (non-empty
+  /// body whose first atom is positive).
+  bool DriverShardable() const { return !atoms_.empty() && !atoms_[0].negated; }
+
+  /// Per-atom modes of telescoping term `term`: positions at telescoping
+  /// index < term evaluate NEW, == term DELTA, > term OLD. The single source
+  /// of truth for the mode convention (DeltaTermDomain must agree with it).
+  std::vector<AtomMode> TermModes(const DeltaEvalPlan& plan, size_t term) const;
+
+  /// Enumerates driver-atom matches with domain index in [begin, end) under
+  /// `mode`, recursing into the remaining atoms for each.
+  void RecurseDriverRange(size_t begin, size_t end, AtomMode driver_mode,
+                          const std::vector<std::pair<Tuple, int64_t>>* driver_entries,
+                          const std::vector<Tuple>* driver_deletions,
+                          const std::vector<AtomMode>& modes,
+                          const std::vector<const DeltaTable*>& atom_deltas,
+                          const BindingCallback& fn) const;
 
   /// Tries to bind the atom's terms against `tuple`; returns false on
   /// mismatch. Appends newly bound slots to `newly_bound`.

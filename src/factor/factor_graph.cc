@@ -2,9 +2,23 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace deepdive::factor {
+
+namespace {
+
+/// Growth-aware reserve: never shrinks the amortized growth guarantee.
+/// Reserving an exact slightly-larger capacity on every small batch would
+/// reallocate per batch (quadratic); growing to at least double keeps
+/// appends amortized O(1) while still pre-sizing for large batches.
+template <typename Vector>
+void GrowReserve(Vector* v, size_t n) {
+  if (n > v->capacity()) v->reserve(std::max(n, v->size() * 2));
+}
+
+}  // namespace
 
 VarId FactorGraph::AddVariable() {
   evidence_.emplace_back(std::nullopt);
@@ -41,6 +55,12 @@ WeightId FactorGraph::GetOrCreateTiedWeight(const std::string& key) {
   return id;
 }
 
+std::optional<WeightId> FactorGraph::FindTiedWeight(const std::string& key) const {
+  auto it = tied_weights_.find(key);
+  if (it == tied_weights_.end()) return std::nullopt;
+  return it->second;
+}
+
 void FactorGraph::SetWeightValue(WeightId id, double value) {
   DD_CHECK_LT(id, weights_.size());
   weights_[id].value = value;
@@ -62,6 +82,14 @@ GroupId FactorGraph::AddGroup(uint32_t rule_id, VarId head, WeightId weight,
   return id;
 }
 
+uint64_t FactorGraph::ClauseKey(GroupId group, const std::vector<Literal>& literals) {
+  uint64_t h = HashMix(0x51ab5e1f00d5eedULL ^ group);
+  for (const Literal& lit : literals) {
+    h = HashCombine(h, (static_cast<uint64_t>(lit.var) << 1) | (lit.negated ? 1 : 0));
+  }
+  return h;
+}
+
 ClauseId FactorGraph::AddClause(GroupId group, std::vector<Literal> literals) {
   DD_CHECK_LT(group, groups_.size());
   for (const Literal& lit : literals) {
@@ -76,9 +104,42 @@ ClauseId FactorGraph::AddClause(GroupId group, std::vector<Literal> literals) {
   for (const Literal& lit : clause.literals) {
     body_refs_[lit.var].push_back(BodyRef{id, lit.negated});
   }
+  clause_index_[ClauseKey(group, clause.literals)].push_back(id);
   clauses_.push_back(std::move(clause));
   groups_[group].clauses.push_back(id);
   return id;
+}
+
+ClauseId FactorGraph::AddClauses(GroupId group,
+                                 std::vector<std::vector<Literal>> literal_lists) {
+  DD_CHECK_LT(group, groups_.size());
+  if (literal_lists.empty()) return kNoClause;
+  ReserveClauses(clauses_.size() + literal_lists.size());
+  const ClauseId first = static_cast<ClauseId>(clauses_.size());
+  for (std::vector<Literal>& literals : literal_lists) {
+    AddClause(group, std::move(literals));
+  }
+  return first;
+}
+
+void FactorGraph::ReserveVariables(size_t n) {
+  GrowReserve(&evidence_, n);
+  GrowReserve(&head_refs_, n);
+  GrowReserve(&body_refs_, n);
+}
+
+void FactorGraph::ReserveWeights(size_t n) {
+  GrowReserve(&weights_, n);
+  GrowReserve(&weight_groups_, n);
+}
+
+void FactorGraph::ReserveGroups(size_t n) { GrowReserve(&groups_, n); }
+
+void FactorGraph::ReserveClauses(size_t n) {
+  GrowReserve(&clauses_, n);
+  // The hash index grows geometrically on its own; an explicit rehash only
+  // pays off when pre-sizing well past the current load.
+  if (n > clause_index_.size() * 2) clause_index_.reserve(n);
 }
 
 void FactorGraph::DeactivateGroup(GroupId group) {
@@ -89,13 +150,27 @@ void FactorGraph::DeactivateGroup(GroupId group) {
 void FactorGraph::DeactivateClause(ClauseId clause) {
   DD_CHECK_LT(clause, clauses_.size());
   clauses_[clause].active = false;
+  // Drop it from the active-clause index (preserving bucket order so
+  // FindActiveClause keeps returning the earliest matching clause).
+  const Clause& c = clauses_[clause];
+  auto it = clause_index_.find(ClauseKey(c.group, c.literals));
+  if (it != clause_index_.end()) {
+    auto pos = std::find(it->second.begin(), it->second.end(), clause);
+    if (pos != it->second.end()) it->second.erase(pos);
+    if (it->second.empty()) clause_index_.erase(it);
+  }
 }
 
 ClauseId FactorGraph::FindActiveClause(GroupId group,
                                        const std::vector<Literal>& literals) const {
-  for (ClauseId cid : groups_[group].clauses) {
+  auto it = clause_index_.find(ClauseKey(group, literals));
+  if (it == clause_index_.end()) return kNoClause;
+  for (ClauseId cid : it->second) {
     const Clause& clause = clauses_[cid];
-    if (!clause.active || clause.literals.size() != literals.size()) continue;
+    if (!clause.active || clause.group != group ||
+        clause.literals.size() != literals.size()) {
+      continue;
+    }
     bool equal = true;
     for (size_t i = 0; i < literals.size(); ++i) {
       if (clause.literals[i].var != literals[i].var ||

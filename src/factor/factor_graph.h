@@ -93,6 +93,11 @@ class FactorGraph {
   /// use. Key convention: "<rule label>/<feature value>".
   WeightId GetOrCreateTiedWeight(const std::string& key);
 
+  /// Weight id for an existing tied-weight key, or nullopt. Read-only:
+  /// safe to call concurrently with other readers (shard-local grounding
+  /// resolves weights against a frozen graph through this).
+  std::optional<WeightId> FindTiedWeight(const std::string& key) const;
+
   void SetWeightValue(WeightId id, double value);
 
   /// Creates an (initially clause-less) factor group.
@@ -101,6 +106,20 @@ class FactorGraph {
   /// Appends a ground clause to a group. Literal variables must not equal the
   /// group head (Eq. 1 counts body groundings; self-loops are a grounder bug).
   ClauseId AddClause(GroupId group, std::vector<Literal> literals);
+
+  /// Bulk append: adds every literal list as one clause of `group`, in
+  /// order, reserving capacity once up front. Returns the first new id
+  /// (ids are contiguous); kNoClause if `literal_lists` is empty.
+  ClauseId AddClauses(GroupId group, std::vector<std::vector<Literal>> literal_lists);
+
+  // Capacity pre-sizing for bulk construction (e.g. the sharded grounding
+  // merge). `n` is the expected *total* count, not a delta. Growth-aware:
+  // repeated calls with slightly larger totals never degrade the geometric
+  // growth guarantee, so they are safe to issue per batch.
+  void ReserveVariables(size_t n);
+  void ReserveWeights(size_t n);
+  void ReserveGroups(size_t n);
+  void ReserveClauses(size_t n);
 
   /// Deactivates a group: it no longer contributes to any distribution.
   void DeactivateGroup(GroupId group);
@@ -173,6 +192,12 @@ class FactorGraph {
   std::vector<std::vector<BodyRef>> body_refs_;   // per var
   std::vector<std::vector<GroupId>> weight_groups_;
   std::unordered_map<std::string, WeightId> tied_weights_;
+
+  /// (group, literal-list) hash -> clause ids with that hash, in insertion
+  /// order. Backs FindActiveClause in O(1) expected instead of scanning the
+  /// whole group (delta retraction on large groups was quadratic).
+  static uint64_t ClauseKey(GroupId group, const std::vector<Literal>& literals);
+  std::unordered_map<uint64_t, std::vector<ClauseId>> clause_index_;
 };
 
 }  // namespace deepdive::factor

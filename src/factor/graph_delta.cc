@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "factor/semantics.h"
 
@@ -14,16 +16,61 @@ void GraphDelta::Merge(const GraphDelta& other) {
   // A group that was introduced and later removed within the merged window
   // never existed in the materialized distribution: cancel the pair instead
   // of recording a removal (which would wrongly subtract it from Pr(0)).
+  // Hash-index the accumulated state once per merge (only when `other`
+  // actually needs the lookups): the cumulative delta grows monotonically
+  // across updates, so per-entry linear scans would make the engine's
+  // running merge quadratic.
+  std::unordered_set<GroupId> new_set;
+  if (!other.removed_groups.empty() || !other.modified_groups.empty()) {
+    new_set.insert(new_groups.begin(), new_groups.end());
+  }
   for (GroupId removed : other.removed_groups) {
-    auto it = std::find(new_groups.begin(), new_groups.end(), removed);
-    if (it != new_groups.end()) {
-      new_groups.erase(it);
+    if (new_set.erase(removed) > 0) {
+      new_groups.erase(std::find(new_groups.begin(), new_groups.end(), removed));
     } else {
       removed_groups.push_back(removed);
     }
   }
-  modified_groups.insert(modified_groups.end(), other.modified_groups.begin(),
-                         other.modified_groups.end());
+  // Coalesce clause-set modifications so each group appears at most once.
+  // Two separate GroupMods for one group would make DeltaLogDensityRatio
+  // reconstruct two *independent* Pr(0) counts from n_new, which is wrong
+  // for non-linear semantics; and a clause added in one window and removed
+  // in a later one never existed in Pr(0), so the pair cancels. Mods on
+  // groups new within the merged window are dropped entirely: the new-group
+  // term already evaluates the group's current clause set.
+  if (!other.modified_groups.empty()) {
+    std::unordered_map<GroupId, size_t> mod_index;
+    mod_index.reserve(modified_groups.size());
+    for (size_t i = 0; i < modified_groups.size(); ++i) {
+      mod_index.emplace(modified_groups[i].group, i);
+    }
+    for (const GroupMod& mod : other.modified_groups) {
+      if (new_set.count(mod.group) > 0) continue;
+      auto [mit, inserted] = mod_index.emplace(mod.group, modified_groups.size());
+      if (inserted) {
+        modified_groups.push_back(mod);
+        continue;
+      }
+      GroupMod& mine = modified_groups[mit->second];
+      for (ClauseId added : mod.added) mine.added.push_back(added);
+      for (ClauseId removed : mod.removed) {
+        auto ait = std::find(mine.added.begin(), mine.added.end(), removed);
+        if (ait != mine.added.end()) {
+          mine.added.erase(ait);
+        } else {
+          mine.removed.push_back(removed);
+        }
+      }
+    }
+    // A mod whose additions and removals fully cancelled is a net no-op:
+    // the group's clause set matches its pre-window state, so drop it.
+    modified_groups.erase(
+        std::remove_if(modified_groups.begin(), modified_groups.end(),
+                       [](const GroupMod& m) {
+                         return m.added.empty() && m.removed.empty();
+                       }),
+        modified_groups.end());
+  }
   weight_changes.insert(weight_changes.end(), other.weight_changes.begin(),
                         other.weight_changes.end());
   evidence_changes.insert(evidence_changes.end(), other.evidence_changes.begin(),

@@ -13,17 +13,14 @@ factor::VarId GroundGraph::FindVariable(const std::string& relation,
 }
 
 std::vector<factor::VarId> GroundGraph::VariablesOf(const std::string& relation) const {
-  std::vector<factor::VarId> out;
-  auto rit = var_index.find(relation);
-  if (rit == var_index.end()) return out;
-  out.reserve(rit->second.size());
-  for (const auto& [_, var] : rit->second) out.push_back(var);
-  return out;
+  auto rit = relation_vars.find(relation);
+  return rit == relation_vars.end() ? std::vector<factor::VarId>{} : rit->second;
 }
 
-StatusOr<GroundGraph> GroundProgram(const dsl::Program& program, Database* db) {
+StatusOr<GroundGraph> GroundProgram(const dsl::Program& program, Database* db,
+                                    const GroundingOptions& options) {
   GroundGraph ground;
-  IncrementalGrounder grounder(&program, db, &ground);
+  IncrementalGrounder grounder(&program, db, &ground, options);
   DD_RETURN_IF_ERROR(grounder.Initialize());
   DD_RETURN_IF_ERROR(grounder.GroundAll().status());
   return ground;

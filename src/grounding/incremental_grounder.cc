@@ -28,11 +28,68 @@ factor::Semantics ToFactorSemantics(dsl::Semantics s) {
   return factor::Semantics::kLinear;
 }
 
+/// Shard-local references: a global id, or (index | kProvisionalBit) into the
+/// shard's new-entity list. Real ids stay below 2^31 by a wide margin.
+constexpr uint32_t kProvisionalBit = 0x80000000u;
+inline bool IsProvisional(uint32_t ref) { return (ref & kProvisionalBit) != 0; }
+inline uint32_t ProvisionalIndex(uint32_t ref) { return ref & ~kProvisionalBit; }
+
+/// Canonical clause form: literals sorted by (var, negated), duplicates
+/// removed. Applied after variable ids are final, so the sharded merge and
+/// the sequential path canonicalize identically.
+void CanonicalizeLiterals(std::vector<Literal>* literals) {
+  std::sort(literals->begin(), literals->end(), [](const Literal& a, const Literal& b) {
+    return a.var != b.var ? a.var < b.var : a.negated < b.negated;
+  });
+  literals->erase(std::unique(literals->begin(), literals->end(),
+                              [](const Literal& a, const Literal& b) {
+                                return a.var == b.var && a.negated == b.negated;
+                              }),
+                  literals->end());
+}
+
 }  // namespace
 
+/// One shard's private emission buffer. Evaluation threads append here only;
+/// the merge replays buffers in shard order on the caller thread.
+struct IncrementalGrounder::ShardBuffer {
+  struct Op {
+    int64_t sign = 1;
+    uint32_t head_ref = 0;
+    uint32_t weight_ref = 0;
+    std::vector<factor::Literal> literals;  // var fields hold refs, unsorted
+  };
+  std::vector<Op> ops;
+
+  /// New entities in first-encounter order; provisional id = index.
+  std::vector<std::pair<std::string, Tuple>> new_vars;
+  std::vector<std::string> new_weight_keys;
+
+  // Shard-local dedup for entities missing from the frozen graph.
+  std::unordered_map<std::string, std::unordered_map<Tuple, uint32_t, TupleHash>>
+      var_lookup;
+  std::unordered_map<std::string, uint32_t> weight_lookup;
+};
+
 IncrementalGrounder::IncrementalGrounder(const dsl::Program* program, Database* db,
-                                         GroundGraph* ground)
-    : program_(program), db_(db), ground_(ground) {}
+                                         GroundGraph* ground, GroundingOptions options)
+    : program_(program), db_(db), ground_(ground), options_(options) {
+  if (options_.num_threads == 0) options_.num_threads = ThreadPool::DefaultThreads();
+}
+
+size_t IncrementalGrounder::ShardsFor(size_t domain) const {
+  if (options_.num_threads <= 1 || domain < options_.min_shard_rows) return 1;
+  return options_.num_threads;
+}
+
+void IncrementalGrounder::EnsurePool() {
+  // Common pre-shard chokepoint: provisional references tag ids with the
+  // high bit, so real ids must stay below it before any shard mints refs
+  // against the frozen graph (turn silent ref corruption into a crash).
+  DD_CHECK_LT(ground_->graph.NumVariables(), size_t{kProvisionalBit});
+  DD_CHECK_LT(ground_->graph.NumWeights(), size_t{kProvisionalBit});
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+}
 
 Status IncrementalGrounder::Initialize() {
   DD_CHECK(!initialized_);
@@ -109,6 +166,7 @@ VarId IncrementalGrounder::GetOrCreateVariable(const std::string& relation,
   const VarId var = ground_->graph.AddVariable();
   index.emplace(tuple, var);
   ground_->var_tuples.emplace_back(relation, tuple);
+  ground_->relation_vars[relation].push_back(var);
   delta->new_variables.push_back(var);
   return var;
 }
@@ -138,14 +196,7 @@ void IncrementalGrounder::ProcessGrounding(const CompiledFactorRule& cr,
     if (v == head) return;  // grounding references its own head; skip
     literals.push_back(Literal{v, qa.negated});
   }
-  std::sort(literals.begin(), literals.end(), [](const Literal& a, const Literal& b) {
-    return a.var != b.var ? a.var < b.var : a.negated < b.negated;
-  });
-  literals.erase(std::unique(literals.begin(), literals.end(),
-                             [](const Literal& a, const Literal& b) {
-                               return a.var == b.var && a.negated == b.negated;
-                             }),
-                 literals.end());
+  CanonicalizeLiterals(&literals);
 
   // Weight.
   WeightId weight;
@@ -161,6 +212,12 @@ void IncrementalGrounder::ProcessGrounding(const CompiledFactorRule& cr,
     weight = ground_->graph.GetOrCreateTiedWeight(key);
   }
 
+  FinishGrounding(cr, head, weight, std::move(literals), sign, delta);
+}
+
+void IncrementalGrounder::FinishGrounding(const CompiledFactorRule& cr, VarId head,
+                                          WeightId weight, std::vector<Literal> literals,
+                                          int64_t sign, GraphDelta* delta) {
   // Group.
   const auto group_key = std::make_tuple(cr.rule_id, head, weight);
   auto git = group_index_.find(group_key);
@@ -216,6 +273,158 @@ void IncrementalGrounder::ProcessGrounding(const CompiledFactorRule& cr,
   }
 }
 
+void IncrementalGrounder::EmitShardGrounding(const CompiledFactorRule& cr,
+                                             const std::vector<Value>& values,
+                                             int64_t sign, ShardBuffer* buf) const {
+  // Mirror of ProcessGrounding's resolution half against a frozen graph:
+  // lookups hit the shared index read-only; misses mint provisional ids in
+  // first-encounter order, which is exactly the order the sequential
+  // grounder would have assigned real ids in.
+  auto var_ref = [&](const std::string& relation, Tuple tuple) -> uint32_t {
+    auto rit = ground_->var_index.find(relation);
+    if (rit != ground_->var_index.end()) {
+      auto it = rit->second.find(tuple);
+      if (it != rit->second.end()) return it->second;
+    }
+    auto& local = buf->var_lookup[relation];
+    auto [lit, inserted] = local.try_emplace(
+        tuple, static_cast<uint32_t>(buf->new_vars.size()) | kProvisionalBit);
+    if (inserted) buf->new_vars.emplace_back(relation, std::move(tuple));
+    return lit->second;
+  };
+
+  Tuple head_tuple;
+  head_tuple.reserve(cr.head_slots.size());
+  for (size_t i = 0; i < cr.head_slots.size(); ++i) {
+    head_tuple.push_back(cr.head_slots[i] >= 0 ? values[cr.head_slots[i]]
+                                               : cr.rule.head.terms[i].constant);
+  }
+  ShardBuffer::Op op;
+  op.sign = sign;
+  op.head_ref = var_ref(cr.rule.head.predicate, std::move(head_tuple));
+
+  op.literals.reserve(cr.query_atoms.size());
+  for (const auto& qa : cr.query_atoms) {
+    Tuple t;
+    t.reserve(qa.slots.size());
+    for (size_t i = 0; i < qa.slots.size(); ++i) {
+      t.push_back(qa.slots[i] >= 0 ? values[qa.slots[i]] : qa.constants[i]);
+    }
+    const uint32_t v = var_ref(qa.relation, std::move(t));
+    // Grounding references its own head: skip, keeping any variables already
+    // minted (the sequential path creates them before bailing too).
+    if (v == op.head_ref) return;
+    op.literals.push_back(Literal{v, qa.negated});
+  }
+
+  if (cr.has_fixed_weight) {
+    op.weight_ref = cr.fixed_weight;
+  } else {
+    std::string key = cr.rule.label.empty() ? StrFormat("rule#%u", cr.rule_id)
+                                            : cr.rule.label;
+    for (int slot : cr.weight_slots) {
+      key += '/';
+      key += values[slot].ToString();
+    }
+    if (auto w = ground_->graph.FindTiedWeight(key)) {
+      op.weight_ref = *w;
+    } else {
+      auto [it, inserted] = buf->weight_lookup.try_emplace(
+          key, static_cast<uint32_t>(buf->new_weight_keys.size()) | kProvisionalBit);
+      if (inserted) buf->new_weight_keys.push_back(std::move(key));
+      op.weight_ref = it->second;
+    }
+  }
+  buf->ops.push_back(std::move(op));
+}
+
+void IncrementalGrounder::MergeShardBuffers(const CompiledFactorRule& cr,
+                                            std::vector<ShardBuffer>* buffers,
+                                            GraphDelta* delta) {
+  factor::FactorGraph& graph = ground_->graph;
+  size_t new_vars = 0, new_weights = 0, clause_adds = 0;
+  for (const ShardBuffer& buf : *buffers) {
+    new_vars += buf.new_vars.size();
+    new_weights += buf.new_weight_keys.size();
+    for (const ShardBuffer::Op& op : buf.ops) {
+      if (op.sign > 0) ++clause_adds;
+    }
+  }
+  // Upper bounds (cross-shard dedup only shrinks them): one reservation, no
+  // rehash or reallocation inside the replay loop.
+  graph.ReserveVariables(graph.NumVariables() + new_vars);
+  graph.ReserveWeights(graph.NumWeights() + new_weights);
+  graph.ReserveClauses(graph.NumClauses() + clause_adds);
+  ground_->var_tuples.reserve(ground_->var_tuples.size() + new_vars);
+
+  for (ShardBuffer& buf : *buffers) {
+    // Resolve this shard's provisional entities in first-encounter order;
+    // entities another shard already materialized dedup to that id.
+    std::vector<VarId> var_map(buf.new_vars.size());
+    for (size_t i = 0; i < buf.new_vars.size(); ++i) {
+      var_map[i] =
+          GetOrCreateVariable(buf.new_vars[i].first, buf.new_vars[i].second, delta);
+    }
+    std::vector<WeightId> weight_map(buf.new_weight_keys.size());
+    for (size_t i = 0; i < buf.new_weight_keys.size(); ++i) {
+      weight_map[i] = graph.GetOrCreateTiedWeight(buf.new_weight_keys[i]);
+    }
+    auto resolve_var = [&](uint32_t ref) -> VarId {
+      return IsProvisional(ref) ? var_map[ProvisionalIndex(ref)] : ref;
+    };
+
+    for (ShardBuffer::Op& op : buf.ops) {
+      const VarId head = resolve_var(op.head_ref);
+      std::vector<Literal> literals;
+      literals.reserve(op.literals.size());
+      for (const Literal& lit : op.literals) {
+        literals.push_back(Literal{resolve_var(lit.var), lit.negated});
+      }
+      CanonicalizeLiterals(&literals);
+      const WeightId weight = IsProvisional(op.weight_ref)
+                                  ? weight_map[ProvisionalIndex(op.weight_ref)]
+                                  : op.weight_ref;
+      FinishGrounding(cr, head, weight, std::move(literals), op.sign, delta);
+    }
+    // Done with this shard; free its buffers before replaying the next.
+    buf = ShardBuffer{};
+  }
+}
+
+void IncrementalGrounder::GroundRuleFull(const CompiledFactorRule& cr,
+                                         GraphDelta* delta) {
+  // A constant-term driver is probed through its column index sequentially
+  // (O(matching rows)); a sharded full scan would visit every row.
+  const size_t domain = cr.body.FullDriverDomain();
+  const size_t shards = cr.body.DriverHasConstantTerm() ? 1 : ShardsFor(domain);
+  if (shards <= 1) {
+    // Groundings are buffered first because ProcessGrounding mutates graph
+    // state while tables are being scanned.
+    std::vector<std::vector<Value>> bindings;
+    cr.body.EvaluateFull([&](const std::vector<Value>& values, int64_t sign) {
+      DD_CHECK_EQ(sign, 1);
+      bindings.push_back(values);
+    });
+    for (const auto& values : bindings) {
+      ProcessGrounding(cr, values, +1, delta);
+    }
+    return;
+  }
+
+  EnsurePool();
+  cr.body.PrewarmIndexes();
+  std::vector<ShardBuffer> buffers(pool_->shards());
+  pool_->ParallelFor(domain, [&](size_t shard, size_t begin, size_t end) {
+    ShardBuffer* buf = &buffers[shard];
+    cr.body.EvaluateFullRange(begin, end,
+                              [&](const std::vector<Value>& values, int64_t sign) {
+                                DD_CHECK_EQ(sign, 1);
+                                EmitShardGrounding(cr, values, sign, buf);
+                              });
+  });
+  MergeShardBuffers(cr, &buffers, delta);
+}
+
 void IncrementalGrounder::ReapplyEvidence(const std::string& query_relation,
                                           const Tuple& tuple, GraphDelta* delta) {
   const VarId var = GetOrCreateVariable(query_relation, tuple, delta);
@@ -266,18 +475,11 @@ StatusOr<GraphDelta> IncrementalGrounder::GroundAll() {
     });
   }
 
-  // Ground every factor rule. Groundings are buffered first because
-  // ProcessGrounding may create variables/ghost rows while tables are being
-  // scanned.
+  // Ground every factor rule, sharding large evaluations across the pool.
+  // Rules merge in order: rule r+1's shards resolve variables against the
+  // graph state rule r left behind, exactly like the sequential grounder.
   for (const CompiledFactorRule& cr : rules_) {
-    std::vector<std::vector<Value>> bindings;
-    cr.body.EvaluateFull([&](const std::vector<Value>& values, int64_t sign) {
-      DD_CHECK_EQ(sign, 1);
-      bindings.push_back(values);
-    });
-    for (const auto& values : bindings) {
-      ProcessGrounding(cr, values, +1, &delta);
-    }
+    GroundRuleFull(cr, &delta);
   }
   return delta;
 }
@@ -312,6 +514,8 @@ StatusOr<GraphDelta> IncrementalGrounder::ApplyRelationDeltas(
   }
 
   // 3. Delta-ground every factor rule whose body touches a changed relation.
+  //    Each telescoping term's driver scan shards independently; small
+  //    deltas (the common incremental case) stay sequential.
   for (const CompiledFactorRule& cr : rules_) {
     std::map<std::string, const DeltaTable*> body_deltas;
     for (const dsl::Atom& atom : cr.rule.body) {
@@ -319,14 +523,49 @@ StatusOr<GraphDelta> IncrementalGrounder::ApplyRelationDeltas(
       if (it != deltas.end()) body_deltas[atom.predicate] = &it->second;
     }
     if (body_deltas.empty()) continue;
-    std::vector<std::pair<std::vector<Value>, int64_t>> bindings;
-    DD_RETURN_IF_ERROR(cr.body.EvaluateDelta(
-        body_deltas, [&](const std::vector<Value>& values, int64_t sign) {
-          bindings.emplace_back(values, sign);
-        }));
-    for (const auto& [values, sign] : bindings) {
-      ProcessGrounding(cr, values, sign, &delta);
+
+    DD_ASSIGN_OR_RETURN(engine::CompiledRuleBody::DeltaEvalPlan plan,
+                        cr.body.PlanDeltaEvaluation(body_deltas));
+    size_t max_domain = 0;
+    for (size_t m = 0; m < plan.num_terms(); ++m) {
+      max_domain = std::max(max_domain, cr.body.DeltaTermDomain(plan, m));
     }
+    const size_t shards =
+        cr.body.DriverHasConstantTerm() ? 1 : ShardsFor(max_domain);
+    if (shards <= 1) {
+      // Sequential: reuse the plan already built for routing, via the
+      // index-probing recursion (the range path always scans the driver).
+      std::vector<std::pair<std::vector<Value>, int64_t>> bindings;
+      for (size_t m = 0; m < plan.num_terms(); ++m) {
+        cr.body.EvaluateDeltaTerm(plan, m,
+                                  [&](const std::vector<Value>& values, int64_t sign) {
+                                    bindings.emplace_back(values, sign);
+                                  });
+      }
+      for (const auto& [values, sign] : bindings) {
+        ProcessGrounding(cr, values, sign, &delta);
+      }
+      continue;
+    }
+
+    EnsurePool();
+    cr.body.PrewarmIndexes();
+    cr.body.MaterializeDriverDelta(&plan);
+    const size_t per_term = pool_->shards();
+    std::vector<ShardBuffer> buffers(plan.num_terms() * per_term);
+    for (size_t m = 0; m < plan.num_terms(); ++m) {
+      pool_->ParallelFor(
+          cr.body.DeltaTermDomain(plan, m),
+          [&](size_t shard, size_t begin, size_t end) {
+            ShardBuffer* buf = &buffers[m * per_term + shard];
+            cr.body.EvaluateDeltaTermRange(
+                plan, m, begin, end,
+                [&](const std::vector<Value>& values, int64_t sign) {
+                  EmitShardGrounding(cr, values, sign, buf);
+                });
+          });
+    }
+    MergeShardBuffers(cr, &buffers, &delta);
   }
   return delta;
 }
@@ -337,15 +576,7 @@ StatusOr<GraphDelta> IncrementalGrounder::AddFactorRule(const dsl::FactorRule& r
   GraphDelta delta;
   mod_index_.clear();
   fresh_groups_.clear();
-  const CompiledFactorRule& cr = rules_.back();
-  std::vector<std::vector<Value>> bindings;
-  cr.body.EvaluateFull([&](const std::vector<Value>& values, int64_t sign) {
-    DD_CHECK_EQ(sign, 1);
-    bindings.push_back(values);
-  });
-  for (const auto& values : bindings) {
-    ProcessGrounding(cr, values, +1, &delta);
-  }
+  GroundRuleFull(rules_.back(), &delta);
   return delta;
 }
 

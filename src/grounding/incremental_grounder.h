@@ -2,6 +2,7 @@
 #define DEEPDIVE_GROUNDING_INCREMENTAL_GROUNDER_H_
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -11,8 +12,10 @@
 #include "engine/view_maintenance.h"
 #include "factor/graph_delta.h"
 #include "grounding/grounder.h"
+#include "grounding/grounding_options.h"
 #include "storage/database.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace deepdive::grounding {
 
@@ -25,10 +28,21 @@ namespace deepdive::grounding {
 ///     their Equation-1 groups (via the same telescoping delta evaluation
 ///     used for views)
 ///   * rule addition/removal   -> full evaluation / group deactivation
+///
+/// With `options.num_threads > 1`, large evaluations run as a sharded
+/// pipeline (compile -> shard -> evaluate -> merge): the driver atom's scan
+/// is partitioned into contiguous row ranges, each shard evaluates its range
+/// and emits groundings into a private buffer (resolving variables/weights
+/// against the frozen graph, minting shard-local provisional ids for
+/// misses), and a deterministic merge replays the buffers in shard order.
+/// The merged graph and delta are bit-identical to the sequential result at
+/// any thread count, because ids are assigned in the same global
+/// first-encounter order the sequential grounder would use.
 class IncrementalGrounder {
  public:
   /// `ground` may be empty (fresh grounding) or a previously built graph.
-  IncrementalGrounder(const dsl::Program* program, Database* db, GroundGraph* ground);
+  IncrementalGrounder(const dsl::Program* program, Database* db, GroundGraph* ground,
+                      GroundingOptions options = {});
 
   /// Compiles the program's factor rules. Call once before grounding.
   Status Initialize();
@@ -48,8 +62,11 @@ class IncrementalGrounder {
   StatusOr<factor::GraphDelta> RemoveFactorRule(const std::string& label);
 
   size_t NumFactorRules() const { return rules_.size(); }
+  const GroundingOptions& options() const { return options_; }
 
  private:
+  struct ShardBuffer;  // per-shard emission buffer (defined in the .cc)
+
   struct CompiledFactorRule {
     dsl::FactorRule rule;
     uint32_t rule_id = 0;
@@ -78,6 +95,36 @@ class IncrementalGrounder {
   void ProcessGrounding(const CompiledFactorRule& cr, const std::vector<Value>& values,
                         int64_t sign, factor::GraphDelta* delta);
 
+  /// The emission tail shared by the sequential and merge paths: group
+  /// lookup/creation, clause append/retract, and delta bookkeeping.
+  /// `literals` must already be in canonical (sorted, deduped) order.
+  void FinishGrounding(const CompiledFactorRule& cr, factor::VarId head,
+                       factor::WeightId weight, std::vector<factor::Literal> literals,
+                       int64_t sign, factor::GraphDelta* delta);
+
+  /// Shard-local half of ProcessGrounding: resolves variables and weights
+  /// against the frozen graph (read-only), minting provisional ids in `buf`
+  /// for entities this update has not yet seen. Called from worker threads.
+  void EmitShardGrounding(const CompiledFactorRule& cr,
+                          const std::vector<Value>& values, int64_t sign,
+                          ShardBuffer* buf) const;
+
+  /// Replays shard buffers in shard order against the real graph, remapping
+  /// provisional ids to globally assigned ones. Produces the exact ids and
+  /// delta the sequential grounder would have.
+  void MergeShardBuffers(const CompiledFactorRule& cr, std::vector<ShardBuffer>* buffers,
+                         factor::GraphDelta* delta);
+
+  /// Fully grounds one rule, sharded across the pool when the driver domain
+  /// is large enough, sequentially otherwise.
+  void GroundRuleFull(const CompiledFactorRule& cr, factor::GraphDelta* delta);
+
+  /// Worker count for a given driver-domain size (1 = stay sequential).
+  size_t ShardsFor(size_t domain) const;
+
+  /// Creates the worker pool on first sharded evaluation.
+  void EnsurePool();
+
   /// Applies evidence-relation changes for a target variable by rescanning
   /// the evidence tables for that tuple.
   void ReapplyEvidence(const std::string& query_relation, const Tuple& tuple,
@@ -86,6 +133,8 @@ class IncrementalGrounder {
   const dsl::Program* program_;
   Database* db_;
   GroundGraph* ground_;
+  GroundingOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // created lazily on first sharded run
   std::vector<CompiledFactorRule> rules_;
 
   // (rule_id, head var, weight) -> group.

@@ -122,7 +122,13 @@ FactorGraph BuildVariationalInferenceGraph(const FactorGraph& original,
                                            const FactorGraph& approx,
                                            const GraphDelta& delta) {
   FactorGraph out;
-  // Clone the approximation (variables, evidence, weights, groups, clauses).
+  // Clone the approximation (variables, evidence, weights, groups, clauses),
+  // pre-sizing once so the clone loop never rehashes or reallocates.
+  out.ReserveVariables(original.NumVariables());
+  out.ReserveWeights(approx.NumWeights());
+  out.ReserveGroups(approx.NumGroups() + delta.new_groups.size() +
+                    delta.modified_groups.size());
+  out.ReserveClauses(approx.NumClauses());
   if (original.NumVariables() > 0) out.AddVariables(original.NumVariables());
   for (VarId v = 0; v < approx.NumVariables(); ++v) {
     out.SetEvidence(v, approx.EvidenceValue(v));
@@ -161,16 +167,20 @@ FactorGraph BuildVariationalInferenceGraph(const FactorGraph& original,
     const GroupId ng =
         out.AddGroup(group.rule_id, group.head, map_weight(group.weight),
                      group.semantics);
+    std::vector<std::vector<factor::Literal>> literal_lists;
     if (only_clauses != nullptr) {
+      literal_lists.reserve(only_clauses->size());
       for (factor::ClauseId cid : *only_clauses) {
-        out.AddClause(ng, original.clause(cid).literals);
+        literal_lists.push_back(original.clause(cid).literals);
       }
     } else {
+      literal_lists.reserve(group.clauses.size());
       for (factor::ClauseId cid : group.clauses) {
         const factor::Clause& clause = original.clause(cid);
-        if (clause.active) out.AddClause(ng, clause.literals);
+        if (clause.active) literal_lists.push_back(clause.literals);
       }
     }
+    out.AddClauses(ng, std::move(literal_lists));
   };
   for (GroupId g : delta.new_groups) copy_group(g, nullptr);
   for (const GraphDelta::GroupMod& mod : delta.modified_groups) {

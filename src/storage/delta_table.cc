@@ -20,12 +20,23 @@ void DeltaTable::Add(const Tuple& tuple, int64_t count) {
   if (count == 0) return;
   const uint64_t key = KeyFor(tuple);
   auto it = entries_.find(key);
+  int64_t old_count = 0;
+  int64_t new_count = count;
   if (it == entries_.end()) {
     entries_.emplace(key, Entry{tuple, count});
   } else {
     // Zero-count entries are kept (not erased) so probe chains built by
     // KeyFor stay intact; ForEach/size skip them.
+    old_count = it->second.count;
     it->second.count += count;
+    new_count = it->second.count;
+  }
+  if ((old_count < 0) != (new_count < 0)) {
+    if (new_count < 0) {
+      ++negative_entries_;
+    } else {
+      --negative_entries_;
+    }
   }
 }
 

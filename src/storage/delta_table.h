@@ -32,6 +32,10 @@ class DeltaTable {
   /// Distinct tuples with non-zero count.
   size_t size() const;
 
+  /// Distinct tuples with negative count (O(1); maintained by Add). The
+  /// sharded grounder sizes OLD-mode driver domains with this.
+  size_t DeletionEntries() const { return negative_entries_; }
+
   /// Visits every (tuple, count) pair with count != 0.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
@@ -45,7 +49,10 @@ class DeltaTable {
   std::vector<Tuple> Insertions() const;
   std::vector<Tuple> Deletions() const;
 
-  void Clear() { entries_.clear(); }
+  void Clear() {
+    entries_.clear();
+    negative_entries_ = 0;
+  }
 
  private:
   struct Entry {
@@ -58,6 +65,7 @@ class DeltaTable {
   uint64_t KeyFor(const Tuple& tuple) const;
 
   std::string name_;
+  size_t negative_entries_ = 0;
 };
 
 }  // namespace deepdive

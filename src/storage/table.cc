@@ -65,6 +65,14 @@ void Table::Scan(const std::function<void(RowId, const Tuple&)>& fn) const {
   }
 }
 
+void Table::ScanRange(RowId begin, RowId end,
+                      const std::function<void(RowId, const Tuple&)>& fn) const {
+  const RowId limit = std::min<RowId>(end, static_cast<RowId>(rows_.size()));
+  for (RowId id = begin; id < limit; ++id) {
+    if (!dead_[id]) fn(id, rows_[id]);
+  }
+}
+
 std::vector<Tuple> Table::Rows() const {
   std::vector<Tuple> out;
   out.reserve(live_count_);

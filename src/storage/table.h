@@ -55,6 +55,20 @@ class Table {
   /// Calls `fn` for every live row.
   void Scan(const std::function<void(RowId, const Tuple&)>& fn) const;
 
+  /// Number of row slots, live or dead. The scan domain of ScanRange: shard
+  /// boundaries are expressed in slots so contiguous shards tile the table
+  /// deterministically regardless of tombstones.
+  size_t RowSlots() const { return rows_.size(); }
+
+  /// Calls `fn` for every live row with id in [begin, end).
+  void ScanRange(RowId begin, RowId end,
+                 const std::function<void(RowId, const Tuple&)>& fn) const;
+
+  /// Builds the per-column index for `col` if not yet built. Lookup does this
+  /// lazily; call it up front before probing the same table from multiple
+  /// threads (index construction is not thread-safe, probing a built one is).
+  void WarmColumnIndex(size_t col) const { EnsureColumnIndex(col); }
+
   /// All live rows, in insertion order (copy).
   std::vector<Tuple> Rows() const;
 

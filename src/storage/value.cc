@@ -65,11 +65,7 @@ std::string Value::ToString() const {
   return "?";
 }
 
-uint64_t HashTuple(const Tuple& tuple) {
-  uint64_t h = 0x8f1bbcdcbfa53e0bULL;
-  for (const Value& v : tuple) h = HashCombine(h, v.Hash());
-  return h;
-}
+uint64_t HashTuple(const Tuple& tuple) { return TupleHash{}(tuple); }
 
 std::string TupleToString(const Tuple& tuple) {
   std::string out = "(";

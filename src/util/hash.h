@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 namespace deepdive {
 
@@ -21,6 +22,19 @@ inline uint64_t HashMix(uint64_t h) {
 inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
   return HashMix(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
 }
+
+/// Hash functor for vectors of elements exposing a `Hash()` method (e.g. a
+/// storage Tuple of Values). Usable as the Hash template argument of
+/// unordered containers keyed by tuples; storage's HashTuple delegates here
+/// so there is exactly one tuple-hash formula.
+struct TupleHash {
+  template <typename T>
+  size_t operator()(const std::vector<T>& elements) const {
+    uint64_t h = 0x9ae16a3b2f90404fULL ^ elements.size();
+    for (const T& e : elements) h = HashCombine(h, e.Hash());
+    return static_cast<size_t>(h);
+  }
+};
 
 /// FNV-1a for strings; cheap and stable across platforms.
 inline uint64_t HashString(std::string_view s) {

@@ -133,6 +133,45 @@ TEST(FactorGraphTest, FindActiveClause) {
   EXPECT_EQ(g.FindActiveClause(grp, {{b, false}}), kNoClause);
 }
 
+TEST(FactorGraphTest, FindActiveClauseDuplicatesAndGroups) {
+  // The hash-indexed lookup must keep returning the *earliest* active clause
+  // among duplicates, and never match a clause from another group.
+  FactorGraph g;
+  const VarId h1 = g.AddVariable();
+  const VarId h2 = g.AddVariable();
+  const VarId b = g.AddVariable();
+  const WeightId w = g.AddWeight(1.0, false);
+  const GroupId g1 = g.AddGroup(0, h1, w, Semantics::kLinear);
+  const GroupId g2 = g.AddGroup(0, h2, w, Semantics::kLinear);
+  const ClauseId c1 = g.AddClause(g1, {{b, false}});
+  const ClauseId c2 = g.AddClause(g1, {{b, false}});
+  const ClauseId other = g.AddClause(g2, {{b, false}});
+  EXPECT_EQ(g.FindActiveClause(g1, {{b, false}}), c1);
+  g.DeactivateClause(c1);
+  EXPECT_EQ(g.FindActiveClause(g1, {{b, false}}), c2);
+  g.DeactivateClause(c2);
+  EXPECT_EQ(g.FindActiveClause(g1, {{b, false}}), kNoClause);
+  EXPECT_EQ(g.FindActiveClause(g2, {{b, false}}), other);
+}
+
+TEST(FactorGraphTest, AddClausesBulk) {
+  FactorGraph g;
+  const VarId h = g.AddVariable();
+  const VarId b1 = g.AddVariable();
+  const VarId b2 = g.AddVariable();
+  const WeightId w = g.AddWeight(1.0, false);
+  const GroupId grp = g.AddGroup(0, h, w, Semantics::kLinear);
+  g.ReserveClauses(3);
+  const ClauseId first = g.AddClauses(grp, {{{b1, false}}, {{b2, true}}, {}});
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(g.NumClauses(), 3u);
+  EXPECT_EQ(g.clause(first).literals.size(), 1u);
+  EXPECT_EQ(g.clause(first + 1).literals[0].var, b2);
+  EXPECT_TRUE(g.clause(first + 2).literals.empty());
+  EXPECT_EQ(g.FindActiveClause(grp, {{b2, true}}), first + 1);
+  EXPECT_EQ(g.AddClauses(grp, {}), kNoClause);
+}
+
 TEST(FactorGraphTest, Neighbors) {
   FactorGraph g;
   const VarId a = g.AddVariable();

@@ -13,8 +13,9 @@
 //   --threshold P           only output facts with marginal >= P (default 0)
 //   --seed N                RNG seed (default 42)
 //   --epochs N              learning epochs (default 60)
-//   --threads N             worker threads for Gibbs inference/learning
-//                           (default 1 = sequential; 0 = hardware threads)
+//   --threads N             worker threads for grounding and Gibbs
+//                           inference/learning (default 1 = sequential;
+//                           0 = hardware threads)
 //
 // Example:
 //   deepdive_cli run spouse.ddl --data Person=persons.tsv \
@@ -197,7 +198,9 @@ Status Run(const Args& args) {
   config.mode = args.mode;
   config.seed = args.seed;
   config.learner.epochs = args.epochs;
-  // Parallel inference everywhere a Gibbs chain runs (0 = hardware threads).
+  // Parallel grounding and inference everywhere a chain or rule evaluation
+  // runs (0 = hardware threads).
+  config.grounding.num_threads = args.threads;
   config.gibbs.num_threads = args.threads;
   config.learner.num_threads = args.threads;
   config.materialization.num_threads = args.threads;
