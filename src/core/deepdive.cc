@@ -74,7 +74,14 @@ Status DeepDive::Initialize() {
     inc_engine_ = std::make_unique<incremental::IncrementalEngine>(&ground_.graph);
     incremental::MaterializationOptions mopts = config_.materialization;
     mopts.seed = config_.seed + 2;
-    DD_RETURN_IF_ERROR(inc_engine_->Materialize(mopts));
+    if (mopts.async) {
+      // Background materialization: Initialize returns while the snapshot
+      // builds; early updates are served conservatively (rerun) until the
+      // swap, exactly like updates that outrun a later remat.
+      DD_RETURN_IF_ERROR(inc_engine_->MaterializeAsync(mopts));
+    } else {
+      DD_RETURN_IF_ERROR(inc_engine_->Materialize(mopts));
+    }
   }
   initialized_ = true;
   return Status::OK();

@@ -93,6 +93,11 @@ class DeepDive {
   const std::vector<UpdateReport>& history() const { return history_; }
   const incremental::MaterializationStats& materialization_stats() const;
 
+  /// The incremental engine (nullptr in Rerun mode or before Initialize).
+  /// Exposes the async-materialization surface: MaterializationInFlight,
+  /// WaitForMaterialization, snapshot_generation.
+  incremental::IncrementalEngine* incremental_engine() { return inc_engine_.get(); }
+
  private:
   DeepDive(dsl::Program program, DeepDiveConfig config);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "incremental/decomposition.h"
 #include "inference/parallel_gibbs.h"
@@ -17,76 +18,178 @@ using factor::GraphDelta;
 using factor::GroupId;
 using factor::VarId;
 
-IncrementalEngine::IncrementalEngine(factor::FactorGraph* graph) : graph_(graph) {}
+IncrementalEngine::IncrementalEngine(factor::FactorGraph* graph)
+    : graph_(graph), snapshot_(std::make_unique<MaterializationSnapshot>()) {}
+
+IncrementalEngine::~IncrementalEngine() {
+  // A background build may still be sampling its private graph copy; cancel
+  // and drain it so it cannot touch the handoff slot after we are gone (the
+  // background pool's destructor joins the worker).
+  cancel_build_.store(true, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mu_);
+  build_done_cv_.wait(lock, [this] { return !build_in_flight_; });
+}
 
 Status IncrementalEngine::Materialize(const MaterializationOptions& options) {
-  Timer timer;
-  store_.Clear();
-  cumulative_ = GraphDelta{};
-
-  // Sampling materialization: draw as many samples as the budget allows.
-  // The chain runs through the parallel sampler — num_threads == 1 keeps the
-  // historical sequential chain bit-for-bit; more threads Hogwild the sweeps.
-  inference::GibbsOptions gopts;
-  gopts.burn_in_sweeps = options.gibbs_burn_in;
-  gopts.seed = options.seed;
-  gopts.num_threads = options.num_threads;
-  inference::ParallelGibbsSampler sampler(graph_, options.num_threads);
-  sampler.SampleChain(gopts, options.num_samples, options.gibbs_thin,
-                      [&](const BitVector& bits) {
-                        store_.Add(bits);
-                        return !(options.time_budget_seconds > 0 &&
-                                 timer.Seconds() > options.time_budget_seconds);
-                      });
-
-  // Materialized marginals: sample averages.
-  marginals_.assign(graph_->NumVariables(), 0.5);
-  if (!store_.empty()) {
-    std::vector<double> sums(graph_->NumVariables(), 0.0);
-    for (size_t s = 0; s < store_.size(); ++s) {
-      const BitVector& bits = store_.sample(s);
-      for (VarId v = 0; v < graph_->NumVariables(); ++v) {
-        sums[v] += bits.Get(v) ? 1.0 : 0.0;
-      }
-    }
-    for (VarId v = 0; v < graph_->NumVariables(); ++v) {
-      marginals_[v] = sums[v] / static_cast<double>(store_.size());
-    }
-  }
-  for (VarId v = 0; v < graph_->NumVariables(); ++v) {
-    const auto ev = graph_->EvidenceValue(v);
-    if (ev.has_value()) marginals_[v] = *ev ? 1.0 : 0.0;
-  }
-  materialized_marginals_ = marginals_;
-
-  // Variational materialization.
-  VariationalOptions vopts = options.variational;
-  vopts.seed = options.seed + 101;
-  auto vmat = VariationalMaterialization::Materialize(*graph_, vopts);
-  if (vmat.ok()) {
-    variational_ = std::move(vmat).value();
-  } else {
-    variational_.reset();
-    DD_LOG(Warning) << "variational materialization failed: "
-                    << vmat.status().ToString();
-  }
-
-  // Optional strawman (tiny graphs only).
-  strawman_.reset();
-  mat_stats_.strawman_built = false;
-  if (options.materialize_strawman) {
-    auto sm = StrawmanMaterialization::Materialize(*graph_);
-    if (sm.ok()) {
-      strawman_ = std::move(sm).value();
-      mat_stats_.strawman_built = true;
-    }
-  }
-
-  mat_stats_.samples_collected = store_.size();
-  mat_stats_.sample_bytes = store_.ByteSize();
-  mat_stats_.variational_edges = variational_ ? variational_->NumEdges() : 0;
-  mat_stats_.seconds = timer.Seconds();
+  AbortInFlightBuild();
+  mat_options_ = options;
+  mat_options_valid_ = true;
+  DD_ASSIGN_OR_RETURN(MaterializationSnapshot snap,
+                      BuildMaterializationSnapshot(*graph_, options));
+  InstallSnapshot(std::make_unique<MaterializationSnapshot>(std::move(snap)));
   return Status::OK();
+}
+
+Status IncrementalEngine::MaterializeAsync(const MaterializationOptions& options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (build_in_flight_ || pending_ != nullptr) {
+      return Status::FailedPrecondition("a materialization is already in flight");
+    }
+    build_in_flight_ = true;
+    pending_status_ = Status::OK();
+  }
+  MaterializationOptions opts = options;  // survives self-scheduled remats
+  mat_options_ = opts;
+  mat_options_valid_ = true;
+  cancel_build_.store(false, std::memory_order_relaxed);
+  since_build_ = GraphDelta{};
+  since_build_updates_ = 0;
+  // The build samples a private copy: the serving thread keeps mutating the
+  // live graph with later updates while the chain runs, and those updates
+  // accumulate in since_build_ for the post-swap rebase.
+  auto graph_copy = std::make_shared<const factor::FactorGraph>(*graph_);
+  if (!background_) {
+    background_ = std::make_unique<ThreadPool>(1, /*inline_when_single=*/false);
+  }
+  background_->Submit([this, graph_copy, opts = std::move(opts)] {
+    auto built = BuildMaterializationSnapshot(*graph_copy, opts, &cancel_build_);
+    if (opts.on_before_publish) opts.on_before_publish();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (built.ok()) {
+      if (!cancel_build_.load(std::memory_order_relaxed)) {
+        pending_ =
+            std::make_unique<MaterializationSnapshot>(std::move(built).value());
+      }
+    } else if (!cancel_build_.load(std::memory_order_relaxed)) {
+      // Deliberate cancellation (abort/shutdown) is not a failure; only
+      // organic build errors are recorded and reported.
+      pending_status_ = built.status();
+      DD_LOG(Warning) << "background materialization failed: "
+                      << built.status().ToString();
+    }
+    build_in_flight_ = false;
+    build_done_cv_.notify_all();
+  });
+  return Status::OK();
+}
+
+bool IncrementalEngine::MaterializationInFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return build_in_flight_ || pending_ != nullptr;
+}
+
+Status IncrementalEngine::WaitForMaterialization() {
+  std::unique_ptr<MaterializationSnapshot> ready;
+  Status status;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    build_done_cv_.wait(lock, [this] { return !build_in_flight_; });
+    ready = std::move(pending_);
+    status = pending_status_;
+    pending_status_ = Status::OK();
+  }
+  if (ready != nullptr) InstallSnapshot(std::move(ready));
+  return status;
+}
+
+void IncrementalEngine::AbortInFlightBuild() {
+  cancel_build_.store(true, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    build_done_cv_.wait(lock, [this] { return !build_in_flight_; });
+    pending_.reset();
+    pending_status_ = Status::OK();
+  }
+  cancel_build_.store(false, std::memory_order_relaxed);
+  since_build_ = GraphDelta{};
+  since_build_updates_ = 0;
+}
+
+void IncrementalEngine::InstallSnapshot(
+    std::unique_ptr<MaterializationSnapshot> snapshot) {
+  // Variables are append-only, so a snapshot can only cover a prefix of the
+  // serving graph (built from a copy taken at or before this point).
+  DD_CHECK_LE(snapshot->graph_width, graph_->NumVariables());
+  snapshot_ = std::move(snapshot);
+  snapshot_->generation = ++generation_;
+  // Rebase: deltas that arrived while the build ran are not covered by the
+  // new snapshot and must survive the swap; everything older is absorbed.
+  cumulative_ = std::move(since_build_);
+  since_build_ = GraphDelta{};
+  updates_since_snapshot_ = since_build_updates_;
+  since_build_updates_ = 0;
+  if (cumulative_.empty()) {
+    marginals_ = snapshot_->materialized_marginals;
+    marginals_.resize(graph_->NumVariables(), 0.5);
+  }
+}
+
+bool IncrementalEngine::MaybeInstallPending() {
+  std::unique_ptr<MaterializationSnapshot> ready;
+  bool still_building = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ready = std::move(pending_);
+    still_building = build_in_flight_;
+  }
+  if (ready != nullptr) InstallSnapshot(std::move(ready));
+  return still_building;
+}
+
+void IncrementalEngine::MaybeScheduleRemat(const UpdateOutcome& outcome) {
+  if (!mat_options_valid_ || !mat_options_.async) return;
+  {
+    // No remat while one is in flight — and a *failed* build disarms the
+    // triggers until WaitForMaterialization observes the error, so a
+    // deterministically failing build cannot retry (and pay a full graph
+    // copy) on every update, and the failure is never silently clobbered.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (build_in_flight_ || pending_ != nullptr || !pending_status_.ok()) return;
+  }
+  const char* trigger = nullptr;
+  if (mat_options_.remat_on_exhaustion && !snapshot_->store.empty() &&
+      snapshot_->store.exhausted()) {
+    trigger = "sample store exhausted";
+  } else if (mat_options_.remat_acceptance_floor > 0.0 &&
+             outcome.acceptance_rate >= 0.0 &&
+             outcome.acceptance_rate < mat_options_.remat_acceptance_floor) {
+    trigger = "acceptance rate below floor";
+  } else if (mat_options_.remat_after_updates > 0 &&
+             updates_since_snapshot_ >= mat_options_.remat_after_updates &&
+             !cumulative_.empty()) {
+    // The count trigger only fires once something actually drifted: a pure
+    // analysis stream (empty cumulative delta) would rebuild an identical
+    // snapshot.
+    trigger = "update count since snapshot";
+  }
+  if (trigger == nullptr) return;
+  DD_LOG(Info) << "scheduling background rematerialization (" << trigger << ")";
+  // A remat exists because the distribution drifted: it must re-sample the
+  // current graph, never replay the persisted store the initial
+  // materialization may have loaded (which covers the original Pr(0) and
+  // may not even match the graph's width anymore) — and it must not
+  // overwrite the store the user deliberately saved for overnight reuse
+  // with drifted-graph samples.
+  MaterializationOptions remat_options = mat_options_;
+  remat_options.load_sample_store.clear();
+  remat_options.save_sample_store.clear();
+  remat_options.on_before_publish = nullptr;
+  const Status status = MaterializeAsync(remat_options);
+  if (!status.ok()) {
+    DD_LOG(Warning) << "failed to schedule rematerialization: "
+                    << status.ToString();
+  }
 }
 
 std::vector<bool> IncrementalEngine::TouchedVars(const GraphDelta& delta) const {
@@ -113,8 +216,17 @@ std::vector<bool> IncrementalEngine::TouchedVars(const GraphDelta& delta) const 
   return touched;
 }
 
+const std::vector<std::vector<VarId>>& IncrementalEngine::Components() {
+  if (!components_valid_ || components_width_ != graph_->NumVariables()) {
+    components_cache_ = ConnectedComponents(*graph_);
+    components_width_ = graph_->NumVariables();
+    components_valid_ = true;
+  }
+  return components_cache_;
+}
+
 std::vector<VarId> IncrementalEngine::AffectedVars(const GraphDelta& delta,
-                                                   bool decomposition_enabled) const {
+                                                   bool decomposition_enabled) {
   std::vector<VarId> out;
   if (!decomposition_enabled) {
     out.resize(graph_->NumVariables());
@@ -124,8 +236,7 @@ std::vector<VarId> IncrementalEngine::AffectedVars(const GraphDelta& delta,
   const std::vector<bool> touched = TouchedVars(delta);
   // Expand to full components: a delta factor shifts the distribution of
   // everything connected to it; disconnected components are untouched.
-  const auto components = ConnectedComponents(*graph_);
-  for (const auto& comp : components) {
+  for (const auto& comp : Components()) {
     bool hit = false;
     for (VarId v : comp) {
       if (touched[v]) {
@@ -142,23 +253,48 @@ std::vector<VarId> IncrementalEngine::AffectedVars(const GraphDelta& delta,
 StatusOr<UpdateOutcome> IncrementalEngine::ApplyDelta(const GraphDelta& delta,
                                                       const EngineOptions& options) {
   Timer timer;
+  // Swap in a finished background snapshot before serving; while a build is
+  // still running we serve from the previous snapshot and record the delta
+  // for the post-swap rebase.
+  const bool mid_build = MaybeInstallPending();
   cumulative_.Merge(delta);
+  if (mid_build) {
+    since_build_.Merge(delta);
+    ++since_build_updates_;
+  }
   ++update_seq_;
+  ++updates_since_snapshot_;
+  if (delta.structure_changed()) components_valid_ = false;
   marginals_.resize(graph_->NumVariables(), 0.5);
 
-  if (cumulative_.empty() && (!options.forced_strategy.has_value() ||
-                              *options.forced_strategy == Strategy::kSampling)) {
+  StatusOr<UpdateOutcome> result = ExecuteUpdate(delta, options);
+  if (!result.ok()) return result;
+  result->snapshot_generation = snapshot_->generation;
+  result->served_during_remat = mid_build;
+
+  // Fold into the engine's marginal state.
+  marginals_ = result->marginals;
+  // Scheduling a remat copies the graph on this thread; stamp the latency
+  // after it so the update's reported cost includes that stall.
+  MaybeScheduleRemat(*result);
+  result->seconds = timer.Seconds();
+  return result;
+}
+
+StatusOr<UpdateOutcome> IncrementalEngine::ExecuteUpdate(
+    const GraphDelta& delta, const EngineOptions& options) {
+  if (cumulative_.empty() && snapshot_->generation > 0 &&
+      (!options.forced_strategy.has_value() ||
+       *options.forced_strategy == Strategy::kSampling)) {
     // Analysis-only workload (rule A1): the distribution equals the
     // materialized one, so its marginals are the exact answer — the 100%-
     // acceptance case where the sampling approach needs no computation.
     UpdateOutcome outcome;
-    outcome.marginals = materialized_marginals_;
+    outcome.marginals = snapshot_->materialized_marginals;
     outcome.marginals.resize(graph_->NumVariables(), 0.5);
     outcome.strategy = Strategy::kSampling;
     outcome.reason = "no change; materialized marginals";
     outcome.acceptance_rate = 1.0;
-    marginals_ = outcome.marginals;
-    outcome.seconds = timer.Seconds();
     return outcome;
   }
 
@@ -171,8 +307,9 @@ StatusOr<UpdateOutcome> IncrementalEngine::ApplyDelta(const GraphDelta& delta,
     decision.reason = "forced";
   } else {
     RuleBasedOptimizer optimizer(options.optimizer);
-    decision = optimizer.Choose(*graph_, delta, !store_.exhausted());
-    if (decision.strategy == Strategy::kVariational && !variational_.has_value()) {
+    decision = optimizer.Choose(*graph_, delta, !snapshot_->store.exhausted());
+    if (decision.strategy == Strategy::kVariational &&
+        !snapshot_->variational.has_value()) {
       decision.strategy = Strategy::kRerun;
       decision.reason += " (no variational materialization)";
     }
@@ -183,8 +320,6 @@ StatusOr<UpdateOutcome> IncrementalEngine::ApplyDelta(const GraphDelta& delta,
       options.decomposition_enabled && decision.strategy != Strategy::kRerun) {
     DD_ASSIGN_OR_RETURN(outcome, RunPerGroup(options, affected));
     outcome.affected_vars = affected.size();
-    marginals_ = outcome.marginals;
-    outcome.seconds = timer.Seconds();
     return outcome;
   }
   switch (decision.strategy) {
@@ -196,10 +331,10 @@ StatusOr<UpdateOutcome> IncrementalEngine::ApplyDelta(const GraphDelta& delta,
       outcome = RunVariational(options, affected);
       break;
     case Strategy::kStrawman: {
-      if (!strawman_.has_value()) {
+      if (!snapshot_->strawman.has_value()) {
         return Status::FailedPrecondition("strawman was not materialized");
       }
-      auto marginals = strawman_->InferUpdated(*graph_, cumulative_);
+      auto marginals = snapshot_->strawman->InferUpdated(*graph_, cumulative_);
       if (!marginals.ok()) return marginals.status();
       outcome.marginals = std::move(marginals).value();
       break;
@@ -211,10 +346,6 @@ StatusOr<UpdateOutcome> IncrementalEngine::ApplyDelta(const GraphDelta& delta,
   outcome.strategy = decision.strategy;
   if (outcome.reason.empty()) outcome.reason = decision.reason;
   outcome.affected_vars = affected.size();
-
-  // Fold into the engine's marginal state.
-  marginals_ = outcome.marginals;
-  outcome.seconds = timer.Seconds();
   return outcome;
 }
 
@@ -246,14 +377,14 @@ StatusOr<UpdateOutcome> IncrementalEngine::RunPerGroup(
   for (GroupId gid : cumulative_.removed_groups) mark_group(gid);
 
   std::vector<VarId> sampling_vars, variational_vars;
-  for (const auto& component : ConnectedComponents(*graph_)) {
+  for (const auto& component : Components()) {
     bool touched = false, variational = false;
     for (VarId v : component) {
       touched |= is_affected[v];
       variational |= wants_variational[v];
     }
     if (!touched) continue;
-    auto& bucket = (variational && variational_.has_value() &&
+    auto& bucket = (variational && snapshot_->variational.has_value() &&
                     options.optimizer.variational_enabled)
                        ? variational_vars
                        : sampling_vars;
@@ -266,7 +397,7 @@ StatusOr<UpdateOutcome> IncrementalEngine::RunPerGroup(
   }
 
   UpdateOutcome outcome;
-  outcome.marginals = materialized_marginals_;
+  outcome.marginals = snapshot_->materialized_marginals;
   outcome.marginals.resize(graph_->NumVariables(), 0.5);
   outcome.sampling_vars = sampling_vars.size();
   outcome.variational_vars = variational_vars.size();
@@ -282,7 +413,7 @@ StatusOr<UpdateOutcome> IncrementalEngine::RunPerGroup(
     }
   }
   if (!variational_vars.empty()) {
-    if (!variational_.has_value()) {
+    if (!snapshot_->variational.has_value()) {
       UpdateOutcome r = RunRerun(options);
       for (VarId v : variational_vars) outcome.marginals[v] = r.marginals[v];
     } else {
@@ -316,7 +447,7 @@ StatusOr<UpdateOutcome> IncrementalEngine::RunSampling(
   mh_options.seed = 977 * (update_seq_ + 1);
   mh_options.track_vars = &affected;  // untouched components keep Pr(0) marginals
   mh_options.num_threads = options.gibbs.num_threads;  // proposal extension only
-  DD_ASSIGN_OR_RETURN(MHResult result, mh.Run(&store_, mh_options));
+  DD_ASSIGN_OR_RETURN(MHResult result, mh.Run(&snapshot_->store, mh_options));
   outcome.acceptance_rate = result.acceptance_rate;
 
   const bool too_few_steps =
@@ -325,7 +456,7 @@ StatusOr<UpdateOutcome> IncrementalEngine::RunSampling(
   if (too_few_steps) {
     // Optimizer rule 4 at execution time: the store ran dry before the chain
     // gathered enough accepted moves.
-    if (variational_.has_value() && options.optimizer.variational_enabled) {
+    if (snapshot_->variational.has_value() && options.optimizer.variational_enabled) {
       outcome = RunVariational(options, affected);
       outcome.fell_back_to_variational = true;
       outcome.acceptance_rate = result.acceptance_rate;
@@ -341,7 +472,7 @@ StatusOr<UpdateOutcome> IncrementalEngine::RunSampling(
   // Refresh only affected variables; untouched components keep their
   // materialized marginals (exact, since the cumulative delta does not
   // reach them).
-  outcome.marginals = materialized_marginals_;
+  outcome.marginals = snapshot_->materialized_marginals;
   outcome.marginals.resize(graph_->NumVariables(), 0.5);
   for (VarId v : affected) outcome.marginals[v] = result.marginals[v];
   for (VarId v = 0; v < graph_->NumVariables(); ++v) {
@@ -354,9 +485,9 @@ StatusOr<UpdateOutcome> IncrementalEngine::RunSampling(
 UpdateOutcome IncrementalEngine::RunVariational(const EngineOptions& options,
                                                 const std::vector<VarId>& affected) {
   UpdateOutcome outcome;
-  DD_CHECK(variational_.has_value());
+  DD_CHECK(snapshot_->variational.has_value());
   factor::FactorGraph inference_graph = BuildVariationalInferenceGraph(
-      *graph_, variational_->approx_graph(), cumulative_);
+      *graph_, snapshot_->variational->approx_graph(), cumulative_);
 
   std::vector<VarId> sweep_vars;
   for (VarId v : affected) {
@@ -406,7 +537,7 @@ UpdateOutcome IncrementalEngine::RunVariational(const EngineOptions& options,
     }
   }
 
-  outcome.marginals = materialized_marginals_;
+  outcome.marginals = snapshot_->materialized_marginals;
   outcome.marginals.resize(graph_->NumVariables(), 0.5);
   for (VarId v : sweep_vars) {
     outcome.marginals[v] = sums[v] / static_cast<double>(sample_sweeps);

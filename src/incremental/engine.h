@@ -1,6 +1,10 @@
 #ifndef DEEPDIVE_INCREMENTAL_ENGINE_H_
 #define DEEPDIVE_INCREMENTAL_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -10,41 +14,14 @@
 #include "incremental/mh_sampler.h"
 #include "incremental/optimizer.h"
 #include "incremental/sample_store.h"
+#include "incremental/snapshot.h"
 #include "incremental/strawman.h"
 #include "incremental/variational.h"
 #include "inference/gibbs.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace deepdive::incremental {
-
-struct MaterializationOptions {
-  /// Samples stored for the sampling approach (SM of Figure 5's cost model).
-  /// Sized so several updates' worth of effective samples fit before rule 4
-  /// (out of samples) forces the variational path.
-  size_t num_samples = 5000;
-  size_t gibbs_burn_in = 50;
-  size_t gibbs_thin = 1;
-  VariationalOptions variational;
-  /// Also build the strawman (only succeeds on tiny graphs).
-  bool materialize_strawman = false;
-  /// Best-effort time budget in seconds (0 = none): sample collection stops
-  /// early when exceeded, mirroring DeepDive's "as many samples as possible
-  /// in a user-specified interval" policy (Section 3.3 / Appendix B.2).
-  double time_budget_seconds = 0.0;
-  uint64_t seed = 31;
-  /// Worker threads for the sampling materialization's Gibbs chain
-  /// (Hogwild; see ParallelGibbsSampler). 1 = sequential/deterministic.
-  /// The variational materialization has its own `variational.num_threads`.
-  size_t num_threads = 1;
-};
-
-struct MaterializationStats {
-  size_t samples_collected = 0;
-  size_t sample_bytes = 0;
-  size_t variational_edges = 0;
-  double seconds = 0.0;
-  bool strawman_built = false;
-};
 
 struct EngineOptions {
   OptimizerConfig optimizer;
@@ -78,6 +55,11 @@ struct UpdateOutcome {
   /// Per-group execution accounting (per_group_strategy mode).
   size_t sampling_vars = 0;
   size_t variational_vars = 0;
+  /// Generation of the snapshot this update was served from.
+  uint64_t snapshot_generation = 0;
+  /// True when a background rematerialization was running while this update
+  /// was served (it ran against the previous snapshot).
+  bool served_during_remat = false;
 };
 
 /// Orchestrates incremental inference (Section 3.3): materializes *both* the
@@ -87,12 +69,61 @@ struct UpdateOutcome {
 /// updates accumulate into one delta against the materialized distribution,
 /// so the sampling approach's acceptance rate decays naturally as the
 /// distribution drifts — exactly the dynamics the optimizer arbitrates.
+///
+/// Materialization lifecycle: all approximation state lives in an immutable-
+/// build MaterializationSnapshot. Materialize builds one inline;
+/// MaterializeAsync builds one on a dedicated background worker against a
+/// private copy of the graph ("during idle time", Section 3.3) while
+/// ApplyDelta keeps serving from the previous snapshot and its cumulative
+/// delta. The finished snapshot is swapped in at the next ApplyDelta /
+/// WaitForMaterialization, and the cumulative delta is rebased: deltas that
+/// arrived mid-build survive the swap (they are not covered by the new
+/// snapshot), everything older is absorbed by it. When remat triggers are
+/// configured (store exhausted, acceptance floor, update count), the engine
+/// schedules its own background rebuilds after serving an update.
+///
+/// Threading contract: Materialize / MaterializeAsync / ApplyDelta /
+/// WaitForMaterialization and all accessors must be called from one serving
+/// thread; only the internal background build runs concurrently with them.
 class IncrementalEngine {
  public:
   explicit IncrementalEngine(factor::FactorGraph* graph);
+  ~IncrementalEngine();
 
+  IncrementalEngine(const IncrementalEngine&) = delete;
+  IncrementalEngine& operator=(const IncrementalEngine&) = delete;
+
+  /// Builds and installs a snapshot inline (blocking). Cancels and discards
+  /// any background build in flight first.
   Status Materialize(const MaterializationOptions& options);
-  const MaterializationStats& materialization_stats() const { return mat_stats_; }
+
+  /// Schedules a snapshot build on the background worker and returns
+  /// immediately. Fails (FailedPrecondition) if a build is already in
+  /// flight. The build materializes the graph state as of this call; deltas
+  /// applied afterwards accumulate for the post-swap rebase.
+  Status MaterializeAsync(const MaterializationOptions& options);
+
+  /// True while a background build is running or finished-but-not-swapped.
+  bool MaterializationInFlight() const;
+
+  /// Blocks until the in-flight background build (if any) completes and
+  /// installs it — the forced synchronous drain. Returns the build's status
+  /// (OK when idle). Observing a failure here clears it and re-arms the
+  /// automatic remat triggers, which stay disarmed after a failed build.
+  Status WaitForMaterialization();
+
+  /// NOTE: these references point into the serving snapshot and are
+  /// invalidated by the next swap (any ApplyDelta may install a finished
+  /// background build) — copy, do not cache across updates.
+  const MaterializationStats& materialization_stats() const {
+    return snapshot_->stats;
+  }
+  /// Marginals under the serving snapshot's Pr(0).
+  const std::vector<double>& materialized_marginals() const {
+    return snapshot_->materialized_marginals;
+  }
+  /// Install counter of the serving snapshot (0 = never materialized).
+  uint64_t snapshot_generation() const { return snapshot_->generation; }
 
   /// Applies one update's delta (already applied to the graph structure) and
   /// refreshes marginals.
@@ -102,8 +133,8 @@ class IncrementalEngine {
   /// Current marginal estimates (materialized values for untouched vars).
   const std::vector<double>& marginals() const { return marginals_; }
 
-  size_t SamplesRemaining() const { return store_.remaining(); }
-  bool HasVariational() const { return variational_.has_value(); }
+  size_t SamplesRemaining() const { return snapshot_->store.remaining(); }
+  bool HasVariational() const { return snapshot_->variational.has_value(); }
   const factor::GraphDelta& cumulative_delta() const { return cumulative_; }
 
  private:
@@ -113,7 +144,19 @@ class IncrementalEngine {
   /// Expands touched variables to whole connected components (or all
   /// variables when decomposition is disabled).
   std::vector<factor::VarId> AffectedVars(const factor::GraphDelta& delta,
-                                          bool decomposition_enabled) const;
+                                          bool decomposition_enabled);
+
+  /// Connected components of the current graph, cached across updates and
+  /// invalidated by structural deltas (new variables/groups/clauses) — one
+  /// computation per ApplyDelta at most, shared by AffectedVars and
+  /// RunPerGroup.
+  const std::vector<std::vector<factor::VarId>>& Components();
+
+  /// Strategy selection + execution for one update (everything downstream of
+  /// the entry bookkeeping). Factored out so ApplyDelta can evaluate remat
+  /// triggers on every successful path.
+  StatusOr<UpdateOutcome> ExecuteUpdate(const factor::GraphDelta& delta,
+                                        const EngineOptions& options);
 
   StatusOr<UpdateOutcome> RunSampling(const EngineOptions& options,
                                       const std::vector<factor::VarId>& affected);
@@ -127,17 +170,55 @@ class IncrementalEngine {
   StatusOr<UpdateOutcome> RunPerGroup(const EngineOptions& options,
                                       const std::vector<factor::VarId>& affected);
 
+  /// Installs a finished snapshot as the serving one and rebases the
+  /// cumulative delta onto it (cumulative := deltas since the build's graph
+  /// copy). Serving thread only.
+  void InstallSnapshot(std::unique_ptr<MaterializationSnapshot> snapshot);
+
+  /// Swaps in the pending background result if one is ready. Returns true
+  /// while a build is still running (the caller is serving mid-build).
+  bool MaybeInstallPending();
+
+  /// Cancels an in-flight background build and discards its result.
+  void AbortInFlightBuild();
+
+  /// Fires a background rebuild when a remat trigger matches `outcome`.
+  void MaybeScheduleRemat(const UpdateOutcome& outcome);
+
   factor::FactorGraph* graph_;
-  SampleStore store_;
-  std::optional<VariationalMaterialization> variational_;
-  std::optional<StrawmanMaterialization> strawman_;
-  /// Marginals under Pr(0). Variables untouched by the cumulative delta
-  /// keep exactly these values (their distribution has not changed).
-  std::vector<double> materialized_marginals_;
+
+  /// Serving state (serving thread only). `snapshot_` is never null — a
+  /// default empty snapshot stands in before the first materialization.
+  std::unique_ptr<MaterializationSnapshot> snapshot_;
   std::vector<double> marginals_;
   factor::GraphDelta cumulative_;
-  MaterializationStats mat_stats_;
   uint64_t update_seq_ = 0;
+  uint64_t generation_ = 0;
+  /// Updates served from the current snapshot (remat trigger input).
+  uint64_t updates_since_snapshot_ = 0;
+  /// Deltas merged while the current background build runs; becomes the new
+  /// cumulative delta at swap time.
+  factor::GraphDelta since_build_;
+  uint64_t since_build_updates_ = 0;
+  /// Options of the last materialization request; drives self-scheduled
+  /// remats with identical parameters (deterministic rebuilds).
+  MaterializationOptions mat_options_;
+  bool mat_options_valid_ = false;
+
+  /// Connected-components cache (serving thread only).
+  std::vector<std::vector<factor::VarId>> components_cache_;
+  size_t components_width_ = 0;
+  bool components_valid_ = false;
+
+  /// Background build plumbing. `mu_` guards the handoff slot; the builder
+  /// only touches its private graph copy plus this slot.
+  mutable std::mutex mu_;
+  std::condition_variable build_done_cv_;
+  bool build_in_flight_ = false;
+  std::unique_ptr<MaterializationSnapshot> pending_;
+  Status pending_status_;
+  std::atomic<bool> cancel_build_{false};
+  std::unique_ptr<ThreadPool> background_;  // one dedicated worker, lazy
 };
 
 }  // namespace deepdive::incremental

@@ -58,7 +58,8 @@ Status SampleStore::Save(const std::string& path) const {
   return Status::OK();
 }
 
-StatusOr<SampleStore> SampleStore::Load(const std::string& path) {
+StatusOr<SampleStore> SampleStore::Load(const std::string& path,
+                                        size_t expected_width) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open '" + path + "'");
   uint64_t magic = 0, count = 0, width = 0;
@@ -67,6 +68,12 @@ StatusOr<SampleStore> SampleStore::Load(const std::string& path) {
   in.read(reinterpret_cast<char*>(&width), sizeof(width));
   if (!in || magic != kStoreMagic) {
     return Status::InvalidArgument("'" + path + "' is not a sample store");
+  }
+  if (expected_width != 0 && width != expected_width) {
+    return Status::InvalidArgument(
+        "sample store '" + path + "' holds " + std::to_string(width) +
+        "-variable samples but the target graph has " +
+        std::to_string(expected_width) + " variables");
   }
   SampleStore store;
   for (uint64_t s = 0; s < count; ++s) {

@@ -43,9 +43,12 @@ class SampleStore {
 
   /// Persists the store (bit-packed) so an overnight materialization can be
   /// reused by later sessions. The cursor is not persisted (a loaded store
-  /// starts fresh).
+  /// starts fresh). When `expected_width` is nonzero, Load rejects a store
+  /// whose sample width differs — a store materialized for one graph must
+  /// not be replayed as MH proposals against a differently-shaped one.
   Status Save(const std::string& path) const;
-  static StatusOr<SampleStore> Load(const std::string& path);
+  static StatusOr<SampleStore> Load(const std::string& path,
+                                    size_t expected_width = 0);
 
  private:
   std::vector<BitVector> samples_;

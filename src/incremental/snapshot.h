@@ -1,0 +1,118 @@
+#ifndef DEEPDIVE_INCREMENTAL_SNAPSHOT_H_
+#define DEEPDIVE_INCREMENTAL_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "factor/factor_graph.h"
+#include "incremental/sample_store.h"
+#include "incremental/strawman.h"
+#include "incremental/variational.h"
+#include "util/status.h"
+
+namespace deepdive::incremental {
+
+struct MaterializationOptions {
+  /// Samples stored for the sampling approach (SM of Figure 5's cost model).
+  /// Sized so several updates' worth of effective samples fit before rule 4
+  /// (out of samples) forces the variational path.
+  size_t num_samples = 5000;
+  size_t gibbs_burn_in = 50;
+  size_t gibbs_thin = 1;
+  VariationalOptions variational;
+  /// Also build the strawman (only succeeds on tiny graphs).
+  bool materialize_strawman = false;
+  /// Best-effort time budget in seconds (0 = none): sample collection stops
+  /// early when exceeded — enforced during burn-in too, so a long burn-in
+  /// cannot blow the budget before the first sample lands. Mirrors
+  /// DeepDive's "as many samples as possible in a user-specified interval"
+  /// policy (Section 3.3 / Appendix B.2).
+  double time_budget_seconds = 0.0;
+  uint64_t seed = 31;
+  /// Worker threads for the sampling materialization's Gibbs chain
+  /// (Hogwild; see ParallelGibbsSampler). 1 = sequential/deterministic.
+  /// The variational materialization has its own `variational.num_threads`.
+  size_t num_threads = 1;
+
+  // ---- async materialization / rematerialization policy (Section 3.3's
+  // "materialize during idle time"): the build runs on a background worker
+  // while updates keep being served from the previous snapshot. ----
+
+  /// Build snapshots in the background (MaterializeAsync); the engine also
+  /// schedules its own background rebuilds from the triggers below.
+  bool async = false;
+  /// Remat when the sample store runs dry (rule 4 would otherwise pin every
+  /// later update on the variational path). Only acted on when `async`.
+  bool remat_on_exhaustion = true;
+  /// Remat when an update's MH acceptance rate drops below this floor —
+  /// the distribution has drifted far from Pr(0) and stored samples are
+  /// mostly wasted proposals. 0 disables.
+  double remat_acceptance_floor = 0.0;
+  /// Remat after this many updates since the serving snapshot was built.
+  /// 0 disables.
+  size_t remat_after_updates = 0;
+
+  /// Overnight-materialization reuse: when set, the sample store is loaded
+  /// from / saved to these paths. A loaded store skips the sampling chain
+  /// entirely (its width is validated against the target graph).
+  std::string load_sample_store;
+  std::string save_sample_store;
+
+  /// Test-only synchronization hook: invoked on the build thread after the
+  /// snapshot is fully built, immediately before it is published for the
+  /// swap. Lets tests hold a build "in flight" deterministically.
+  std::function<void()> on_before_publish;
+};
+
+struct MaterializationStats {
+  size_t samples_collected = 0;
+  size_t sample_bytes = 0;
+  size_t variational_edges = 0;
+  double seconds = 0.0;
+  bool strawman_built = false;
+  /// True when the store was loaded from `load_sample_store` instead of
+  /// being drawn by the sampling chain.
+  bool store_loaded = false;
+};
+
+/// Everything the incremental engine serves updates from, built in one piece
+/// against a fixed graph state (Pr(0)): the sampling approach's proposal
+/// store, the variational approximation, the optional strawman, and the
+/// materialized marginals. Built either inline (Materialize) or on a
+/// background worker against a private graph copy (MaterializeAsync), then
+/// swapped in atomically; after the swap only the serving thread touches it
+/// (the store cursor advances as MH consumes proposals).
+struct MaterializationSnapshot {
+  SampleStore store;
+  std::optional<VariationalMaterialization> variational;
+  std::optional<StrawmanMaterialization> strawman;
+  /// Marginals under Pr(0). Variables untouched by the cumulative delta
+  /// keep exactly these values (their distribution has not changed).
+  std::vector<double> materialized_marginals;
+  MaterializationStats stats;
+  /// NumVariables of the graph state this snapshot materializes.
+  size_t graph_width = 0;
+  /// Install counter stamped by the engine (1 = first materialization).
+  uint64_t generation = 0;
+};
+
+/// Builds a complete snapshot of `graph`'s current distribution. Pure with
+/// respect to engine state, so the same (graph, options) pair yields
+/// bit-identical snapshots whether built inline or on a background worker
+/// (at num_threads == 1). `cancel`, when set, is polled between chain sweeps
+/// and between build phases — the variational fit and strawman enumeration
+/// run to completion once started (they are short relative to the chain), so
+/// cancellation latency is bounded by the longest single phase, not zero. A
+/// cancelled build returns FailedPrecondition and its partial result is
+/// discarded.
+StatusOr<MaterializationSnapshot> BuildMaterializationSnapshot(
+    const factor::FactorGraph& graph, const MaterializationOptions& options,
+    const std::atomic<bool>* cancel = nullptr);
+
+}  // namespace deepdive::incremental
+
+#endif  // DEEPDIVE_INCREMENTAL_SNAPSHOT_H_

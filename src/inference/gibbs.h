@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -25,6 +26,12 @@ struct GibbsOptions {
   /// 1 = sequential (bit-identical to GibbsSampler); 0 = one per hardware
   /// thread. The sequential GibbsSampler ignores this field.
   size_t num_threads = 1;
+  /// Cooperative cancellation / budget hook, polled between sweeps of
+  /// ParallelGibbsSampler::SampleChain — including burn-in, so a time budget
+  /// can stop a chain that would otherwise blow it before the first sample.
+  /// Returning true abandons the chain. Never consumes RNG state, so a hook
+  /// that never fires leaves results bit-identical.
+  std::function<bool()> interrupt;
 };
 
 /// Per-variable marginal estimates plus chain accounting.

@@ -220,6 +220,9 @@ void ParallelGibbsSampler::SampleChain(
     const GibbsOptions& options, size_t count, size_t thin,
     const std::function<bool(const BitVector&)>& on_sample) const {
   const size_t thin_sweeps = std::max<size_t>(1, thin);
+  const auto interrupted = [&options] {
+    return options.interrupt && options.interrupt();
+  };
   if (num_threads_ <= 1) {
     // Matches GibbsSampler::DrawSamples / the engine's historical
     // materialization loop exactly: one Rng drives init, burn-in and thinning.
@@ -228,10 +231,12 @@ void ParallelGibbsSampler::SampleChain(
     Rng rng(options.seed);
     world.InitValues(&rng, options.random_init);
     for (size_t i = 0; i < options.burn_in_sweeps; ++i) {
+      if (interrupted()) return;
       sequential.Sweep(&world, &rng, options.sample_evidence);
     }
     for (size_t s = 0; s < count; ++s) {
       for (size_t t = 0; t < thin_sweeps; ++t) {
+        if (interrupted()) return;
         sequential.Sweep(&world, &rng, options.sample_evidence);
       }
       if (!on_sample(world.ToBits())) return;
@@ -244,10 +249,12 @@ void ParallelGibbsSampler::SampleChain(
   world.InitValues(&init_rng, options.random_init);
   std::vector<Rng> rngs = MakeRngStreams(options.seed);
   for (size_t i = 0; i < options.burn_in_sweeps; ++i) {
+    if (interrupted()) return;
     Sweep(&world, &rngs, options.sample_evidence);
   }
   for (size_t s = 0; s < count; ++s) {
     for (size_t t = 0; t < thin_sweeps; ++t) {
+      if (interrupted()) return;
       Sweep(&world, &rngs, options.sample_evidence);
     }
     if (!on_sample(world.ToBits())) return;

@@ -5,10 +5,11 @@
 
 namespace deepdive {
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  if (num_threads <= 1) return;  // inline mode
-  workers_.reserve(num_threads);
-  for (size_t i = 0; i < num_threads; ++i) {
+ThreadPool::ThreadPool(size_t num_threads, bool inline_when_single) {
+  if (num_threads <= 1 && inline_when_single) return;  // inline mode
+  const size_t spawn = std::max<size_t>(1, num_threads);
+  workers_.reserve(spawn);
+  for (size_t i = 0; i < spawn; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }

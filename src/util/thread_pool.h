@@ -21,9 +21,14 @@ namespace deepdive {
 /// A pool constructed with `num_threads <= 1` starts no workers; Submit and
 /// ParallelFor then run inline on the calling thread, so sequential
 /// configurations pay no synchronization cost and stay deterministic.
+///
+/// Pass `inline_when_single = false` to force dedicated workers even for a
+/// single-thread pool: Submit then never runs on the calling thread, which is
+/// what background jobs (e.g. async materialization) need to return without
+/// blocking.
 class ThreadPool {
  public:
-  explicit ThreadPool(size_t num_threads);
+  explicit ThreadPool(size_t num_threads, bool inline_when_single = true);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

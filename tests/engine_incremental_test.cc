@@ -252,5 +252,100 @@ TEST(IncrementalEngineTest, TimeBudgetLimitsSampleCollection) {
   EXPECT_GT(engine.materialization_stats().samples_collected, 0u);
 }
 
+TEST(IncrementalEngineTest, TimeBudgetEnforcedDuringBurnIn) {
+  // Regression: the budget used to be checked only between sample callbacks,
+  // so a long burn-in could blow it before the first sample landed. A
+  // burn-in this size takes minutes unchecked — the budget must cut it off.
+  FactorGraph g = TwoComponentGraph(10);
+  IncrementalEngine engine(&g);
+  MaterializationOptions mopts = TestMaterialization();
+  mopts.gibbs_burn_in = 2000000000;
+  mopts.num_samples = 10;
+  mopts.time_budget_seconds = 0.05;
+  ASSERT_TRUE(engine.Materialize(mopts).ok());
+  EXPECT_EQ(engine.materialization_stats().samples_collected, 0u);
+  EXPECT_LT(engine.materialization_stats().seconds, 5.0);
+}
+
+TEST(IncrementalEngineTest, ComponentCacheTracksNewVariables) {
+  // The connected-components cache must be invalidated by structural deltas:
+  // a variable added after a cached computation has to show up in the
+  // affected set of the update that introduces it.
+  FactorGraph g = TwoComponentGraph(13);
+  IncrementalEngine engine(&g);
+  ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
+
+  // Prime the cache with an evidence-only update (no structural change).
+  GraphDelta d1;
+  g.SetEvidence(4, true);
+  d1.evidence_changes.push_back({4, std::nullopt, true});
+  auto first = engine.ApplyDelta(d1, TestEngine());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->affected_vars, 4u);  // the second chain only
+
+  // Structural update: a new variable attached to component one.
+  GraphDelta d2;
+  const VarId nv = g.AddVariable();
+  d2.new_variables.push_back(nv);
+  d2.new_groups.push_back(
+      g.AddSimpleFactor(nv, {{0, false}}, g.AddWeight(1.2, /*learnable=*/true)));
+  auto second = engine.ApplyDelta(d2, TestEngine());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // Cumulative: evidence component (4 vars) + component one with its new
+  // variable (5 vars). A stale component cache would miss the new variable.
+  EXPECT_EQ(second->affected_vars, 9u);
+
+  auto exact = inference::ExactInference(g);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(second->marginals[nv], exact->marginals[nv], 0.15);
+}
+
+TEST(IncrementalEngineTest, ComponentCacheReuseKeepsBucketsIdentical) {
+  // Successive per-group updates must land in the same strategy buckets
+  // whether the components came from the cache (evidence-only follow-up) or
+  // a fresh computation (structural follow-up).
+  FactorGraph g = TwoComponentGraph(14);
+  IncrementalEngine engine(&g);
+  ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
+
+  GraphDelta d1;
+  g.SetEvidence(1, true);
+  d1.evidence_changes.push_back({1, std::nullopt, true});
+  auto first = engine.ApplyDelta(d1, TestEngine());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->variational_vars, 4u);
+  EXPECT_EQ(first->sampling_vars, 0u);
+
+  // Cached components (no structural change since d1): same bucketing plus
+  // the same component set.
+  GraphDelta d2;
+  g.SetEvidence(2, false);
+  d2.evidence_changes.push_back({2, std::nullopt, false});
+  auto second = engine.ApplyDelta(d2, TestEngine());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->variational_vars, 4u);
+  EXPECT_EQ(second->sampling_vars, 0u);
+
+  // Structural follow-up on the other component: fresh computation must
+  // keep the evidence component variational and add the feature component
+  // to the sampling bucket. A modest accepted-step target keeps the chain
+  // inside the store despite the evidence changes rejecting many proposals.
+  GraphDelta d3;
+  d3.new_groups.push_back(
+      g.AddSimpleFactor(5, {{6, false}}, g.AddWeight(0.7, true)));
+  EngineOptions third_opts = TestEngine();
+  third_opts.mh_target_steps = 800;
+  auto third = engine.ApplyDelta(d3, third_opts);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->variational_vars, 4u);
+  EXPECT_EQ(third->sampling_vars, 4u);
+
+  auto exact = inference::ExactInference(g);
+  ASSERT_TRUE(exact.ok());
+  for (VarId v = 0; v < g.NumVariables(); ++v) {
+    EXPECT_NEAR(third->marginals[v], exact->marginals[v], 0.2) << "var " << v;
+  }
+}
+
 }  // namespace
 }  // namespace deepdive::incremental

@@ -122,6 +122,19 @@ TEST(SampleStorePersistenceTest, RejectsGarbage) {
             StatusCode::kNotFound);
 }
 
+TEST(SampleStorePersistenceTest, LoadValidatesExpectedWidth) {
+  const std::string path = ::testing::TempDir() + "/store_width_check.bin";
+  incremental::SampleStore store;
+  store.Add(BitVector(77, true));
+  ASSERT_TRUE(store.Save(path).ok());
+
+  EXPECT_TRUE(incremental::SampleStore::Load(path, 77).ok());
+  EXPECT_TRUE(incremental::SampleStore::Load(path).ok());  // 0 = unchecked
+  const auto mismatched = incremental::SampleStore::Load(path, 64);
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
 TEST(SampleStorePersistenceTest, NonMultipleOf8Width) {
   // Widths straddling byte boundaries must round-trip exactly.
   for (size_t width : {1u, 7u, 8u, 9u, 63u, 64u, 65u}) {

@@ -16,6 +16,16 @@
 //   --threads N             worker threads for grounding and Gibbs
 //                           inference/learning (default 1 = sequential;
 //                           0 = hardware threads)
+//   --async-materialize     build materializations on a background worker;
+//                           updates are served from the previous snapshot
+//                           while a rebuild is in flight, and the engine
+//                           re-materializes itself when the sample store
+//                           runs dry
+//   --save-materialization FILE   persist the sample store after
+//                           materializing (overnight-materialization reuse)
+//   --load-materialization FILE   load a persisted sample store instead of
+//                           running the sampling chain (width-checked
+//                           against the grounded graph)
 //
 // Example:
 //   deepdive_cli run spouse.ddl --data Person=persons.tsv \
@@ -50,6 +60,9 @@ struct Args {
   uint64_t seed = 42;
   size_t epochs = 60;
   size_t threads = 1;
+  bool async_materialize = false;
+  std::string save_materialization;
+  std::string load_materialization;
 };
 
 void Usage() {
@@ -57,7 +70,9 @@ void Usage() {
                "usage: deepdive_cli run PROGRAM.ddl [--data REL=FILE]...\n"
                "       [--output REL[=FILE]]... [--update FILE.ddl]...\n"
                "       [--update-data REL=FILE]... [--mode incremental|rerun]\n"
-               "       [--threshold P] [--seed N] [--epochs N] [--threads N]\n");
+               "       [--threshold P] [--seed N] [--epochs N] [--threads N]\n"
+               "       [--async-materialize] [--save-materialization FILE]\n"
+               "       [--load-materialization FILE]\n");
 }
 
 StatusOr<std::pair<std::string, std::string>> SplitAssignment(const std::string& arg) {
@@ -122,6 +137,12 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
     } else if (flag == "--epochs") {
       DD_ASSIGN_OR_RETURN(std::string v, next());
       args.epochs = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--async-materialize") {
+      args.async_materialize = true;
+    } else if (flag == "--save-materialization") {
+      DD_ASSIGN_OR_RETURN(args.save_materialization, next());
+    } else if (flag == "--load-materialization") {
+      DD_ASSIGN_OR_RETURN(args.load_materialization, next());
     } else if (flag == "--threads") {
       DD_ASSIGN_OR_RETURN(std::string v, next());
       char* end = nullptr;
@@ -134,6 +155,13 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
     } else {
       return Status::InvalidArgument("unknown flag '" + flag + "'");
     }
+  }
+  if (args.mode == core::ExecutionMode::kRerun &&
+      (args.async_materialize || !args.save_materialization.empty() ||
+       !args.load_materialization.empty())) {
+    return Status::InvalidArgument(
+        "--async-materialize/--save-materialization/--load-materialization "
+        "require --mode incremental (rerun has no materialization)");
   }
   return args;
 }
@@ -207,6 +235,9 @@ Status Run(const Args& args) {
   config.materialization.variational.num_threads = args.threads;
   config.engine.gibbs.num_threads = args.threads;
   config.engine.rerun_gibbs.num_threads = args.threads;
+  config.materialization.async = args.async_materialize;
+  config.materialization.save_sample_store = args.save_materialization;
+  config.materialization.load_sample_store = args.load_materialization;
   DD_ASSIGN_OR_RETURN(std::unique_ptr<core::DeepDive> dd,
                       core::DeepDive::Create(source, config));
 
@@ -248,6 +279,18 @@ Status Run(const Args& args) {
                  report.label.c_str(), report.grounding_seconds,
                  report.learning_seconds, report.inference_seconds,
                  incremental::StrategyName(report.strategy));
+  }
+
+  // Drain any background (re)materialization so a failed build — e.g. a
+  // --load-materialization store whose width mismatches the graph — surfaces
+  // as an error instead of dying silently with the process.
+  if (auto* engine = dd->incremental_engine(); engine != nullptr) {
+    DD_RETURN_IF_ERROR(engine->WaitForMaterialization());
+    if (args.async_materialize) {
+      std::fprintf(stderr, "materialization snapshot generation %llu: %zu samples\n",
+                   static_cast<unsigned long long>(engine->snapshot_generation()),
+                   dd->materialization_stats().samples_collected);
+    }
   }
 
   if (args.outputs.empty()) {
