@@ -5,7 +5,7 @@
 
 #include "inference/gibbs.h"
 #include "inference/learner.h"
-#include "inference/parallel_gibbs.h"
+#include "inference/replicated_gibbs.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -63,7 +63,8 @@ Status DeepDive::Initialize() {
 
   inference::GibbsOptions gopts = config_.gibbs;
   gopts.seed = config_.seed + 1;
-  inference::ParallelGibbsSampler sampler(&ground_.graph, gopts.num_threads);
+  inference::ReplicatedGibbsSampler sampler(&ground_.graph, gopts.num_replicas,
+                                            gopts.num_threads);
   marginals_ = sampler.EstimateMarginals(gopts).marginals;
   for (VarId v = 0; v < ground_.graph.NumVariables(); ++v) {
     const auto ev = ground_.graph.EvidenceValue(v);
@@ -218,7 +219,8 @@ Status DeepDive::RunFullPipeline(UpdateReport* report, bool cold_learning) {
   Timer infer_timer;
   inference::GibbsOptions gopts = config_.gibbs;
   gopts.seed = config_.seed + 13 * (history_.size() + 1);
-  inference::ParallelGibbsSampler sampler(&ground_.graph, gopts.num_threads);
+  inference::ReplicatedGibbsSampler sampler(&ground_.graph, gopts.num_replicas,
+                                            gopts.num_threads);
   marginals_ = sampler.EstimateMarginals(gopts).marginals;
   for (VarId v = 0; v < ground_.graph.NumVariables(); ++v) {
     const auto ev = ground_.graph.EvidenceValue(v);

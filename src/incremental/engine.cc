@@ -6,6 +6,7 @@
 
 #include "incremental/decomposition.h"
 #include "inference/parallel_gibbs.h"
+#include "inference/replicated_gibbs.h"
 #include "inference/world.h"
 #include "util/thread_pool.h"
 #include "util/logging.h"
@@ -553,7 +554,8 @@ UpdateOutcome IncrementalEngine::RunRerun(const EngineOptions& options) {
   UpdateOutcome outcome;
   inference::GibbsOptions gopts = options.rerun_gibbs;
   gopts.seed += update_seq_;
-  inference::ParallelGibbsSampler sampler(graph_, gopts.num_threads);
+  inference::ReplicatedGibbsSampler sampler(graph_, gopts.num_replicas,
+                                            gopts.num_threads);
   outcome.marginals = sampler.EstimateMarginals(gopts).marginals;
   for (VarId v = 0; v < graph_->NumVariables(); ++v) {
     const auto ev = graph_->EvidenceValue(v);

@@ -1,6 +1,7 @@
 #include "incremental/mh_sampler.h"
 
 #include <cmath>
+#include <optional>
 
 #include "inference/gibbs.h"
 #include "inference/parallel_gibbs.h"
@@ -52,7 +53,9 @@ StatusOr<MHResult> IndependentMH::Run(SampleStore* store, const MHOptions& optio
     if (parallel_extension) {
       psampler.emplace(graph_, num_threads);
       extension_aworld.emplace(graph_);
-      extension_rngs = psampler->MakeRngStreams(options.seed + 1);
+      // Extension sweeps are their own chain (replica 1): keyed off the MH
+      // seed but decorrelated from any replica-0 sampler sharing it.
+      extension_rngs = psampler->MakeRngStreams(options.seed, /*replica=*/1);
     } else {
       extension_world.emplace(graph_);
     }
@@ -105,16 +108,59 @@ StatusOr<MHResult> IndependentMH::Run(SampleStore* store, const MHOptions& optio
   ++result.proposals;
   ++result.accepted;  // the chain starts at the first proposal
 
-  auto accumulate = [&]() {
-    if (options.track_vars != nullptr) {
-      for (VarId v : *options.track_vars) result.marginals[v] += current.Get(v);
+  // ---- marginal accumulation ----
+  // The chain sits in each accepted state for a run of consecutive steps, so
+  // per-step adds are deferred until the state changes and applied as one
+  // batched pass (marginals[v] += run * I[v]). The run counts are integers
+  // well below 2^53, so the batched double adds are bit-identical to the
+  // historical step-by-step loop. When the tracked set is large — the
+  // ROADMAP's data-parallel reduction — the pass shards over it on a pool:
+  // tracked ids are unique (component expansions), so shard slices write
+  // disjoint entries of the marginal vector and each worker effectively owns
+  // a private accumulation buffer (its slice), reduced for free in place.
+  const std::vector<VarId>* tracked = options.track_vars;
+  const size_t tracked_count = tracked != nullptr ? tracked->size() : n;
+  constexpr size_t kParallelTrackThreshold = 2048;
+  std::optional<ThreadPool> accum_pool;
+  ThreadPool* accum = nullptr;
+  if (num_threads > 1 && tracked_count >= kParallelTrackThreshold) {
+    if (psampler.has_value()) {
+      accum = psampler->pool();
     } else {
-      for (VarId v = 0; v < n; ++v) result.marginals[v] += current.Get(v);
+      accum_pool.emplace(num_threads);
+      accum = &*accum_pool;
+    }
+  }
+  size_t run_length = 0;
+  double* marginals = result.marginals.data();
+  auto flush_run = [&]() {
+    if (run_length == 0) return;
+    const double run = static_cast<double>(run_length);
+    run_length = 0;
+    auto add_range = [&](size_t begin, size_t end) {
+      if (tracked != nullptr) {
+        for (size_t i = begin; i < end; ++i) {
+          const VarId v = (*tracked)[i];
+          if (current.Get(v)) marginals[v] += run;
+        }
+      } else {
+        for (size_t v = begin; v < end; ++v) {
+          if (current.Get(static_cast<VarId>(v))) marginals[v] += run;
+        }
+      }
+    };
+    if (accum != nullptr) {
+      accum->ParallelFor(tracked_count,
+                         [&](size_t /*shard*/, size_t begin, size_t end) {
+                           add_range(begin, end);
+                         });
+    } else {
+      add_range(0, tracked_count);
     }
   };
 
   size_t steps = 1;
-  accumulate();
+  run_length = 1;  // the initial state is counted once
 
   while (steps < options.target_steps &&
          (options.target_accepted == 0 || result.accepted < options.target_accepted)) {
@@ -138,20 +184,35 @@ StatusOr<MHResult> IndependentMH::Run(SampleStore* store, const MHOptions& optio
     }
     if (accept) {
       ++result.accepted;
+      flush_run();  // batch out the departing state before replacing it
       current = proposal_bits;
       current_ratio = proposed_ratio;
     }
     ++steps;
-    accumulate();
+    ++run_length;  // the (possibly new) current state is counted this step
   }
+  flush_run();
 
-  for (VarId v = 0; v < n; ++v) {
-    result.marginals[v] /= static_cast<double>(steps);
-  }
-  // Evidence variables report their labels exactly.
-  for (VarId v = 0; v < n; ++v) {
-    const auto ev = graph_->EvidenceValue(v);
-    if (ev.has_value()) result.marginals[v] = *ev ? 1.0 : 0.0;
+  // Only tracked variables carry chain averages; with a tracked set the
+  // untracked entries stay exactly 0 and are neither divided nor overwritten
+  // with evidence labels as if they were estimates — the caller replaces
+  // only the tracked subset and keeps its own values for the rest.
+  const double steps_d = static_cast<double>(steps);
+  if (tracked != nullptr) {
+    for (VarId v : *tracked) {
+      result.marginals[v] /= steps_d;
+      const auto ev = graph_->EvidenceValue(v);
+      if (ev.has_value()) result.marginals[v] = *ev ? 1.0 : 0.0;
+    }
+  } else {
+    for (VarId v = 0; v < n; ++v) {
+      result.marginals[v] /= steps_d;
+    }
+    // Evidence variables report their labels exactly.
+    for (VarId v = 0; v < n; ++v) {
+      const auto ev = graph_->EvidenceValue(v);
+      if (ev.has_value()) result.marginals[v] = *ev ? 1.0 : 0.0;
+    }
   }
   result.acceptance_rate =
       result.proposals > 0

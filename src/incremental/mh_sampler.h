@@ -25,11 +25,17 @@ struct MHOptions {
   size_t extension_sweeps = 2;
   /// If set, marginals are accumulated only for these variables (the
   /// decomposition optimization: untouched components keep materialized
-  /// marginals, so the chain need not track them). Others report 0.
+  /// marginals, so the chain need not track them). Entries must be unique
+  /// (the engine passes component expansions, which are). All untracked
+  /// variables — evidence included — report exactly 0: the caller keeps its
+  /// own values for everything outside the tracked set. Large tracked sets
+  /// are accumulated as a sharded data-parallel reduction on `num_threads`
+  /// workers, bit-identical to the sequential accumulation.
   const std::vector<factor::VarId>* track_vars = nullptr;
-  /// Worker threads for the proposal-extension Gibbs sweeps (the only
-  /// parallelizable stage: the MH chain itself is inherently sequential).
-  /// 1 = sequential, bit-identical to the historical behavior.
+  /// Worker threads for the proposal-extension Gibbs sweeps and the
+  /// tracked-marginal accumulation (the two data-parallel stages: the MH
+  /// chain itself is inherently sequential). 1 = sequential, bit-identical
+  /// to the historical behavior.
   size_t num_threads = 1;
 };
 

@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "inference/parallel_gibbs.h"
+#include "inference/replicated_gibbs.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -31,20 +31,26 @@ StatusOr<MaterializationSnapshot> BuildMaterializationSnapshot(
     snap.stats.store_loaded = true;
   } else {
     // Sampling materialization: draw as many samples as the budget allows.
-    // The chain runs through the parallel sampler — num_threads == 1 keeps
-    // the historical sequential chain bit-for-bit; more threads Hogwild the
-    // sweeps. The interrupt hook enforces the time budget during burn-in as
-    // well as between samples, and doubles as the cancellation point for
-    // superseded background builds.
+    // The chain runs through the replicated sampler — num_replicas == 1 and
+    // num_threads == 1 keep the historical sequential chain bit-for-bit;
+    // more threads Hogwild the sweeps, more replicas draw round-robin from
+    // private-world chains with periodic consensus averaging. The interrupt
+    // hook enforces the time budget during burn-in as well as between
+    // samples, and doubles as the cancellation point for superseded
+    // background builds (with replicas it is polled from replica workers,
+    // which this atomic-flag + monotonic-timer hook tolerates).
     inference::GibbsOptions gopts;
     gopts.burn_in_sweeps = options.gibbs_burn_in;
     gopts.seed = options.seed;
     gopts.num_threads = options.num_threads;
+    gopts.num_replicas = options.num_replicas;
+    gopts.sync_every_sweeps = options.sync_every_sweeps;
     gopts.interrupt = [&] {
       return cancelled() || (options.time_budget_seconds > 0 &&
                              timer.Seconds() > options.time_budget_seconds);
     };
-    inference::ParallelGibbsSampler sampler(&graph, options.num_threads);
+    inference::ReplicatedGibbsSampler sampler(&graph, options.num_replicas,
+                                              options.num_threads);
     sampler.SampleChain(gopts, options.num_samples, options.gibbs_thin,
                         [&](const BitVector& bits) {
                           snap.store.Add(bits);

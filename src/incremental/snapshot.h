@@ -36,7 +36,17 @@ struct MaterializationOptions {
   /// Worker threads for the sampling materialization's Gibbs chain
   /// (Hogwild; see ParallelGibbsSampler). 1 = sequential/deterministic.
   /// The variational materialization has its own `variational.num_threads`.
+  /// With num_replicas > 1 this is the total budget split across replicas.
   size_t num_threads = 1;
+  /// Model replicas for the sampling chain (ReplicatedGibbsSampler): each
+  /// replica owns a private world and samples are drawn round-robin across
+  /// the replica chains. 1 = single chain, bit-identical to the historical
+  /// materialization. Deterministic for any replica count at one thread per
+  /// replica.
+  size_t num_replicas = 1;
+  /// Replica synchronization cadence (consensus model averaging) in sweeps;
+  /// 0 disables periodic synchronization. See GibbsOptions.
+  size_t sync_every_sweeps = 50;
 
   // ---- async materialization / rematerialization policy (Section 3.3's
   // "materialize during idle time"): the build runs on a background worker

@@ -1,8 +1,10 @@
 #include "inference/learner.h"
 
 #include <cmath>
+#include <memory>
 
 #include "inference/gibbs.h"
+#include "inference/replicated_gibbs.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -36,15 +38,42 @@ double Learner::EvidenceLoss() const {
   return count > 0 ? loss / static_cast<double>(count) : 0.0;
 }
 
-LearnStats Learner::Learn(const LearnerOptions& options) {
+LearnStats Learner::RunEpochs(
+    const LearnerOptions& options,
+    const std::function<void(std::vector<double>* grad)>& accumulate_sweep) {
   LearnStats stats;
-
   if (!options.warmstart) {
     for (WeightId w = 0; w < graph_->NumWeights(); ++w) {
       if (graph_->weight(w).learnable) graph_->SetWeightValue(w, 0.0);
     }
   }
   stats.initial_loss = EvidenceLoss();
+
+  const size_t num_weights = graph_->NumWeights();
+  std::vector<double> grad(num_weights, 0.0);
+  double lr = options.learning_rate;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    const size_t sweeps = std::max<size_t>(1, options.sweeps_per_epoch);
+    for (size_t s = 0; s < sweeps; ++s) accumulate_sweep(&grad);
+    for (WeightId w = 0; w < num_weights; ++w) {
+      if (!graph_->weight(w).learnable) continue;
+      const double g = grad[w] / static_cast<double>(sweeps);
+      const double updated =
+          graph_->WeightValue(w) + lr * (g - options.l2 * graph_->WeightValue(w));
+      graph_->SetWeightValue(w, updated);
+    }
+    lr *= options.decay;
+    stats.epoch_losses.push_back(EvidenceLoss());
+    ++stats.epochs_run;
+  }
+  stats.final_loss = stats.epoch_losses.empty() ? stats.initial_loss
+                                                : stats.epoch_losses.back();
+  return stats;
+}
+
+LearnStats Learner::Learn(const LearnerOptions& options) {
+  if (options.num_replicas >= 2) return LearnReplicated(options);
 
   GibbsSampler sampler(graph_);
   Rng rng(options.seed);
@@ -66,41 +95,63 @@ LearnStats Learner::Learn(const LearnerOptions& options) {
   ThreadPool pool(parallel_chains ? 2 : 1);
   Rng free_rng(Rng::MixSeed(options.seed, 1));
 
-  const size_t num_weights = graph_->NumWeights();
-  std::vector<double> grad(num_weights, 0.0);
-
-  double lr = options.learning_rate;
-  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
-    std::fill(grad.begin(), grad.end(), 0.0);
-    const size_t sweeps = std::max<size_t>(1, options.sweeps_per_epoch);
-    for (size_t s = 0; s < sweeps; ++s) {
-      if (parallel_chains) {
-        pool.Submit([&] { sampler.Sweep(&clamped, &rng, /*sample_evidence=*/false); });
-        pool.Submit([&] { sampler.Sweep(&free, &free_rng, /*sample_evidence=*/true); });
-        pool.Wait();
-      } else {
-        sampler.Sweep(&clamped, &rng, /*sample_evidence=*/false);
-        sampler.Sweep(&free, &rng, /*sample_evidence=*/true);
-      }
-      for (WeightId w = 0; w < num_weights; ++w) {
-        if (!graph_->weight(w).learnable) continue;
-        grad[w] += clamped.WeightFeature(w) - free.WeightFeature(w);
-      }
+  return RunEpochs(options, [&](std::vector<double>* grad) {
+    if (parallel_chains) {
+      pool.Submit([&] { sampler.Sweep(&clamped, &rng, /*sample_evidence=*/false); });
+      pool.Submit([&] { sampler.Sweep(&free, &free_rng, /*sample_evidence=*/true); });
+      pool.Wait();
+    } else {
+      sampler.Sweep(&clamped, &rng, /*sample_evidence=*/false);
+      sampler.Sweep(&free, &rng, /*sample_evidence=*/true);
     }
-    for (WeightId w = 0; w < num_weights; ++w) {
+    for (WeightId w = 0; w < graph_->NumWeights(); ++w) {
       if (!graph_->weight(w).learnable) continue;
-      const double g = grad[w] / static_cast<double>(sweeps);
-      const double updated =
-          graph_->WeightValue(w) + lr * (g - options.l2 * graph_->WeightValue(w));
-      graph_->SetWeightValue(w, updated);
+      (*grad)[w] += clamped.WeightFeature(w) - free.WeightFeature(w);
     }
-    lr *= options.decay;
-    stats.epoch_losses.push_back(EvidenceLoss());
-    ++stats.epochs_run;
+  });
+}
+
+LearnStats Learner::LearnReplicated(const LearnerOptions& options) {
+  // Chain 2r is clamped replica r, chain 2r + 1 is free replica r. Every
+  // chain owns a private world and (seed, chain, worker)-keyed streams; the
+  // replicated sampler's pool runs all 2R chains concurrently, each chain's
+  // Hogwild shards on its own replica sampler. With one worker per chain
+  // every chain is internally sequential, so the whole procedure is
+  // deterministic for a fixed seed.
+  const size_t replicas = options.num_replicas;
+  const size_t chains = 2 * replicas;
+  ReplicatedGibbsSampler replicated(graph_, chains, options.num_threads);
+  std::vector<std::unique_ptr<AtomicWorld>> worlds;
+  std::vector<std::vector<Rng>> rngs;
+  worlds.reserve(chains);
+  rngs.reserve(chains);
+  for (size_t c = 0; c < chains; ++c) {
+    worlds.push_back(std::make_unique<AtomicWorld>(graph_));
+    rngs.push_back(replicated.replica(c).MakeRngStreams(options.seed, c));
   }
-  stats.final_loss = stats.epoch_losses.empty() ? stats.initial_loss
-                                                : stats.epoch_losses.back();
-  return stats;
+  replicated.ForEachReplica([&](size_t c) {
+    Rng init_rng(ReplicatedGibbsSampler::AuxSeed(
+        options.seed, c, ReplicatedGibbsSampler::kInitStream));
+    worlds[c]->InitValues(&init_rng, /*random_init=*/true);
+  });
+
+  return RunEpochs(options, [&](std::vector<double>* grad) {
+    replicated.ForEachReplica([&](size_t c) {
+      replicated.replica(c).Sweep(worlds[c].get(), &rngs[c],
+                                  /*sample_evidence=*/(c & 1) != 0);
+    });
+    // Replica-averaged gradient: the weight vector is the consensus model,
+    // synchronized across replicas at every step.
+    for (WeightId w = 0; w < graph_->NumWeights(); ++w) {
+      if (!graph_->weight(w).learnable) continue;
+      double clamped_f = 0.0, free_f = 0.0;
+      for (size_t r = 0; r < replicas; ++r) {
+        clamped_f += worlds[2 * r]->WeightFeature(w);
+        free_f += worlds[2 * r + 1]->WeightFeature(w);
+      }
+      (*grad)[w] += (clamped_f - free_f) / static_cast<double>(replicas);
+    }
+  });
 }
 
 }  // namespace deepdive::inference

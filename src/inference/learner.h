@@ -2,6 +2,7 @@
 #define DEEPDIVE_INFERENCE_LEARNER_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "factor/factor_graph.h"
@@ -23,8 +24,18 @@ struct LearnerOptions {
   uint64_t seed = 7;
   /// >= 2 runs the clamped and free chains concurrently on a thread pool
   /// (each chain owns a decorrelated RNG stream). 1 keeps the historical
-  /// single-threaded interleaving, bit-identical for a given seed.
+  /// single-threaded interleaving, bit-identical for a given seed. With
+  /// num_replicas > 1 this is the total budget split across all chains.
   size_t num_threads = 1;
+  /// Model replicas per chain (ReplicatedGibbsSampler execution model):
+  /// >= 2 maintains R clamped and R free persistent chains with private
+  /// worlds and (seed, chain, worker)-keyed RNG streams; each sweep's
+  /// gradient is the replica-averaged difference of sufficient statistics —
+  /// the weight vector itself is the consensus model, synchronized every
+  /// sweep. Deterministic for a fixed seed whenever each chain runs on one
+  /// worker (num_threads <= 2 * num_replicas). 1 keeps the historical
+  /// two-chain path bit-identical.
+  size_t num_replicas = 1;
 };
 
 struct LearnStats {
@@ -54,6 +65,21 @@ class Learner {
   double EvidenceLoss() const;
 
  private:
+  /// The shared SGD scaffolding (weight reset, per-epoch gradient averaging
+  /// + L2 step, learning-rate decay, loss tracking): `accumulate_sweep`
+  /// advances every persistent chain one sweep and adds that sweep's
+  /// sufficient-statistic differences into the gradient buffer — the only
+  /// part that differs between the two-chain and replicated executions.
+  LearnStats RunEpochs(
+      const LearnerOptions& options,
+      const std::function<void(std::vector<double>* grad)>& accumulate_sweep);
+
+  /// num_replicas >= 2: R clamped + R free persistent chains with private
+  /// worlds, swept concurrently through a ReplicatedGibbsSampler; gradients
+  /// are replica-averaged every sweep (the shared weight vector is the
+  /// consensus model of DimmWitted-style model averaging).
+  LearnStats LearnReplicated(const LearnerOptions& options);
+
   factor::FactorGraph* graph_;
 };
 

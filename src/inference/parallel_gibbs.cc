@@ -82,6 +82,21 @@ BitVector AtomicWorld::ToBits() const {
 }
 
 void AtomicWorld::RecomputeStats(ThreadPool* pool) {
+  // Publication contract: the relaxed stores below are read by Hogwild
+  // workers (and plain callers) AFTER this function returns, with relaxed
+  // loads and no release/acquire pair of their own. The happens-before edge
+  // is ThreadPool's mutex handoff: each shard's writes are ordered before
+  // ParallelFor's Wait() returns (the worker releases the pool mutex after
+  // running the shard; the caller re-acquires it to observe completion),
+  // and any worker that later sweeps this world receives its task through
+  // the same mutex (Submit enqueues under it) — so the shard writes
+  // happen-before every subsequent read regardless of which pool runs the
+  // sweep. Note a standalone fence pair could NOT stand in for this edge
+  // (fences synchronize only through an atomic object the releasing thread
+  // stores after its fence and the acquiring thread reads before its
+  // fence); a future lock-free pool must supply an equivalent
+  // release/acquire handoff on its task and completion queues. The TSan CI
+  // job pins the edge via RecomputeStatsPublishesToHogwildWorkers.
   auto scan = [this](size_t /*shard*/, size_t begin, size_t end) {
     for (ClauseId c = static_cast<ClauseId>(begin); c < end; ++c) {
       if (!graph_->clause(c).active) {
@@ -127,11 +142,12 @@ ParallelGibbsSampler::ParallelGibbsSampler(const FactorGraph* graph, size_t num_
       pool_(num_threads_),
       scratch_(pool_.shards()) {}
 
-std::vector<Rng> ParallelGibbsSampler::MakeRngStreams(uint64_t seed) const {
+std::vector<Rng> ParallelGibbsSampler::MakeRngStreams(uint64_t seed,
+                                                      uint64_t replica) const {
   std::vector<Rng> rngs;
   rngs.reserve(pool_.shards());
   for (size_t t = 0; t < pool_.shards(); ++t) {
-    rngs.emplace_back(Rng::MixSeed(seed, t));
+    rngs.emplace_back(Rng::MixSeed(seed, replica, t));
   }
   return rngs;
 }

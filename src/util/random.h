@@ -47,6 +47,15 @@ class Rng {
   /// seed so Hogwild chains never share RNG state.
   static uint64_t MixSeed(uint64_t seed, uint64_t stream);
 
+  /// Two-level keying: a decorrelated seed for (stream, substream) of a base
+  /// seed. Parallel samplers key their worker streams by (seed, replica,
+  /// worker) through this, so two samplers sharing a base seed but running
+  /// as different replicas/chains never produce correlated streams — which a
+  /// flat worker index alone cannot guarantee.
+  static uint64_t MixSeed(uint64_t seed, uint64_t stream, uint64_t substream) {
+    return MixSeed(MixSeed(seed, stream), substream);
+  }
+
  private:
   uint64_t s_[4];
   bool has_spare_gaussian_ = false;

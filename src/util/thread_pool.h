@@ -16,7 +16,12 @@ namespace deepdive {
 /// plain std::function<void()>; Wait() blocks until every submitted task has
 /// finished, which together with the internal mutex gives the caller a
 /// happens-before edge over all worker writes (so relaxed-atomic world state
-/// read after Wait() is quiescent and consistent).
+/// read after Wait() is quiescent and consistent). Symmetrically, Submit
+/// publishes everything the calling thread wrote before the call to the
+/// worker that runs the task — both edges go through `mu_`, so data handed
+/// between a ParallelFor join and a later Submit needs no fences of its own
+/// (parallel_gibbs.cc's RecomputeStats documents the one place this contract
+/// is load-bearing for relaxed-atomic statistics).
 ///
 /// A pool constructed with `num_threads <= 1` starts no workers; Submit and
 /// ParallelFor then run inline on the calling thread, so sequential

@@ -119,25 +119,28 @@ TEST(AsyncMaterializationTest, AsyncSnapshotBitIdenticalToSync) {
   EXPECT_EQ(async_engine.HasVariational(), sync_engine.HasVariational());
 }
 
-TEST(AsyncMaterializationTest, UpdatesMidBuildServeFromOldSnapshotAndRebase) {
-  // The drift scenario: updates arrive while the background remat is in
-  // flight. Marginals before the swap must be bit-identical to a control
-  // engine that never remats; the post-swap snapshot must be bit-identical
-  // to a fresh synchronous materialization of the graph state the build
-  // copied; and the mid-build delta must survive the swap.
+/// The drift scenario: updates arrive while the background remat is in
+/// flight. Marginals before the swap must be bit-identical to a control
+/// engine that never remats; the post-swap snapshot must be bit-identical
+/// to a fresh synchronous materialization of the graph state the build
+/// copied; and the mid-build delta must survive the swap. Parameterized by
+/// the materialization options so the replicated-sampler configuration runs
+/// the identical scenario (its chains are deterministic at one thread per
+/// replica, which this bit-exactness drill depends on).
+void RunMidBuildDriftSwapScenario(const MaterializationOptions& base_mopts) {
   FactorGraph g = TwoComponentGraph(23);
   FactorGraph g_control = TwoComponentGraph(23);
   IncrementalEngine engine(&g);
   IncrementalEngine control(&g_control);
 
-  MaterializationOptions mopts = TestMaterialization();
+  MaterializationOptions mopts = base_mopts;
   ASSERT_TRUE(engine.Materialize(mopts).ok());
   ASSERT_TRUE(control.Materialize(mopts).ok());
 
   // Schedule the rebuild; the build copies the graph *now* (pre-update).
   std::promise<void> release;
   std::shared_future<void> released = release.get_future().share();
-  MaterializationOptions remat = TestMaterialization();
+  MaterializationOptions remat = base_mopts;
   remat.async = true;
   remat.seed = 77;
   remat.on_before_publish = [released] { released.wait(); };
@@ -191,6 +194,49 @@ TEST(AsyncMaterializationTest, UpdatesMidBuildServeFromOldSnapshotAndRebase) {
   for (VarId v = 0; v < g.NumVariables(); ++v) {
     EXPECT_NEAR(post->marginals[v], exact->marginals[v], 0.12) << "var " << v;
   }
+}
+
+TEST(AsyncMaterializationTest, UpdatesMidBuildServeFromOldSnapshotAndRebase) {
+  RunMidBuildDriftSwapScenario(TestMaterialization());
+}
+
+TEST(AsyncMaterializationTest, UpdatesMidBuildDriftSwapWithReplicatedSampler) {
+  // The identical drift/swap drill with a 2-replica materialization chain —
+  // including consensus synchronizations during burn-in (cadence 40 against
+  // a 100-sweep burn-in) and round-robin sample emission.
+  MaterializationOptions mopts = TestMaterialization();
+  mopts.num_replicas = 2;
+  mopts.sync_every_sweeps = 40;
+  RunMidBuildDriftSwapScenario(mopts);
+}
+
+TEST(AsyncMaterializationTest, ReplicatedSnapshotBitIdenticalAcrossSyncAndAsync) {
+  // num_threads == 1 (one worker per replica): a replicated background build
+  // must produce exactly the snapshot a blocking replicated Materialize
+  // would.
+  FactorGraph g_async = TwoComponentGraph(22);
+  FactorGraph g_sync = TwoComponentGraph(22);
+  IncrementalEngine async_engine(&g_async);
+  IncrementalEngine sync_engine(&g_sync);
+
+  MaterializationOptions mopts = TestMaterialization();
+  mopts.num_replicas = 3;
+  mopts.sync_every_sweeps = 25;
+  ASSERT_TRUE(sync_engine.Materialize(mopts).ok());
+
+  mopts.async = true;
+  ASSERT_TRUE(async_engine.MaterializeAsync(mopts).ok());
+  ASSERT_TRUE(async_engine.WaitForMaterialization().ok());
+
+  EXPECT_EQ(async_engine.materialization_stats().samples_collected, 4000u);
+  ASSERT_EQ(async_engine.materialized_marginals().size(),
+            sync_engine.materialized_marginals().size());
+  for (size_t v = 0; v < sync_engine.materialized_marginals().size(); ++v) {
+    EXPECT_EQ(async_engine.materialized_marginals()[v],
+              sync_engine.materialized_marginals()[v])
+        << "var " << v;
+  }
+  EXPECT_EQ(async_engine.SamplesRemaining(), sync_engine.SamplesRemaining());
 }
 
 TEST(AsyncMaterializationTest, StoreExhaustionSchedulesBackgroundRemat) {
@@ -379,6 +425,41 @@ TEST(AsyncMaterializationTest, SwapUnderConcurrentApplyDeltaSequence) {
   EXPECT_EQ(engine.snapshot_generation(), 2u);
   auto post = engine.ApplyDelta(GraphDelta{}, TestEngine());
   ASSERT_TRUE(post.ok());
+}
+
+TEST(AsyncMaterializationTest, SwapUnderConcurrentUpdatesWithReplicatedBuild) {
+  // The no-gates race again, with the background build running the
+  // replicated sampler (its replica pool + per-replica Hogwild pools) while
+  // the serving thread applies updates. Primarily a TSan target.
+  FactorGraph g = TwoComponentGraph(35);
+  IncrementalEngine engine(&g);
+  MaterializationOptions mopts = TestMaterialization();
+  mopts.num_replicas = 2;
+  mopts.num_threads = 4;  // 2 Hogwild workers per replica
+  mopts.sync_every_sweeps = 30;
+  ASSERT_TRUE(engine.Materialize(mopts).ok());
+
+  MaterializationOptions remat = mopts;
+  remat.async = true;
+  ASSERT_TRUE(engine.MaterializeAsync(remat).ok());
+
+  double w = 0.2;
+  for (int u = 0; u < 6; ++u) {
+    const VarId head = static_cast<VarId>((u * 3) % 8);
+    const VarId body = static_cast<VarId>(4 * (head / 4) + (head + 1) % 4);
+    auto outcome =
+        engine.ApplyDelta(AddFeatureFactor(&g, head, body, w), TestEngine());
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    for (double m : outcome->marginals) {
+      EXPECT_GE(m, 0.0);
+      EXPECT_LE(m, 1.0);
+    }
+    w = -w;
+  }
+
+  ASSERT_TRUE(engine.WaitForMaterialization().ok());
+  EXPECT_EQ(engine.snapshot_generation(), 2u);
+  EXPECT_EQ(engine.SamplesRemaining(), 4000u);
 }
 
 TEST(AsyncMaterializationTest, DestructorCancelsInFlightBuild) {

@@ -118,6 +118,48 @@ TEST(LearnerTest, WarmstartStartsFromLowerLoss) {
   EXPECT_GT(cold_stats.initial_loss, trained_loss);
 }
 
+TEST(LearnerTest, ReplicatedChainsRecoverPlantedSigns) {
+  // The replicated learner (R clamped + R free chains, replica-averaged
+  // gradients) must learn the planted model like the two-chain path does.
+  PlantedModel m = BuildPlanted(60, 31);
+  Learner learner(&m.graph);
+  LearnerOptions options;
+  options.epochs = 80;
+  options.learning_rate = 0.2;
+  options.seed = 5;
+  options.warmstart = false;
+  options.num_replicas = 3;
+  options.num_threads = 6;
+  const LearnStats stats = learner.Learn(options);
+  EXPECT_GT(m.graph.WeightValue(m.w_pos), 0.5);
+  EXPECT_LT(m.graph.WeightValue(m.w_neg), -0.5);
+  EXPECT_LT(stats.final_loss, stats.initial_loss);
+}
+
+TEST(LearnerTest, ReplicatedLearnerDeterministicAtOneWorkerPerChain) {
+  // With num_threads <= 2 * num_replicas every chain runs on one worker, so
+  // the whole procedure is deterministic for a fixed seed: two independent
+  // runs over identical graphs must land on bit-identical weights.
+  PlantedModel a = BuildPlanted(40, 37);
+  PlantedModel b = BuildPlanted(40, 37);
+  LearnerOptions options;
+  options.epochs = 30;
+  options.warmstart = false;
+  options.seed = 41;
+  options.num_replicas = 2;
+  options.num_threads = 4;
+  const LearnStats sa = Learner(&a.graph).Learn(options);
+  const LearnStats sb = Learner(&b.graph).Learn(options);
+  ASSERT_EQ(a.graph.NumWeights(), b.graph.NumWeights());
+  for (WeightId w = 0; w < a.graph.NumWeights(); ++w) {
+    EXPECT_DOUBLE_EQ(a.graph.WeightValue(w), b.graph.WeightValue(w)) << "w " << w;
+  }
+  ASSERT_EQ(sa.epoch_losses.size(), sb.epoch_losses.size());
+  for (size_t e = 0; e < sa.epoch_losses.size(); ++e) {
+    EXPECT_DOUBLE_EQ(sa.epoch_losses[e], sb.epoch_losses[e]) << "epoch " << e;
+  }
+}
+
 TEST(LearnerTest, GradientStyleAveragingAlsoLearns) {
   PlantedModel m = BuildPlanted(40, 23);
   Learner learner(&m.graph);

@@ -264,6 +264,44 @@ TEST(ParallelGibbsTest, HogwildStatsStayExactUnderConcurrentSweeps) {
   }
 }
 
+TEST(ParallelGibbsTest, RecomputeStatsPublishesToHogwildWorkers) {
+  // Regression for the relaxed-ordering publication in RecomputeStats: the
+  // sharded scan writes clause/group statistics with relaxed stores, and
+  // Hogwild workers then read them with relaxed loads. The ParallelFor join
+  // plus the pool's submit path are the only happens-before edges (see the
+  // publication-contract comment in RecomputeStats); under the TSan CI job
+  // this test fails if either edge ever disappears. Repeated
+  // LoadBitsPrefix -> Sweep round trips maximize the publish/consume
+  // interleavings; the statistics must stay exact throughout.
+  FactorGraph g = ChainGraph(400, 17);
+  ParallelGibbsSampler sampler(&g, 4);
+  AtomicWorld world(&g);
+  std::vector<Rng> rngs = sampler.MakeRngStreams(23);
+  Rng bits_rng(5);
+  for (int round = 0; round < 10; ++round) {
+    BitVector bits(g.NumVariables());
+    for (size_t v = 0; v < g.NumVariables(); ++v) {
+      bits.Set(v, bits_rng.Bernoulli(0.5));
+    }
+    // Sharded stats rebuild on the sampler's own pool, immediately consumed
+    // by Hogwild sweeps on that pool.
+    world.LoadBitsPrefix(bits, /*fill=*/false, /*apply_evidence=*/true,
+                         sampler.pool());
+    for (int i = 0; i < 3; ++i) sampler.Sweep(&world, &rngs);
+
+    World reference(&g);
+    reference.LoadBits(world.ToBits());
+    for (GroupId grp = 0; grp < g.NumGroups(); ++grp) {
+      ASSERT_EQ(world.GroupSat(grp), reference.GroupSat(grp))
+          << "round " << round << " group " << grp;
+    }
+    for (factor::ClauseId c = 0; c < g.NumClauses(); ++c) {
+      ASSERT_EQ(world.ClauseUnsat(c), reference.ClauseUnsat(c))
+          << "round " << round << " clause " << c;
+    }
+  }
+}
+
 TEST(ParallelGibbsTest, MultiThreadMarginalsCloseToSequential) {
   FactorGraph g = ChainGraph(200, 41);
   GibbsOptions options;

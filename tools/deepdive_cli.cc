@@ -16,6 +16,13 @@
 //   --threads N             worker threads for grounding and Gibbs
 //                           inference/learning (default 1 = sequential;
 //                           0 = hardware threads)
+//   --replicas R            Gibbs model replicas (NUMA-style replicated
+//                           sampling with periodic model averaging; the
+//                           thread budget is split across replicas).
+//                           Default 1 = single shared world
+//   --sync-every N          replica synchronization cadence in sweeps
+//                           (consensus averaging + re-seed); 0 disables
+//                           periodic synchronization (default 50)
 //   --async-materialize     build materializations on a background worker;
 //                           updates are served from the previous snapshot
 //                           while a rebuild is in flight, and the engine
@@ -60,6 +67,8 @@ struct Args {
   uint64_t seed = 42;
   size_t epochs = 60;
   size_t threads = 1;
+  size_t replicas = 1;
+  size_t sync_every = 50;
   bool async_materialize = false;
   std::string save_materialization;
   std::string load_materialization;
@@ -71,6 +80,7 @@ void Usage() {
                "       [--output REL[=FILE]]... [--update FILE.ddl]...\n"
                "       [--update-data REL=FILE]... [--mode incremental|rerun]\n"
                "       [--threshold P] [--seed N] [--epochs N] [--threads N]\n"
+               "       [--replicas R] [--sync-every N]\n"
                "       [--async-materialize] [--save-materialization FILE]\n"
                "       [--load-materialization FILE]\n");
 }
@@ -79,6 +89,22 @@ StatusOr<std::pair<std::string, std::string>> SplitAssignment(const std::string&
   const size_t eq = arg.find('=');
   if (eq == std::string::npos) return std::make_pair(arg, std::string());
   return std::make_pair(arg.substr(0, eq), arg.substr(eq + 1));
+}
+
+/// Parses a bounded numeric flag value. strtoull silently wraps negatives to
+/// huge values and accepts trailing garbage; every count-valued flag shares
+/// this validation so they cannot drift.
+StatusOr<size_t> ParseCount(const std::string& flag, const std::string& v,
+                            size_t min, size_t max) {
+  char* end = nullptr;
+  const size_t value = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || v[0] == '-' || value < min ||
+      value > max) {
+    return Status::InvalidArgument(flag + " expects a number in [" +
+                                   std::to_string(min) + ", " +
+                                   std::to_string(max) + "], got '" + v + "'");
+  }
+  return value;
 }
 
 StatusOr<Args> ParseArgs(int argc, char** argv) {
@@ -145,13 +171,14 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
       DD_ASSIGN_OR_RETURN(args.load_materialization, next());
     } else if (flag == "--threads") {
       DD_ASSIGN_OR_RETURN(std::string v, next());
-      char* end = nullptr;
-      args.threads = std::strtoull(v.c_str(), &end, 10);
-      // strtoull silently wraps negatives to huge values; reject them here.
-      if (end == v.c_str() || *end != '\0' || v[0] == '-' || args.threads > 4096) {
-        return Status::InvalidArgument(
-            "--threads expects a number in [0, 4096], got '" + v + "'");
-      }
+      DD_ASSIGN_OR_RETURN(args.threads, ParseCount(flag, v, 0, 4096));
+    } else if (flag == "--replicas") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      DD_ASSIGN_OR_RETURN(args.replicas, ParseCount(flag, v, 1, 256));
+    } else if (flag == "--sync-every") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      DD_ASSIGN_OR_RETURN(args.sync_every,
+                          ParseCount(flag, v, 0, 1000000000));
     } else {
       return Status::InvalidArgument("unknown flag '" + flag + "'");
     }
@@ -235,6 +262,16 @@ Status Run(const Args& args) {
   config.materialization.variational.num_threads = args.threads;
   config.engine.gibbs.num_threads = args.threads;
   config.engine.rerun_gibbs.num_threads = args.threads;
+  // Replicated sampling everywhere a full chain runs: initial/rerun
+  // inference, the learner's clamped/free chains, and the materialization
+  // chain (confined per-component sweeps keep the shared-world sampler).
+  config.gibbs.num_replicas = args.replicas;
+  config.gibbs.sync_every_sweeps = args.sync_every;
+  config.learner.num_replicas = args.replicas;
+  config.materialization.num_replicas = args.replicas;
+  config.materialization.sync_every_sweeps = args.sync_every;
+  config.engine.rerun_gibbs.num_replicas = args.replicas;
+  config.engine.rerun_gibbs.sync_every_sweeps = args.sync_every;
   config.materialization.async = args.async_materialize;
   config.materialization.save_sample_store = args.save_materialization;
   config.materialization.load_sample_store = args.load_materialization;
