@@ -2,6 +2,10 @@
 // system — analysis, new features, a new inference rule, new supervision —
 // and the incremental engine delivers each iteration's results far faster
 // than rerunning from scratch, with the same facts at the same confidences.
+// The epilogue walks the same loop through the versioned query API: every
+// update publishes a new immutable ResultView, a pinned view keeps serving
+// its epoch's marginals while later updates land, and readers on any thread
+// can query without blocking the writer.
 //
 // Build & run:  ./build/examples/incremental_development
 #include <cstdio>
@@ -44,5 +48,47 @@ int main() {
               "%.1f%% of facts differ by more than 0.05\n",
               100.0 * last.high_confidence_agreement,
               100.0 * last.fraction_differing_05);
+
+  // Epilogue: the development loop as seen through the versioned query API.
+  std::printf("\nreplaying the loop through Query() (one epoch per update):\n");
+  kbc::SystemProfile small = kbc::ProfileFor(kbc::SystemKind::kNews);
+  small.num_documents = 40;
+  auto pipeline = kbc::KbcPipeline::Build(small, options);
+  if (!pipeline.ok() || !(*pipeline)->Initialize().ok()) {
+    std::fprintf(stderr, "epilogue pipeline failed\n");
+    return 1;
+  }
+  core::DeepDive& dd = (*pipeline)->deepdive();
+
+  // Pin the initial view: it will keep answering with these marginals no
+  // matter how many updates land after it (snapshot isolation).
+  const auto initial = dd.Query();
+  for (const std::string& rule : kbc::KbcPipeline::UpdateSequence()) {
+    auto report = (*pipeline)->ApplyUpdate(rule);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-4s -> epoch %llu (%s)\n", rule.c_str(),
+                static_cast<unsigned long long>(report->epoch),
+                incremental::StrategyName(report->strategy));
+  }
+  const auto current = dd.Query();
+  std::printf("pinned epoch %llu still serves its original marginals; "
+              "current epoch is %llu\n",
+              static_cast<unsigned long long>(initial->epoch),
+              static_cast<unsigned long long>(current->epoch));
+  std::printf("%-7s  %-12s  %s\n", "epoch", "probability", "fact");
+  // Relation() returns nullptr when no candidate tuple was ever grounded.
+  if (const auto* entries = current->Relation(kbc::KbcPipeline::QueryRelation())) {
+    size_t shown = 0;
+    for (const auto& [tuple, p] : *entries) {
+      if (p < 0.7) continue;
+      std::printf("%-7llu  %-12.3f  HasSpouse%s\n",
+                  static_cast<unsigned long long>(current->epoch), p,
+                  TupleToString(tuple).c_str());
+      if (++shown >= 5) break;
+    }
+  }
   return 0;
 }

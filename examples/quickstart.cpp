@@ -57,12 +57,22 @@ int main() {
   // 3. Ground, learn, infer.
   check((*dd)->Initialize());
 
-  // 4. Read the knowledge base with marginal probabilities. The unlabeled
-  // pair (20, 21) shares the "and his wife" feature with the positive
-  // example, so it scores high; (31, 30) shares "met with" with the negative.
+  // 4. Read the knowledge base through the versioned query API: Query()
+  // pins an immutable ResultView — safe from any thread, even while later
+  // updates stream on the serving thread — and the epoch identifies which
+  // publication these marginals belong to. The unlabeled pair (20, 21)
+  // shares the "and his wife" feature with the positive example, so it
+  // scores high; (31, 30) shares "met with" with the negative.
+  auto view = (*dd)->Query();
+  std::printf("result view epoch %llu (%s)\n",
+              static_cast<unsigned long long>(view->epoch),
+              view->report.label.c_str());
   std::printf("%-12s  %s\n", "probability", "fact");
-  for (const auto& [tuple, p] : (*dd)->Marginals("HasSpouse")) {
-    std::printf("%-12.3f  HasSpouse%s\n", p, TupleToString(tuple).c_str());
+  // Relation() returns nullptr when no candidate tuple was ever grounded.
+  if (const auto* entries = view->Relation("HasSpouse")) {
+    for (const auto& [tuple, p] : *entries) {
+      std::printf("%-12.3f  HasSpouse%s\n", p, TupleToString(tuple).c_str());
+    }
   }
   return 0;
 }

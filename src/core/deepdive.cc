@@ -16,7 +16,8 @@ using factor::VarId;
 using factor::WeightId;
 
 DeepDive::DeepDive(dsl::Program program, DeepDiveConfig config)
-    : program_(std::move(program)), config_(config) {}
+    : program_(std::move(program)), config_(config),
+      view_(publisher_.Current()) {}
 
 StatusOr<std::unique_ptr<DeepDive>> DeepDive::Create(const std::string& program_source,
                                                      DeepDiveConfig config) {
@@ -85,7 +86,46 @@ Status DeepDive::Initialize() {
     }
   }
   initialized_ = true;
+  // Publish the initial results: from here on Query() serves the grounded,
+  // learned, inferred state to any thread.
+  UpdateReport init_report;
+  init_report.label = "initialize";
+  init_report.graph_variables = ground_.graph.NumVariables();
+  init_report.graph_factors = ground_.graph.NumActiveClauses();
+  PublishView(&init_report);
   return Status::OK();
+}
+
+void DeepDive::PublishView(UpdateReport* report) {
+  auto view = std::make_shared<inference::ResultView>();
+  view->marginals = marginals_;
+  view->relations.reserve(ground_.relation_vars.size());
+  for (const auto& [relation, vars] : ground_.relation_vars) {
+    auto& entries = view->relations[relation];
+    entries.reserve(vars.size());
+    for (const VarId var : vars) {
+      entries.emplace_back(ground_.var_tuples[var].second,
+                           var < marginals_.size() ? marginals_[var] : 0.5);
+    }
+    // Sorted by tuple, both for deterministic enumeration (pipelines with
+    // different variable-creation histories must compare positionally) and
+    // for MarginalOf's binary search.
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  report->epoch = publisher_.next_epoch();
+  view->report = *report;
+  if (inc_engine_ != nullptr) {
+    // Copy the engine's serving-state facts and pin its snapshot so readers
+    // of this view survive later materialization swaps.
+    const auto engine_view = inc_engine_->Query();
+    view->materialization = engine_view->materialization;
+    view->snapshot_generation = engine_view->snapshot_generation;
+    view->samples_remaining = engine_view->samples_remaining;
+    view->materialized_marginals = engine_view->materialized_marginals;
+  }
+  publisher_.Publish(std::move(view));
+  view_ = publisher_.Current();
 }
 
 const incremental::MaterializationStats& DeepDive::materialization_stats() const {
@@ -192,6 +232,10 @@ StatusOr<UpdateReport> DeepDive::ApplyUpdate(const UpdateSpec& update) {
 
   report.graph_variables = ground_.graph.NumVariables();
   report.graph_factors = ground_.graph.NumActiveClauses();
+  // Publish this update's results as a fresh immutable view (stamping
+  // report.epoch); views pinned before this line keep serving the previous
+  // epoch's marginals untouched.
+  PublishView(&report);
   history_.push_back(report);
   return report;
 }
@@ -252,29 +296,14 @@ void DeepDive::LearnIncremental(GraphDelta* delta) {
 }
 
 double DeepDive::MarginalOf(const std::string& relation, const Tuple& tuple) const {
-  const VarId var = ground_.FindVariable(relation, tuple);
-  if (var == factor::kNoVar || var >= marginals_.size()) return 0.5;
-  return marginals_[var];
+  return view_->MarginalOf(relation, tuple);
 }
 
 std::vector<std::pair<Tuple, double>> DeepDive::Marginals(
     const std::string& relation) const {
-  // Enumerate the relation's variables (var_index is hash-ordered), then
-  // sort by tuple: pipelines with different variable-creation histories
-  // (e.g. a from-scratch rerun vs an incremental engine) must enumerate the
-  // same relation in the same order so marginal vectors compare
-  // positionally.
-  std::vector<std::pair<Tuple, double>> out;
-  auto rit = ground_.relation_vars.find(relation);
-  if (rit == ground_.relation_vars.end()) return out;
-  out.reserve(rit->second.size());
-  for (const VarId var : rit->second) {
-    out.emplace_back(ground_.var_tuples[var].second,
-                     var < marginals_.size() ? marginals_[var] : 0.5);
-  }
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  return out;
+  const auto* entries = view_->Relation(relation);
+  if (entries == nullptr) return {};
+  return *entries;
 }
 
 }  // namespace deepdive::core

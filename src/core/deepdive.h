@@ -8,11 +8,13 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/update_report.h"
 #include "dsl/program.h"
 #include "engine/view_maintenance.h"
 #include "grounding/grounder.h"
 #include "grounding/incremental_grounder.h"
 #include "incremental/engine.h"
+#include "inference/result_view.h"
 #include "storage/database.h"
 #include "util/status.h"
 
@@ -33,21 +35,8 @@ struct UpdateSpec {
   bool skip_learning = false;
 };
 
-/// Timing/diagnostics for one update.
-struct UpdateReport {
-  std::string label;
-  double grounding_seconds = 0.0;   // view maintenance + factor grounding
-  double learning_seconds = 0.0;
-  double inference_seconds = 0.0;
-  double TotalSeconds() const {
-    return grounding_seconds + learning_seconds + inference_seconds;
-  }
-  incremental::Strategy strategy = incremental::Strategy::kRerun;
-  double acceptance_rate = -1.0;
-  size_t affected_vars = 0;
-  size_t graph_variables = 0;
-  size_t graph_factors = 0;  // active clauses
-};
+// UpdateReport (timing/diagnostics for one update) lives in
+// core/update_report.h so ResultViews can embed it.
 
 /// End-to-end DeepDive engine: declarative program + relational store +
 /// DRed view maintenance + (incremental) grounding + learning + inference.
@@ -57,7 +46,14 @@ struct UpdateReport {
 ///   dd->LoadRows("Sentence", sentences);
 ///   dd->Initialize();                       // views, grounding, materialize
 ///   dd->ApplyUpdate(update);                // iterate the development loop
-///   dd->Marginals("HasSpouse");
+///   dd->Query()->MarginalOf("HasSpouse", tuple);
+///
+/// Threading contract: one writer, any number of readers. LoadRows /
+/// Initialize / ApplyUpdate and the reference-returning accessors belong to
+/// one serving thread. Query() is the concurrent read surface: every
+/// Initialize/ApplyUpdate publishes a fresh immutable ResultView, and any
+/// number of reader threads can pin and read views while the next update is
+/// being applied.
 class DeepDive {
  public:
   static StatusOr<std::unique_ptr<DeepDive>> Create(const std::string& program_source,
@@ -78,17 +74,35 @@ class DeepDive {
   Status Initialize();
 
   /// Applies one update and refreshes marginals. In Rerun mode this
-  /// re-grounds / re-learns / re-infers from scratch.
+  /// re-grounds / re-learns / re-infers from scratch. The returned report
+  /// carries the epoch of the ResultView the update published.
   StatusOr<UpdateReport> ApplyUpdate(const UpdateSpec& update);
+
+  /// Pins the current immutable result view. Callable from any thread,
+  /// concurrently with ApplyUpdate and background materialization swaps on
+  /// the serving thread; the read is a single atomic acquire load and never
+  /// blocks the writer. The view answers MarginalOf/Relation lookups for
+  /// the epoch it was published at, forever (snapshot isolation) — call
+  /// again to observe newer epochs. Never null; before Initialize it is the
+  /// empty epoch-0 view.
+  std::shared_ptr<const inference::ResultView> Query() const {
+    return publisher_.Current();
+  }
+
+  /// Serving-thread-only accessors, reimplemented over the serving thread's
+  /// current ResultView (exactly what the latest Initialize/ApplyUpdate
+  /// published). References stay valid until this thread's next update
+  /// publishes a successor view; concurrent readers must pin their own view
+  /// with Query() instead.
 
   /// Marginal probability of a query tuple (0.5 if unknown variable).
   double MarginalOf(const std::string& relation, const Tuple& tuple) const;
 
-  /// All (tuple, marginal) pairs of a query relation.
+  /// All (tuple, marginal) pairs of a query relation, sorted by tuple.
   std::vector<std::pair<Tuple, double>> Marginals(const std::string& relation) const;
 
   /// Raw marginal vector indexed by VarId.
-  const std::vector<double>& marginal_vector() const { return marginals_; }
+  const std::vector<double>& marginal_vector() const { return view_->marginals; }
 
   const std::vector<UpdateReport>& history() const { return history_; }
   const incremental::MaterializationStats& materialization_stats() const;
@@ -104,6 +118,13 @@ class DeepDive {
   Status RunFullPipeline(UpdateReport* report, bool cold_learning);
   Status RunIncrementalUpdate(const UpdateSpec& update, UpdateReport* report);
 
+  /// Builds a ResultView of the current serving state (marginals_, the
+  /// per-relation tuple index derived from ground_, `report`, and — in
+  /// incremental mode — the engine's materialization stats and pinned Pr(0)
+  /// marginals), publishes it, and stamps report->epoch. Serving thread
+  /// only.
+  void PublishView(UpdateReport* report);
+
   /// Incremental learning with warmstart; records weight changes in `delta`.
   void LearnIncremental(factor::GraphDelta* delta);
 
@@ -118,9 +139,16 @@ class DeepDive {
   std::unique_ptr<grounding::IncrementalGrounder> grounder_;
   std::unique_ptr<incremental::IncrementalEngine> inc_engine_;
 
+  /// Working marginal buffer of the serving thread; every publication
+  /// freezes a copy into an immutable ResultView.
   std::vector<double> marginals_;
   std::vector<UpdateReport> history_;
   bool initialized_ = false;
+
+  /// RCU publication slot for Query(), plus the serving thread's own pin of
+  /// the latest published view (what the legacy accessors read).
+  inference::ResultPublisher publisher_;
+  std::shared_ptr<const inference::ResultView> view_;
 };
 
 }  // namespace deepdive::core

@@ -1,0 +1,35 @@
+#ifndef DEEPDIVE_CORE_UPDATE_REPORT_H_
+#define DEEPDIVE_CORE_UPDATE_REPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "incremental/optimizer.h"
+
+namespace deepdive::core {
+
+/// Timing/diagnostics for one update. Lives apart from deepdive.h so the
+/// ResultView layer (inference/result_view.h) can embed a copy of the
+/// publishing update's report without a circular include.
+struct UpdateReport {
+  std::string label;
+  double grounding_seconds = 0.0;   // view maintenance + factor grounding
+  double learning_seconds = 0.0;
+  double inference_seconds = 0.0;
+  double TotalSeconds() const {
+    return grounding_seconds + learning_seconds + inference_seconds;
+  }
+  incremental::Strategy strategy = incremental::Strategy::kRerun;
+  double acceptance_rate = -1.0;
+  size_t affected_vars = 0;
+  size_t graph_variables = 0;
+  size_t graph_factors = 0;  // active clauses
+  /// Epoch of the ResultView this update published (DeepDive::Query()).
+  /// Strictly increasing across the update history; 0 = not yet published.
+  uint64_t epoch = 0;
+};
+
+}  // namespace deepdive::core
+
+#endif  // DEEPDIVE_CORE_UPDATE_REPORT_H_

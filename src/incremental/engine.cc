@@ -20,7 +20,11 @@ using factor::GroupId;
 using factor::VarId;
 
 IncrementalEngine::IncrementalEngine(factor::FactorGraph* graph)
-    : graph_(graph), snapshot_(std::make_unique<MaterializationSnapshot>()) {}
+    : graph_(graph), snapshot_(std::make_shared<MaterializationSnapshot>()) {
+  // Publish the empty pre-materialization state so Query() is answerable
+  // (epoch 1, generation 0) from any thread as soon as the engine exists.
+  PublishView(nullptr);
+}
 
 IncrementalEngine::~IncrementalEngine() {
   // A background build may still be sampling its private graph copy; cancel
@@ -35,9 +39,9 @@ Status IncrementalEngine::Materialize(const MaterializationOptions& options) {
   AbortInFlightBuild();
   mat_options_ = options;
   mat_options_valid_ = true;
-  DD_ASSIGN_OR_RETURN(MaterializationSnapshot snap,
+  DD_ASSIGN_OR_RETURN(std::shared_ptr<MaterializationSnapshot> snap,
                       BuildMaterializationSnapshot(*graph_, options));
-  InstallSnapshot(std::make_unique<MaterializationSnapshot>(std::move(snap)));
+  InstallSnapshot(std::move(snap));
   return Status::OK();
 }
 
@@ -69,8 +73,7 @@ Status IncrementalEngine::MaterializeAsync(const MaterializationOptions& options
     std::lock_guard<std::mutex> lock(mu_);
     if (built.ok()) {
       if (!cancel_build_.load(std::memory_order_relaxed)) {
-        pending_ =
-            std::make_unique<MaterializationSnapshot>(std::move(built).value());
+        pending_ = std::move(built).value();
       }
     } else if (!cancel_build_.load(std::memory_order_relaxed)) {
       // Deliberate cancellation (abort/shutdown) is not a failure; only
@@ -91,7 +94,7 @@ bool IncrementalEngine::MaterializationInFlight() const {
 }
 
 Status IncrementalEngine::WaitForMaterialization() {
-  std::unique_ptr<MaterializationSnapshot> ready;
+  std::shared_ptr<MaterializationSnapshot> ready;
   Status status;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -118,7 +121,7 @@ void IncrementalEngine::AbortInFlightBuild() {
 }
 
 void IncrementalEngine::InstallSnapshot(
-    std::unique_ptr<MaterializationSnapshot> snapshot) {
+    std::shared_ptr<MaterializationSnapshot> snapshot) {
   // Variables are append-only, so a snapshot can only cover a prefix of the
   // serving graph (built from a copy taken at or before this point).
   DD_CHECK_LE(snapshot->graph_width, graph_->NumVariables());
@@ -134,10 +137,43 @@ void IncrementalEngine::InstallSnapshot(
     marginals_ = snapshot_->materialized_marginals;
     marginals_.resize(graph_->NumVariables(), 0.5);
   }
+  // The install changed what the engine serves (new stats/generation, and
+  // possibly new marginals): make it visible to concurrent Query() readers.
+  PublishView(nullptr);
+}
+
+uint64_t IncrementalEngine::PublishView(const UpdateOutcome* outcome) {
+  auto view = std::make_shared<inference::ResultView>();
+  view->marginals = marginals_;
+  view->materialization = snapshot_->stats;
+  view->snapshot_generation = snapshot_->generation;
+  view->samples_remaining = snapshot_->store.remaining();
+  // Pin (don't copy) the snapshot's Pr(0) marginals: the aliasing pointer
+  // keeps the whole snapshot alive for readers across later swaps.
+  view->materialized_marginals = std::shared_ptr<const std::vector<double>>(
+      snapshot_, &snapshot_->materialized_marginals);
+  if (outcome != nullptr) {
+    // Engine views have no label/timings; surface the execution facts.
+    view->report.strategy = outcome->fell_back_to_variational
+                                ? Strategy::kVariational
+                                : outcome->strategy;
+    view->report.acceptance_rate = outcome->acceptance_rate;
+    view->report.affected_vars = outcome->affected_vars;
+    view->report.epoch = publisher_.next_epoch();
+  }
+  const uint64_t epoch = publisher_.Publish(std::move(view));
+  serving_view_ = publisher_.Current();
+  return epoch;
+}
+
+const std::vector<double>& IncrementalEngine::materialized_marginals() const {
+  static const std::vector<double> kEmpty;
+  const auto& pinned = serving_view_->materialized_marginals;
+  return pinned ? *pinned : kEmpty;
 }
 
 bool IncrementalEngine::MaybeInstallPending() {
-  std::unique_ptr<MaterializationSnapshot> ready;
+  std::shared_ptr<MaterializationSnapshot> ready;
   bool still_building = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -273,8 +309,10 @@ StatusOr<UpdateOutcome> IncrementalEngine::ApplyDelta(const GraphDelta& delta,
   result->snapshot_generation = snapshot_->generation;
   result->served_during_remat = mid_build;
 
-  // Fold into the engine's marginal state.
+  // Fold into the engine's marginal state and publish it for concurrent
+  // Query() readers; the outcome records the epoch it published at.
   marginals_ = result->marginals;
+  result->epoch = PublishView(&*result);
   // Scheduling a remat copies the graph on this thread; stamp the latency
   // after it so the update's reported cost includes that stall.
   MaybeScheduleRemat(*result);

@@ -18,6 +18,7 @@
 #include "incremental/strawman.h"
 #include "incremental/variational.h"
 #include "inference/gibbs.h"
+#include "inference/result_view.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -60,6 +61,9 @@ struct UpdateOutcome {
   /// True when a background rematerialization was running while this update
   /// was served (it ran against the previous snapshot).
   bool served_during_remat = false;
+  /// Epoch of the engine ResultView this update published (Query()).
+  /// Strictly increasing across successful ApplyDelta calls.
+  uint64_t epoch = 0;
 };
 
 /// Orchestrates incremental inference (Section 3.3): materializes *both* the
@@ -82,9 +86,13 @@ struct UpdateOutcome {
 /// configured (store exhausted, acceptance floor, update count), the engine
 /// schedules its own background rebuilds after serving an update.
 ///
-/// Threading contract: Materialize / MaterializeAsync / ApplyDelta /
-/// WaitForMaterialization and all accessors must be called from one serving
-/// thread; only the internal background build runs concurrently with them.
+/// Threading contract: one writer, any number of readers. Materialize /
+/// MaterializeAsync / ApplyDelta / WaitForMaterialization and the
+/// reference-returning accessors must be called from one serving thread;
+/// the internal background build runs concurrently with them. Query() is
+/// the read surface for every other thread: it pins the engine's current
+/// immutable ResultView (published RCU-style after every ApplyDelta and
+/// every snapshot install) without blocking the serving thread.
 class IncrementalEngine {
  public:
   explicit IncrementalEngine(factor::FactorGraph* graph);
@@ -112,16 +120,29 @@ class IncrementalEngine {
   /// automatic remat triggers, which stay disarmed after a failed build.
   Status WaitForMaterialization();
 
-  /// NOTE: these references point into the serving snapshot and are
-  /// invalidated by the next swap (any ApplyDelta may install a finished
-  /// background build) — copy, do not cache across updates.
+  /// Pins the engine's current immutable result view. Callable from any
+  /// thread, concurrently with ApplyDelta / Materialize(Async) / snapshot
+  /// swaps on the serving thread; the read is a single atomic acquire load
+  /// and never blocks the writer. The returned view keeps answering with
+  /// the epoch it was published at (snapshot isolation) — call again to
+  /// observe newer epochs. Never null.
+  std::shared_ptr<const inference::ResultView> Query() const {
+    return publisher_.Current();
+  }
+
+  /// Serving-thread-only convenience accessors, routed through the serving
+  /// thread's current ResultView: the view pins the snapshot it was
+  /// published from, so a background build finishing (or any later install)
+  /// can no longer invalidate these references mid-read — they stay valid
+  /// until this thread's next ApplyDelta / Materialize / Wait publishes a
+  /// successor view. Readers on other threads must pin their own view via
+  /// Query() instead.
   const MaterializationStats& materialization_stats() const {
-    return snapshot_->stats;
+    return serving_view_->materialization;
   }
-  /// Marginals under the serving snapshot's Pr(0).
-  const std::vector<double>& materialized_marginals() const {
-    return snapshot_->materialized_marginals;
-  }
+  /// Marginals under the serving snapshot's Pr(0) (empty before the first
+  /// materialization).
+  const std::vector<double>& materialized_marginals() const;
   /// Install counter of the serving snapshot (0 = never materialized).
   uint64_t snapshot_generation() const { return snapshot_->generation; }
 
@@ -131,6 +152,7 @@ class IncrementalEngine {
                                      const EngineOptions& options);
 
   /// Current marginal estimates (materialized values for untouched vars).
+  /// Serving thread only — concurrent readers use Query().
   const std::vector<double>& marginals() const { return marginals_; }
 
   size_t SamplesRemaining() const { return snapshot_->store.remaining(); }
@@ -172,8 +194,13 @@ class IncrementalEngine {
 
   /// Installs a finished snapshot as the serving one and rebases the
   /// cumulative delta onto it (cumulative := deltas since the build's graph
-  /// copy). Serving thread only.
-  void InstallSnapshot(std::unique_ptr<MaterializationSnapshot> snapshot);
+  /// copy). Publishes a fresh ResultView. Serving thread only.
+  void InstallSnapshot(std::shared_ptr<MaterializationSnapshot> snapshot);
+
+  /// Builds a view of the current serving state (marginals_, snapshot stats,
+  /// pinned Pr(0) marginals, `outcome`'s strategy fields when present) and
+  /// publishes it. Serving thread only. Returns the published epoch.
+  uint64_t PublishView(const UpdateOutcome* outcome);
 
   /// Swaps in the pending background result if one is ready. Returns true
   /// while a build is still running (the caller is serving mid-build).
@@ -188,8 +215,11 @@ class IncrementalEngine {
   factor::FactorGraph* graph_;
 
   /// Serving state (serving thread only). `snapshot_` is never null — a
-  /// default empty snapshot stands in before the first materialization.
-  std::unique_ptr<MaterializationSnapshot> snapshot_;
+  /// default empty snapshot stands in before the first materialization. It
+  /// is shared (not unique) because published ResultViews pin the snapshot
+  /// they were served from; a swap retires it only once the last reader
+  /// drops its view.
+  std::shared_ptr<MaterializationSnapshot> snapshot_;
   std::vector<double> marginals_;
   factor::GraphDelta cumulative_;
   uint64_t update_seq_ = 0;
@@ -210,12 +240,17 @@ class IncrementalEngine {
   size_t components_width_ = 0;
   bool components_valid_ = false;
 
+  /// RCU publication slot for Query(), plus the serving thread's own pin of
+  /// the latest published view (what the reference-returning accessors read).
+  inference::ResultPublisher publisher_;
+  std::shared_ptr<const inference::ResultView> serving_view_;
+
   /// Background build plumbing. `mu_` guards the handoff slot; the builder
   /// only touches its private graph copy plus this slot.
   mutable std::mutex mu_;
   std::condition_variable build_done_cv_;
   bool build_in_flight_ = false;
-  std::unique_ptr<MaterializationSnapshot> pending_;
+  std::shared_ptr<MaterializationSnapshot> pending_;
   Status pending_status_;
   std::atomic<bool> cancel_build_{false};
   std::unique_ptr<ThreadPool> background_;  // one dedicated worker, lazy

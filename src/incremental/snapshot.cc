@@ -10,11 +10,12 @@ namespace deepdive::incremental {
 
 using factor::VarId;
 
-StatusOr<MaterializationSnapshot> BuildMaterializationSnapshot(
+StatusOr<std::shared_ptr<MaterializationSnapshot>> BuildMaterializationSnapshot(
     const factor::FactorGraph& graph, const MaterializationOptions& options,
     const std::atomic<bool>* cancel) {
   Timer timer;
-  MaterializationSnapshot snap;
+  auto snapshot = std::make_shared<MaterializationSnapshot>();
+  MaterializationSnapshot& snap = *snapshot;
   snap.graph_width = graph.NumVariables();
 
   const auto cancelled = [cancel] {
@@ -125,7 +126,7 @@ StatusOr<MaterializationSnapshot> BuildMaterializationSnapshot(
   snap.stats.sample_bytes = snap.store.ByteSize();
   snap.stats.variational_edges = snap.variational ? snap.variational->NumEdges() : 0;
   snap.stats.seconds = timer.Seconds();
-  return snap;
+  return snapshot;
 }
 
 }  // namespace deepdive::incremental

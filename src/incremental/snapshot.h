@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -94,8 +95,17 @@ struct MaterializationStats {
 /// store, the variational approximation, the optional strawman, and the
 /// materialized marginals. Built either inline (Materialize) or on a
 /// background worker against a private graph copy (MaterializeAsync), then
-/// swapped in atomically; after the swap only the serving thread touches it
-/// (the store cursor advances as MH consumes proposals).
+/// swapped in atomically.
+///
+/// Lifetime & sharing: snapshots are reference-counted because published
+/// ResultViews pin them — a view's `materialized_marginals` aliases this
+/// struct, so a snapshot stays alive (and its build-time fields stay
+/// readable from any thread) until the last reader drops its view, even
+/// after the serving thread has swapped in a successor. Post-install, the
+/// build-time fields (`materialized_marginals`, `stats`, `variational`,
+/// `strawman`, `graph_width`, `generation`) are immutable; only `store`
+/// keeps mutating — its cursor advances as MH consumes proposals — and it
+/// is serving-thread territory that pinned readers must not touch.
 struct MaterializationSnapshot {
   SampleStore store;
   std::optional<VariationalMaterialization> variational;
@@ -110,7 +120,8 @@ struct MaterializationSnapshot {
   uint64_t generation = 0;
 };
 
-/// Builds a complete snapshot of `graph`'s current distribution. Pure with
+/// Builds a complete snapshot of `graph`'s current distribution, returned
+/// already reference-counted (see the sharing contract above). Pure with
 /// respect to engine state, so the same (graph, options) pair yields
 /// bit-identical snapshots whether built inline or on a background worker
 /// (at num_threads == 1). `cancel`, when set, is polled between chain sweeps
@@ -119,7 +130,7 @@ struct MaterializationSnapshot {
 /// cancellation latency is bounded by the longest single phase, not zero. A
 /// cancelled build returns FailedPrecondition and its partial result is
 /// discarded.
-StatusOr<MaterializationSnapshot> BuildMaterializationSnapshot(
+StatusOr<std::shared_ptr<MaterializationSnapshot>> BuildMaterializationSnapshot(
     const factor::FactorGraph& graph, const MaterializationOptions& options,
     const std::atomic<bool>* cancel = nullptr);
 

@@ -1,0 +1,76 @@
+#include "inference/result_view.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/text_io.h"
+
+namespace deepdive::inference {
+
+const std::vector<std::pair<Tuple, double>>* ResultView::Relation(
+    const std::string& relation) const {
+  const auto it = relations.find(relation);
+  return it == relations.end() ? nullptr : &it->second;
+}
+
+double ResultView::MarginalOf(const std::string& relation,
+                              const Tuple& tuple) const {
+  const auto* entries = Relation(relation);
+  if (entries == nullptr) return 0.5;
+  const auto it = std::lower_bound(
+      entries->begin(), entries->end(), tuple,
+      [](const std::pair<Tuple, double>& entry, const Tuple& t) {
+        return entry.first < t;
+      });
+  if (it == entries->end() || it->first != tuple) return 0.5;
+  return it->second;
+}
+
+uint64_t ResultView::Fingerprint() const {
+  uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  const auto mix = [&h](uint64_t bits) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  mix(epoch);
+  mix(marginals.size());
+  for (const double m : marginals) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(m));
+    std::memcpy(&bits, &m, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+ResultPublisher::ResultPublisher() {
+  auto initial = std::make_shared<ResultView>();
+  initial->content_hash = initial->Fingerprint();
+  slot_.store(std::shared_ptr<const ResultView>(std::move(initial)),
+              std::memory_order_release);
+}
+
+uint64_t ResultPublisher::Publish(std::shared_ptr<ResultView> view) {
+  view->epoch = ++last_epoch_;
+  view->content_hash = view->Fingerprint();
+  slot_.store(std::shared_ptr<const ResultView>(std::move(view)),
+              std::memory_order_release);
+  return last_epoch_;
+}
+
+Status WriteRelationTsv(const ResultView& view, const std::string& relation,
+                        std::FILE* out, double threshold) {
+  const auto* entries = view.Relation(relation);
+  if (entries == nullptr) return Status::OK();
+  for (const auto& [tuple, marginal] : *entries) {
+    if (marginal < threshold) continue;
+    auto line = FormatMarginalLine(marginal, tuple);
+    if (!line.ok()) continue;  // unprintable tuple: same skip as FormatTsvLine
+    std::fprintf(out, "%s\n", line->c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace deepdive::inference

@@ -1,0 +1,124 @@
+#ifndef DEEPDIVE_INFERENCE_RESULT_VIEW_H_
+#define DEEPDIVE_INFERENCE_RESULT_VIEW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/update_report.h"
+#include "incremental/snapshot.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace deepdive::inference {
+
+/// An immutable, versioned snapshot of the serving state, published
+/// RCU-style. The writer (the one serving thread) builds a fresh view after
+/// every update and materialization swap and publishes it with a release
+/// store; any number of reader threads pin the current view via
+/// ResultPublisher::Current() (surfaced as DeepDive::Query() /
+/// IncrementalEngine::Query()) without taking a lock and without ever
+/// blocking the writer. A pinned view keeps answering with its epoch's
+/// marginals for as long as the shared_ptr is held, no matter how many
+/// updates or snapshot swaps happen meanwhile — snapshot isolation for
+/// queries while updates stream.
+struct ResultView {
+  /// Monotonically increasing publication counter of the publishing object
+  /// (a DeepDive instance and its IncrementalEngine each count their own).
+  /// 0 = the empty pre-initialization view.
+  uint64_t epoch = 0;
+
+  /// Full marginal vector indexed by VarId, frozen at publication.
+  std::vector<double> marginals;
+
+  /// Per-relation tuple -> marginal index, entries sorted by tuple. Filled
+  /// on views published by DeepDive; engine-level views (which have no
+  /// relation knowledge) leave it empty.
+  std::unordered_map<std::string, std::vector<std::pair<Tuple, double>>>
+      relations;
+
+  /// Copy of the report of the update that published this view. DeepDive
+  /// views carry the full report (label "initialize" for the view published
+  /// at the end of Initialize); engine views fill only the
+  /// strategy/acceptance/affected_vars/epoch fields of their UpdateOutcome.
+  core::UpdateReport report;
+
+  /// Copy of the serving materialization's build statistics.
+  incremental::MaterializationStats materialization;
+  /// Install counter of the serving materialization snapshot (0 = none).
+  uint64_t snapshot_generation = 0;
+  /// Proposals left in the serving snapshot's sample store at publication.
+  size_t samples_remaining = 0;
+
+  /// The serving snapshot's Pr(0) marginals, pinned rather than copied: the
+  /// aliasing shared_ptr keeps the whole MaterializationSnapshot alive, so a
+  /// swap on the serving thread can no longer invalidate a reader mid-read.
+  /// Null on views published before the first materialization (and on all
+  /// views of a Rerun-mode DeepDive).
+  std::shared_ptr<const std::vector<double>> materialized_marginals;
+
+  /// FNV-1a checksum over (epoch, marginals) stamped by Publish().
+  /// Fingerprint() recomputes it from the fields, so a reader can assert
+  /// that the view it pinned is internally consistent — the epoch matches
+  /// the marginal vector contents it was published with.
+  uint64_t content_hash = 0;
+
+  /// Marginal probability of `tuple` under this view (0.5 if the relation or
+  /// tuple is unknown), by binary search of the relation index.
+  double MarginalOf(const std::string& relation, const Tuple& tuple) const;
+
+  /// Sorted (tuple, marginal) entries of one relation, or nullptr if the
+  /// view has no index for it.
+  const std::vector<std::pair<Tuple, double>>* Relation(
+      const std::string& relation) const;
+
+  /// Recomputes the (epoch, marginals) checksum; equals content_hash on any
+  /// correctly published view.
+  uint64_t Fingerprint() const;
+};
+
+/// Single-writer / many-reader publication slot for ResultViews. Publish()
+/// must be called from one thread at a time (the serving thread); Current()
+/// is callable from any thread concurrently with Publish() and pins the
+/// view it read. Current() never returns null: an empty epoch-0 view is
+/// installed at construction.
+class ResultPublisher {
+ public:
+  ResultPublisher();
+
+  /// Pins the current view (any thread; an atomic acquire load).
+  std::shared_ptr<const ResultView> Current() const {
+    return slot_.load(std::memory_order_acquire);
+  }
+
+  /// Epoch the next Publish() will stamp. Writer thread only.
+  uint64_t next_epoch() const { return last_epoch_ + 1; }
+  /// Epoch of the most recently published view. Writer thread only.
+  uint64_t last_epoch() const { return last_epoch_; }
+
+  /// Stamps `view` with the next epoch and its content checksum, then
+  /// publishes it (release store). Writer thread only; the view must not be
+  /// mutated afterwards. Returns the stamped epoch.
+  uint64_t Publish(std::shared_ptr<ResultView> view);
+
+ private:
+  std::atomic<std::shared_ptr<const ResultView>> slot_;
+  uint64_t last_epoch_ = 0;  // writer-only
+};
+
+/// Writes one relation of a pinned view as "<marginal>\t<cols...>" TSV
+/// lines, skipping entries below `threshold`. A relation absent from the
+/// view (e.g. a query relation with no candidate tuples yet) writes nothing.
+/// The view is immutable, so this is safe on any thread while updates keep
+/// streaming on the serving thread.
+Status WriteRelationTsv(const ResultView& view, const std::string& relation,
+                        std::FILE* out, double threshold);
+
+}  // namespace deepdive::inference
+
+#endif  // DEEPDIVE_INFERENCE_RESULT_VIEW_H_

@@ -142,9 +142,24 @@ bool KbcPipeline::MentionPairTruth(const Tuple& tuple) const {
   return corpus_.sentences[static_cast<size_t>(sent)].expresses_relation;
 }
 
+namespace {
+
+/// Entries of one relation under a pinned view (empty if absent). The
+/// evaluation paths below pin a single view per pass so every metric reads
+/// one epoch's marginals, even while updates stream on the serving thread.
+const std::vector<std::pair<Tuple, double>>& ViewEntries(
+    const inference::ResultView& view, const std::string& relation) {
+  static const std::vector<std::pair<Tuple, double>> kEmpty;
+  const auto* entries = view.Relation(relation);
+  return entries != nullptr ? *entries : kEmpty;
+}
+
+}  // namespace
+
 PrecisionRecall KbcPipeline::EvaluateMentions(double threshold) const {
+  const auto view = dd_->Query();
   std::vector<bool> predicted, actual;
-  for (const auto& [tuple, marginal] : dd_->Marginals(QueryRelation())) {
+  for (const auto& [tuple, marginal] : ViewEntries(*view, QueryRelation())) {
     predicted.push_back(marginal >= threshold);
     actual.push_back(MentionPairTruth(tuple));
   }
@@ -152,6 +167,9 @@ PrecisionRecall KbcPipeline::EvaluateMentions(double threshold) const {
 }
 
 PrecisionRecall KbcPipeline::EvaluateFacts(double threshold) const {
+  // One pinned view: the mention-level and entity-level relations are read
+  // from the same epoch.
+  const auto view = dd_->Query();
   // Predicted entity pairs: SpouseKB marginals (the entity-level layer
   // aggregating mention votes under the configured semantics).
   std::set<std::pair<int64_t, int64_t>> predicted_pairs;
@@ -162,7 +180,7 @@ PrecisionRecall KbcPipeline::EvaluateFacts(double threshold) const {
     if (corpus_.true_pairs.count(p)) extractable.insert(p);
   }
   if (options_.entity_layer) {
-    for (const auto& [tuple, marginal] : dd_->Marginals("SpouseKB")) {
+    for (const auto& [tuple, marginal] : ViewEntries(*view, "SpouseKB")) {
       if (marginal < threshold) continue;
       const int64_t e1 = tuple[0].AsInt();
       const int64_t e2 = tuple[1].AsInt();
@@ -172,7 +190,7 @@ PrecisionRecall KbcPipeline::EvaluateFacts(double threshold) const {
   } else {
     // No entity layer: promote confident mention pairs through the gold
     // mention -> entity mapping.
-    for (const auto& [tuple, marginal] : dd_->Marginals(QueryRelation())) {
+    for (const auto& [tuple, marginal] : ViewEntries(*view, QueryRelation())) {
       if (marginal < threshold) continue;
       const int64_t sent = tuple[0].AsInt() / kMentionStride;
       if (sent < 0 || static_cast<size_t>(sent) >= corpus_.sentences.size()) continue;
@@ -226,7 +244,8 @@ ErrorAnalysis KbcPipeline::AnalyzeErrors(double threshold, size_t top_k) const {
   }
 
   std::map<std::string, FeatureStat> stats;
-  for (const auto& [tuple, marginal] : dd_->Marginals(QueryRelation())) {
+  const auto view = dd_->Query();
+  for (const auto& [tuple, marginal] : ViewEntries(*view, QueryRelation())) {
     const bool truth = MentionPairTruth(tuple);
     const bool predicted = marginal >= threshold;
     ++report.total_predictions;
@@ -274,8 +293,9 @@ ErrorAnalysis KbcPipeline::AnalyzeErrors(double threshold, size_t top_k) const {
 }
 
 std::vector<double> KbcPipeline::QueryMarginals() const {
+  const auto view = dd_->Query();
   std::vector<double> out;
-  for (const auto& [tuple, marginal] : dd_->Marginals(QueryRelation())) {
+  for (const auto& [tuple, marginal] : ViewEntries(*view, QueryRelation())) {
     (void)tuple;
     out.push_back(marginal);
   }

@@ -131,6 +131,11 @@ StatusOr<std::string> FormatTsvLine(const Tuple& tuple) {
   return out;
 }
 
+StatusOr<std::string> FormatMarginalLine(double marginal, const Tuple& tuple) {
+  DD_ASSIGN_OR_RETURN(std::string cols, FormatTsvLine(tuple));
+  return StrFormat("%.6f\t%s", marginal, cols.c_str());
+}
+
 Status DumpTsvFile(const Table& table, const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Status::Internal("cannot open '" + path + "' for writing");

@@ -27,6 +27,11 @@ StatusOr<size_t> LoadTsvString(const std::string& content, Table* table);
 /// not contain tabs or newlines — validated).
 StatusOr<std::string> FormatTsvLine(const Tuple& tuple);
 
+/// Renders the marginal-export line "<marginal>\t<cols...>" — the format
+/// shared by the CLI --output writer and the ResultView TSV exporter
+/// (inference::WriteRelationTsv).
+StatusOr<std::string> FormatMarginalLine(double marginal, const Tuple& tuple);
+
 /// Writes all rows of `table` to `path` as TSV.
 Status DumpTsvFile(const Table& table, const std::string& path);
 

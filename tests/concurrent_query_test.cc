@@ -1,0 +1,438 @@
+// The versioned snapshot query API: ResultView/ResultPublisher semantics,
+// Query() on DeepDive and IncrementalEngine, epoch plumbing through
+// UpdateReport/UpdateOutcome, snapshot isolation of pinned views, and the
+// concurrent reader/writer drill (N reader threads hammering Query() while
+// the serving thread applies a stream of deltas and async remats swap
+// snapshots). The concurrency-heavy cases also run under the
+// ThreadSanitizer CI job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/deepdive.h"
+#include "factor/factor_graph.h"
+#include "incremental/engine.h"
+#include "inference/result_view.h"
+#include "util/random.h"
+
+namespace deepdive {
+namespace {
+
+using core::DeepDive;
+using core::DeepDiveConfig;
+using core::UpdateReport;
+using core::UpdateSpec;
+using factor::FactorGraph;
+using factor::GraphDelta;
+using factor::VarId;
+using incremental::EngineOptions;
+using incremental::IncrementalEngine;
+using incremental::MaterializationOptions;
+using inference::ResultPublisher;
+using inference::ResultView;
+
+// ---------------------------------------------------------------------------
+// ResultView / ResultPublisher unit semantics.
+// ---------------------------------------------------------------------------
+
+TEST(ResultPublisherTest, StartsWithCheckedEmptyEpochZeroView) {
+  ResultPublisher publisher;
+  const auto view = publisher.Current();
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->epoch, 0u);
+  EXPECT_TRUE(view->marginals.empty());
+  EXPECT_EQ(view->Fingerprint(), view->content_hash);
+}
+
+TEST(ResultPublisherTest, PublishStampsMonotoneEpochsAndChecksums) {
+  ResultPublisher publisher;
+  for (uint64_t i = 1; i <= 3; ++i) {
+    auto view = std::make_shared<ResultView>();
+    view->marginals = {0.25 * static_cast<double>(i), 0.5};
+    EXPECT_EQ(publisher.next_epoch(), i);
+    EXPECT_EQ(publisher.Publish(std::move(view)), i);
+    const auto current = publisher.Current();
+    EXPECT_EQ(current->epoch, i);
+    EXPECT_EQ(current->Fingerprint(), current->content_hash);
+    EXPECT_EQ(publisher.last_epoch(), i);
+  }
+  // Different (epoch, marginals) pairs checksum differently — the hash can
+  // actually tell torn publications apart.
+  auto a = std::make_shared<ResultView>();
+  a->marginals = {0.75, 0.5};
+  auto b = std::make_shared<ResultView>();
+  b->marginals = {0.25, 0.5};
+  publisher.Publish(a);
+  const uint64_t hash_a = publisher.Current()->content_hash;
+  publisher.Publish(b);
+  EXPECT_NE(publisher.Current()->content_hash, hash_a);
+}
+
+TEST(ResultViewTest, MarginalLookupMatchesIndex) {
+  ResultView view;
+  view.marginals = {0.9, 0.1, 0.7};
+  view.relations["R"] = {{{Value(1), Value(2)}, 0.9},
+                         {{Value(2), Value(1)}, 0.1},
+                         {{Value(3), Value(3)}, 0.7}};
+  EXPECT_DOUBLE_EQ(view.MarginalOf("R", {Value(1), Value(2)}), 0.9);
+  EXPECT_DOUBLE_EQ(view.MarginalOf("R", {Value(3), Value(3)}), 0.7);
+  // Unknown tuple / relation: the 0.5 "unknown variable" convention.
+  EXPECT_DOUBLE_EQ(view.MarginalOf("R", {Value(9), Value(9)}), 0.5);
+  EXPECT_DOUBLE_EQ(view.MarginalOf("S", {Value(1), Value(2)}), 0.5);
+  ASSERT_NE(view.Relation("R"), nullptr);
+  EXPECT_EQ(view.Relation("R")->size(), 3u);
+  EXPECT_EQ(view.Relation("S"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// DeepDive::Query semantics.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kProgram = R"(
+  relation Person(sent: int, mention: int).
+  relation Phrase(m1: int, m2: int, words: string).
+  query relation HasSpouse(m1: int, m2: int).
+  evidence HasSpouseLabel(m1: int, m2: int, l: bool) for HasSpouse.
+  rule CAND: HasSpouse(m1, m2) :-
+    Person(s, m1), Person(s, m2), m1 != m2.
+  factor FE1: HasSpouse(m1, m2) :- Phrase(m1, m2, w)
+    weight = w(w) semantics = ratio.
+)";
+
+std::unique_ptr<DeepDive> MakeDeepDive(const DeepDiveConfig& config,
+                                       size_t sentences = 3) {
+  auto dd = DeepDive::Create(kProgram, config);
+  EXPECT_TRUE(dd.ok()) << dd.status().ToString();
+  std::vector<Tuple> persons, phrases;
+  for (size_t s = 1; s <= sentences; ++s) {
+    const auto sent = static_cast<int64_t>(s);
+    persons.push_back({Value(sent), Value(sent * 10)});
+    persons.push_back({Value(sent), Value(sent * 10 + 1)});
+    phrases.push_back({Value(sent * 10), Value(sent * 10 + 1),
+                       Value(s % 2 ? "and his wife" : "met with")});
+  }
+  EXPECT_TRUE((*dd)->LoadRows("Person", persons).ok());
+  EXPECT_TRUE((*dd)->LoadRows("Phrase", phrases).ok());
+  EXPECT_TRUE((*dd)
+                  ->LoadRows("HasSpouseLabel",
+                             {{Value(10), Value(11), Value(true)}})
+                  .ok());
+  return std::move(dd).value();
+}
+
+TEST(DeepDiveQueryTest, QueryIsEmptyEpochZeroBeforeInitialize) {
+  auto dd = MakeDeepDive(core::FastTestConfig());
+  const auto view = dd->Query();
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->epoch, 0u);
+  EXPECT_DOUBLE_EQ(dd->MarginalOf("HasSpouse", {Value(10), Value(11)}), 0.5);
+}
+
+TEST(DeepDiveQueryTest, InitializePublishesAndLegacyAccessorsMatchView) {
+  auto dd = MakeDeepDive(core::FastTestConfig());
+  ASSERT_TRUE(dd->Initialize().ok());
+
+  const auto view = dd->Query();
+  EXPECT_EQ(view->epoch, 1u);
+  EXPECT_EQ(view->report.label, "initialize");
+  EXPECT_EQ(view->report.epoch, 1u);
+  EXPECT_EQ(view->Fingerprint(), view->content_hash);
+  EXPECT_GT(view->snapshot_generation, 0u);  // incremental mode materialized
+  EXPECT_GT(view->materialization.samples_collected, 0u);
+  ASSERT_NE(view->materialized_marginals, nullptr);
+
+  // The legacy accessors are the view, by construction.
+  EXPECT_EQ(&dd->marginal_vector(), &view->marginals);
+  const auto pairs = dd->Marginals("HasSpouse");
+  const auto* entries = view->Relation("HasSpouse");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(pairs.size(), entries->size());
+  EXPECT_FALSE(pairs.empty());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(pairs[i].first, (*entries)[i].first);
+    EXPECT_DOUBLE_EQ(pairs[i].second, (*entries)[i].second);
+    EXPECT_DOUBLE_EQ(dd->MarginalOf("HasSpouse", pairs[i].first),
+                     view->MarginalOf("HasSpouse", pairs[i].first));
+  }
+}
+
+TEST(DeepDiveQueryTest, PinnedViewSurvivesUpdateUnchanged) {
+  auto dd = MakeDeepDive(core::FastTestConfig());
+  ASSERT_TRUE(dd->Initialize().ok());
+
+  const auto before = dd->Query();
+  const std::vector<double> before_marginals = before->marginals;
+  const uint64_t before_epoch = before->epoch;
+
+  // New sentence + feature + a second spouse label: marginals move.
+  UpdateSpec update;
+  update.label = "U1";
+  update.inserts["Person"] = {{Value(9), Value(90)}, {Value(9), Value(91)}};
+  update.inserts["Phrase"] = {{Value(90), Value(91), Value("and his wife")}};
+  auto report = dd->ApplyUpdate(update);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->epoch, 2u);
+
+  // Snapshot isolation: the pinned view still reads its original epoch's
+  // marginals, bit for bit.
+  EXPECT_EQ(before->epoch, before_epoch);
+  EXPECT_EQ(before->marginals, before_marginals);
+  EXPECT_EQ(before->Fingerprint(), before->content_hash);
+  // The new pair exists at epoch 2 but not in the pinned epoch-1 view.
+  EXPECT_DOUBLE_EQ(before->MarginalOf("HasSpouse", {Value(90), Value(91)}), 0.5);
+  const auto after = dd->Query();
+  EXPECT_EQ(after->epoch, 2u);
+  EXPECT_EQ(after->report.label, "U1");
+  EXPECT_NE(after->MarginalOf("HasSpouse", {Value(90), Value(91)}), 0.5);
+}
+
+TEST(DeepDiveQueryTest, HistoryEpochsAreStrictlyIncreasing) {
+  auto dd = MakeDeepDive(core::FastTestConfig());
+  ASSERT_TRUE(dd->Initialize().ok());
+  for (int u = 0; u < 3; ++u) {
+    UpdateSpec update;
+    update.label = "A" + std::to_string(u);
+    update.analysis_only = true;
+    ASSERT_TRUE(dd->ApplyUpdate(update).ok());
+  }
+  ASSERT_EQ(dd->history().size(), 3u);
+  uint64_t last = 1;  // epoch 1 was Initialize
+  for (const UpdateReport& report : dd->history()) {
+    EXPECT_EQ(report.epoch, last + 1);
+    last = report.epoch;
+  }
+  EXPECT_EQ(dd->Query()->epoch, last);
+  EXPECT_EQ(dd->Query()->report.label, "A2");
+}
+
+TEST(DeepDiveQueryTest, RerunModePublishesViewsToo) {
+  DeepDiveConfig config = core::FastTestConfig();
+  config.mode = core::ExecutionMode::kRerun;
+  auto dd = MakeDeepDive(config);
+  ASSERT_TRUE(dd->Initialize().ok());
+  const auto view = dd->Query();
+  EXPECT_EQ(view->epoch, 1u);
+  EXPECT_EQ(view->snapshot_generation, 0u);  // no materialization in Rerun
+  EXPECT_EQ(view->materialized_marginals, nullptr);
+  UpdateSpec update;
+  update.label = "U1";
+  update.inserts["Phrase"] = {{Value(20), Value(21), Value("wed")}};
+  auto report = dd->ApplyUpdate(update);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->epoch, 2u);
+  EXPECT_EQ(dd->Query()->epoch, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalEngine::Query semantics.
+// ---------------------------------------------------------------------------
+
+FactorGraph TwoComponentGraph(uint64_t seed) {
+  FactorGraph g;
+  Rng rng(seed);
+  g.AddVariables(8);
+  for (VarId base : {VarId{0}, VarId{4}}) {
+    for (VarId i = 0; i < 3; ++i) {
+      g.AddSimpleFactor(base + i, {{static_cast<VarId>(base + i + 1), false}},
+                        g.AddWeight(rng.Uniform(-0.8, 0.8), false));
+    }
+  }
+  for (VarId v = 0; v < 8; ++v) {
+    g.AddSimpleFactor(v, {}, g.AddWeight(rng.Uniform(-0.3, 0.3), false));
+  }
+  return g;
+}
+
+MaterializationOptions TestMaterialization() {
+  MaterializationOptions options;
+  options.num_samples = 1000;
+  options.gibbs_burn_in = 50;
+  options.variational.num_samples = 200;
+  options.variational.fit_epochs = 100;
+  options.remat_on_exhaustion = false;
+  return options;
+}
+
+EngineOptions TestEngine() {
+  EngineOptions options;
+  options.mh_target_steps = 500;
+  options.gibbs.burn_in_sweeps = 50;
+  options.gibbs.sample_sweeps = 500;
+  return options;
+}
+
+GraphDelta AddFeatureFactor(FactorGraph* g, VarId head, VarId body, double w) {
+  GraphDelta delta;
+  delta.new_groups.push_back(
+      g->AddSimpleFactor(head, {{body, false}}, g->AddWeight(w, /*learnable=*/true)));
+  return delta;
+}
+
+TEST(EngineQueryTest, OutcomesCarryEpochsAndViewsTrackInstalls) {
+  FactorGraph g = TwoComponentGraph(41);
+  IncrementalEngine engine(&g);
+  // Construction publishes the empty pre-materialization state.
+  const auto initial = engine.Query();
+  ASSERT_NE(initial, nullptr);
+  EXPECT_EQ(initial->epoch, 1u);
+  EXPECT_EQ(initial->snapshot_generation, 0u);
+
+  ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
+  const auto materialized = engine.Query();
+  EXPECT_GT(materialized->epoch, initial->epoch);
+  EXPECT_EQ(materialized->snapshot_generation, 1u);
+  EXPECT_EQ(materialized->materialization.samples_collected, 1000u);
+  ASSERT_NE(materialized->materialized_marginals, nullptr);
+
+  auto outcome = engine.ApplyDelta(AddFeatureFactor(&g, 1, 2, 0.5), TestEngine());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->epoch, materialized->epoch);
+  const auto after = engine.Query();
+  EXPECT_EQ(after->epoch, outcome->epoch);
+  EXPECT_EQ(after->marginals, outcome->marginals);
+  EXPECT_EQ(after->report.strategy, outcome->strategy);
+  EXPECT_EQ(after->report.epoch, outcome->epoch);
+}
+
+TEST(EngineQueryTest, PinnedViewKeepsRetiredSnapshotAlive) {
+  FactorGraph g = TwoComponentGraph(42);
+  IncrementalEngine engine(&g);
+  ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
+
+  const auto pinned = engine.Query();
+  ASSERT_NE(pinned->materialized_marginals, nullptr);
+  const std::vector<double> pr0 = *pinned->materialized_marginals;
+  const auto stats = pinned->materialization;
+
+  // Rematerialize with a different seed: the engine swaps snapshots and the
+  // old one is retired — but the pinned view still reads the old Pr(0)
+  // marginals and stats (this used to be the dangling-reference hazard on
+  // materialization_stats()/materialized_marginals()).
+  MaterializationOptions remat = TestMaterialization();
+  remat.seed = 777;
+  remat.num_samples = 500;
+  ASSERT_TRUE(engine.Materialize(remat).ok());
+  EXPECT_EQ(engine.snapshot_generation(), 2u);
+  EXPECT_EQ(engine.materialization_stats().samples_collected, 500u);
+
+  EXPECT_EQ(*pinned->materialized_marginals, pr0);
+  EXPECT_EQ(pinned->materialization.samples_collected, stats.samples_collected);
+  EXPECT_EQ(pinned->snapshot_generation, 1u);
+  // And the serving accessors moved on to the new snapshot.
+  EXPECT_EQ(engine.Query()->snapshot_generation, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// The concurrent reader/writer drill (also a TSan target): N reader threads
+// hammer Query() on both the DeepDive and its engine while the serving
+// thread applies a stream of updates and self-scheduled background remats
+// swap snapshots underneath.
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrentQueryTest, ReadersSeeConsistentViewsWhileUpdatesStream) {
+  DeepDiveConfig config = core::FastTestConfig();
+  config.materialization.num_samples = 300;
+  config.materialization.gibbs_burn_in = 10;
+  config.materialization.variational.num_samples = 40;
+  config.materialization.variational.fit_epochs = 15;
+  config.materialization.async = true;
+  config.materialization.remat_after_updates = 2;  // force swaps mid-stream
+  config.engine.mh_target_steps = 60;
+  config.engine.gibbs.burn_in_sweeps = 5;
+  config.engine.gibbs.sample_sweeps = 80;
+  config.engine.rerun_gibbs.burn_in_sweeps = 5;
+  config.engine.rerun_gibbs.sample_sweeps = 80;
+  auto dd = MakeDeepDive(config, /*sentences=*/4);
+  ASSERT_TRUE(dd->Initialize().ok());
+
+  constexpr size_t kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+  std::atomic<uint64_t> total_queries{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      uint64_t last_dd_epoch = 0;
+      uint64_t last_engine_epoch = 0;
+      uint64_t queries = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto view = dd->Query();
+        const auto engine_view = dd->incremental_engine()->Query();
+        // Internal consistency: the epoch matches the marginal vector it
+        // was published with (checksum), values are probabilities, and the
+        // relation index answers its own entries.
+        if (view->Fingerprint() != view->content_hash ||
+            engine_view->Fingerprint() != engine_view->content_hash) {
+          violation.store(true);
+          break;
+        }
+        if (view->epoch < last_dd_epoch ||
+            engine_view->epoch < last_engine_epoch) {
+          violation.store(true);  // epochs must be monotone per reader
+          break;
+        }
+        last_dd_epoch = view->epoch;
+        last_engine_epoch = engine_view->epoch;
+        bool ok = true;
+        for (const double m : view->marginals) {
+          ok &= m >= 0.0 && m <= 1.0;
+        }
+        const auto* entries = view->Relation("HasSpouse");
+        if (entries != nullptr && !entries->empty()) {
+          const auto& probe = (*entries)[queries % entries->size()];
+          ok &= view->MarginalOf("HasSpouse", probe.first) == probe.second;
+        }
+        if (engine_view->materialized_marginals != nullptr) {
+          // Reading the pinned snapshot's Pr(0) marginals must stay safe
+          // across swaps (it keeps the retired snapshot alive).
+          for (const double m : *engine_view->materialized_marginals) {
+            ok &= m >= 0.0 && m <= 1.0;
+          }
+        }
+        if (!ok) {
+          violation.store(true);
+          break;
+        }
+        ++queries;
+      }
+      total_queries.fetch_add(queries);
+    });
+  }
+
+  // The update stream: data inserts (structural deltas), a rule update, and
+  // analysis steps, with remat_after_updates swapping snapshots underneath.
+  uint64_t expected_epoch = 1;
+  for (int u = 0; u < 8; ++u) {
+    UpdateSpec update;
+    update.label = "U" + std::to_string(u);
+    if (u % 3 == 2) {
+      update.analysis_only = true;
+    } else {
+      const auto m = static_cast<int64_t>(100 + u * 10);
+      update.inserts["Person"] = {{Value(100 + u), Value(m)},
+                                  {Value(100 + u), Value(m + 1)}};
+      update.inserts["Phrase"] = {
+          {Value(m), Value(m + 1), Value(u % 2 ? "and his wife" : "met with")}};
+    }
+    auto report = dd->ApplyUpdate(update);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->epoch, ++expected_epoch);
+  }
+  ASSERT_TRUE(dd->incremental_engine()->WaitForMaterialization().ok());
+
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_GT(total_queries.load(), 0u);
+  // The final view reflects the whole stream.
+  EXPECT_EQ(dd->Query()->epoch, expected_epoch);
+  EXPECT_EQ(dd->Query()->report.label, "U7");
+}
+
+}  // namespace
+}  // namespace deepdive

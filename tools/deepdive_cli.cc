@@ -33,20 +33,30 @@
 //   --load-materialization FILE   load a persisted sample store instead of
 //                           running the sampling chain (width-checked
 //                           against the grounded graph)
+//   --serve-queries N       start N reader threads that hammer the
+//                           versioned query API (DeepDive::Query) while the
+//                           updates apply, verifying every pinned view's
+//                           checksum and epoch monotonicity; per-thread
+//                           query counts are reported at the end
 //
 // Example:
 //   deepdive_cli run spouse.ddl --data Person=persons.tsv \
 //       --data HasSpouseLabel=labels.tsv --output HasSpouse=out.tsv \
 //       --update fe1.ddl --update-data PhraseFeature=phrases.tsv
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/deepdive.h"
+#include "inference/result_view.h"
 #include "storage/text_io.h"
 #include "util/string_util.h"
 
@@ -72,6 +82,7 @@ struct Args {
   bool async_materialize = false;
   std::string save_materialization;
   std::string load_materialization;
+  size_t serve_queries = 0;
 };
 
 void Usage() {
@@ -82,7 +93,7 @@ void Usage() {
                "       [--threshold P] [--seed N] [--epochs N] [--threads N]\n"
                "       [--replicas R] [--sync-every N]\n"
                "       [--async-materialize] [--save-materialization FILE]\n"
-               "       [--load-materialization FILE]\n");
+               "       [--load-materialization FILE] [--serve-queries N]\n");
 }
 
 StatusOr<std::pair<std::string, std::string>> SplitAssignment(const std::string& arg) {
@@ -179,6 +190,9 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
       DD_ASSIGN_OR_RETURN(std::string v, next());
       DD_ASSIGN_OR_RETURN(args.sync_every,
                           ParseCount(flag, v, 0, 1000000000));
+    } else if (flag == "--serve-queries") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      DD_ASSIGN_OR_RETURN(args.serve_queries, ParseCount(flag, v, 1, 1024));
     } else {
       return Status::InvalidArgument("unknown flag '" + flag + "'");
     }
@@ -226,8 +240,10 @@ StatusOr<std::vector<Tuple>> ReadRows(const core::DeepDive& dd,
   return rows;
 }
 
-Status WriteMarginals(const core::DeepDive& dd, const std::string& relation,
-                      const std::string& path, double threshold) {
+Status WriteMarginals(const core::DeepDive& dd,
+                      const inference::ResultView& view,
+                      const std::string& relation, const std::string& path,
+                      double threshold) {
   if (!dd.program().IsQueryRelation(relation)) {
     return Status::InvalidArgument("'" + relation + "' is not a query relation");
   }
@@ -236,15 +252,124 @@ Status WriteMarginals(const core::DeepDive& dd, const std::string& relation,
     out = std::fopen(path.c_str(), "w");
     if (out == nullptr) return Status::Internal("cannot open '" + path + "'");
   }
-  for (const auto& [tuple, marginal] : dd.Marginals(relation)) {
-    if (marginal < threshold) continue;
-    auto line = FormatTsvLine(tuple);
-    if (!line.ok()) continue;
-    std::fprintf(out, "%.6f\t%s\n", marginal, line->c_str());
-  }
+  const Status status =
+      inference::WriteRelationTsv(view, relation, out, threshold);
   if (out != stdout) std::fclose(out);
-  return Status::OK();
+  return status;
 }
+
+/// The --serve-queries reader pool: N threads hammering the versioned query
+/// API while the serving thread keeps applying updates. Each reader pins
+/// views in a loop and verifies what the API guarantees — the content
+/// checksum matches (the epoch's marginals are the ones published with it)
+/// and epochs never move backwards for a reader.
+class QueryServer {
+ public:
+  QueryServer(const core::DeepDive& dd, size_t num_readers)
+      : dd_(dd), counts_(std::make_unique<ReaderStats[]>(num_readers)),
+        num_readers_(num_readers) {
+    for (size_t t = 0; t < num_readers; ++t) {
+      readers_.emplace_back([this, t] { ReadLoop(t); });
+    }
+  }
+
+  /// Error-path cleanup: readers must be joined before the DeepDive they
+  /// query is torn down.
+  ~QueryServer() {
+    stop_.store(true, std::memory_order_relaxed);
+    for (std::thread& reader : readers_) {
+      if (reader.joinable()) reader.join();
+    }
+  }
+
+  /// Stops the readers and reports their verified query counts. Returns an
+  /// error if any reader observed an inconsistent view. Before stopping,
+  /// grants a short grace window until every reader has pinned at least one
+  /// view — on a loaded (or single-core) machine a tiny update stream can
+  /// otherwise finish before the readers are even scheduled.
+  Status Finish() {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (std::chrono::steady_clock::now() < deadline &&
+           !failed_.load(std::memory_order_relaxed)) {
+      bool all_started = true;
+      for (size_t t = 0; t < num_readers_; ++t) {
+        all_started &= counts_[t].queries.load(std::memory_order_relaxed) > 0;
+      }
+      if (all_started) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    stop_.store(true, std::memory_order_relaxed);
+    for (std::thread& reader : readers_) reader.join();
+    uint64_t total = 0;
+    for (size_t t = 0; t < num_readers_; ++t) {
+      const uint64_t queries = counts_[t].queries.load(std::memory_order_relaxed);
+      std::fprintf(stderr, "reader %zu: %llu queries, last epoch %llu\n", t,
+                   static_cast<unsigned long long>(queries),
+                   static_cast<unsigned long long>(
+                       counts_[t].last_epoch.load(std::memory_order_relaxed)));
+      total += queries;
+    }
+    std::fprintf(stderr, "served %llu concurrent queries across %zu readers\n",
+                 static_cast<unsigned long long>(total), num_readers_);
+    if (failed_.load(std::memory_order_relaxed)) {
+      return Status::Internal(violation_);
+    }
+    if (total == 0) return Status::Internal("query readers never ran");
+    return Status::OK();
+  }
+
+ private:
+  struct ReaderStats {
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> last_epoch{0};
+  };
+
+  void ReadLoop(size_t t) {
+    uint64_t last_epoch = 0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      const auto view = dd_.Query();
+      if (view == nullptr) {
+        Fail("Query() returned null");
+        break;
+      }
+      if (view->Fingerprint() != view->content_hash) {
+        Fail("pinned view failed its consistency checksum");
+        break;
+      }
+      if (view->epoch < last_epoch) {
+        Fail("epoch moved backwards for a reader");
+        break;
+      }
+      last_epoch = view->epoch;
+      // Exercise the lookup path too: an indexed entry must answer its own
+      // marginal (one relation per pin keeps readers fast).
+      const auto first = view->relations.begin();
+      if (first != view->relations.end() && !first->second.empty() &&
+          view->MarginalOf(first->first, first->second.front().first) !=
+              first->second.front().second) {
+        Fail("relation index disagrees with MarginalOf");
+        break;
+      }
+      counts_[t].queries.fetch_add(1, std::memory_order_relaxed);
+      counts_[t].last_epoch.store(last_epoch, std::memory_order_relaxed);
+    }
+  }
+
+  void Fail(const std::string& message) {
+    bool expected = false;
+    if (failed_.compare_exchange_strong(expected, true)) violation_ = message;
+    stop_.store(true, std::memory_order_relaxed);
+  }
+
+  const core::DeepDive& dd_;
+  std::vector<std::thread> readers_;
+  std::unique_ptr<ReaderStats[]> counts_;
+  size_t num_readers_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> failed_{false};
+  std::string violation_;  // written once under the failed_ CAS
+};
 
 Status Run(const Args& args) {
   DD_ASSIGN_OR_RETURN(std::string source, ReadFile(args.program_path));
@@ -288,6 +413,13 @@ Status Run(const Args& args) {
   std::fprintf(stderr, "grounded: %zu variables, %zu factors\n",
                dd->ground().graph.NumVariables(), dd->ground().graph.NumActiveClauses());
 
+  // Concurrent query serving: readers pin versioned views from here on,
+  // racing every update and materialization swap below.
+  std::unique_ptr<QueryServer> server;
+  if (args.serve_queries > 0) {
+    server = std::make_unique<QueryServer>(*dd, args.serve_queries);
+  }
+
   for (size_t u = 0; u < args.updates.size(); ++u) {
     const Args::Update& update = args.updates[u];
     core::UpdateSpec spec;
@@ -312,15 +444,18 @@ Status Run(const Args& args) {
     }
     DD_ASSIGN_OR_RETURN(core::UpdateReport report, dd->ApplyUpdate(spec));
     std::fprintf(stderr,
-                 "%s: grounding %.3fs, learning %.3fs, inference %.3fs (%s)\n",
+                 "%s: grounding %.3fs, learning %.3fs, inference %.3fs (%s, "
+                 "epoch %llu)\n",
                  report.label.c_str(), report.grounding_seconds,
                  report.learning_seconds, report.inference_seconds,
-                 incremental::StrategyName(report.strategy));
+                 incremental::StrategyName(report.strategy),
+                 static_cast<unsigned long long>(report.epoch));
   }
 
   // Drain any background (re)materialization so a failed build — e.g. a
   // --load-materialization store whose width mismatches the graph — surfaces
-  // as an error instead of dying silently with the process.
+  // as an error instead of dying silently with the process. The query
+  // readers keep racing this drain (and its snapshot install) on purpose.
   if (auto* engine = dd->incremental_engine(); engine != nullptr) {
     DD_RETURN_IF_ERROR(engine->WaitForMaterialization());
     if (args.async_materialize) {
@@ -330,17 +465,26 @@ Status Run(const Args& args) {
     }
   }
 
+  if (server != nullptr) DD_RETURN_IF_ERROR(server->Finish());
+
+  // Export from one pinned view: all relations (and the epoch banner) come
+  // from the same publication.
+  const auto view = dd->Query();
+  std::fprintf(stderr, "writing marginals from result view epoch %llu\n",
+               static_cast<unsigned long long>(view->epoch));
   if (args.outputs.empty()) {
     // Default: every query relation to stdout.
     for (const dsl::RelationDecl& rel : dd->program().relations()) {
       if (rel.kind == dsl::RelationKind::kQuery) {
         std::printf("# %s\n", rel.name.c_str());
-        DD_RETURN_IF_ERROR(WriteMarginals(*dd, rel.name, "", args.threshold));
+        DD_RETURN_IF_ERROR(
+            WriteMarginals(*dd, *view, rel.name, "", args.threshold));
       }
     }
   } else {
     for (const auto& [relation, file] : args.outputs) {
-      DD_RETURN_IF_ERROR(WriteMarginals(*dd, relation, file, args.threshold));
+      DD_RETURN_IF_ERROR(
+          WriteMarginals(*dd, *view, relation, file, args.threshold));
     }
   }
   return Status::OK();
