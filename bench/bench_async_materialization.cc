@@ -12,6 +12,7 @@
 #include "incremental/engine.h"
 #include "util/logging.h"
 #include "util/timer.h"
+#include "util/thread_role.h"
 
 namespace deepdive::bench {
 namespace {
@@ -71,7 +72,7 @@ struct RunResult {
 /// exhausted store forces a blocking Materialize on the next update (the
 /// historical behavior); when true, the engine's remat trigger rebuilds in
 /// the background while updates keep flowing.
-RunResult RunStream(bool async) {
+RunResult RunStream(bool async) REQUIRES(serving_thread) {
   FactorGraph g = PairwiseGraph(kVars, 0.8, 7);
   IncrementalEngine engine(&g);
   MaterializationOptions mopts = BenchMaterialization();
@@ -110,7 +111,7 @@ void Summarize(const char* label, const RunResult& result) {
               sorted[sorted.size() / 2], sorted.back(), result.remats);
 }
 
-void Run() {
+void Run() REQUIRES(serving_thread) {
   PrintHeader("Update latency: blocking vs background rematerialization");
   std::printf("%zu-variable graph, %zu drifting updates, %zu-sample store\n\n",
               kVars, kUpdates, kStoreSamples);
@@ -129,6 +130,8 @@ void Run() {
 }  // namespace deepdive::bench
 
 int main() {
+  // Trusted root: the bench main thread is the serving thread.
+  deepdive::serving_thread.AssertHeld();
   deepdive::bench::Run();
   return 0;
 }

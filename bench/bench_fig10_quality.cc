@@ -7,11 +7,12 @@
 
 #include "bench_common.h"
 #include "kbc/snapshots.h"
+#include "util/thread_role.h"
 
 namespace deepdive::bench {
 namespace {
 
-void PartA() {
+void PartA() REQUIRES(serving_thread) {
   PrintHeader("Figure 10(a): News quality over cumulative time");
   kbc::SystemProfile profile = kbc::ProfileFor(kbc::SystemKind::kNews);
   profile.num_documents = 200;
@@ -38,7 +39,7 @@ void PartA() {
               result->rerun_total_seconds, result->incremental_total_seconds, speedup);
 }
 
-void PartB() {
+void PartB() REQUIRES(serving_thread) {
   PrintHeader("Figure 10(b): F1 of different semantics across systems");
   std::printf("%-10s", "");
   for (const auto& profile : kbc::AllProfiles()) std::printf(" %12s", profile.name.c_str());
@@ -74,6 +75,8 @@ void PartB() {
 }  // namespace deepdive::bench
 
 int main() {
+  // Trusted root: the bench main thread is the serving thread.
+  deepdive::serving_thread.AssertHeld();
   deepdive::bench::PartA();
   deepdive::bench::PartB();
   return 0;

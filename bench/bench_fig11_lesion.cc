@@ -8,6 +8,7 @@
 
 #include "bench_common.h"
 #include "kbc/pipeline.h"
+#include "util/thread_role.h"
 
 namespace deepdive::bench {
 namespace {
@@ -19,7 +20,7 @@ struct Config {
   bool force_sampling_first;  // NoWorkloadInfo
 };
 
-void Run() {
+void Run() REQUIRES(serving_thread) {
   PrintHeader("Figure 11: lesion study on News (inference seconds per rule)");
   const Config kConfigs[] = {
       {"Full", true, true, false},
@@ -73,6 +74,8 @@ void Run() {
 }  // namespace deepdive::bench
 
 int main() {
+  // Trusted root: the bench main thread is the serving thread.
+  deepdive::serving_thread.AssertHeld();
   deepdive::bench::Run();
   return 0;
 }

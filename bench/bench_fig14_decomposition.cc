@@ -10,11 +10,12 @@
 #include "incremental/engine.h"
 #include "kbc/pipeline.h"
 #include "util/timer.h"
+#include "util/thread_role.h"
 
 namespace deepdive::bench {
 namespace {
 
-void Run() {
+void Run() REQUIRES(serving_thread) {
   PrintHeader("Figure 14: decomposition lesion (small update on News)");
   std::printf("%12s | %-17s %-17s\n", "", "All", "NoDecomposition");
   std::printf("%12s | %8s %8s %8s %8s\n", "#sentences", "infer(s)", "affected",
@@ -78,6 +79,8 @@ void Run() {
 }  // namespace deepdive::bench
 
 int main() {
+  // Trusted root: the bench main thread is the serving thread.
+  deepdive::serving_thread.AssertHeld();
   deepdive::bench::Run();
   return 0;
 }

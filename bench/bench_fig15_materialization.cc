@@ -8,11 +8,12 @@
 #include "bench_common.h"
 #include "incremental/engine.h"
 #include "kbc/pipeline.h"
+#include "util/thread_role.h"
 
 namespace deepdive::bench {
 namespace {
 
-void Run() {
+void Run() REQUIRES(serving_thread) {
   PrintHeader("Figure 15: samples materialized within a fixed budget");
   constexpr double kBudgetSeconds = 2.0;
   std::printf("(budget = %.1f s per system)\n", kBudgetSeconds);
@@ -52,6 +53,8 @@ void Run() {
 }  // namespace deepdive::bench
 
 int main() {
+  // Trusted root: the bench main thread is the serving thread.
+  deepdive::serving_thread.AssertHeld();
   deepdive::bench::Run();
   return 0;
 }

@@ -10,11 +10,12 @@
 
 #include "bench_common.h"
 #include "kbc/pipeline.h"
+#include "util/thread_role.h"
 
 namespace deepdive::bench {
 namespace {
 
-void Run() {
+void Run() REQUIRES(serving_thread) {
   PrintHeader("Figure 6: News quality and #factors vs lambda");
   std::printf("%10s | %12s | %10s %10s\n", "lambda", "approx edges", "mention F1",
               "fact F1");
@@ -54,6 +55,8 @@ void Run() {
 }  // namespace deepdive::bench
 
 int main() {
+  // Trusted root: the bench main thread is the serving thread.
+  deepdive::serving_thread.AssertHeld();
   deepdive::bench::Run();
   return 0;
 }

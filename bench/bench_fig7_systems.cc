@@ -5,11 +5,12 @@
 
 #include "bench_common.h"
 #include "kbc/pipeline.h"
+#include "util/thread_role.h"
 
 namespace deepdive::bench {
 namespace {
 
-void Run() {
+void Run() REQUIRES(serving_thread) {
   PrintHeader("Figure 7: statistics of KBC systems (paper scale -> scaled repro)");
   std::printf("%-14s | %10s %6s %7s | %10s %10s %10s\n", "System", "paper#docs",
               "#rels", "#rules", "repro#docs", "#vars", "#factors");
@@ -42,6 +43,8 @@ void Run() {
 }  // namespace deepdive::bench
 
 int main() {
+  // Trusted root: the bench main thread is the serving thread.
+  deepdive::serving_thread.AssertHeld();
   deepdive::bench::Run();
   return 0;
 }

@@ -8,11 +8,12 @@
 
 #include "bench_common.h"
 #include "kbc/snapshots.h"
+#include "util/thread_role.h"
 
 namespace deepdive::bench {
 namespace {
 
-void Run() {
+void Run() REQUIRES(serving_thread) {
   PrintHeader("Figure 9: Rerun vs Incremental, inference+learning seconds per update");
   std::printf("%-5s", "Rule");
   for (const auto& profile : kbc::AllProfiles()) {
@@ -67,6 +68,8 @@ void Run() {
 }  // namespace deepdive::bench
 
 int main() {
+  // Trusted root: the bench main thread is the serving thread.
+  deepdive::serving_thread.AssertHeld();
   deepdive::bench::Run();
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "bench_common.h"
 #include "core/deepdive.h"
 #include "util/logging.h"
+#include "util/thread_role.h"
 #include "util/timer.h"
 
 namespace deepdive::bench {
@@ -24,7 +25,7 @@ namespace {
 constexpr double kSecondsPerConfig = 0.4;
 constexpr size_t kSentences = 60;
 
-std::unique_ptr<core::DeepDive> BuildServing() {
+std::unique_ptr<core::DeepDive> BuildServing() REQUIRES(serving_thread) {
   const char* program = R"(
     relation Person(sent: int, mention: int).
     relation Phrase(m1: int, m2: int, words: string).
@@ -68,12 +69,15 @@ std::unique_ptr<core::DeepDive> BuildServing() {
 uint64_t RunReaders(const core::DeepDive& dd, size_t readers) {
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> total{0};
+  // lint:allow(raw-thread) the reader threads ARE the benchmark: plain
+  // threads pinning views at full tilt, deliberately not ThreadPool tasks.
   std::vector<std::thread> threads;
   threads.reserve(readers);
   for (size_t t = 0; t < readers; ++t) {
     threads.emplace_back([&dd, &stop, &total] {
       uint64_t queries = 0;
       uint64_t last_epoch = 0;
+      // ordering: relaxed — quit hint; join() below publishes the tallies.
       while (!stop.load(std::memory_order_relaxed)) {
         const auto view = dd.Query();
         DD_CHECK(view->epoch >= last_epoch);
@@ -102,7 +106,12 @@ uint64_t RunReaders(const core::DeepDive& dd, size_t readers) {
 /// analysis-only refreshes.
 void StreamUpdates(core::DeepDive* dd, const std::atomic<bool>* stop,
                    size_t* updates_applied) {
+  // Serving-role handoff: main() builds the instance, then stays off the
+  // serving surface until after join() — for the streaming window this
+  // writer thread IS the serving thread.
+  serving_thread.AssertHeld();
   size_t u = 0;
+  // ordering: relaxed — quit hint; the caller's join() orders *updates_applied.
   while (!stop->load(std::memory_order_relaxed)) {
     core::UpdateSpec spec;
     spec.label = "stream#" + std::to_string(u);
@@ -122,7 +131,7 @@ void StreamUpdates(core::DeepDive* dd, const std::atomic<bool>* stop,
   *updates_applied = u;
 }
 
-void Run() {
+void Run() REQUIRES(serving_thread) {
   PrintHeader("query throughput vs reader count (versioned snapshot API)");
   std::printf("%8s  %16s  %16s  %10s\n", "readers", "idle q/s",
               "streaming q/s", "updates");
@@ -156,6 +165,9 @@ void Run() {
 }  // namespace deepdive::bench
 
 int main() {
+  // Trusted root: the process main thread is the serving thread (it hands
+  // the role to the StreamUpdates writer for the streaming window).
+  deepdive::serving_thread.AssertHeld();
   deepdive::bench::Run();
   return 0;
 }

@@ -12,8 +12,11 @@
 
 #include "kbc/metrics.h"
 #include "kbc/snapshots.h"
+#include "util/thread_role.h"
 
 int main() {
+  // Trusted root: the example runs single-threaded on the serving thread.
+  deepdive::serving_thread.AssertHeld();
   using namespace deepdive;
 
   kbc::SystemProfile profile = kbc::ProfileFor(kbc::SystemKind::kNews);

@@ -6,8 +6,11 @@
 #include <cstdio>
 
 #include "core/deepdive.h"
+#include "util/thread_role.h"
 
 int main() {
+  // Trusted root: the example runs single-threaded on the serving thread.
+  deepdive::serving_thread.AssertHeld();
   using namespace deepdive;
 
   // 1. The program: Example 2.2's shape in miniature.

@@ -7,8 +7,11 @@
 #include <cstdio>
 
 #include "kbc/pipeline.h"
+#include "util/thread_role.h"
 
 int main() {
+  // Trusted root: the example runs single-threaded on the serving thread.
+  deepdive::serving_thread.AssertHeld();
   using namespace deepdive;
 
   kbc::SystemProfile profile = kbc::ProfileFor(kbc::SystemKind::kNews);

@@ -17,6 +17,8 @@
 #include "inference/result_view.h"
 #include "storage/database.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
+#include "util/thread_role.h"
 
 namespace deepdive::core {
 
@@ -50,33 +52,48 @@ struct UpdateSpec {
 ///
 /// Threading contract: one writer, any number of readers. LoadRows /
 /// Initialize / ApplyUpdate and the reference-returning accessors belong to
-/// one serving thread. Query() is the concurrent read surface: every
-/// Initialize/ApplyUpdate publishes a fresh immutable ResultView, and any
-/// number of reader threads can pin and read views while the next update is
-/// being applied.
+/// one serving thread — under Clang they are REQUIRES(serving_thread), the
+/// fake-lock role capability of util/thread_role.h, so calling them without
+/// having claimed the role is a -Wthread-safety compile error. Query() is
+/// the concurrent read surface: every Initialize/ApplyUpdate publishes a
+/// fresh immutable ResultView, and any number of reader threads can pin and
+/// read views (no capability needed) while the next update is being applied.
 class DeepDive {
  public:
+  /// The creating thread claims the serving role; it may hand the instance
+  /// to a different serving thread before first use (the handoff is ordered
+  /// by whatever mechanism transfers the pointer).
   static StatusOr<std::unique_ptr<DeepDive>> Create(const std::string& program_source,
-                                                    DeepDiveConfig config);
+                                                    DeepDiveConfig config)
+      REQUIRES(serving_thread);
 
-  Database* db() { return &db_; }
-  const dsl::Program& program() const { return program_; }
-  const grounding::GroundGraph& ground() const { return ground_; }
-  factor::FactorGraph* mutable_graph() { return &ground_.graph; }
+  Database* db() REQUIRES(serving_thread) { return &db_; }
+  const dsl::Program& program() const REQUIRES(serving_thread) {
+    return program_;
+  }
+  const grounding::GroundGraph& ground() const REQUIRES(serving_thread) {
+    return ground_;
+  }
+  factor::FactorGraph* mutable_graph() REQUIRES(serving_thread) {
+    return &ground_.graph;
+  }
+  /// Immutable after construction; readable from any thread.
   const DeepDiveConfig& config() const { return config_; }
 
   /// Bulk-loads base data. Must precede Initialize().
-  Status LoadRows(const std::string& relation, const std::vector<Tuple>& rows);
+  Status LoadRows(const std::string& relation, const std::vector<Tuple>& rows)
+      REQUIRES(serving_thread);
 
   /// Evaluates all views, grounds the factor graph, learns (if evidence
   /// exists), runs initial inference, and — in incremental mode —
   /// materializes both incremental-inference approaches.
-  Status Initialize();
+  Status Initialize() REQUIRES(serving_thread);
 
   /// Applies one update and refreshes marginals. In Rerun mode this
   /// re-grounds / re-learns / re-infers from scratch. The returned report
   /// carries the epoch of the ResultView the update published.
-  StatusOr<UpdateReport> ApplyUpdate(const UpdateSpec& update);
+  StatusOr<UpdateReport> ApplyUpdate(const UpdateSpec& update)
+      REQUIRES(serving_thread);
 
   /// Pins the current immutable result view. Callable from any thread,
   /// concurrently with ApplyUpdate and background materialization swaps on
@@ -96,59 +113,72 @@ class DeepDive {
   /// with Query() instead.
 
   /// Marginal probability of a query tuple (0.5 if unknown variable).
-  double MarginalOf(const std::string& relation, const Tuple& tuple) const;
+  double MarginalOf(const std::string& relation, const Tuple& tuple) const
+      REQUIRES(serving_thread);
 
   /// All (tuple, marginal) pairs of a query relation, sorted by tuple.
-  std::vector<std::pair<Tuple, double>> Marginals(const std::string& relation) const;
+  std::vector<std::pair<Tuple, double>> Marginals(const std::string& relation) const
+      REQUIRES(serving_thread);
 
   /// Raw marginal vector indexed by VarId.
-  const std::vector<double>& marginal_vector() const { return view_->marginals; }
+  const std::vector<double>& marginal_vector() const REQUIRES(serving_thread) {
+    return view_->marginals;
+  }
 
-  const std::vector<UpdateReport>& history() const { return history_; }
-  const incremental::MaterializationStats& materialization_stats() const;
+  const std::vector<UpdateReport>& history() const REQUIRES(serving_thread) {
+    return history_;
+  }
+  const incremental::MaterializationStats& materialization_stats() const
+      REQUIRES(serving_thread);
 
   /// The incremental engine (nullptr in Rerun mode or before Initialize).
   /// Exposes the async-materialization surface: MaterializationInFlight,
   /// WaitForMaterialization, snapshot_generation.
-  incremental::IncrementalEngine* incremental_engine() { return inc_engine_.get(); }
+  incremental::IncrementalEngine* incremental_engine() REQUIRES(serving_thread) {
+    return inc_engine_.get();
+  }
 
  private:
   DeepDive(dsl::Program program, DeepDiveConfig config);
 
-  Status RunFullPipeline(UpdateReport* report, bool cold_learning);
-  Status RunIncrementalUpdate(const UpdateSpec& update, UpdateReport* report);
+  Status RunFullPipeline(UpdateReport* report, bool cold_learning)
+      REQUIRES(serving_thread);
 
   /// Builds a ResultView of the current serving state (marginals_, the
   /// per-relation tuple index derived from ground_, `report`, and — in
   /// incremental mode — the engine's materialization stats and pinned Pr(0)
   /// marginals), publishes it, and stamps report->epoch. Serving thread
   /// only.
-  void PublishView(UpdateReport* report);
+  void PublishView(UpdateReport* report) REQUIRES(serving_thread);
 
   /// Incremental learning with warmstart; records weight changes in `delta`.
-  void LearnIncremental(factor::GraphDelta* delta);
+  void LearnIncremental(factor::GraphDelta* delta) REQUIRES(serving_thread);
 
-  bool HasEvidence() const;
+  bool HasEvidence() const REQUIRES(serving_thread);
 
-  dsl::Program program_;
-  DeepDiveConfig config_;
-  Database db_;
+  /// Mutated by ApplyUpdate (rule additions/removals merge into it), so
+  /// serving-thread-only like the rest of the working state.
+  dsl::Program program_ GUARDED_BY(serving_thread);
+  DeepDiveConfig config_;  // immutable after construction
+  Database db_ GUARDED_BY(serving_thread);
 
-  std::unique_ptr<engine::ViewMaintainer> views_;
-  grounding::GroundGraph ground_;
-  std::unique_ptr<grounding::IncrementalGrounder> grounder_;
-  std::unique_ptr<incremental::IncrementalEngine> inc_engine_;
+  std::unique_ptr<engine::ViewMaintainer> views_ GUARDED_BY(serving_thread);
+  grounding::GroundGraph ground_ GUARDED_BY(serving_thread);
+  std::unique_ptr<grounding::IncrementalGrounder> grounder_
+      GUARDED_BY(serving_thread);
+  std::unique_ptr<incremental::IncrementalEngine> inc_engine_
+      GUARDED_BY(serving_thread);
 
   /// Working marginal buffer of the serving thread; every publication
   /// freezes a copy into an immutable ResultView.
-  std::vector<double> marginals_;
-  std::vector<UpdateReport> history_;
-  bool initialized_ = false;
+  std::vector<double> marginals_ GUARDED_BY(serving_thread);
+  std::vector<UpdateReport> history_ GUARDED_BY(serving_thread);
+  bool initialized_ GUARDED_BY(serving_thread) = false;
 
   /// RCU publication slot for Query(), plus the serving thread's own pin of
   /// the latest published view (what the legacy accessors read).
   inference::ResultPublisher publisher_;
-  std::shared_ptr<const inference::ResultView> view_;
+  std::shared_ptr<const inference::ResultView> view_ GUARDED_BY(serving_thread);
 };
 
 }  // namespace deepdive::core

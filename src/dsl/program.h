@@ -17,6 +17,10 @@ class Program {
  public:
   Program() = default;
 
+  /// The accessors alias program state. A Program is immutable once built by
+  /// AnalyzeProgram, but DeepDive's working copy is mutated by rule updates,
+  /// so references obtained through it follow the serving-thread contract of
+  /// DeepDive::program().
   const std::vector<RelationDecl>& relations() const { return relations_; }
   const std::vector<DeductiveRule>& deductive_rules() const { return deductive_rules_; }
   const std::vector<FactorRule>& factor_rules() const { return factor_rules_; }

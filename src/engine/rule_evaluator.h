@@ -38,7 +38,8 @@ class CompiledRuleBody {
                                             const std::vector<dsl::Atom>& body,
                                             const std::vector<dsl::Condition>& conditions);
 
-  /// Slot index for each variable name appearing in the body.
+  /// Slot index for each variable name appearing in the body. Immutable
+  /// after construction; the evaluator itself is used single-threaded.
   const std::map<std::string, int>& var_slots() const { return var_slots_; }
   size_t num_slots() const { return var_slots_.size(); }
 

@@ -149,19 +149,25 @@ class FactorGraph {
   bool IsEvidence(VarId var) const { return evidence_[var].has_value(); }
   std::optional<bool> EvidenceValue(VarId var) const { return evidence_[var]; }
 
+  /// Structure accessors alias graph storage. Thread contract: graph
+  /// structure is mutated only between inference runs (ApplyDelta on the
+  /// serving thread); during a sampling run the structure is frozen, which
+  /// is what lets Hogwild workers read these references concurrently.
   const Weight& weight(WeightId id) const { return weights_[id]; }
   double WeightValue(WeightId id) const { return weights_[id].value; }
   const FactorGroup& group(GroupId id) const { return groups_[id]; }
   const Clause& clause(ClauseId id) const { return clauses_[id]; }
   const std::vector<Weight>& weights() const { return weights_; }
 
-  /// Groups with this variable as head.
+  /// Groups with this variable as head (frozen during runs, like the rest
+  /// of the structure — see the thread contract above).
   const std::vector<GroupId>& HeadGroups(VarId var) const { return head_refs_[var]; }
 
-  /// Clause-body memberships of this variable.
+  /// Clause-body memberships of this variable (same thread contract).
   const std::vector<BodyRef>& BodyRefs(VarId var) const { return body_refs_[var]; }
 
-  /// Groups sharing a weight (used when a weight value changes).
+  /// Groups sharing a weight (used when a weight value changes; same
+  /// thread contract as the structure accessors above).
   const std::vector<GroupId>& GroupsForWeight(WeightId id) const {
     return weight_groups_[id];
   }

@@ -62,6 +62,8 @@ class IncrementalGrounder {
   StatusOr<factor::GraphDelta> RemoveFactorRule(const std::string& label);
 
   size_t NumFactorRules() const { return rules_.size(); }
+  /// Immutable after construction; the reference is safe on any thread that
+  /// may see the grounder at all (serving thread, in practice).
   const GroundingOptions& options() const { return options_; }
 
  private:

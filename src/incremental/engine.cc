@@ -21,6 +21,11 @@ using factor::VarId;
 
 IncrementalEngine::IncrementalEngine(factor::FactorGraph* graph)
     : graph_(graph), snapshot_(std::make_shared<MaterializationSnapshot>()) {
+  // The constructing thread is the serving thread: it owns every
+  // serving_thread-guarded member it is about to initialize, and the role
+  // stays bound to it for the engine's lifetime (trusted root; see
+  // util/thread_role.h).
+  serving_thread.AssertHeld();
   // Publish the empty pre-materialization state so Query() is answerable
   // (epoch 1, generation 0) from any thread as soon as the engine exists.
   PublishView(nullptr);
@@ -30,9 +35,11 @@ IncrementalEngine::~IncrementalEngine() {
   // A background build may still be sampling its private graph copy; cancel
   // and drain it so it cannot touch the handoff slot after we are gone (the
   // background pool's destructor joins the worker).
+  // ordering: relaxed — the builder only polls this flag; the mu_ critical
+  // sections below and in the builder provide the actual synchronization.
   cancel_build_.store(true, std::memory_order_relaxed);
-  std::unique_lock<std::mutex> lock(mu_);
-  build_done_cv_.wait(lock, [this] { return !build_in_flight_; });
+  MutexLock lock(mu_);
+  while (build_in_flight_) build_done_cv_.Wait(mu_);
 }
 
 Status IncrementalEngine::Materialize(const MaterializationOptions& options) {
@@ -47,7 +54,7 @@ Status IncrementalEngine::Materialize(const MaterializationOptions& options) {
 
 Status IncrementalEngine::MaterializeAsync(const MaterializationOptions& options) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (build_in_flight_ || pending_ != nullptr) {
       return Status::FailedPrecondition("a materialization is already in flight");
     }
@@ -57,6 +64,9 @@ Status IncrementalEngine::MaterializeAsync(const MaterializationOptions& options
   MaterializationOptions opts = options;  // survives self-scheduled remats
   mat_options_ = opts;
   mat_options_valid_ = true;
+  // ordering: relaxed — no build is running (we just claimed the in-flight
+  // slot under mu_), so nothing can observe the flag concurrently; the
+  // builder first sees it through the Submit/mu_ handoff.
   cancel_build_.store(false, std::memory_order_relaxed);
   since_build_ = GraphDelta{};
   since_build_updates_ = 0;
@@ -70,7 +80,12 @@ Status IncrementalEngine::MaterializeAsync(const MaterializationOptions& options
   background_->Submit([this, graph_copy, opts = std::move(opts)] {
     auto built = BuildMaterializationSnapshot(*graph_copy, opts, &cancel_build_);
     if (opts.on_before_publish) opts.on_before_publish();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
+    // ordering: relaxed — the flag is a best-effort cancellation hint; the
+    // decisions below are serialized with the canceller through mu_ (it sets
+    // the flag before taking mu_ to drain, so a post-lock read here is
+    // never stale in a way that matters: a cancel set after this read still
+    // discards `pending_` in AbortInFlightBuild's own critical section).
     if (built.ok()) {
       if (!cancel_build_.load(std::memory_order_relaxed)) {
         pending_ = std::move(built).value();
@@ -83,13 +98,13 @@ Status IncrementalEngine::MaterializeAsync(const MaterializationOptions& options
                       << built.status().ToString();
     }
     build_in_flight_ = false;
-    build_done_cv_.notify_all();
+    build_done_cv_.NotifyAll();
   });
   return Status::OK();
 }
 
 bool IncrementalEngine::MaterializationInFlight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return build_in_flight_ || pending_ != nullptr;
 }
 
@@ -97,8 +112,8 @@ Status IncrementalEngine::WaitForMaterialization() {
   std::shared_ptr<MaterializationSnapshot> ready;
   Status status;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    build_done_cv_.wait(lock, [this] { return !build_in_flight_; });
+    MutexLock lock(mu_);
+    while (build_in_flight_) build_done_cv_.Wait(mu_);
     ready = std::move(pending_);
     status = pending_status_;
     pending_status_ = Status::OK();
@@ -108,13 +123,17 @@ Status IncrementalEngine::WaitForMaterialization() {
 }
 
 void IncrementalEngine::AbortInFlightBuild() {
+  // ordering: relaxed — the builder polls the flag between sweeps; the
+  // drain below synchronizes with its exit through mu_ / the condvar.
   cancel_build_.store(true, std::memory_order_relaxed);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    build_done_cv_.wait(lock, [this] { return !build_in_flight_; });
+    MutexLock lock(mu_);
+    while (build_in_flight_) build_done_cv_.Wait(mu_);
     pending_.reset();
     pending_status_ = Status::OK();
   }
+  // ordering: relaxed — no build is in flight anymore (drained above), so
+  // this reset is unobservable until the next Submit's mu_ handoff.
   cancel_build_.store(false, std::memory_order_relaxed);
   since_build_ = GraphDelta{};
   since_build_updates_ = 0;
@@ -176,7 +195,7 @@ bool IncrementalEngine::MaybeInstallPending() {
   std::shared_ptr<MaterializationSnapshot> ready;
   bool still_building = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ready = std::move(pending_);
     still_building = build_in_flight_;
   }
@@ -191,7 +210,7 @@ void IncrementalEngine::MaybeScheduleRemat(const UpdateOutcome& outcome) {
     // triggers until WaitForMaterialization observes the error, so a
     // deterministically failing build cannot retry (and pay a full graph
     // copy) on every update, and the failure is never silently clobbered.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (build_in_flight_ || pending_ != nullptr || !pending_status_.ok()) return;
   }
   const char* trigger = nullptr;

@@ -2,9 +2,7 @@
 #define DEEPDIVE_INCREMENTAL_ENGINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,8 +17,11 @@
 #include "incremental/variational.h"
 #include "inference/gibbs.h"
 #include "inference/result_view.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
+#include "util/thread_role.h"
 
 namespace deepdive::incremental {
 
@@ -88,11 +89,16 @@ struct UpdateOutcome {
 ///
 /// Threading contract: one writer, any number of readers. Materialize /
 /// MaterializeAsync / ApplyDelta / WaitForMaterialization and the
-/// reference-returning accessors must be called from one serving thread;
-/// the internal background build runs concurrently with them. Query() is
-/// the read surface for every other thread: it pins the engine's current
+/// reference-returning accessors must be called from one serving thread —
+/// enforced at compile time under Clang: they are REQUIRES(serving_thread)
+/// (the fake-lock role capability of util/thread_role.h), so calling them
+/// from code that has not claimed the role is a -Wthread-safety error, not
+/// a comment violation. The internal background build runs concurrently
+/// with them and touches only `mu_`-guarded handoff state. Query() is the
+/// read surface for every other thread: it pins the engine's current
 /// immutable ResultView (published RCU-style after every ApplyDelta and
-/// every snapshot install) without blocking the serving thread.
+/// every snapshot install) without blocking the serving thread, and needs
+/// no capability.
 class IncrementalEngine {
  public:
   explicit IncrementalEngine(factor::FactorGraph* graph);
@@ -103,22 +109,25 @@ class IncrementalEngine {
 
   /// Builds and installs a snapshot inline (blocking). Cancels and discards
   /// any background build in flight first.
-  Status Materialize(const MaterializationOptions& options);
+  Status Materialize(const MaterializationOptions& options)
+      REQUIRES(serving_thread);
 
   /// Schedules a snapshot build on the background worker and returns
   /// immediately. Fails (FailedPrecondition) if a build is already in
   /// flight. The build materializes the graph state as of this call; deltas
   /// applied afterwards accumulate for the post-swap rebase.
-  Status MaterializeAsync(const MaterializationOptions& options);
+  Status MaterializeAsync(const MaterializationOptions& options)
+      REQUIRES(serving_thread);
 
   /// True while a background build is running or finished-but-not-swapped.
-  bool MaterializationInFlight() const;
+  /// Any thread.
+  bool MaterializationInFlight() const EXCLUDES(mu_);
 
   /// Blocks until the in-flight background build (if any) completes and
   /// installs it — the forced synchronous drain. Returns the build's status
   /// (OK when idle). Observing a failure here clears it and re-arms the
   /// automatic remat triggers, which stay disarmed after a failed build.
-  Status WaitForMaterialization();
+  Status WaitForMaterialization() REQUIRES(serving_thread);
 
   /// Pins the engine's current immutable result view. Callable from any
   /// thread, concurrently with ApplyDelta / Materialize(Async) / snapshot
@@ -137,123 +146,152 @@ class IncrementalEngine {
   /// until this thread's next ApplyDelta / Materialize / Wait publishes a
   /// successor view. Readers on other threads must pin their own view via
   /// Query() instead.
-  const MaterializationStats& materialization_stats() const {
+  const MaterializationStats& materialization_stats() const
+      REQUIRES(serving_thread) {
     return serving_view_->materialization;
   }
   /// Marginals under the serving snapshot's Pr(0) (empty before the first
   /// materialization).
-  const std::vector<double>& materialized_marginals() const;
+  const std::vector<double>& materialized_marginals() const
+      REQUIRES(serving_thread);
   /// Install counter of the serving snapshot (0 = never materialized).
-  uint64_t snapshot_generation() const { return snapshot_->generation; }
+  uint64_t snapshot_generation() const REQUIRES(serving_thread) {
+    return snapshot_->generation;
+  }
 
   /// Applies one update's delta (already applied to the graph structure) and
   /// refreshes marginals.
   StatusOr<UpdateOutcome> ApplyDelta(const factor::GraphDelta& delta,
-                                     const EngineOptions& options);
+                                     const EngineOptions& options)
+      REQUIRES(serving_thread);
 
   /// Current marginal estimates (materialized values for untouched vars).
   /// Serving thread only — concurrent readers use Query().
-  const std::vector<double>& marginals() const { return marginals_; }
+  const std::vector<double>& marginals() const REQUIRES(serving_thread) {
+    return marginals_;
+  }
 
-  size_t SamplesRemaining() const { return snapshot_->store.remaining(); }
-  bool HasVariational() const { return snapshot_->variational.has_value(); }
-  const factor::GraphDelta& cumulative_delta() const { return cumulative_; }
+  size_t SamplesRemaining() const REQUIRES(serving_thread) {
+    return snapshot_->store.remaining();
+  }
+  bool HasVariational() const REQUIRES(serving_thread) {
+    return snapshot_->variational.has_value();
+  }
+  const factor::GraphDelta& cumulative_delta() const REQUIRES(serving_thread) {
+    return cumulative_;
+  }
 
  private:
   /// Variables directly referenced by a delta.
-  std::vector<bool> TouchedVars(const factor::GraphDelta& delta) const;
+  std::vector<bool> TouchedVars(const factor::GraphDelta& delta) const
+      REQUIRES(serving_thread);
 
   /// Expands touched variables to whole connected components (or all
   /// variables when decomposition is disabled).
   std::vector<factor::VarId> AffectedVars(const factor::GraphDelta& delta,
-                                          bool decomposition_enabled);
+                                          bool decomposition_enabled)
+      REQUIRES(serving_thread);
 
   /// Connected components of the current graph, cached across updates and
   /// invalidated by structural deltas (new variables/groups/clauses) — one
   /// computation per ApplyDelta at most, shared by AffectedVars and
   /// RunPerGroup.
-  const std::vector<std::vector<factor::VarId>>& Components();
+  const std::vector<std::vector<factor::VarId>>& Components()
+      REQUIRES(serving_thread);
 
   /// Strategy selection + execution for one update (everything downstream of
   /// the entry bookkeeping). Factored out so ApplyDelta can evaluate remat
   /// triggers on every successful path.
   StatusOr<UpdateOutcome> ExecuteUpdate(const factor::GraphDelta& delta,
-                                        const EngineOptions& options);
+                                        const EngineOptions& options)
+      REQUIRES(serving_thread);
 
   StatusOr<UpdateOutcome> RunSampling(const EngineOptions& options,
-                                      const std::vector<factor::VarId>& affected);
+                                      const std::vector<factor::VarId>& affected)
+      REQUIRES(serving_thread);
   UpdateOutcome RunVariational(const EngineOptions& options,
-                               const std::vector<factor::VarId>& affected);
-  UpdateOutcome RunRerun(const EngineOptions& options);
+                               const std::vector<factor::VarId>& affected)
+      REQUIRES(serving_thread);
+  UpdateOutcome RunRerun(const EngineOptions& options) REQUIRES(serving_thread);
 
   /// Splits the affected variables into per-component strategy buckets from
   /// the cumulative delta (Section 3.3 applied per group) and executes each
   /// bucket with its strategy.
   StatusOr<UpdateOutcome> RunPerGroup(const EngineOptions& options,
-                                      const std::vector<factor::VarId>& affected);
+                                      const std::vector<factor::VarId>& affected)
+      REQUIRES(serving_thread);
 
   /// Installs a finished snapshot as the serving one and rebases the
   /// cumulative delta onto it (cumulative := deltas since the build's graph
   /// copy). Publishes a fresh ResultView. Serving thread only.
-  void InstallSnapshot(std::shared_ptr<MaterializationSnapshot> snapshot);
+  void InstallSnapshot(std::shared_ptr<MaterializationSnapshot> snapshot)
+      REQUIRES(serving_thread);
 
   /// Builds a view of the current serving state (marginals_, snapshot stats,
   /// pinned Pr(0) marginals, `outcome`'s strategy fields when present) and
   /// publishes it. Serving thread only. Returns the published epoch.
-  uint64_t PublishView(const UpdateOutcome* outcome);
+  uint64_t PublishView(const UpdateOutcome* outcome) REQUIRES(serving_thread);
 
   /// Swaps in the pending background result if one is ready. Returns true
   /// while a build is still running (the caller is serving mid-build).
-  bool MaybeInstallPending();
+  bool MaybeInstallPending() REQUIRES(serving_thread);
 
   /// Cancels an in-flight background build and discards its result.
-  void AbortInFlightBuild();
+  void AbortInFlightBuild() REQUIRES(serving_thread);
 
   /// Fires a background rebuild when a remat trigger matches `outcome`.
-  void MaybeScheduleRemat(const UpdateOutcome& outcome);
+  void MaybeScheduleRemat(const UpdateOutcome& outcome) REQUIRES(serving_thread);
 
   factor::FactorGraph* graph_;
 
-  /// Serving state (serving thread only). `snapshot_` is never null — a
-  /// default empty snapshot stands in before the first materialization. It
-  /// is shared (not unique) because published ResultViews pin the snapshot
-  /// they were served from; a swap retires it only once the last reader
-  /// drops its view.
-  std::shared_ptr<MaterializationSnapshot> snapshot_;
-  std::vector<double> marginals_;
-  factor::GraphDelta cumulative_;
-  uint64_t update_seq_ = 0;
-  uint64_t generation_ = 0;
+  /// Serving state, GUARDED_BY the serving-thread role capability (compile-
+  /// enforced under Clang). `snapshot_` is never null — a default empty
+  /// snapshot stands in before the first materialization. It is shared (not
+  /// unique) because published ResultViews pin the snapshot they were served
+  /// from; a swap retires it only once the last reader drops its view.
+  std::shared_ptr<MaterializationSnapshot> snapshot_ GUARDED_BY(serving_thread);
+  std::vector<double> marginals_ GUARDED_BY(serving_thread);
+  factor::GraphDelta cumulative_ GUARDED_BY(serving_thread);
+  uint64_t update_seq_ GUARDED_BY(serving_thread) = 0;
+  uint64_t generation_ GUARDED_BY(serving_thread) = 0;
   /// Updates served from the current snapshot (remat trigger input).
-  uint64_t updates_since_snapshot_ = 0;
+  uint64_t updates_since_snapshot_ GUARDED_BY(serving_thread) = 0;
   /// Deltas merged while the current background build runs; becomes the new
   /// cumulative delta at swap time.
-  factor::GraphDelta since_build_;
-  uint64_t since_build_updates_ = 0;
+  factor::GraphDelta since_build_ GUARDED_BY(serving_thread);
+  uint64_t since_build_updates_ GUARDED_BY(serving_thread) = 0;
   /// Options of the last materialization request; drives self-scheduled
   /// remats with identical parameters (deterministic rebuilds).
-  MaterializationOptions mat_options_;
-  bool mat_options_valid_ = false;
+  MaterializationOptions mat_options_ GUARDED_BY(serving_thread);
+  bool mat_options_valid_ GUARDED_BY(serving_thread) = false;
 
   /// Connected-components cache (serving thread only).
-  std::vector<std::vector<factor::VarId>> components_cache_;
-  size_t components_width_ = 0;
-  bool components_valid_ = false;
+  std::vector<std::vector<factor::VarId>> components_cache_
+      GUARDED_BY(serving_thread);
+  size_t components_width_ GUARDED_BY(serving_thread) = 0;
+  bool components_valid_ GUARDED_BY(serving_thread) = false;
 
   /// RCU publication slot for Query(), plus the serving thread's own pin of
   /// the latest published view (what the reference-returning accessors read).
+  /// The publisher itself carries the single-writer annotations (Publish is
+  /// REQUIRES(serving_thread); Current() is any-thread).
   inference::ResultPublisher publisher_;
-  std::shared_ptr<const inference::ResultView> serving_view_;
+  std::shared_ptr<const inference::ResultView> serving_view_
+      GUARDED_BY(serving_thread);
 
   /// Background build plumbing. `mu_` guards the handoff slot; the builder
   /// only touches its private graph copy plus this slot.
-  mutable std::mutex mu_;
-  std::condition_variable build_done_cv_;
-  bool build_in_flight_ = false;
-  std::shared_ptr<MaterializationSnapshot> pending_;
-  Status pending_status_;
+  mutable Mutex mu_;
+  CondVar build_done_cv_;
+  bool build_in_flight_ GUARDED_BY(mu_) = false;
+  std::shared_ptr<MaterializationSnapshot> pending_ GUARDED_BY(mu_);
+  Status pending_status_ GUARDED_BY(mu_);
+  /// Build-cancellation flag, shared with the builder thread; plain atomic
+  /// (not mu_-guarded) so Build can poll it between sweeps without locking.
   std::atomic<bool> cancel_build_{false};
-  std::unique_ptr<ThreadPool> background_;  // one dedicated worker, lazy
+  /// One dedicated worker, lazily created; touched by the serving thread
+  /// only (the worker runs *inside* it).
+  std::unique_ptr<ThreadPool> background_ GUARDED_BY(serving_thread);
 };
 
 }  // namespace deepdive::incremental

@@ -24,6 +24,9 @@ class SampleStore {
 
   size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
+  /// Aliases the store. A store inside an installed MaterializationSnapshot
+  /// is consumed by the serving thread only (proposal draws pop it); during
+  /// a background build, only the builder thread touches it.
   const BitVector& sample(size_t i) const { return samples_[i]; }
 
   /// Number of variables per sample (0 if empty).

@@ -19,6 +19,9 @@ StatusOr<std::shared_ptr<MaterializationSnapshot>> BuildMaterializationSnapshot(
   snap.graph_width = graph.NumVariables();
 
   const auto cancelled = [cancel] {
+    // ordering: relaxed — best-effort poll; a stale read only delays
+    // cancellation by one sweep, and the discard decision is serialized
+    // with the canceller under the engine's handoff mutex.
     return cancel != nullptr && cancel->load(std::memory_order_relaxed);
   };
 

@@ -21,7 +21,8 @@ class StrawmanMaterialization {
   static StatusOr<StrawmanMaterialization> Materialize(const factor::FactorGraph& graph,
                                                        size_t max_free_vars = 22);
 
-  /// Exact marginals under Pr(0).
+  /// Exact marginals under Pr(0). Immutable after Materialize; references
+  /// follow the owning snapshot's thread contract.
   const std::vector<double>& OriginalMarginals() const { return original_marginals_; }
 
   /// Exact marginals under Pr(Δ). Errors if the delta introduced variables

@@ -57,6 +57,8 @@ class VariationalMaterialization {
       const factor::FactorGraph& graph, const VariationalOptions& options);
 
   /// The sparse pairwise approximation (same variable ids as the original).
+  /// Structurally immutable after Materialize; the serving thread tweaks
+  /// only weight values (delta application), per FactorGraph's contract.
   const factor::FactorGraph& approx_graph() const { return *approx_graph_; }
   factor::FactorGraph* mutable_approx_graph() { return approx_graph_.get(); }
 
@@ -64,7 +66,7 @@ class VariationalMaterialization {
   size_t NumNzPairs() const { return num_nz_pairs_; }
 
   /// All NZ-pair covariances (before thresholding); exposed for tests and
-  /// for the λ search protocol.
+  /// for the λ search protocol. Immutable after Materialize.
   const std::vector<EdgeStat>& edge_stats() const { return edge_stats_; }
 
  private:

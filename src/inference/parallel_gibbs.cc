@@ -24,12 +24,16 @@ AtomicWorld::AtomicWorld(const FactorGraph* graph)
 }
 
 void AtomicWorld::Flip(VarId v, bool new_value) {
+  // ordering: relaxed — Hogwild: callers partition variables so no two
+  // threads Flip the same id; concurrent readers tolerate staleness and the
+  // statistics RMWs below keep the counters exact without ordering.
   const uint8_t old = values_[v].exchange(new_value ? 1 : 0, std::memory_order_relaxed);
   if ((old != 0) == new_value) return;
   for (const factor::BodyRef& ref : graph_->BodyRefs(v)) {
     if (!graph_->clause(ref.clause).active) continue;
     const bool lit_true_now = (new_value != ref.negated);
     const GroupId g = graph_->clause(ref.clause).group;
+    // ordering: relaxed — atomicity (not ordering) is what is needed here:
     // fetch_add/fetch_sub return the previous value, so the 0-crossing that
     // owns the group_sat update is decided exactly once even under
     // concurrent flips of sibling literals.
@@ -54,6 +58,8 @@ void AtomicWorld::InitValues(Rng* rng, bool random_init) {
     } else if (random_init && rng != nullptr && rng->Bernoulli(0.5)) {
       value = 1;
     }
+    // ordering: relaxed — single-threaded by contract (call before handing
+    // the world to workers); the pool handoff publishes these stores.
     values_[v].store(value, std::memory_order_relaxed);
   }
   RecomputeStats();
@@ -64,11 +70,14 @@ void AtomicWorld::LoadBitsPrefix(const BitVector& bits, bool fill, bool apply_ev
   DD_CHECK_LE(bits.size(), values_.size());
   for (VarId v = 0; v < values_.size(); ++v) {
     const bool bit = v < bits.size() ? bits.Get(v) : fill;
+    // ordering: relaxed — single-(calling-)threaded load phase; workers see
+    // these stores through the ThreadPool mutex handoff (see RecomputeStats).
     values_[v].store(bit ? 1 : 0, std::memory_order_relaxed);
   }
   if (apply_evidence) {
     for (VarId v = 0; v < values_.size(); ++v) {
       const auto ev = graph_->EvidenceValue(v);
+      // ordering: relaxed — same single-threaded load phase as above.
       if (ev.has_value()) values_[v].store(*ev ? 1 : 0, std::memory_order_relaxed);
     }
   }
@@ -100,6 +109,8 @@ void AtomicWorld::RecomputeStats(ThreadPool* pool) {
   auto scan = [this](size_t /*shard*/, size_t begin, size_t end) {
     for (ClauseId c = static_cast<ClauseId>(begin); c < end; ++c) {
       if (!graph_->clause(c).active) {
+        // ordering: relaxed — shards own disjoint clause ranges; the pool's
+        // mutex join publishes every store (see the contract above).
         clause_unsat_[c].store(0, std::memory_order_relaxed);
         continue;
       }
@@ -107,12 +118,18 @@ void AtomicWorld::RecomputeStats(ThreadPool* pool) {
       for (const Literal& lit : graph_->clause(c).literals) {
         if (value(lit.var) == lit.negated) ++unsat;
       }
+      // ordering: relaxed — disjoint clause ranges per shard (join publishes).
       clause_unsat_[c].store(unsat, std::memory_order_relaxed);
       if (unsat == 0) {
+        // ordering: relaxed — group counters are shared across shards, so
+        // this one is an RMW for atomicity; no ordering needed (join
+        // publishes the final sums).
         group_sat_[graph_->clause(c).group].fetch_add(1, std::memory_order_relaxed);
       }
     }
   };
+  // ordering: relaxed — pre-scan zeroing on the calling thread; the shard
+  // tasks observe it through the Submit/mutex handoff.
   for (auto& g : group_sat_) g.store(0, std::memory_order_relaxed);
   const size_t num_clauses = graph_->NumClauses();
   if (pool != nullptr && pool->shards() > 1) {

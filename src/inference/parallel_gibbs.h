@@ -29,9 +29,14 @@ class AtomicWorld {
  public:
   explicit AtomicWorld(const factor::FactorGraph* graph);
 
+  /// The frozen-during-runs graph (see FactorGraph's thread contract).
   const factor::FactorGraph& graph() const { return *graph_; }
   size_t NumVariables() const { return values_.size(); }
 
+  // ordering: relaxed — the Hogwild contract (see class comment): reads may
+  // observe a neighbor's value/statistic a few operations stale; counters
+  // stay exact because all updates are atomic RMWs. Quiescent readers get
+  // their happens-before edge from the ThreadPool join (see RecomputeStats).
   bool value(factor::VarId v) const {
     return values_[v].load(std::memory_order_relaxed) != 0;
   }
@@ -70,6 +75,12 @@ class AtomicWorld {
 
  private:
   const factor::FactorGraph* graph_;
+  /// Hogwild-exempt state: deliberately NOT annotated with GUARDED_BY and
+  /// deliberately relaxed — concurrent same-location access from many
+  /// workers without mutual exclusion IS the algorithm (Niu et al.'s
+  /// Hogwild, executed DimmWitted-style). Exactness is preserved where it
+  /// matters (counter RMWs); staleness of cross-shard reads is the accepted
+  /// approximation. See README.md "Concurrency contracts".
   std::vector<std::atomic<uint8_t>> values_;
   std::vector<std::atomic<int32_t>> clause_unsat_;
   std::vector<std::atomic<int64_t>> group_sat_;

@@ -48,6 +48,9 @@ uint64_t ResultView::Fingerprint() const {
 ResultPublisher::ResultPublisher() {
   auto initial = std::make_shared<ResultView>();
   initial->content_hash = initial->Fingerprint();
+  // ordering: release — the constructing thread may hand the publisher to
+  // readers through some other channel; the release pairs with Current()'s
+  // acquire load so the epoch-0 view's fields travel with the pointer.
   slot_.store(std::shared_ptr<const ResultView>(std::move(initial)),
               std::memory_order_release);
 }
@@ -55,6 +58,8 @@ ResultPublisher::ResultPublisher() {
 uint64_t ResultPublisher::Publish(std::shared_ptr<ResultView> view) {
   view->epoch = ++last_epoch_;
   view->content_hash = view->Fingerprint();
+  // ordering: release — publishes the fully-built view; pairs with the
+  // acquire load in Current() so readers never observe a half-written view.
   slot_.store(std::shared_ptr<const ResultView>(std::move(view)),
               std::memory_order_release);
   return last_epoch_;

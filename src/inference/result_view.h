@@ -14,6 +14,8 @@
 #include "incremental/snapshot.h"
 #include "storage/value.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
+#include "util/thread_role.h"
 
 namespace deepdive::inference {
 
@@ -83,32 +85,35 @@ struct ResultView {
 };
 
 /// Single-writer / many-reader publication slot for ResultViews. Publish()
-/// must be called from one thread at a time (the serving thread); Current()
-/// is callable from any thread concurrently with Publish() and pins the
-/// view it read. Current() never returns null: an empty epoch-0 view is
-/// installed at construction.
+/// must be called from the one serving thread — REQUIRES(serving_thread),
+/// so a stray writer is a compile error under Clang; Current() is callable
+/// from any thread concurrently with Publish() and pins the view it read.
+/// Current() never returns null: an empty epoch-0 view is installed at
+/// construction.
 class ResultPublisher {
  public:
   ResultPublisher();
 
   /// Pins the current view (any thread; an atomic acquire load).
   std::shared_ptr<const ResultView> Current() const {
+    // ordering: acquire — pairs with Publish()'s release store so a reader
+    // that pins a view also observes every field the writer froze into it.
     return slot_.load(std::memory_order_acquire);
   }
 
   /// Epoch the next Publish() will stamp. Writer thread only.
-  uint64_t next_epoch() const { return last_epoch_ + 1; }
+  uint64_t next_epoch() const REQUIRES(serving_thread) { return last_epoch_ + 1; }
   /// Epoch of the most recently published view. Writer thread only.
-  uint64_t last_epoch() const { return last_epoch_; }
+  uint64_t last_epoch() const REQUIRES(serving_thread) { return last_epoch_; }
 
   /// Stamps `view` with the next epoch and its content checksum, then
   /// publishes it (release store). Writer thread only; the view must not be
   /// mutated afterwards. Returns the stamped epoch.
-  uint64_t Publish(std::shared_ptr<ResultView> view);
+  uint64_t Publish(std::shared_ptr<ResultView> view) REQUIRES(serving_thread);
 
  private:
   std::atomic<std::shared_ptr<const ResultView>> slot_;
-  uint64_t last_epoch_ = 0;  // writer-only
+  uint64_t last_epoch_ GUARDED_BY(serving_thread) = 0;
 };
 
 /// Writes one relation of a pinned view as "<marginal>\t<cols...>" TSV

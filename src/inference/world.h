@@ -20,6 +20,8 @@ class World {
  public:
   explicit World(const factor::FactorGraph* graph);
 
+  /// The frozen-during-runs graph (see FactorGraph's thread contract); the
+  /// World itself is single-owner, not shared across threads.
   const factor::FactorGraph& graph() const { return *graph_; }
 
   size_t NumVariables() const { return values_.size(); }

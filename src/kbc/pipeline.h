@@ -34,23 +34,30 @@ struct PipelineOptions {
 ///   A1  analysis (recompute marginals)         FE1 shallow phrase features
 ///   FE2 deeper (direction-aware) features      I1  symmetry inference rule
 ///   S1  distant-supervision positives          S2  negative examples
+///
+/// Threading: the pipeline inherits DeepDive's contract. Build / Initialize /
+/// ApplyUpdate / AnalyzeErrors / deepdive() run on the serving thread
+/// (REQUIRES(serving_thread)); the evaluation helpers read only pinned
+/// ResultViews via Query() and are callable from any thread.
 class KbcPipeline {
  public:
   static StatusOr<std::unique_ptr<KbcPipeline>> Build(const SystemProfile& profile,
-                                                      const PipelineOptions& options);
+                                                      const PipelineOptions& options)
+      REQUIRES(serving_thread);
 
   /// Loads corpus-derived base data and initializes the DeepDive engine
   /// (views, grounding, materialization in incremental mode).
-  Status Initialize();
+  Status Initialize() REQUIRES(serving_thread);
 
   /// The canonical update sequence (Figure 8 / Figure 9 rows).
   static std::vector<std::string> UpdateSequence();
 
   /// Applies one update by label ("A1", "FE1", "FE2", "I1", "S1", "S2").
-  StatusOr<core::UpdateReport> ApplyUpdate(const std::string& label);
+  StatusOr<core::UpdateReport> ApplyUpdate(const std::string& label)
+      REQUIRES(serving_thread);
 
   /// Mention-level quality: a candidate pair is correct iff its sentence
-  /// genuinely expresses the relation.
+  /// genuinely expresses the relation. Reads a pinned view; any thread.
   PrecisionRecall EvaluateMentions(double threshold) const;
 
   /// Fact-level quality: entity pairs (via gold mentions) vs gold relation,
@@ -62,9 +69,11 @@ class KbcPipeline {
 
   /// The error-analysis phase (Section 2.2): confident mistakes, misses,
   /// and per-feature precision/weight statistics, capped at `top_k` cases.
-  ErrorAnalysis AnalyzeErrors(double threshold, size_t top_k = 10) const;
+  /// Reads the ground graph's learned weights, so serving thread only.
+  ErrorAnalysis AnalyzeErrors(double threshold, size_t top_k = 10) const
+      REQUIRES(serving_thread);
 
-  core::DeepDive& deepdive() { return *dd_; }
+  core::DeepDive& deepdive() REQUIRES(serving_thread) { return *dd_; }
   const Corpus& corpus() const { return corpus_; }
   const PipelineOptions& options() const { return options_; }
 
@@ -82,6 +91,9 @@ class KbcPipeline {
   CandidateRows candidates_;
   FeatureRows features_;
   KnowledgeBaseRows kb_;
+  /// Set once in Build and immutable afterwards, so the *pointer* is safe to
+  /// read from any thread (the evaluation helpers do, for Query()); the
+  /// pointee's serving surface is protected by its own annotations.
   std::unique_ptr<core::DeepDive> dd_;
 };
 

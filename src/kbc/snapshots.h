@@ -36,9 +36,11 @@ struct SnapshotComparison {
 
 /// Runs the six-update development loop (Figure 8) twice — Rerun vs
 /// Incremental — on the same corpus, and collects the per-update timings,
-/// qualities and agreement statistics of Section 4.2.
+/// qualities and agreement statistics of Section 4.2. Drives both pipelines'
+/// update loops, so it runs on the serving thread.
 StatusOr<SnapshotComparison> RunSnapshotComparison(const SystemProfile& profile,
-                                                   const PipelineOptions& base_options);
+                                                   const PipelineOptions& base_options)
+    REQUIRES(serving_thread);
 
 }  // namespace deepdive::kbc
 

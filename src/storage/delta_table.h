@@ -19,6 +19,8 @@ class DeltaTable {
   DeltaTable() = default;
   explicit DeltaTable(std::string name) : name_(std::move(name)) {}
 
+  /// Immutable after construction; the table itself is single-owner state
+  /// of the serving thread's view-maintenance pass.
   const std::string& name() const { return name_; }
 
   /// Adds `count` derivations for the tuple (negative for removals).

@@ -26,6 +26,8 @@ class Schema {
   explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
 
   size_t arity() const { return columns_.size(); }
+  /// Schemas are immutable after construction; references are safe wherever
+  /// the schema is.
   const std::vector<Column>& columns() const { return columns_; }
   const Column& column(size_t i) const { return columns_[i]; }
 

@@ -27,6 +27,8 @@ class Table {
  public:
   Table(std::string name, Schema schema);
 
+  /// Name and schema are immutable after construction; row storage below is
+  /// serving-thread state like the Database that owns the table.
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
 
@@ -47,7 +49,8 @@ class Table {
   /// Row id of an existing tuple, or kInvalidRowId.
   RowId Find(const Tuple& tuple) const;
 
-  /// The tuple stored at `id`; id must refer to a live row.
+  /// The tuple stored at `id`; id must refer to a live row. Aliases row
+  /// storage: serving-thread only, invalidated by compaction.
   const Tuple& row(RowId id) const;
 
   bool IsLive(RowId id) const { return id < rows_.size() && !dead_[id]; }

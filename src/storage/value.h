@@ -37,6 +37,8 @@ class Value {
   bool AsBool() const { return std::get<bool>(rep_); }
   int64_t AsInt() const { return std::get<int64_t>(rep_); }
   double AsDouble() const { return std::get<double>(rep_); }
+  /// Aliases this Value; Values are value types owned by one thread (or
+  /// frozen inside an immutable ResultView).
   const std::string& AsString() const { return std::get<std::string>(rep_); }
 
   bool operator==(const Value& other) const { return rep_ == other.rep_; }

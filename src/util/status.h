@@ -57,6 +57,7 @@ class Status {
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
+  /// Aliases this Status; a Status is a value type owned by one thread.
   const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
@@ -76,6 +77,8 @@ class StatusOr {
   StatusOr(Status status) : status_(std::move(status)) {}      // NOLINT
 
   bool ok() const { return status_.ok(); }
+  /// References alias this StatusOr; like any value type it is owned by a
+  /// single thread (share the extracted T, not the wrapper).
   const Status& status() const { return status_; }
 
   const T& value() const& { return *value_; }

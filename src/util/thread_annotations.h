@@ -1,0 +1,101 @@
+#ifndef DEEPDIVE_UTIL_THREAD_ANNOTATIONS_H_
+#define DEEPDIVE_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (-Wthread-safety), compiled to
+/// nothing on GCC and other compilers. The macros follow the capability
+/// vocabulary of the Clang documentation: a *capability* is a resource a
+/// thread can hold (a mutex, or a fake-lock "thread role" like the serving
+/// thread — see util/thread_role.h); functions declare what they REQUIRES /
+/// ACQUIRE / RELEASE / EXCLUDES, data members declare the capability that
+/// GUARDED_BY protects them, and Clang proves every access consistent at
+/// compile time — for every interleaving, not just the ones a test happens
+/// to hit.
+///
+/// The build enables the analysis (and promotes its findings to errors) on
+/// Clang only; see DEEPDIVE_THREAD_SAFETY in CMakeLists.txt. GCC builds see
+/// empty macros and identical code.
+///
+/// Project conventions:
+///  - Mutex-guarded state uses deepdive::Mutex (util/mutex.h), not a raw
+///    std::mutex: libstdc++'s mutex types carry no annotations, so the
+///    analysis cannot see std::lock_guard acquisitions.
+///  - Serving-thread-only state is guarded by the deepdive::serving_thread
+///    role capability (util/thread_role.h) instead of comments.
+///  - Hogwild-exempt state (AtomicWorld's relaxed counters) is deliberately
+///    unannotated; see README.md "Concurrency contracts".
+
+#if defined(__clang__)
+#define DD_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define DD_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability (lockable) type. The string names the
+/// capability kind in diagnostics, e.g. CAPABILITY("mutex") or
+/// CAPABILITY("role").
+#define CAPABILITY(x) DD_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor releases
+/// a capability (e.g. MutexLock, ScopedThreadRole).
+#define SCOPED_CAPABILITY DD_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member: may only be read/written while holding `x`.
+#define GUARDED_BY(x) DD_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be accessed while holding `x`.
+#define PT_GUARDED_BY(x) DD_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection).
+#define ACQUIRED_BEFORE(...) \
+  DD_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  DD_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Function: caller must hold the capability (exclusively / shared).
+#define REQUIRES(...) \
+  DD_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  DD_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function: acquires the capability (held on return, not at entry).
+#define ACQUIRE(...) \
+  DD_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  DD_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function: releases the capability (held at entry, not on return).
+#define RELEASE(...) \
+  DD_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  DD_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  DD_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+/// Function: acquires the capability iff the return value equals the first
+/// argument, e.g. TRY_ACQUIRE(true) on a bool TryLock().
+#define TRY_ACQUIRE(...) \
+  DD_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  DD_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function: must NOT be called with the capability held (non-reentrancy /
+/// deadlock protection).
+#define EXCLUDES(...) DD_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Function: declares (asserts) that the capability is held from this call
+/// onward, without acquiring it — the bridge for facts the analysis cannot
+/// derive, e.g. "this function runs on the serving thread by construction".
+#define ASSERT_CAPABILITY(x) \
+  DD_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  DD_THREAD_ANNOTATION_ATTRIBUTE__(assert_shared_capability(x))
+
+/// Function: returns a reference to the given capability (accessor pattern).
+#define RETURN_CAPABILITY(x) DD_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the contract holds anyway.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DD_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // DEEPDIVE_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,13 +1,14 @@
 #ifndef DEEPDIVE_UTIL_THREAD_POOL_H_
 #define DEEPDIVE_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace deepdive {
 
@@ -64,13 +65,17 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// Worker threads. The one sanctioned home of raw std::thread in src/ (see
+  /// tools/concurrency_lint.py): everything else shards through a pool.
+  /// Written only by the constructor and joined by the destructor; size() is
+  /// safe from any thread because the vector is never resized in between.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;  // queued + running
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  Mutex mu_;
+  CondVar task_ready_;
+  CondVar all_done_;
+  size_t in_flight_ GUARDED_BY(mu_) = 0;  // queued + running
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace deepdive

@@ -12,6 +12,7 @@
 #include "incremental/engine.h"
 #include "inference/exact.h"
 #include "util/random.h"
+#include "util/thread_role.h"
 
 namespace deepdive::incremental {
 namespace {
@@ -68,6 +69,7 @@ GraphDelta AddFeatureFactor(FactorGraph* g, VarId head, VarId body, double w) {
 }
 
 TEST(AsyncMaterializationTest, MaterializeAsyncReturnsBeforePublish) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(21);
   IncrementalEngine engine(&g);
 
@@ -94,6 +96,7 @@ TEST(AsyncMaterializationTest, MaterializeAsyncReturnsBeforePublish) {
 }
 
 TEST(AsyncMaterializationTest, AsyncSnapshotBitIdenticalToSync) {
+  deepdive::serving_thread.AssertHeld();
   // num_threads == 1 everywhere: the background build must produce exactly
   // the snapshot a blocking Materialize would.
   FactorGraph g_async = TwoComponentGraph(22);
@@ -127,7 +130,8 @@ TEST(AsyncMaterializationTest, AsyncSnapshotBitIdenticalToSync) {
 /// the materialization options so the replicated-sampler configuration runs
 /// the identical scenario (its chains are deterministic at one thread per
 /// replica, which this bit-exactness drill depends on).
-void RunMidBuildDriftSwapScenario(const MaterializationOptions& base_mopts) {
+void RunMidBuildDriftSwapScenario(const MaterializationOptions& base_mopts)
+    REQUIRES(serving_thread) {
   FactorGraph g = TwoComponentGraph(23);
   FactorGraph g_control = TwoComponentGraph(23);
   IncrementalEngine engine(&g);
@@ -197,10 +201,12 @@ void RunMidBuildDriftSwapScenario(const MaterializationOptions& base_mopts) {
 }
 
 TEST(AsyncMaterializationTest, UpdatesMidBuildServeFromOldSnapshotAndRebase) {
+  deepdive::serving_thread.AssertHeld();
   RunMidBuildDriftSwapScenario(TestMaterialization());
 }
 
 TEST(AsyncMaterializationTest, UpdatesMidBuildDriftSwapWithReplicatedSampler) {
+  deepdive::serving_thread.AssertHeld();
   // The identical drift/swap drill with a 2-replica materialization chain —
   // including consensus synchronizations during burn-in (cadence 40 against
   // a 100-sweep burn-in) and round-robin sample emission.
@@ -211,6 +217,7 @@ TEST(AsyncMaterializationTest, UpdatesMidBuildDriftSwapWithReplicatedSampler) {
 }
 
 TEST(AsyncMaterializationTest, ReplicatedSnapshotBitIdenticalAcrossSyncAndAsync) {
+  deepdive::serving_thread.AssertHeld();
   // num_threads == 1 (one worker per replica): a replicated background build
   // must produce exactly the snapshot a blocking replicated Materialize
   // would.
@@ -240,6 +247,7 @@ TEST(AsyncMaterializationTest, ReplicatedSnapshotBitIdenticalAcrossSyncAndAsync)
 }
 
 TEST(AsyncMaterializationTest, StoreExhaustionSchedulesBackgroundRemat) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(24);
   IncrementalEngine engine(&g);
   MaterializationOptions mopts = TestMaterialization();
@@ -280,6 +288,7 @@ TEST(AsyncMaterializationTest, StoreExhaustionSchedulesBackgroundRemat) {
 }
 
 TEST(AsyncMaterializationTest, AcceptanceFloorSchedulesBackgroundRemat) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(25);
   IncrementalEngine engine(&g);
   MaterializationOptions mopts = TestMaterialization();
@@ -296,6 +305,7 @@ TEST(AsyncMaterializationTest, AcceptanceFloorSchedulesBackgroundRemat) {
 }
 
 TEST(AsyncMaterializationTest, UpdateCountSchedulesBackgroundRemat) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(26);
   IncrementalEngine engine(&g);
   MaterializationOptions mopts = TestMaterialization();
@@ -316,6 +326,7 @@ TEST(AsyncMaterializationTest, UpdateCountSchedulesBackgroundRemat) {
 }
 
 TEST(AsyncMaterializationTest, FailedBackgroundBuildSurfacesInWaitAndKeepsServing) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(27);
   IncrementalEngine engine(&g);
   ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
@@ -338,6 +349,7 @@ TEST(AsyncMaterializationTest, FailedBackgroundBuildSurfacesInWaitAndKeepsServin
 }
 
 TEST(AsyncMaterializationTest, FailedBuildDisarmsTriggersUntilErrorObserved) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(33);
   IncrementalEngine engine(&g);
   MaterializationOptions mopts = TestMaterialization();
@@ -367,6 +379,7 @@ TEST(AsyncMaterializationTest, FailedBuildDisarmsTriggersUntilErrorObserved) {
 }
 
 TEST(AsyncMaterializationTest, BudgetStarvedBuildDoesNotClobberSavedStore) {
+  deepdive::serving_thread.AssertHeld();
   // A build whose time budget expires during burn-in collects zero samples;
   // it must not truncate a previously saved good store.
   const std::string path = ::testing::TempDir() + "/starved_save_store.bin";
@@ -394,6 +407,7 @@ TEST(AsyncMaterializationTest, BudgetStarvedBuildDoesNotClobberSavedStore) {
 }
 
 TEST(AsyncMaterializationTest, SwapUnderConcurrentApplyDeltaSequence) {
+  deepdive::serving_thread.AssertHeld();
   // Real concurrency, no gates: a sequence of updates races the background
   // build. Whatever interleaving the scheduler produces, every update must
   // be served from a coherent snapshot and the drained engine must end on a
@@ -428,6 +442,7 @@ TEST(AsyncMaterializationTest, SwapUnderConcurrentApplyDeltaSequence) {
 }
 
 TEST(AsyncMaterializationTest, SwapUnderConcurrentUpdatesWithReplicatedBuild) {
+  deepdive::serving_thread.AssertHeld();
   // The no-gates race again, with the background build running the
   // replicated sampler (its replica pool + per-replica Hogwild pools) while
   // the serving thread applies updates. Primarily a TSan target.
@@ -463,6 +478,7 @@ TEST(AsyncMaterializationTest, SwapUnderConcurrentUpdatesWithReplicatedBuild) {
 }
 
 TEST(AsyncMaterializationTest, DestructorCancelsInFlightBuild) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(29);
   {
     IncrementalEngine engine(&g);
@@ -477,6 +493,7 @@ TEST(AsyncMaterializationTest, DestructorCancelsInFlightBuild) {
 }
 
 TEST(AsyncMaterializationTest, ColdAsyncStartServesRerunBeforeFirstSwap) {
+  deepdive::serving_thread.AssertHeld();
   // With async initialization, updates can outrun the very first snapshot.
   // An empty delta must NOT hit the materialized-marginals fast path (there
   // is no materialization yet — that would answer uniform 0.5); it has to
@@ -507,6 +524,7 @@ TEST(AsyncMaterializationTest, ColdAsyncStartServesRerunBeforeFirstSwap) {
 }
 
 TEST(AsyncMaterializationTest, TriggeredRematResamplesInsteadOfReloadingStore) {
+  deepdive::serving_thread.AssertHeld();
   // A materialization bootstrapped from a persisted store must not replay
   // that (stale, original-Pr(0)) store when a drift-triggered remat fires —
   // the rebuild has to sample the current graph.
@@ -544,6 +562,7 @@ TEST(AsyncMaterializationTest, TriggeredRematResamplesInsteadOfReloadingStore) {
 }
 
 TEST(AsyncMaterializationTest, SaveThenLoadSkipsSamplingChain) {
+  deepdive::serving_thread.AssertHeld();
   const std::string path = ::testing::TempDir() + "/async_mat_store.bin";
   FactorGraph g_save = TwoComponentGraph(30);
   IncrementalEngine saver(&g_save);

@@ -1,0 +1,31 @@
+// Negative compile case for GUARDED_BY enforcement through the annotated
+// Mutex wrapper.
+//
+// Reading or writing a GUARDED_BY(mu) member without holding mu must be
+// rejected by Clang's -Werror=thread-safety ("reading variable 'pending'
+// requires holding mutex 'mu'"). Under GCC the annotations are no-ops and
+// this file must compile cleanly (positive control). CMake registers this
+// file as a build-only ctest case with WILL_FAIL set exactly when the
+// compiler is Clang.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace deepdive {
+namespace {
+
+struct Mailbox {
+  mutable Mutex mu;
+  int pending GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int UnlockedRead(const Mailbox& box) {
+  return box.pending;  // missing MutexLock lock(box.mu)
+}
+
+void UnlockedWrite(Mailbox& box) {
+  box.pending = 1;  // missing MutexLock lock(box.mu)
+}
+
+}  // namespace deepdive

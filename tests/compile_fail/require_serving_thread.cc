@@ -1,0 +1,20 @@
+// Negative compile case for the serving-thread role capability.
+//
+// ResultPublisher::next_epoch() is REQUIRES(serving_thread): it reads the
+// writer-private epoch counter. Calling it from a function that has neither
+// acquired nor asserted the role must be rejected by Clang's
+// -Werror=thread-safety ("calling function ... requires holding role
+// 'serving_thread'"). Under GCC the annotations are no-ops and this file
+// must compile cleanly — the positive control that the contract machinery
+// costs nothing off-Clang. CMake registers this file as a build-only ctest
+// case with WILL_FAIL set exactly when the compiler is Clang.
+#include "inference/result_view.h"
+
+namespace deepdive {
+
+uint64_t StrayReaderPeeksAtWriterState(const inference::ResultPublisher& p) {
+  // No ScopedThreadRole, no AssertHeld: this call site is a stray reader.
+  return p.next_epoch();
+}
+
+}  // namespace deepdive

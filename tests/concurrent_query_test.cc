@@ -18,6 +18,7 @@
 #include "incremental/engine.h"
 #include "inference/result_view.h"
 #include "util/random.h"
+#include "util/thread_role.h"
 
 namespace deepdive {
 namespace {
@@ -40,6 +41,7 @@ using inference::ResultView;
 // ---------------------------------------------------------------------------
 
 TEST(ResultPublisherTest, StartsWithCheckedEmptyEpochZeroView) {
+  deepdive::serving_thread.AssertHeld();
   ResultPublisher publisher;
   const auto view = publisher.Current();
   ASSERT_NE(view, nullptr);
@@ -49,6 +51,7 @@ TEST(ResultPublisherTest, StartsWithCheckedEmptyEpochZeroView) {
 }
 
 TEST(ResultPublisherTest, PublishStampsMonotoneEpochsAndChecksums) {
+  deepdive::serving_thread.AssertHeld();
   ResultPublisher publisher;
   for (uint64_t i = 1; i <= 3; ++i) {
     auto view = std::make_shared<ResultView>();
@@ -73,6 +76,7 @@ TEST(ResultPublisherTest, PublishStampsMonotoneEpochsAndChecksums) {
 }
 
 TEST(ResultViewTest, MarginalLookupMatchesIndex) {
+  deepdive::serving_thread.AssertHeld();
   ResultView view;
   view.marginals = {0.9, 0.1, 0.7};
   view.relations["R"] = {{{Value(1), Value(2)}, 0.9},
@@ -104,7 +108,8 @@ constexpr const char* kProgram = R"(
 )";
 
 std::unique_ptr<DeepDive> MakeDeepDive(const DeepDiveConfig& config,
-                                       size_t sentences = 3) {
+                                       size_t sentences = 3)
+    REQUIRES(serving_thread) {
   auto dd = DeepDive::Create(kProgram, config);
   EXPECT_TRUE(dd.ok()) << dd.status().ToString();
   std::vector<Tuple> persons, phrases;
@@ -125,6 +130,7 @@ std::unique_ptr<DeepDive> MakeDeepDive(const DeepDiveConfig& config,
 }
 
 TEST(DeepDiveQueryTest, QueryIsEmptyEpochZeroBeforeInitialize) {
+  deepdive::serving_thread.AssertHeld();
   auto dd = MakeDeepDive(core::FastTestConfig());
   const auto view = dd->Query();
   ASSERT_NE(view, nullptr);
@@ -133,6 +139,7 @@ TEST(DeepDiveQueryTest, QueryIsEmptyEpochZeroBeforeInitialize) {
 }
 
 TEST(DeepDiveQueryTest, InitializePublishesAndLegacyAccessorsMatchView) {
+  deepdive::serving_thread.AssertHeld();
   auto dd = MakeDeepDive(core::FastTestConfig());
   ASSERT_TRUE(dd->Initialize().ok());
 
@@ -161,6 +168,7 @@ TEST(DeepDiveQueryTest, InitializePublishesAndLegacyAccessorsMatchView) {
 }
 
 TEST(DeepDiveQueryTest, PinnedViewSurvivesUpdateUnchanged) {
+  deepdive::serving_thread.AssertHeld();
   auto dd = MakeDeepDive(core::FastTestConfig());
   ASSERT_TRUE(dd->Initialize().ok());
 
@@ -191,6 +199,7 @@ TEST(DeepDiveQueryTest, PinnedViewSurvivesUpdateUnchanged) {
 }
 
 TEST(DeepDiveQueryTest, HistoryEpochsAreStrictlyIncreasing) {
+  deepdive::serving_thread.AssertHeld();
   auto dd = MakeDeepDive(core::FastTestConfig());
   ASSERT_TRUE(dd->Initialize().ok());
   for (int u = 0; u < 3; ++u) {
@@ -210,6 +219,7 @@ TEST(DeepDiveQueryTest, HistoryEpochsAreStrictlyIncreasing) {
 }
 
 TEST(DeepDiveQueryTest, RerunModePublishesViewsToo) {
+  deepdive::serving_thread.AssertHeld();
   DeepDiveConfig config = core::FastTestConfig();
   config.mode = core::ExecutionMode::kRerun;
   auto dd = MakeDeepDive(config);
@@ -273,6 +283,7 @@ GraphDelta AddFeatureFactor(FactorGraph* g, VarId head, VarId body, double w) {
 }
 
 TEST(EngineQueryTest, OutcomesCarryEpochsAndViewsTrackInstalls) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(41);
   IncrementalEngine engine(&g);
   // Construction publishes the empty pre-materialization state.
@@ -299,6 +310,7 @@ TEST(EngineQueryTest, OutcomesCarryEpochsAndViewsTrackInstalls) {
 }
 
 TEST(EngineQueryTest, PinnedViewKeepsRetiredSnapshotAlive) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(42);
   IncrementalEngine engine(&g);
   ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
@@ -334,6 +346,7 @@ TEST(EngineQueryTest, PinnedViewKeepsRetiredSnapshotAlive) {
 // ---------------------------------------------------------------------------
 
 TEST(ConcurrentQueryTest, ReadersSeeConsistentViewsWhileUpdatesStream) {
+  deepdive::serving_thread.AssertHeld();
   DeepDiveConfig config = core::FastTestConfig();
   config.materialization.num_samples = 300;
   config.materialization.gibbs_burn_in = 10;
@@ -353,6 +366,12 @@ TEST(ConcurrentQueryTest, ReadersSeeConsistentViewsWhileUpdatesStream) {
   std::atomic<bool> stop{false};
   std::atomic<bool> violation{false};
   std::atomic<uint64_t> total_queries{0};
+  // The engine pointer is pinned here, on the serving thread, because
+  // incremental_engine() is a REQUIRES(serving_thread) accessor — readers
+  // get the stable pointer and use only the capability-free Query() surface.
+  incremental::IncrementalEngine* engine = dd->incremental_engine();
+  // lint:allow(raw-thread) reader threads are the subject under test — they
+  // must be plain threads hammering Query(), not ThreadPool tasks.
   std::vector<std::thread> readers;
   readers.reserve(kReaders);
   for (size_t t = 0; t < kReaders; ++t) {
@@ -360,9 +379,11 @@ TEST(ConcurrentQueryTest, ReadersSeeConsistentViewsWhileUpdatesStream) {
       uint64_t last_dd_epoch = 0;
       uint64_t last_engine_epoch = 0;
       uint64_t queries = 0;
+      // ordering: relaxed — quit hint polled between queries; the join below
+      // is the synchronization point for the tallies.
       while (!stop.load(std::memory_order_relaxed)) {
         const auto view = dd->Query();
-        const auto engine_view = dd->incremental_engine()->Query();
+        const auto engine_view = engine->Query();
         // Internal consistency: the epoch matches the marginal vector it
         // was published with (checksum), values are probabilities, and the
         // relation index answers its own entries.

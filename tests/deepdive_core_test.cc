@@ -2,6 +2,7 @@
 
 #include "core/deepdive.h"
 #include "kbc/metrics.h"
+#include "util/thread_role.h"
 
 namespace deepdive::core {
 namespace {
@@ -21,7 +22,7 @@ std::vector<Tuple> PersonRows() {
           {Value(2), Value(20)}, {Value(2), Value(21)}};
 }
 
-std::unique_ptr<DeepDive> Make(ExecutionMode mode) {
+std::unique_ptr<DeepDive> Make(ExecutionMode mode) REQUIRES(serving_thread) {
   DeepDiveConfig config = FastTestConfig();
   config.mode = mode;
   auto dd = DeepDive::Create(kProgram, config);
@@ -32,10 +33,12 @@ std::unique_ptr<DeepDive> Make(ExecutionMode mode) {
 }
 
 TEST(DeepDiveTest, CreateRejectsBadProgram) {
+  deepdive::serving_thread.AssertHeld();
   EXPECT_FALSE(DeepDive::Create("relation R(", FastTestConfig()).ok());
 }
 
 TEST(DeepDiveTest, InitializeGroundsCandidates) {
+  deepdive::serving_thread.AssertHeld();
   auto dd = Make(ExecutionMode::kIncremental);
   // 2 sentences x 2 ordered pairs each.
   EXPECT_EQ(dd->ground().graph.NumVariables(), 4u);
@@ -47,6 +50,7 @@ TEST(DeepDiveTest, InitializeGroundsCandidates) {
 }
 
 TEST(DeepDiveTest, AnalysisUpdateUsesSamplingWithFullAcceptance) {
+  deepdive::serving_thread.AssertHeld();
   auto dd = Make(ExecutionMode::kIncremental);
   UpdateSpec spec;
   spec.label = "A1";
@@ -58,6 +62,7 @@ TEST(DeepDiveTest, AnalysisUpdateUsesSamplingWithFullAcceptance) {
 }
 
 TEST(DeepDiveTest, DataUpdateCreatesVariables) {
+  deepdive::serving_thread.AssertHeld();
   auto dd = Make(ExecutionMode::kIncremental);
   UpdateSpec spec;
   spec.label = "data";
@@ -69,6 +74,7 @@ TEST(DeepDiveTest, DataUpdateCreatesVariables) {
 }
 
 TEST(DeepDiveTest, DataDeletionRetractsCandidates) {
+  deepdive::serving_thread.AssertHeld();
   auto dd = Make(ExecutionMode::kIncremental);
   UpdateSpec spec;
   spec.label = "del";
@@ -81,6 +87,7 @@ TEST(DeepDiveTest, DataDeletionRetractsCandidates) {
 }
 
 TEST(DeepDiveTest, RuleUpdateAddsFactorsAndLearns) {
+  deepdive::serving_thread.AssertHeld();
   auto dd = Make(ExecutionMode::kIncremental);
   UpdateSpec fe;
   fe.label = "FE1";
@@ -101,6 +108,7 @@ TEST(DeepDiveTest, RuleUpdateAddsFactorsAndLearns) {
 }
 
 TEST(DeepDiveTest, RemoveRuleRetractsGroups) {
+  deepdive::serving_thread.AssertHeld();
   auto dd = Make(ExecutionMode::kIncremental);
   UpdateSpec add;
   add.label = "I1";
@@ -121,6 +129,7 @@ TEST(DeepDiveTest, RemoveRuleRetractsGroups) {
 }
 
 TEST(DeepDiveTest, FragmentRelationWithDataInSameUpdate) {
+  deepdive::serving_thread.AssertHeld();
   // Regression: a rule fragment that *declares* a new relation and the same
   // update inserting rows into it — the view layer must pick up the new
   // relation or the rows are silently dropped.
@@ -141,6 +150,7 @@ TEST(DeepDiveTest, FragmentRelationWithDataInSameUpdate) {
 }
 
 TEST(DeepDiveTest, UnknownRelationInUpdateIsError) {
+  deepdive::serving_thread.AssertHeld();
   auto dd = Make(ExecutionMode::kIncremental);
   UpdateSpec spec;
   spec.inserts["Bogus"] = {{Value(1)}};
@@ -148,6 +158,7 @@ TEST(DeepDiveTest, UnknownRelationInUpdateIsError) {
 }
 
 TEST(DeepDiveTest, UnknownRemoveLabelIsError) {
+  deepdive::serving_thread.AssertHeld();
   auto dd = Make(ExecutionMode::kIncremental);
   UpdateSpec spec;
   spec.remove_rule_labels = {"NOPE"};
@@ -155,6 +166,7 @@ TEST(DeepDiveTest, UnknownRemoveLabelIsError) {
 }
 
 TEST(DeepDiveTest, RerunModeProducesSimilarMarginals) {
+  deepdive::serving_thread.AssertHeld();
   auto inc = Make(ExecutionMode::kIncremental);
   auto rerun = Make(ExecutionMode::kRerun);
   UpdateSpec spec;
@@ -177,6 +189,7 @@ TEST(DeepDiveTest, RerunModeProducesSimilarMarginals) {
 }
 
 TEST(DeepDiveTest, HistoryAccumulates) {
+  deepdive::serving_thread.AssertHeld();
   auto dd = Make(ExecutionMode::kIncremental);
   UpdateSpec spec;
   spec.label = "A1";
@@ -189,6 +202,7 @@ TEST(DeepDiveTest, HistoryAccumulates) {
 }
 
 TEST(DeepDiveTest, MaterializationStatsPopulated) {
+  deepdive::serving_thread.AssertHeld();
   auto dd = Make(ExecutionMode::kIncremental);
   EXPECT_GT(dd->materialization_stats().samples_collected, 0u);
   auto rerun = Make(ExecutionMode::kRerun);

@@ -4,6 +4,7 @@
 #include "incremental/engine.h"
 #include "inference/exact.h"
 #include "util/random.h"
+#include "util/thread_role.h"
 
 namespace deepdive::incremental {
 namespace {
@@ -50,6 +51,7 @@ EngineOptions TestEngine() {
 }
 
 TEST(IncrementalEngineTest, MaterializeProducesStatsAndMarginals) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(1);
   IncrementalEngine engine(&g);
   ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
@@ -67,6 +69,7 @@ TEST(IncrementalEngineTest, MaterializeProducesStatsAndMarginals) {
 }
 
 TEST(IncrementalEngineTest, EmptyDeltaUsesSamplingWithFullAcceptance) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(2);
   IncrementalEngine engine(&g);
   ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
@@ -78,6 +81,7 @@ TEST(IncrementalEngineTest, EmptyDeltaUsesSamplingWithFullAcceptance) {
 }
 
 TEST(IncrementalEngineTest, StructuralDeltaMatchesExact) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(3);
   IncrementalEngine engine(&g);
   ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
@@ -99,6 +103,7 @@ TEST(IncrementalEngineTest, StructuralDeltaMatchesExact) {
 }
 
 TEST(IncrementalEngineTest, EvidenceDeltaUsesVariational) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(4);
   IncrementalEngine engine(&g);
   ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
@@ -121,6 +126,7 @@ TEST(IncrementalEngineTest, EvidenceDeltaUsesVariational) {
 }
 
 TEST(IncrementalEngineTest, FallsBackToVariationalWhenSamplesExhausted) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(5);
   IncrementalEngine engine(&g);
   MaterializationOptions mopts = TestMaterialization();
@@ -141,6 +147,7 @@ TEST(IncrementalEngineTest, FallsBackToVariationalWhenSamplesExhausted) {
 }
 
 TEST(IncrementalEngineTest, ForcedStrategyIsRespected) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(6);
   IncrementalEngine engine(&g);
   ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
@@ -152,6 +159,7 @@ TEST(IncrementalEngineTest, ForcedStrategyIsRespected) {
 }
 
 TEST(IncrementalEngineTest, SuccessiveDeltasAccumulate) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(7);
   IncrementalEngine engine(&g);
   ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
@@ -177,6 +185,7 @@ TEST(IncrementalEngineTest, SuccessiveDeltasAccumulate) {
 }
 
 TEST(IncrementalEngineTest, DecompositionDisabledTouchesEverything) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(8);
   IncrementalEngine engine(&g);
   ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
@@ -191,6 +200,7 @@ TEST(IncrementalEngineTest, DecompositionDisabledTouchesEverything) {
 }
 
 TEST(IncrementalEngineTest, PerGroupStrategySplitsComponents) {
+  deepdive::serving_thread.AssertHeld();
   // Component 1 gets new evidence (variational bucket); component 2 gets a
   // new feature factor (sampling bucket). Both sets of marginals must track
   // the exact posterior of the combined update.
@@ -226,6 +236,7 @@ TEST(IncrementalEngineTest, PerGroupStrategySplitsComponents) {
 }
 
 TEST(IncrementalEngineTest, PerGroupDisabledFallsBackToGlobalChoice) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(12);
   IncrementalEngine engine(&g);
   ASSERT_TRUE(engine.Materialize(TestMaterialization()).ok());
@@ -242,6 +253,7 @@ TEST(IncrementalEngineTest, PerGroupDisabledFallsBackToGlobalChoice) {
 }
 
 TEST(IncrementalEngineTest, TimeBudgetLimitsSampleCollection) {
+  deepdive::serving_thread.AssertHeld();
   FactorGraph g = TwoComponentGraph(9);
   IncrementalEngine engine(&g);
   MaterializationOptions mopts = TestMaterialization();
@@ -253,6 +265,7 @@ TEST(IncrementalEngineTest, TimeBudgetLimitsSampleCollection) {
 }
 
 TEST(IncrementalEngineTest, TimeBudgetEnforcedDuringBurnIn) {
+  deepdive::serving_thread.AssertHeld();
   // Regression: the budget used to be checked only between sample callbacks,
   // so a long burn-in could blow it before the first sample landed. A
   // burn-in this size takes minutes unchecked — the budget must cut it off.
@@ -268,6 +281,7 @@ TEST(IncrementalEngineTest, TimeBudgetEnforcedDuringBurnIn) {
 }
 
 TEST(IncrementalEngineTest, ComponentCacheTracksNewVariables) {
+  deepdive::serving_thread.AssertHeld();
   // The connected-components cache must be invalidated by structural deltas:
   // a variable added after a cached computation has to show up in the
   // affected set of the update that introduces it.
@@ -301,6 +315,7 @@ TEST(IncrementalEngineTest, ComponentCacheTracksNewVariables) {
 }
 
 TEST(IncrementalEngineTest, ComponentCacheReuseKeepsBucketsIdentical) {
+  deepdive::serving_thread.AssertHeld();
   // Successive per-group updates must land in the same strategy buckets
   // whether the components came from the cache (evidence-only follow-up) or
   // a fresh computation (structural follow-up).

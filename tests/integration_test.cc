@@ -11,6 +11,7 @@
 #include "inference/exact.h"
 #include "kbc/metrics.h"
 #include "util/random.h"
+#include "util/thread_role.h"
 
 namespace deepdive {
 namespace {
@@ -59,6 +60,7 @@ constexpr char kTinyProgram[] = R"(
 )";
 
 TEST(EndToEndTest, MarginalsTrackExactEnumeration) {
+  deepdive::serving_thread.AssertHeld();
   core::DeepDiveConfig config = core::FastTestConfig();
   config.mode = core::ExecutionMode::kRerun;
   config.gibbs.burn_in_sweeps = 200;

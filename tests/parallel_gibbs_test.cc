@@ -29,6 +29,7 @@ TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
   EXPECT_EQ(pool.size(), 4u);
   std::atomic<int> counter{0};
   for (int i = 0; i < 100; ++i) {
+    // ordering: relaxed — exact atomic count; Wait()'s join edge publishes it.
     pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
   }
   pool.Wait();
@@ -51,6 +52,7 @@ TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
       std::vector<std::atomic<int>> hits(n);
       pool.ParallelFor(n, [&](size_t /*shard*/, size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
+          // ordering: relaxed — disjoint shards; ParallelFor's join publishes.
           hits[i].fetch_add(1, std::memory_order_relaxed);
         }
       });

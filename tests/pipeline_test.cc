@@ -2,6 +2,7 @@
 
 #include "kbc/pipeline.h"
 #include "kbc/snapshots.h"
+#include "util/thread_role.h"
 
 namespace deepdive::kbc {
 namespace {
@@ -24,6 +25,7 @@ PipelineOptions TinyOptions() {
 }
 
 TEST(KbcPipelineTest, BuildAndInitialize) {
+  deepdive::serving_thread.AssertHeld();
   auto pipeline = KbcPipeline::Build(TinyProfile(), TinyOptions());
   ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
   ASSERT_TRUE((*pipeline)->Initialize().ok());
@@ -34,11 +36,13 @@ TEST(KbcPipelineTest, BuildAndInitialize) {
 }
 
 TEST(KbcPipelineTest, UpdateSequenceIsFigure8) {
+  deepdive::serving_thread.AssertHeld();
   EXPECT_EQ(KbcPipeline::UpdateSequence(),
             (std::vector<std::string>{"A1", "FE1", "FE2", "I1", "S1", "S2"}));
 }
 
 TEST(KbcPipelineTest, UnknownUpdateRejected) {
+  deepdive::serving_thread.AssertHeld();
   auto pipeline = KbcPipeline::Build(TinyProfile(), TinyOptions());
   ASSERT_TRUE(pipeline.ok());
   ASSERT_TRUE((*pipeline)->Initialize().ok());
@@ -46,6 +50,7 @@ TEST(KbcPipelineTest, UnknownUpdateRejected) {
 }
 
 TEST(KbcPipelineTest, FullUpdateSequenceImprovesQuality) {
+  deepdive::serving_thread.AssertHeld();
   auto pipeline = KbcPipeline::Build(TinyProfile(), TinyOptions());
   ASSERT_TRUE(pipeline.ok());
   ASSERT_TRUE((*pipeline)->Initialize().ok());
@@ -63,6 +68,7 @@ TEST(KbcPipelineTest, FullUpdateSequenceImprovesQuality) {
 }
 
 TEST(KbcPipelineTest, FactLevelEvaluationRuns) {
+  deepdive::serving_thread.AssertHeld();
   auto pipeline = KbcPipeline::Build(TinyProfile(), TinyOptions());
   ASSERT_TRUE(pipeline.ok());
   ASSERT_TRUE((*pipeline)->Initialize().ok());
@@ -76,6 +82,7 @@ TEST(KbcPipelineTest, FactLevelEvaluationRuns) {
 }
 
 TEST(KbcPipelineTest, ErrorAnalysisReport) {
+  deepdive::serving_thread.AssertHeld();
   auto pipeline = KbcPipeline::Build(TinyProfile(), TinyOptions());
   ASSERT_TRUE(pipeline.ok());
   ASSERT_TRUE((*pipeline)->Initialize().ok());
@@ -114,6 +121,7 @@ TEST(KbcPipelineTest, ErrorAnalysisReport) {
 }
 
 TEST(SnapshotComparisonTest, IncrementalBeatsRerunOnInferenceTime) {
+  deepdive::serving_thread.AssertHeld();
   SystemProfile profile = TinyProfile();
   profile.num_documents = 60;
   auto result = RunSnapshotComparison(profile, TinyOptions());

@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""Project lint for the single-writer/many-reader concurrency contracts.
+
+Clang Thread Safety Analysis proves lock/role discipline at compile time, but
+four conventions the analysis cannot see are enforced here instead:
+
+  ordering       Every explicit std::memory_order_{relaxed,acquire,release,
+                 acq_rel,consume} use must carry a `// ordering:` comment (same
+                 line or within the preceding twelve lines) justifying why that
+                 ordering is sufficient. Default (seq_cst) operations are
+                 exempt: the convention is "explicit weakening demands an
+                 explicit argument".
+
+  suppression    Every entry in .tsan-suppressions must sit under a comment
+                 block containing `rationale:` that explains the false
+                 positive and names how it was verified. No drive-by
+                 suppressions.
+
+  raw-thread     `std::thread` is constructed in exactly one sanctioned place
+                 (src/util/thread_pool.*). Any other file spelling std::thread
+                 must carry a `lint:allow(raw-thread)` comment explaining why
+                 a plain thread (and not a ThreadPool task) is required.
+
+  ref-accessor   A reference-returning method in a src/ header hands out
+                 aliasing state, so its declaration must document the thread
+                 contract: a REQUIRES/RETURN_CAPABILITY annotation, a nearby
+                 comment mentioning the threading rules, or an explicit
+                 `lint:allow(ref-accessor)` waiver.
+
+Run with no arguments from the repository root (CI does); pass file paths to
+lint a subset; pass --self-test to verify the rules still bite on seeded
+violations.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+SCAN_DIRS = ["src", "tools", "tests", "bench", "examples"]
+SOURCE_EXTS = (".h", ".cc", ".cpp")
+THREAD_POOL_FILES = ("src/util/thread_pool.h", "src/util/thread_pool.cc")
+
+ORDERING_RE = re.compile(
+    r"std::memory_order_(relaxed|acquire|release|acq_rel|consume)\b")
+ORDERING_COMMENT = "ordering:"
+ORDERING_WINDOW = 12  # lines above that a justification block may span
+
+RAW_THREAD_RE = re.compile(r"std::thread\b")
+RAW_THREAD_WAIVER = "lint:allow(raw-thread)"
+
+REF_ACCESSOR_WAIVER = "lint:allow(ref-accessor)"
+# A member-ish declaration returning T& (not T&&): indented, a return type
+# ending in a single '&', a name, an open paren on the same line.
+REF_ACCESSOR_RE = re.compile(
+    r"^\s+(?:virtual\s+)?(?:const\s+)?[\w:<>,\* ]+?&\s+(\w+)\s*\(")
+REF_ACCESSOR_DOC_WINDOW = 8
+REF_ACCESSOR_DOC_TOKENS = (
+    "thread", "immutable", "guarded", "caller", "requires(", "serving",
+    "synchroniz", "lock", "concurren",
+)
+REF_ACCESSOR_ANNOTATIONS = ("REQUIRES(", "RETURN_CAPABILITY(", "GUARDED_BY(")
+
+SUPPRESSION_RATIONALE = "rationale:"
+
+
+def find_ordering_violations(path, lines):
+    findings = []
+    for i, line in enumerate(lines):
+        if not ORDERING_RE.search(line):
+            continue
+        window = lines[max(0, i - ORDERING_WINDOW):i + 1]
+        if not any(ORDERING_COMMENT in w for w in window):
+            findings.append((path, i + 1, "ordering",
+                             "explicit memory_order without an "
+                             "'// ordering:' justification comment"))
+    return findings
+
+
+def find_raw_thread_violations(path, lines):
+    rel = path.replace(os.sep, "/")
+    if rel.endswith(THREAD_POOL_FILES):
+        return []
+    text = "\n".join(lines)
+    if RAW_THREAD_WAIVER in text:
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        if RAW_THREAD_RE.search(line):
+            findings.append((path, i + 1, "raw-thread",
+                             "std::thread outside ThreadPool; wrap the work "
+                             "in util/thread_pool.h or add a "
+                             "'lint:allow(raw-thread)' comment with the "
+                             "reason"))
+    return findings
+
+
+def _declaration_has_annotation(lines, i):
+    """The declaration may continue past line i; scan to its ';' or '{'."""
+    j = i
+    while j < len(lines):
+        chunk = lines[j]
+        if any(a in chunk for a in REF_ACCESSOR_ANNOTATIONS):
+            return True
+        if ";" in chunk or "{" in chunk:
+            return False
+        j += 1
+    return False
+
+
+def find_ref_accessor_violations(path, lines):
+    rel = path.replace(os.sep, "/")
+    if not (rel.startswith("src/") or "/src/" in rel) or not rel.endswith(".h"):
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if stripped.startswith("//") or stripped.startswith("*"):
+            continue
+        m = REF_ACCESSOR_RE.match(line)
+        if not m:
+            continue
+        name = m.group(1)
+        # Control-flow keywords and operators are not accessors.
+        if name in ("if", "for", "while", "switch", "return", "operator"):
+            continue
+        if REF_ACCESSOR_WAIVER in line:
+            continue
+        if _declaration_has_annotation(lines, i):
+            continue
+        doc = lines[max(0, i - REF_ACCESSOR_DOC_WINDOW):i]
+        doc_comments = " ".join(
+            d.strip() for d in doc if d.strip().startswith(("//", "*", "/*")))
+        haystack = (doc_comments + " " + line).lower()
+        if REF_ACCESSOR_WAIVER in doc_comments:
+            continue
+        if any(tok in haystack for tok in REF_ACCESSOR_DOC_TOKENS):
+            continue
+        findings.append((path, i + 1, "ref-accessor",
+                         f"'{name}' returns a reference without a documented "
+                         "thread contract (REQUIRES(...) annotation, a "
+                         "comment stating the threading rules, or "
+                         "'lint:allow(ref-accessor)')"))
+    return findings
+
+
+def find_suppression_violations(path, lines):
+    findings = []
+    comment_block = []
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            comment_block = []
+            continue
+        if stripped.startswith("#"):
+            comment_block.append(stripped.lower())
+            continue
+        if not any(SUPPRESSION_RATIONALE in c for c in comment_block):
+            findings.append((path, i + 1, "suppression",
+                             f"suppression '{stripped}' lacks a preceding "
+                             "comment block containing 'rationale:'"))
+        # Consecutive suppression lines share one rationale block.
+    return findings
+
+
+def lint_file(path):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return [(path, 0, "io", str(e))]
+    if os.path.basename(path) == ".tsan-suppressions":
+        return find_suppression_violations(path, lines)
+    findings = []
+    findings += find_ordering_violations(path, lines)
+    findings += find_raw_thread_violations(path, lines)
+    findings += find_ref_accessor_violations(path, lines)
+    return findings
+
+
+def collect_default_files(root):
+    files = []
+    for d in SCAN_DIRS:
+        base = os.path.join(root, d)
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXTS):
+                    files.append(os.path.join(dirpath, name))
+    supp = os.path.join(root, ".tsan-suppressions")
+    if os.path.exists(supp):
+        files.append(supp)
+    return files
+
+
+def run(files, root):
+    findings = []
+    for path in files:
+        rel = os.path.relpath(path, root) if os.path.isabs(path) else path
+        for (p, line, rule, msg) in lint_file(path):
+            findings.append((rel, line, rule, msg))
+    for rel, line, rule, msg in findings:
+        print(f"{rel}:{line}: [{rule}] {msg}")
+    return 1 if findings else 0
+
+
+def self_test():
+    """Seed one violation and one clean sample per rule; both must behave."""
+    cases = []  # (filename, content, expected_rule_or_None)
+    cases.append(("src/bad_ordering.cc",
+                  "int f(std::atomic<int>& a) {\n"
+                  "  return a.load(std::memory_order_relaxed);\n}\n",
+                  "ordering"))
+    cases.append(("src/good_ordering.cc",
+                  "int f(std::atomic<int>& a) {\n"
+                  "  // ordering: relaxed — monotone counter, join publishes.\n"
+                  "  return a.load(std::memory_order_relaxed);\n}\n",
+                  None))
+    cases.append(("src/bad_thread.cc",
+                  "#include <thread>\nvoid g() { std::thread t([]{}); t.join(); }\n",
+                  "raw-thread"))
+    cases.append(("src/good_thread.cc",
+                  "// lint:allow(raw-thread) the thread under test must be raw.\n"
+                  "#include <thread>\nvoid g() { std::thread t([]{}); t.join(); }\n",
+                  None))
+    cases.append(("src/bad_ref.h",
+                  "class C {\n public:\n  std::vector<int>& data() { return d_; }\n"
+                  " private:\n  std::vector<int> d_;\n};\n",
+                  "ref-accessor"))
+    cases.append(("src/good_ref.h",
+                  "class C {\n public:\n"
+                  "  /// Serving thread only: aliases state the writer mutates.\n"
+                  "  std::vector<int>& data() { return d_; }\n"
+                  " private:\n  std::vector<int> d_;\n};\n",
+                  None))
+    cases.append((".tsan-suppressions",
+                  "# no reason given\nrace:some_header.h\n",
+                  "suppression"))
+    cases.append(("good/.tsan-suppressions",
+                  "# Rationale: lock-bit artifact, verified 2026-08 by\n"
+                  "# rebuilding concurrent_query_test without suppressions.\n"
+                  "race:bits/shared_ptr_atomic.h\n",
+                  None))
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for name, content, expected in cases:
+            path = os.path.join(tmp, name)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w") as f:
+                f.write(content)
+            found = [rule for (_, _, rule, _) in lint_file(path)]
+            if expected is None and found:
+                failures.append(f"{name}: expected clean, got {found}")
+            elif expected is not None and expected not in found:
+                failures.append(f"{name}: expected [{expected}], got {found}")
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}")
+        return 1
+    print(f"self-test OK: {len(cases)} cases")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="*",
+                        help="files to lint (default: the whole tree)")
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the rules flag seeded violations")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    files = args.files or collect_default_files(args.root)
+    return run(files, args.root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,7 @@
 #include "inference/result_view.h"
 #include "storage/text_io.h"
 #include "util/string_util.h"
+#include "util/thread_role.h"
 
 namespace deepdive::cli {
 namespace {
@@ -276,6 +277,8 @@ class QueryServer {
   /// Error-path cleanup: readers must be joined before the DeepDive they
   /// query is torn down.
   ~QueryServer() {
+    // ordering: relaxed — stop flags are quit hints polled by the readers;
+    // join() below is the synchronization point.
     stop_.store(true, std::memory_order_relaxed);
     for (std::thread& reader : readers_) {
       if (reader.joinable()) reader.join();
@@ -290,6 +293,8 @@ class QueryServer {
   Status Finish() {
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    // ordering: relaxed — monotone progress counters / flags used as a
+    // polling heartbeat; exact values are read only after join() below.
     while (std::chrono::steady_clock::now() < deadline &&
            !failed_.load(std::memory_order_relaxed)) {
       bool all_started = true;
@@ -299,10 +304,13 @@ class QueryServer {
       if (all_started) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
+    // ordering: relaxed — quit hint; join() is the synchronization point
+    // that makes every reader's writes visible to the tallies below.
     stop_.store(true, std::memory_order_relaxed);
     for (std::thread& reader : readers_) reader.join();
     uint64_t total = 0;
     for (size_t t = 0; t < num_readers_; ++t) {
+      // ordering: relaxed — readers are joined; these are quiescent reads.
       const uint64_t queries = counts_[t].queries.load(std::memory_order_relaxed);
       std::fprintf(stderr, "reader %zu: %llu queries, last epoch %llu\n", t,
                    static_cast<unsigned long long>(queries),
@@ -312,6 +320,8 @@ class QueryServer {
     }
     std::fprintf(stderr, "served %llu concurrent queries across %zu readers\n",
                  static_cast<unsigned long long>(total), num_readers_);
+    // ordering: relaxed — read after join; violation_ is ordered by the
+    // same join (written before the failing reader exited).
     if (failed_.load(std::memory_order_relaxed)) {
       return Status::Internal(violation_);
     }
@@ -327,6 +337,8 @@ class QueryServer {
 
   void ReadLoop(size_t t) {
     uint64_t last_epoch = 0;
+    // ordering: relaxed — quit hint; a slightly late observation only costs
+    // one extra loop iteration.
     while (!stop_.load(std::memory_order_relaxed)) {
       const auto view = dd_.Query();
       if (view == nullptr) {
@@ -351,6 +363,8 @@ class QueryServer {
         Fail("relation index disagrees with MarginalOf");
         break;
       }
+      // ordering: relaxed — per-reader monotone counters; published to the
+      // main thread by the join in Finish().
       counts_[t].queries.fetch_add(1, std::memory_order_relaxed);
       counts_[t].last_epoch.store(last_epoch, std::memory_order_relaxed);
     }
@@ -358,11 +372,17 @@ class QueryServer {
 
   void Fail(const std::string& message) {
     bool expected = false;
+    // ordering: the CAS (seq_cst default) elects exactly one writer of
+    // violation_; the main thread reads it only after joining this thread.
     if (failed_.compare_exchange_strong(expected, true)) violation_ = message;
+    // ordering: relaxed — quit hint, as in ReadLoop.
     stop_.store(true, std::memory_order_relaxed);
   }
 
   const core::DeepDive& dd_;
+  // lint:allow(raw-thread) the reader pool exists to exercise the lock-free
+  // query surface from plain threads; ThreadPool's task queue would
+  // serialize exactly the contention this smoke test is after.
   std::vector<std::thread> readers_;
   std::unique_ptr<ReaderStats[]> counts_;
   size_t num_readers_;
@@ -371,7 +391,7 @@ class QueryServer {
   std::string violation_;  // written once under the failed_ CAS
 };
 
-Status Run(const Args& args) {
+Status Run(const Args& args) REQUIRES(serving_thread) {
   DD_ASSIGN_OR_RETURN(std::string source, ReadFile(args.program_path));
 
   core::DeepDiveConfig config;
@@ -494,6 +514,9 @@ Status Run(const Args& args) {
 }  // namespace deepdive::cli
 
 int main(int argc, char** argv) {
+  // Trusted root: the CLI process main thread is the serving thread; the
+  // QueryServer readers touch only the capability-free Query() surface.
+  deepdive::serving_thread.AssertHeld();
   auto args = deepdive::cli::ParseArgs(argc, argv);
   if (!args.ok()) {
     std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
