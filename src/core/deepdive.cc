@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "inference/compiled_inference.h"
 #include "inference/gibbs.h"
 #include "inference/learner.h"
 #include "inference/replicated_gibbs.h"
@@ -64,9 +65,7 @@ Status DeepDive::Initialize() {
 
   inference::GibbsOptions gopts = config_.gibbs;
   gopts.seed = config_.seed + 1;
-  inference::ReplicatedGibbsSampler sampler(&ground_.graph, gopts.num_replicas,
-                                            gopts.num_threads);
-  marginals_ = sampler.EstimateMarginals(gopts).marginals;
+  marginals_ = inference::EstimateMarginalsAuto(ground_.graph, gopts).marginals;
   for (VarId v = 0; v < ground_.graph.NumVariables(); ++v) {
     const auto ev = ground_.graph.EvidenceValue(v);
     if (ev.has_value()) marginals_[v] = *ev ? 1.0 : 0.0;
@@ -263,9 +262,7 @@ Status DeepDive::RunFullPipeline(UpdateReport* report, bool cold_learning) {
   Timer infer_timer;
   inference::GibbsOptions gopts = config_.gibbs;
   gopts.seed = config_.seed + 13 * (history_.size() + 1);
-  inference::ReplicatedGibbsSampler sampler(&ground_.graph, gopts.num_replicas,
-                                            gopts.num_threads);
-  marginals_ = sampler.EstimateMarginals(gopts).marginals;
+  marginals_ = inference::EstimateMarginalsAuto(ground_.graph, gopts).marginals;
   for (VarId v = 0; v < ground_.graph.NumVariables(); ++v) {
     const auto ev = ground_.graph.EvidenceValue(v);
     if (ev.has_value()) marginals_[v] = *ev ? 1.0 : 0.0;

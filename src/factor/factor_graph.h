@@ -155,9 +155,17 @@ class FactorGraph {
   /// is what lets Hogwild workers read these references concurrently.
   const Weight& weight(WeightId id) const { return weights_[id]; }
   double WeightValue(WeightId id) const { return weights_[id].value; }
+  bool WeightLearnable(WeightId id) const { return weights_[id].learnable; }
   const FactorGroup& group(GroupId id) const { return groups_[id]; }
   const Clause& clause(ClauseId id) const { return clauses_[id]; }
   const std::vector<Weight>& weights() const { return weights_; }
+
+  /// Literals of clause `id` (same frozen-during-runs thread contract as the
+  /// structure accessors above). Mirrors CompiledGraph::ClauseLiterals so the
+  /// templated kernels work against either graph type.
+  const std::vector<Literal>& ClauseLiterals(ClauseId id) const {
+    return clauses_[id].literals;
+  }
 
   /// Groups with this variable as head (frozen during runs, like the rest
   /// of the structure — see the thread contract above).

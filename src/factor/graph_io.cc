@@ -1,147 +1,70 @@
 #include "factor/graph_io.h"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <utility>
+#include <vector>
 
 namespace deepdive::factor {
 
-namespace {
-
-constexpr uint64_t kMagic = 0xdd11f4c7'06172026ULL;
-
-template <typename T>
-void WritePod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-template <typename T>
-bool ReadPod(std::ifstream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return static_cast<bool>(in);
-}
-
-void WriteString(std::ofstream& out, const std::string& s) {
-  WritePod<uint64_t>(out, s.size());
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-bool ReadString(std::ifstream& in, std::string* s) {
-  uint64_t n = 0;
-  if (!ReadPod(in, &n)) return false;
-  s->resize(n);
-  in.read(s->data(), static_cast<std::streamsize>(n));
-  return static_cast<bool>(in);
-}
-
-}  // namespace
-
-Status SaveGraph(const FactorGraph& graph, const std::string& path) {
+Status SaveCompiledGraph(const CompiledGraph& graph, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::Internal("cannot open '" + path + "' for writing");
 
-  WritePod(out, kMagic);
-  WritePod<uint64_t>(out, graph.NumVariables());
-  for (VarId v = 0; v < graph.NumVariables(); ++v) {
-    const auto ev = graph.EvidenceValue(v);
-    const int8_t tag = !ev.has_value() ? 0 : (*ev ? 1 : -1);
-    WritePod(out, tag);
-  }
-  WritePod<uint64_t>(out, graph.NumWeights());
-  for (WeightId w = 0; w < graph.NumWeights(); ++w) {
-    const Weight& weight = graph.weight(w);
-    WritePod(out, weight.value);
-    WritePod<uint8_t>(out, weight.learnable ? 1 : 0);
-    WriteString(out, weight.description);
-  }
-  WritePod<uint64_t>(out, graph.NumGroups());
-  for (GroupId g = 0; g < graph.NumGroups(); ++g) {
-    const FactorGroup& group = graph.group(g);
-    WritePod(out, group.rule_id);
-    WritePod(out, group.head);
-    WritePod(out, group.weight);
-    WritePod<uint8_t>(out, static_cast<uint8_t>(group.semantics));
-    WritePod<uint8_t>(out, group.active ? 1 : 0);
-    WritePod<uint64_t>(out, group.clauses.size());
-    for (ClauseId cid : group.clauses) {
-      const Clause& clause = graph.clause(cid);
-      WritePod<uint8_t>(out, clause.active ? 1 : 0);
-      WritePod<uint64_t>(out, clause.literals.size());
-      for (const Literal& lit : clause.literals) {
-        WritePod(out, lit.var);
-        WritePod<uint8_t>(out, lit.negated ? 1 : 0);
-      }
-    }
-  }
+  // The image is the file format; only the checksum (it covers the current,
+  // possibly learner-updated weight values) and the weight-value section
+  // differ from the attached bytes.
+  CompiledGraphHeader header;
+  std::memcpy(&header, graph.image_data(), sizeof(header));
+  header.checksum = graph.Checksum();
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+
+  const CompiledSectionEntry& wsec = header.sections[kSecWeightValues];
+  const auto* base = reinterpret_cast<const char*>(graph.image_data());
+  out.write(base + sizeof(header),
+            static_cast<std::streamsize>(wsec.offset - sizeof(header)));
+  std::vector<double> weights(graph.NumWeights());
+  for (WeightId w = 0; w < graph.NumWeights(); ++w) weights[w] = graph.WeightValue(w);
+  out.write(reinterpret_cast<const char*>(weights.data()),
+            static_cast<std::streamsize>(wsec.bytes));
+  out.write(base + wsec.offset + wsec.bytes,
+            static_cast<std::streamsize>(graph.image_bytes() - wsec.offset - wsec.bytes));
   if (!out) return Status::Internal("write to '" + path + "' failed");
   return Status::OK();
 }
 
-StatusOr<FactorGraph> LoadGraph(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+StatusOr<CompiledGraph> LoadCompiledGraph(const std::string& path,
+                                          const GraphLoadOptions& options) {
+  if (options.use_mmap) {
+    auto mapped = MmapFile::Open(path);
+    if (mapped.ok()) {
+      return CompiledGraph::FromMmap(std::move(mapped).value(), options.validate);
+    }
+    if (mapped.status().code() != StatusCode::kUnimplemented) {
+      return mapped.status();
+    }
+    // No mmap on this platform: fall through to the buffered path.
+  }
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::NotFound("cannot open '" + path + "'");
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> image(static_cast<size_t>(size));
+  if (size > 0) in.read(reinterpret_cast<char*>(image.data()), size);
+  if (!in) return Status::Internal("read from '" + path + "' failed");
+  return CompiledGraph::FromImage(std::move(image), options.validate);
+}
 
-  uint64_t magic = 0;
-  if (!ReadPod(in, &magic) || magic != kMagic) {
-    return Status::InvalidArgument("'" + path + "' is not a factor graph snapshot");
-  }
-  FactorGraph graph;
-  uint64_t num_vars = 0;
-  if (!ReadPod(in, &num_vars)) return Status::InvalidArgument("truncated snapshot");
-  if (num_vars > 0) graph.AddVariables(num_vars);
-  for (uint64_t v = 0; v < num_vars; ++v) {
-    int8_t tag = 0;
-    if (!ReadPod(in, &tag)) return Status::InvalidArgument("truncated snapshot");
-    if (tag != 0) graph.SetEvidence(static_cast<VarId>(v), tag > 0);
-  }
-  uint64_t num_weights = 0;
-  if (!ReadPod(in, &num_weights)) return Status::InvalidArgument("truncated snapshot");
-  for (uint64_t w = 0; w < num_weights; ++w) {
-    double value = 0.0;
-    uint8_t learnable = 0;
-    std::string description;
-    if (!ReadPod(in, &value) || !ReadPod(in, &learnable) ||
-        !ReadString(in, &description)) {
-      return Status::InvalidArgument("truncated snapshot");
-    }
-    graph.AddWeight(value, learnable != 0, std::move(description));
-  }
-  uint64_t num_groups = 0;
-  if (!ReadPod(in, &num_groups)) return Status::InvalidArgument("truncated snapshot");
-  for (uint64_t g = 0; g < num_groups; ++g) {
-    uint32_t rule_id = 0;
-    VarId head = 0;
-    WeightId weight = 0;
-    uint8_t semantics = 0, active = 0;
-    uint64_t num_clauses = 0;
-    if (!ReadPod(in, &rule_id) || !ReadPod(in, &head) || !ReadPod(in, &weight) ||
-        !ReadPod(in, &semantics) || !ReadPod(in, &active) || !ReadPod(in, &num_clauses)) {
-      return Status::InvalidArgument("truncated snapshot");
-    }
-    const GroupId gid =
-        graph.AddGroup(rule_id, head, weight, static_cast<Semantics>(semantics));
-    for (uint64_t c = 0; c < num_clauses; ++c) {
-      uint8_t clause_active = 1;
-      uint64_t num_lits = 0;
-      if (!ReadPod(in, &clause_active) || !ReadPod(in, &num_lits)) {
-        return Status::InvalidArgument("truncated snapshot");
-      }
-      std::vector<Literal> lits;
-      lits.reserve(num_lits);
-      for (uint64_t l = 0; l < num_lits; ++l) {
-        Literal lit;
-        uint8_t negated = 0;
-        if (!ReadPod(in, &lit.var) || !ReadPod(in, &negated)) {
-          return Status::InvalidArgument("truncated snapshot");
-        }
-        lit.negated = negated != 0;
-        lits.push_back(lit);
-      }
-      const ClauseId cid = graph.AddClause(gid, std::move(lits));
-      if (clause_active == 0) graph.DeactivateClause(cid);
-    }
-    if (active == 0) graph.DeactivateGroup(gid);
-  }
-  return graph;
+Status SaveGraph(const FactorGraph& graph, const std::string& path) {
+  return SaveCompiledGraph(CompiledGraph::Compile(graph), path);
+}
+
+StatusOr<FactorGraph> LoadGraph(const std::string& path,
+                                const GraphLoadOptions& options) {
+  auto compiled = LoadCompiledGraph(path, options);
+  DD_RETURN_IF_ERROR(compiled.status());
+  return compiled.value().Decompile();
 }
 
 bool GraphsEqual(const FactorGraph& a, const FactorGraph& b) {

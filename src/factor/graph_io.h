@@ -3,17 +3,39 @@
 
 #include <string>
 
+#include "factor/compiled_graph.h"
 #include "factor/factor_graph.h"
 #include "util/status.h"
 
 namespace deepdive::factor {
 
-/// Binary snapshot of a factor graph. The materialization phase persists the
-/// graph alongside its sample store so later inference phases (possibly in a
-/// new process) can reuse it.
+struct GraphLoadOptions {
+  /// Map the file instead of reading it (zero-copy; pages fault in on
+  /// demand). Falls back to a buffered read where mmap is unavailable.
+  bool use_mmap = true;
+  /// Run the deep integrity pass (checksum, offset monotonicity, id bounds)
+  /// on top of the always-on header/section-bounds checks.
+  bool validate = true;
+};
+
+/// Writes the compiled image to `path`: the header (with a checksum covering
+/// the current weight values) followed by the section payload — a handful of
+/// large writes, no per-field serialization.
+Status SaveCompiledGraph(const CompiledGraph& graph, const std::string& path);
+
+/// Loads a compiled snapshot. With `use_mmap` this is O(1) in the graph size:
+/// header validation + pointer fixup over the mapping.
+StatusOr<CompiledGraph> LoadCompiledGraph(const std::string& path,
+                                          const GraphLoadOptions& options = {});
+
+/// Binary snapshot of a factor graph (format v2: the CompiledGraph image).
+/// Compiles first, so inactive groups/clauses are compacted out of the file;
+/// the loaded graph is inference-equivalent (bit-identical marginals), not
+/// structurally identical, when the input had retractions.
 Status SaveGraph(const FactorGraph& graph, const std::string& path);
 
-StatusOr<FactorGraph> LoadGraph(const std::string& path);
+StatusOr<FactorGraph> LoadGraph(const std::string& path,
+                                const GraphLoadOptions& options = {});
 
 /// Structural equality (variables, evidence, weights, groups, clauses);
 /// used by round-trip tests.

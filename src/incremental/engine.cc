@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "incremental/decomposition.h"
+#include "inference/compiled_inference.h"
 #include "inference/parallel_gibbs.h"
 #include "inference/replicated_gibbs.h"
 #include "inference/world.h"
@@ -611,9 +612,7 @@ UpdateOutcome IncrementalEngine::RunRerun(const EngineOptions& options) {
   UpdateOutcome outcome;
   inference::GibbsOptions gopts = options.rerun_gibbs;
   gopts.seed += update_seq_;
-  inference::ReplicatedGibbsSampler sampler(graph_, gopts.num_replicas,
-                                            gopts.num_threads);
-  outcome.marginals = sampler.EstimateMarginals(gopts).marginals;
+  outcome.marginals = inference::EstimateMarginalsAuto(*graph_, gopts).marginals;
   for (VarId v = 0; v < graph_->NumVariables(); ++v) {
     const auto ev = graph_->EvidenceValue(v);
     if (ev.has_value()) outcome.marginals[v] = *ev ? 1.0 : 0.0;

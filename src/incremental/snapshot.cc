@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "inference/compiled_inference.h"
 #include "inference/replicated_gibbs.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -49,17 +50,16 @@ StatusOr<std::shared_ptr<MaterializationSnapshot>> BuildMaterializationSnapshot(
     gopts.num_threads = options.num_threads;
     gopts.num_replicas = options.num_replicas;
     gopts.sync_every_sweeps = options.sync_every_sweeps;
+    gopts.use_compiled_graph = options.use_compiled_kernel;
     gopts.interrupt = [&] {
       return cancelled() || (options.time_budget_seconds > 0 &&
                              timer.Seconds() > options.time_budget_seconds);
     };
-    inference::ReplicatedGibbsSampler sampler(&graph, options.num_replicas,
-                                              options.num_threads);
-    sampler.SampleChain(gopts, options.num_samples, options.gibbs_thin,
-                        [&](const BitVector& bits) {
-                          snap.store.Add(bits);
-                          return !gopts.interrupt();
-                        });
+    inference::SampleChainAuto(graph, gopts, options.num_samples,
+                               options.gibbs_thin, [&](const BitVector& bits) {
+                                 snap.store.Add(bits);
+                                 return !gopts.interrupt();
+                               });
   }
   if (cancelled()) return Status::FailedPrecondition("materialization cancelled");
 

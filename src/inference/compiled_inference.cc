@@ -1,0 +1,31 @@
+#include "inference/compiled_inference.h"
+
+namespace deepdive::inference {
+
+MarginalResult EstimateMarginalsAuto(const factor::FactorGraph& graph,
+                                     const GibbsOptions& options) {
+  if (options.use_compiled_graph) {
+    const factor::CompiledGraph compiled = factor::CompiledGraph::Compile(graph);
+    CompiledReplicatedGibbsSampler sampler(&compiled, options.num_replicas,
+                                           options.num_threads);
+    return sampler.EstimateMarginals(options);
+  }
+  ReplicatedGibbsSampler sampler(&graph, options.num_replicas, options.num_threads);
+  return sampler.EstimateMarginals(options);
+}
+
+void SampleChainAuto(const factor::FactorGraph& graph, const GibbsOptions& options,
+                     size_t count, size_t thin,
+                     const std::function<bool(const BitVector&)>& on_sample) {
+  if (options.use_compiled_graph) {
+    const factor::CompiledGraph compiled = factor::CompiledGraph::Compile(graph);
+    CompiledReplicatedGibbsSampler sampler(&compiled, options.num_replicas,
+                                           options.num_threads);
+    sampler.SampleChain(options, count, thin, on_sample);
+    return;
+  }
+  ReplicatedGibbsSampler sampler(&graph, options.num_replicas, options.num_threads);
+  sampler.SampleChain(options, count, thin, on_sample);
+}
+
+}  // namespace deepdive::inference

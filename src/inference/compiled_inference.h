@@ -1,0 +1,32 @@
+#ifndef DEEPDIVE_INFERENCE_COMPILED_INFERENCE_H_
+#define DEEPDIVE_INFERENCE_COMPILED_INFERENCE_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "factor/compiled_graph.h"
+#include "factor/factor_graph.h"
+#include "inference/gibbs.h"
+#include "inference/replicated_gibbs.h"
+#include "util/bitvector.h"
+
+namespace deepdive::inference {
+
+/// Whole-graph marginal estimation routed by GibbsOptions::use_compiled_graph:
+/// compiles `graph` into the flat CSR image and runs the compiled
+/// replicated/parallel/sequential sampler stack, or walks the mutable graph
+/// directly. Results are bit-identical either way for a fixed seed — the
+/// compiled path preserves iteration and RNG order exactly — so callers can
+/// treat the flag as a pure performance switch.
+MarginalResult EstimateMarginalsAuto(const factor::FactorGraph& graph,
+                                     const GibbsOptions& options);
+
+/// Materialization chain with the same routing; semantics of the emitted
+/// sample stream as ReplicatedGibbsSampler::SampleChain.
+void SampleChainAuto(const factor::FactorGraph& graph, const GibbsOptions& options,
+                     size_t count, size_t thin,
+                     const std::function<bool(const BitVector&)>& on_sample);
+
+}  // namespace deepdive::inference
+
+#endif  // DEEPDIVE_INFERENCE_COMPILED_INFERENCE_H_

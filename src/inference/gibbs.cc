@@ -6,43 +6,53 @@
 
 namespace deepdive::inference {
 
-using factor::FactorGraph;
 using factor::VarId;
 
-GibbsSampler::GibbsSampler(const FactorGraph* graph) : graph_(graph) {}
+template <typename GraphT>
+BasicGibbsSampler<GraphT>::BasicGibbsSampler(const GraphT* graph) : graph_(graph) {}
 
-double GibbsSampler::ConditionalLogOdds(const World& world, VarId v,
-                                        GibbsScratch* scratch) const {
+template <typename GraphT>
+double BasicGibbsSampler<GraphT>::ConditionalLogOdds(const WorldType& world, VarId v,
+                                                     GibbsScratch* scratch) const {
   return detail::ConditionalLogOddsImpl(*graph_, world, v, scratch);
 }
 
-double GibbsSampler::ConditionalLogOdds(const World& world, VarId v) const {
+template <typename GraphT>
+double BasicGibbsSampler<GraphT>::ConditionalLogOdds(const WorldType& world,
+                                                     VarId v) const {
   GibbsScratch scratch;
   return detail::ConditionalLogOddsImpl(*graph_, world, v, &scratch);
 }
 
-size_t GibbsSampler::Sweep(World* world, Rng* rng, bool sample_evidence) const {
+template <typename GraphT>
+size_t BasicGibbsSampler<GraphT>::Sweep(WorldType* world, Rng* rng,
+                                        bool sample_evidence) const {
   GibbsScratch scratch;
   return detail::SweepRangeImpl(*graph_, world, rng, &scratch, nullptr, 0,
                                 graph_->NumVariables(), sample_evidence);
 }
 
-size_t GibbsSampler::SweepVars(World* world, Rng* rng,
-                               const std::vector<VarId>& vars) const {
+template <typename GraphT>
+size_t BasicGibbsSampler<GraphT>::SweepVars(WorldType* world, Rng* rng,
+                                            const std::vector<VarId>& vars) const {
   GibbsScratch scratch;
   return detail::SweepRangeImpl(*graph_, world, rng, &scratch, &vars, 0, vars.size(),
                                 /*sample_evidence=*/false);
 }
 
-MarginalResult GibbsSampler::EstimateMarginals(const GibbsOptions& options) const {
-  World world(graph_);
+template <typename GraphT>
+MarginalResult BasicGibbsSampler<GraphT>::EstimateMarginals(
+    const GibbsOptions& options) const {
+  WorldType world(graph_);
   Rng rng(options.seed);
   world.InitValues(&rng, options.random_init);
   return EstimateMarginals(options, &world, &rng);
 }
 
-MarginalResult GibbsSampler::EstimateMarginals(const GibbsOptions& options, World* world,
-                                               Rng* rng) const {
+template <typename GraphT>
+MarginalResult BasicGibbsSampler<GraphT>::EstimateMarginals(const GibbsOptions& options,
+                                                            WorldType* world,
+                                                            Rng* rng) const {
   MarginalResult result;
   result.marginals.assign(graph_->NumVariables(), 0.0);
   for (size_t i = 0; i < options.burn_in_sweeps; ++i) {
@@ -66,9 +76,10 @@ MarginalResult GibbsSampler::EstimateMarginals(const GibbsOptions& options, Worl
   return result;
 }
 
-std::vector<BitVector> GibbsSampler::DrawSamples(size_t count, size_t thin,
-                                                 const GibbsOptions& options) const {
-  World world(graph_);
+template <typename GraphT>
+std::vector<BitVector> BasicGibbsSampler<GraphT>::DrawSamples(
+    size_t count, size_t thin, const GibbsOptions& options) const {
+  WorldType world(graph_);
   Rng rng(options.seed);
   world.InitValues(&rng, options.random_init);
   for (size_t i = 0; i < options.burn_in_sweeps; ++i) {
@@ -84,5 +95,8 @@ std::vector<BitVector> GibbsSampler::DrawSamples(size_t count, size_t thin,
   }
   return samples;
 }
+
+template class BasicGibbsSampler<factor::FactorGraph>;
+template class BasicGibbsSampler<factor::CompiledGraph>;
 
 }  // namespace deepdive::inference

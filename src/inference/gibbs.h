@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "factor/compiled_graph.h"
 #include "factor/factor_graph.h"
 #include "inference/world.h"
 #include "util/bitvector.h"
@@ -40,6 +41,12 @@ struct GibbsOptions {
   /// cadence rounds up to the next emission boundary so a synchronization
   /// never lands between advancing a chain and emitting its sample.
   size_t sync_every_sweeps = 50;
+  /// Routes whole-graph inference (EstimateMarginalsAuto / SampleChainAuto)
+  /// through the flat CSR CompiledGraph kernel instead of walking the
+  /// mutable pointer-rich graph. Bit-identical results either way (the
+  /// compiled path preserves iteration and RNG order exactly); this is a
+  /// pure memory-layout/performance switch.
+  bool use_compiled_graph = true;
   /// Cooperative cancellation / budget hook, polled between sweeps of
   /// ParallelGibbsSampler::SampleChain — including burn-in, so a time budget
   /// can stop a chain that would otherwise blow it before the first sample.
@@ -69,18 +76,21 @@ struct GibbsScratch {
 namespace detail {
 
 /// Core conditional computation, shared by the sequential and parallel
-/// samplers. `WorldT` must provide value(v), GroupSat(g) and ClauseUnsat(c);
-/// the parallel sampler instantiates it with AtomicWorld, whose reads may be
-/// stale under Hogwild sweeps (the races it tolerates by design).
-template <typename WorldT>
-double ConditionalLogOddsImpl(const factor::FactorGraph& graph, const WorldT& world,
+/// samplers and by both graph representations. `GraphT` is FactorGraph or
+/// CompiledGraph (identical accessor surface; the compiled one's `active`
+/// flags are constexpr-true so the skip branches fold away). `WorldT` must
+/// provide value(v), GroupSat(g) and ClauseUnsat(c); the parallel sampler
+/// instantiates it with an atomic world, whose reads may be stale under
+/// Hogwild sweeps (the races it tolerates by design).
+template <typename GraphT, typename WorldT>
+double ConditionalLogOddsImpl(const GraphT& graph, const WorldT& world,
                               factor::VarId v, GibbsScratch* scratch) {
   double log_odds = 0.0;
 
   // Groups where v is the head: W(v=1) - W(v=0) = 2 w g(n); n does not
   // depend on v because clauses may not contain their own head.
   for (factor::GroupId g : graph.HeadGroups(v)) {
-    const factor::FactorGroup& group = graph.group(g);
+    const auto& group = graph.group(g);
     if (!group.active) continue;
     log_odds += 2.0 * graph.WeightValue(group.weight) *
                 factor::GCount(group.semantics, world.GroupSat(g));
@@ -91,13 +101,13 @@ double ConditionalLogOddsImpl(const factor::FactorGraph& graph, const WorldT& wo
   auto& touched = scratch->touched;
   touched.clear();
   const bool cur = world.value(v);
-  for (const factor::BodyRef& ref : graph.BodyRefs(v)) {
-    const factor::Clause& clause = graph.clause(ref.clause);
+  for (const auto& ref : graph.BodyRefs(v)) {
+    const auto& clause = graph.clause(ref.clause);  // ref or by-value view
     if (!clause.active) continue;
-    const factor::FactorGroup& group = graph.group(clause.group);
+    const auto& group = graph.group(clause.group);
     if (!group.active) continue;
     // Other literals of the clause satisfied?
-    const bool lit_true_now = (cur != ref.negated);
+    const bool lit_true_now = (cur != static_cast<bool>(ref.negated));
     const int32_t others_unsat = world.ClauseUnsat(ref.clause) - (lit_true_now ? 0 : 1);
     if (others_unsat != 0) continue;  // clause state independent of v
     const int64_t dn = ref.negated ? -1 : +1;
@@ -113,7 +123,7 @@ double ConditionalLogOddsImpl(const factor::FactorGraph& graph, const WorldT& wo
   }
   for (const auto& [gid, dn] : touched) {
     if (dn == 0) continue;
-    const factor::FactorGroup& group = graph.group(gid);
+    const auto& group = graph.group(gid);
     const int64_t n_now = world.GroupSat(gid);
     const int64_t n1 = cur ? n_now : n_now + dn;
     const int64_t n0 = cur ? n_now - dn : n_now;
@@ -128,9 +138,11 @@ double ConditionalLogOddsImpl(const factor::FactorGraph& graph, const WorldT& wo
 /// when `vars` is null) into `world`, consuming `rng` once per sampleable
 /// variable. The one sweep loop shared by the sequential sampler and every
 /// Hogwild worker — keeping a single copy is what guarantees the
-/// num_threads == 1 configurations stay bit-identical to GibbsSampler.
-template <typename WorldT>
-size_t SweepRangeImpl(const factor::FactorGraph& graph, WorldT* world, Rng* rng,
+/// num_threads == 1 configurations stay bit-identical to GibbsSampler, and
+/// the GraphT parameter is what guarantees the compiled-graph path stays
+/// bit-identical to the mutable one.
+template <typename GraphT, typename WorldT>
+size_t SweepRangeImpl(const GraphT& graph, WorldT* world, Rng* rng,
                       GibbsScratch* scratch, const std::vector<factor::VarId>* vars,
                       size_t begin, size_t end, bool sample_evidence) {
   size_t flips = 0;
@@ -156,33 +168,42 @@ size_t SweepRangeImpl(const factor::FactorGraph& graph, WorldT* world, Rng* rng,
 /// groups contribute 2 w g(n); body memberships contribute
 /// w sign(head) (g(n|v=1) - g(n|v=0)) via the maintained clause statistics.
 ///
+/// Templated over the graph representation (mutable FactorGraph or the flat
+/// CSR CompiledGraph — see compiled_graph.h); same seed, same graph content
+/// => bit-identical marginals on either.
+///
 /// The sampler is stateless (all scratch is caller- or call-local), so one
 /// `const` instance can be shared by any number of threads as long as each
 /// thread uses its own World/Rng/GibbsScratch.
-class GibbsSampler {
+template <typename GraphT>
+class BasicGibbsSampler {
  public:
-  explicit GibbsSampler(const factor::FactorGraph* graph);
+  using WorldType = BasicWorld<GraphT>;
 
-  const factor::FactorGraph& graph() const { return *graph_; }
+  explicit BasicGibbsSampler(const GraphT* graph);
+
+  /// The frozen-during-runs graph (see FactorGraph's thread contract).
+  const GraphT& graph() const { return *graph_; }
 
   /// log [ Pr(v=1 | rest) / Pr(v=0 | rest) ] in `world`. The scratch overload
   /// is allocation-free after warm-up; the convenience overload pays one
   /// small allocation per call.
-  double ConditionalLogOdds(const World& world, factor::VarId v,
+  double ConditionalLogOdds(const WorldType& world, factor::VarId v,
                             GibbsScratch* scratch) const;
-  double ConditionalLogOdds(const World& world, factor::VarId v) const;
+  double ConditionalLogOdds(const WorldType& world, factor::VarId v) const;
 
   /// One systematic sweep over sampleable variables. Returns #flips.
-  size_t Sweep(World* world, Rng* rng, bool sample_evidence = false) const;
+  size_t Sweep(WorldType* world, Rng* rng, bool sample_evidence = false) const;
 
   /// One sweep restricted to the given variables (decomposition groups).
-  size_t SweepVars(World* world, Rng* rng, const std::vector<factor::VarId>& vars) const;
+  size_t SweepVars(WorldType* world, Rng* rng,
+                   const std::vector<factor::VarId>& vars) const;
 
   /// Runs burn-in + sampling sweeps and averages indicator values.
   MarginalResult EstimateMarginals(const GibbsOptions& options) const;
 
   /// As above, but reuses the caller's world/chain (for warm chains).
-  MarginalResult EstimateMarginals(const GibbsOptions& options, World* world,
+  MarginalResult EstimateMarginals(const GibbsOptions& options, WorldType* world,
                                    Rng* rng) const;
 
   /// Draws `count` packed sample worlds, `thin` sweeps apart, after burn-in.
@@ -191,8 +212,14 @@ class GibbsSampler {
                                      const GibbsOptions& options) const;
 
  private:
-  const factor::FactorGraph* graph_;
+  const GraphT* graph_;
 };
+
+using GibbsSampler = BasicGibbsSampler<factor::FactorGraph>;
+using CompiledGibbsSampler = BasicGibbsSampler<factor::CompiledGraph>;
+
+extern template class BasicGibbsSampler<factor::FactorGraph>;
+extern template class BasicGibbsSampler<factor::CompiledGraph>;
 
 }  // namespace deepdive::inference
 

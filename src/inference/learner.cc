@@ -14,14 +14,16 @@ using factor::FactorGraph;
 using factor::VarId;
 using factor::WeightId;
 
-Learner::Learner(FactorGraph* graph) : graph_(graph) {}
+template <typename GraphT>
+BasicLearner<GraphT>::BasicLearner(GraphT* graph) : graph_(graph) {}
 
-double Learner::EvidenceLoss() const {
+template <typename GraphT>
+double BasicLearner<GraphT>::EvidenceLoss() const {
   // Clamped world: evidence at labels, query variables at their conditional
   // mode given an all-false start (cheap deterministic proxy; the loss is
   // used for relative learning curves, not as the training objective).
-  World world(graph_);
-  GibbsSampler sampler(graph_);
+  BasicWorld<GraphT> world(graph_);
+  BasicGibbsSampler<GraphT> sampler(graph_);
   GibbsScratch scratch;
   double loss = 0.0;
   size_t count = 0;
@@ -38,13 +40,14 @@ double Learner::EvidenceLoss() const {
   return count > 0 ? loss / static_cast<double>(count) : 0.0;
 }
 
-LearnStats Learner::RunEpochs(
+template <typename GraphT>
+LearnStats BasicLearner<GraphT>::RunEpochs(
     const LearnerOptions& options,
     const std::function<void(std::vector<double>* grad)>& accumulate_sweep) {
   LearnStats stats;
   if (!options.warmstart) {
     for (WeightId w = 0; w < graph_->NumWeights(); ++w) {
-      if (graph_->weight(w).learnable) graph_->SetWeightValue(w, 0.0);
+      if (graph_->WeightLearnable(w)) graph_->SetWeightValue(w, 0.0);
     }
   }
   stats.initial_loss = EvidenceLoss();
@@ -57,7 +60,7 @@ LearnStats Learner::RunEpochs(
     const size_t sweeps = std::max<size_t>(1, options.sweeps_per_epoch);
     for (size_t s = 0; s < sweeps; ++s) accumulate_sweep(&grad);
     for (WeightId w = 0; w < num_weights; ++w) {
-      if (!graph_->weight(w).learnable) continue;
+      if (!graph_->WeightLearnable(w)) continue;
       const double g = grad[w] / static_cast<double>(sweeps);
       const double updated =
           graph_->WeightValue(w) + lr * (g - options.l2 * graph_->WeightValue(w));
@@ -72,15 +75,16 @@ LearnStats Learner::RunEpochs(
   return stats;
 }
 
-LearnStats Learner::Learn(const LearnerOptions& options) {
+template <typename GraphT>
+LearnStats BasicLearner<GraphT>::Learn(const LearnerOptions& options) {
   if (options.num_replicas >= 2) return LearnReplicated(options);
 
-  GibbsSampler sampler(graph_);
+  BasicGibbsSampler<GraphT> sampler(graph_);
   Rng rng(options.seed);
 
   // Persistent chains.
-  World clamped(graph_);
-  World free(graph_);
+  BasicWorld<GraphT> clamped(graph_);
+  BasicWorld<GraphT> free(graph_);
   clamped.InitValues(&rng, /*random_init=*/true);
   free.InitValues(&rng, /*random_init=*/true);
 
@@ -105,33 +109,34 @@ LearnStats Learner::Learn(const LearnerOptions& options) {
       sampler.Sweep(&free, &rng, /*sample_evidence=*/true);
     }
     for (WeightId w = 0; w < graph_->NumWeights(); ++w) {
-      if (!graph_->weight(w).learnable) continue;
+      if (!graph_->WeightLearnable(w)) continue;
       (*grad)[w] += clamped.WeightFeature(w) - free.WeightFeature(w);
     }
   });
 }
 
-LearnStats Learner::LearnReplicated(const LearnerOptions& options) {
+template <typename GraphT>
+LearnStats BasicLearner<GraphT>::LearnReplicated(const LearnerOptions& options) {
   // Chain 2r is clamped replica r, chain 2r + 1 is free replica r. Every
   // chain owns a private world and (seed, chain, worker)-keyed streams; the
   // replicated sampler's pool runs all 2R chains concurrently, each chain's
   // Hogwild shards on its own replica sampler. With one worker per chain
   // every chain is internally sequential, so the whole procedure is
   // deterministic for a fixed seed.
+  using Replicated = BasicReplicatedGibbsSampler<GraphT>;
   const size_t replicas = options.num_replicas;
   const size_t chains = 2 * replicas;
-  ReplicatedGibbsSampler replicated(graph_, chains, options.num_threads);
-  std::vector<std::unique_ptr<AtomicWorld>> worlds;
+  Replicated replicated(graph_, chains, options.num_threads);
+  std::vector<std::unique_ptr<BasicAtomicWorld<GraphT>>> worlds;
   std::vector<std::vector<Rng>> rngs;
   worlds.reserve(chains);
   rngs.reserve(chains);
   for (size_t c = 0; c < chains; ++c) {
-    worlds.push_back(std::make_unique<AtomicWorld>(graph_));
+    worlds.push_back(std::make_unique<BasicAtomicWorld<GraphT>>(graph_));
     rngs.push_back(replicated.replica(c).MakeRngStreams(options.seed, c));
   }
   replicated.ForEachReplica([&](size_t c) {
-    Rng init_rng(ReplicatedGibbsSampler::AuxSeed(
-        options.seed, c, ReplicatedGibbsSampler::kInitStream));
+    Rng init_rng(Replicated::AuxSeed(options.seed, c, Replicated::kInitStream));
     worlds[c]->InitValues(&init_rng, /*random_init=*/true);
   });
 
@@ -143,7 +148,7 @@ LearnStats Learner::LearnReplicated(const LearnerOptions& options) {
     // Replica-averaged gradient: the weight vector is the consensus model,
     // synchronized across replicas at every step.
     for (WeightId w = 0; w < graph_->NumWeights(); ++w) {
-      if (!graph_->weight(w).learnable) continue;
+      if (!graph_->WeightLearnable(w)) continue;
       double clamped_f = 0.0, free_f = 0.0;
       for (size_t r = 0; r < replicas; ++r) {
         clamped_f += worlds[2 * r]->WeightFeature(w);
@@ -152,6 +157,32 @@ LearnStats Learner::LearnReplicated(const LearnerOptions& options) {
       (*grad)[w] += (clamped_f - free_f) / static_cast<double>(replicas);
     }
   });
+}
+
+template class BasicLearner<factor::FactorGraph>;
+template class BasicLearner<factor::CompiledGraph>;
+
+// ---- Learner façade --------------------------------------------------------
+
+Learner::Learner(FactorGraph* graph) : graph_(graph) {}
+
+double Learner::EvidenceLoss() const {
+  return BasicLearner<FactorGraph>(graph_).EvidenceLoss();
+}
+
+LearnStats Learner::Learn(const LearnerOptions& options) {
+  if (!options.use_compiled_graph) {
+    return BasicLearner<FactorGraph>(graph_).Learn(options);
+  }
+  // Compile once, learn on the flat image, write the weights back. The
+  // compiled kernel preserves iteration and RNG order exactly, so the learned
+  // weights are bit-identical to the mutable path.
+  factor::CompiledGraph compiled = factor::CompiledGraph::Compile(*graph_);
+  LearnStats stats = BasicLearner<factor::CompiledGraph>(&compiled).Learn(options);
+  for (WeightId w = 0; w < graph_->NumWeights(); ++w) {
+    graph_->SetWeightValue(w, compiled.WeightValue(w));
+  }
+  return stats;
 }
 
 }  // namespace deepdive::inference

@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "factor/compiled_graph.h"
 #include "factor/factor_graph.h"
 #include "inference/world.h"
 
@@ -36,6 +37,11 @@ struct LearnerOptions {
   /// worker (num_threads <= 2 * num_replicas). 1 keeps the historical
   /// two-chain path bit-identical.
   size_t num_replicas = 1;
+  /// Learn against the flat CSR CompiledGraph kernel: the graph is compiled
+  /// once, all chains sweep the compiled image, and the learned weights are
+  /// copied back. Bit-identical weights either way (the compiled path
+  /// preserves iteration and RNG order exactly); pure layout/perf switch.
+  bool use_compiled_graph = true;
 };
 
 struct LearnStats {
@@ -45,16 +51,18 @@ struct LearnStats {
   size_t epochs_run = 0;
 };
 
-/// Weight learning by stochastic maximum likelihood (persistent contrastive
-/// divergence), the standard Gibbs-based procedure of Tuffy/DeepDive:
-/// maintain a "clamped" chain (evidence fixed to labels) and a "free" chain
-/// (evidence resampled); the gradient of a weight is the difference of its
-/// sufficient statistic sign(head) * g(n_sat) between the chains. Only
-/// weights flagged learnable move. Warmstart (keep previous weights) is the
-/// incremental-learning technique evaluated in Figure 16.
-class Learner {
+/// Weight-learning engine templated over the graph representation (mutable
+/// FactorGraph or flat CSR CompiledGraph): stochastic maximum likelihood
+/// (persistent contrastive divergence), the standard Gibbs-based procedure of
+/// Tuffy/DeepDive — maintain a "clamped" chain (evidence fixed to labels) and
+/// a "free" chain (evidence resampled); the gradient of a weight is the
+/// difference of its sufficient statistic sign(head) * g(n_sat) between the
+/// chains. Only weights flagged learnable move. The graph's weight values are
+/// updated in place (single-writer: this learner, between inference runs).
+template <typename GraphT>
+class BasicLearner {
  public:
-  explicit Learner(factor::FactorGraph* graph);
+  explicit BasicLearner(GraphT* graph);
 
   LearnStats Learn(const LearnerOptions& options);
 
@@ -80,6 +88,28 @@ class Learner {
   /// consensus model of DimmWitted-style model averaging).
   LearnStats LearnReplicated(const LearnerOptions& options);
 
+  GraphT* graph_;
+};
+
+extern template class BasicLearner<factor::FactorGraph>;
+extern template class BasicLearner<factor::CompiledGraph>;
+
+/// Weight learning over a mutable FactorGraph. Warmstart (keep previous
+/// weights) is the incremental-learning technique evaluated in Figure 16.
+/// With `options.use_compiled_graph` the chains run on a one-shot compiled
+/// snapshot of the graph (same results, flat-array sweep speed) and the
+/// learned weights are written back into the mutable graph.
+class Learner {
+ public:
+  explicit Learner(factor::FactorGraph* graph);
+
+  LearnStats Learn(const LearnerOptions& options);
+
+  /// See BasicLearner::EvidenceLoss; always evaluated against the current
+  /// mutable graph weights.
+  double EvidenceLoss() const;
+
+ private:
   factor::FactorGraph* graph_;
 };
 

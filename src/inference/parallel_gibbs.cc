@@ -7,15 +7,14 @@
 namespace deepdive::inference {
 
 using factor::ClauseId;
-using factor::FactorGraph;
 using factor::GroupId;
-using factor::Literal;
 using factor::VarId;
 using factor::WeightId;
 
-// ---- AtomicWorld -----------------------------------------------------------
+// ---- BasicAtomicWorld ------------------------------------------------------
 
-AtomicWorld::AtomicWorld(const FactorGraph* graph)
+template <typename GraphT>
+BasicAtomicWorld<GraphT>::BasicAtomicWorld(const GraphT* graph)
     : graph_(graph),
       values_(graph->NumVariables()),
       clause_unsat_(graph->NumClauses()),
@@ -23,15 +22,16 @@ AtomicWorld::AtomicWorld(const FactorGraph* graph)
   InitValues(nullptr, /*random_init=*/false);
 }
 
-void AtomicWorld::Flip(VarId v, bool new_value) {
+template <typename GraphT>
+void BasicAtomicWorld<GraphT>::Flip(VarId v, bool new_value) {
   // ordering: relaxed — Hogwild: callers partition variables so no two
   // threads Flip the same id; concurrent readers tolerate staleness and the
   // statistics RMWs below keep the counters exact without ordering.
   const uint8_t old = values_[v].exchange(new_value ? 1 : 0, std::memory_order_relaxed);
   if ((old != 0) == new_value) return;
-  for (const factor::BodyRef& ref : graph_->BodyRefs(v)) {
+  for (const auto& ref : graph_->BodyRefs(v)) {
     if (!graph_->clause(ref.clause).active) continue;
-    const bool lit_true_now = (new_value != ref.negated);
+    const bool lit_true_now = (new_value != static_cast<bool>(ref.negated));
     const GroupId g = graph_->clause(ref.clause).group;
     // ordering: relaxed — atomicity (not ordering) is what is needed here:
     // fetch_add/fetch_sub return the previous value, so the 0-crossing that
@@ -49,7 +49,8 @@ void AtomicWorld::Flip(VarId v, bool new_value) {
   }
 }
 
-void AtomicWorld::InitValues(Rng* rng, bool random_init) {
+template <typename GraphT>
+void BasicAtomicWorld<GraphT>::InitValues(Rng* rng, bool random_init) {
   for (VarId v = 0; v < values_.size(); ++v) {
     const auto ev = graph_->EvidenceValue(v);
     uint8_t value = 0;
@@ -65,8 +66,9 @@ void AtomicWorld::InitValues(Rng* rng, bool random_init) {
   RecomputeStats();
 }
 
-void AtomicWorld::LoadBitsPrefix(const BitVector& bits, bool fill, bool apply_evidence,
-                                 ThreadPool* pool) {
+template <typename GraphT>
+void BasicAtomicWorld<GraphT>::LoadBitsPrefix(const BitVector& bits, bool fill,
+                                              bool apply_evidence, ThreadPool* pool) {
   DD_CHECK_LE(bits.size(), values_.size());
   for (VarId v = 0; v < values_.size(); ++v) {
     const bool bit = v < bits.size() ? bits.Get(v) : fill;
@@ -84,13 +86,15 @@ void AtomicWorld::LoadBitsPrefix(const BitVector& bits, bool fill, bool apply_ev
   RecomputeStats(pool);
 }
 
-BitVector AtomicWorld::ToBits() const {
+template <typename GraphT>
+BitVector BasicAtomicWorld<GraphT>::ToBits() const {
   BitVector bits(values_.size());
   for (VarId v = 0; v < values_.size(); ++v) bits.Set(v, value(v));
   return bits;
 }
 
-void AtomicWorld::RecomputeStats(ThreadPool* pool) {
+template <typename GraphT>
+void BasicAtomicWorld<GraphT>::RecomputeStats(ThreadPool* pool) {
   // Publication contract: the relaxed stores below are read by Hogwild
   // workers (and plain callers) AFTER this function returns, with relaxed
   // loads and no release/acquire pair of their own. The happens-before edge
@@ -115,8 +119,8 @@ void AtomicWorld::RecomputeStats(ThreadPool* pool) {
         continue;
       }
       int32_t unsat = 0;
-      for (const Literal& lit : graph_->clause(c).literals) {
-        if (value(lit.var) == lit.negated) ++unsat;
+      for (const auto& lit : graph_->ClauseLiterals(c)) {
+        if (value(lit.var) == static_cast<bool>(lit.negated)) ++unsat;
       }
       // ordering: relaxed — disjoint clause ranges per shard (join publishes).
       clause_unsat_[c].store(unsat, std::memory_order_relaxed);
@@ -139,10 +143,11 @@ void AtomicWorld::RecomputeStats(ThreadPool* pool) {
   }
 }
 
-double AtomicWorld::WeightFeature(WeightId weight) const {
+template <typename GraphT>
+double BasicAtomicWorld<GraphT>::WeightFeature(WeightId weight) const {
   double f = 0.0;
   for (GroupId g : graph_->GroupsForWeight(weight)) {
-    const factor::FactorGroup& group = graph_->group(g);
+    const auto& group = graph_->group(g);
     if (!group.active) continue;
     const double sign = value(group.head) ? 1.0 : -1.0;
     f += sign * factor::GCount(group.semantics, GroupSat(g));
@@ -150,17 +155,23 @@ double AtomicWorld::WeightFeature(WeightId weight) const {
   return f;
 }
 
-// ---- ParallelGibbsSampler --------------------------------------------------
+template class BasicAtomicWorld<factor::FactorGraph>;
+template class BasicAtomicWorld<factor::CompiledGraph>;
 
-ParallelGibbsSampler::ParallelGibbsSampler(const FactorGraph* graph, size_t num_threads)
+// ---- BasicParallelGibbsSampler ---------------------------------------------
+
+template <typename GraphT>
+BasicParallelGibbsSampler<GraphT>::BasicParallelGibbsSampler(const GraphT* graph,
+                                                             size_t num_threads)
     : graph_(graph),
       num_threads_(num_threads == 0 ? ThreadPool::DefaultThreads()
                                     : num_threads),
       pool_(num_threads_),
       scratch_(pool_.shards()) {}
 
-std::vector<Rng> ParallelGibbsSampler::MakeRngStreams(uint64_t seed,
-                                                      uint64_t replica) const {
+template <typename GraphT>
+std::vector<Rng> BasicParallelGibbsSampler<GraphT>::MakeRngStreams(
+    uint64_t seed, uint64_t replica) const {
   std::vector<Rng> rngs;
   rngs.reserve(pool_.shards());
   for (size_t t = 0; t < pool_.shards(); ++t) {
@@ -169,8 +180,10 @@ std::vector<Rng> ParallelGibbsSampler::MakeRngStreams(uint64_t seed,
   return rngs;
 }
 
-size_t ParallelGibbsSampler::Sweep(AtomicWorld* world, std::vector<Rng>* rngs,
-                                   bool sample_evidence) const {
+template <typename GraphT>
+size_t BasicParallelGibbsSampler<GraphT>::Sweep(WorldType* world,
+                                                std::vector<Rng>* rngs,
+                                                bool sample_evidence) const {
   DD_CHECK_GE(rngs->size(), pool_.shards());
   std::vector<size_t> flips(pool_.shards(), 0);
   pool_.ParallelFor(graph_->NumVariables(),
@@ -184,8 +197,9 @@ size_t ParallelGibbsSampler::Sweep(AtomicWorld* world, std::vector<Rng>* rngs,
   return total;
 }
 
-size_t ParallelGibbsSampler::SweepVars(AtomicWorld* world, std::vector<Rng>* rngs,
-                                       const std::vector<VarId>& vars) const {
+template <typename GraphT>
+size_t BasicParallelGibbsSampler<GraphT>::SweepVars(
+    WorldType* world, std::vector<Rng>* rngs, const std::vector<VarId>& vars) const {
   DD_CHECK_GE(rngs->size(), pool_.shards());
   std::vector<size_t> flips(pool_.shards(), 0);
   pool_.ParallelFor(vars.size(), [&](size_t shard, size_t begin, size_t end) {
@@ -198,17 +212,20 @@ size_t ParallelGibbsSampler::SweepVars(AtomicWorld* world, std::vector<Rng>* rng
   return total;
 }
 
-MarginalResult ParallelGibbsSampler::EstimateMarginals(const GibbsOptions& options) const {
+template <typename GraphT>
+MarginalResult BasicParallelGibbsSampler<GraphT>::EstimateMarginals(
+    const GibbsOptions& options) const {
   if (num_threads_ <= 1) {
-    // Sequential delegation: bit-identical to GibbsSampler for a given seed.
-    return GibbsSampler(graph_).EstimateMarginals(options);
+    // Sequential delegation: bit-identical to the sequential sampler for a
+    // given seed.
+    return BasicGibbsSampler<GraphT>(graph_).EstimateMarginals(options);
   }
 
   MarginalResult result;
   const size_t n = graph_->NumVariables();
   result.marginals.assign(n, 0.0);
 
-  AtomicWorld world(graph_);
+  WorldType world(graph_);
   Rng init_rng(options.seed);
   world.InitValues(&init_rng, options.random_init);
   std::vector<Rng> rngs = MakeRngStreams(options.seed);
@@ -238,8 +255,9 @@ MarginalResult ParallelGibbsSampler::EstimateMarginals(const GibbsOptions& optio
   return result;
 }
 
-std::vector<BitVector> ParallelGibbsSampler::DrawSamples(size_t count, size_t thin,
-                                                         const GibbsOptions& options) const {
+template <typename GraphT>
+std::vector<BitVector> BasicParallelGibbsSampler<GraphT>::DrawSamples(
+    size_t count, size_t thin, const GibbsOptions& options) const {
   std::vector<BitVector> samples;
   samples.reserve(count);
   SampleChain(options, count, thin, [&](const BitVector& bits) {
@@ -249,7 +267,8 @@ std::vector<BitVector> ParallelGibbsSampler::DrawSamples(size_t count, size_t th
   return samples;
 }
 
-void ParallelGibbsSampler::SampleChain(
+template <typename GraphT>
+void BasicParallelGibbsSampler<GraphT>::SampleChain(
     const GibbsOptions& options, size_t count, size_t thin,
     const std::function<bool(const BitVector&)>& on_sample) const {
   const size_t thin_sweeps = std::max<size_t>(1, thin);
@@ -257,10 +276,10 @@ void ParallelGibbsSampler::SampleChain(
     return options.interrupt && options.interrupt();
   };
   if (num_threads_ <= 1) {
-    // Matches GibbsSampler::DrawSamples / the engine's historical
+    // Matches the sequential DrawSamples / the engine's historical
     // materialization loop exactly: one Rng drives init, burn-in and thinning.
-    GibbsSampler sequential(graph_);
-    World world(graph_);
+    BasicGibbsSampler<GraphT> sequential(graph_);
+    BasicWorld<GraphT> world(graph_);
     Rng rng(options.seed);
     world.InitValues(&rng, options.random_init);
     for (size_t i = 0; i < options.burn_in_sweeps; ++i) {
@@ -277,7 +296,7 @@ void ParallelGibbsSampler::SampleChain(
     return;
   }
 
-  AtomicWorld world(graph_);
+  WorldType world(graph_);
   Rng init_rng(options.seed);
   world.InitValues(&init_rng, options.random_init);
   std::vector<Rng> rngs = MakeRngStreams(options.seed);
@@ -293,5 +312,8 @@ void ParallelGibbsSampler::SampleChain(
     if (!on_sample(world.ToBits())) return;
   }
 }
+
+template class BasicParallelGibbsSampler<factor::FactorGraph>;
+template class BasicParallelGibbsSampler<factor::CompiledGraph>;
 
 }  // namespace deepdive::inference

@@ -6,6 +6,7 @@
 #include <functional>
 #include <vector>
 
+#include "factor/compiled_graph.h"
 #include "factor/factor_graph.h"
 #include "inference/gibbs.h"
 #include "inference/world.h"
@@ -23,14 +24,17 @@ namespace deepdive::inference {
 /// neighbor's value or a clause statistic a few microseconds stale, which is
 /// the standard DimmWitted/Hogwild trade.
 ///
-/// Mirrors the World API the samplers need (value / GroupSat / ClauseUnsat /
-/// Flip), so the templated conditional in gibbs.h works on either.
-class AtomicWorld {
+/// Templated over the graph representation (mutable FactorGraph or the flat
+/// CSR CompiledGraph). Mirrors the World API the samplers need (value /
+/// GroupSat / ClauseUnsat / Flip), so the templated conditional in gibbs.h
+/// works on either.
+template <typename GraphT>
+class BasicAtomicWorld {
  public:
-  explicit AtomicWorld(const factor::FactorGraph* graph);
+  explicit BasicAtomicWorld(const GraphT* graph);
 
   /// The frozen-during-runs graph (see FactorGraph's thread contract).
-  const factor::FactorGraph& graph() const { return *graph_; }
+  const GraphT& graph() const { return *graph_; }
   size_t NumVariables() const { return values_.size(); }
 
   // ordering: relaxed — the Hogwild contract (see class comment): reads may
@@ -74,7 +78,7 @@ class AtomicWorld {
   double WeightFeature(factor::WeightId weight) const;
 
  private:
-  const factor::FactorGraph* graph_;
+  const GraphT* graph_;
   /// Hogwild-exempt state: deliberately NOT annotated with GUARDED_BY and
   /// deliberately relaxed — concurrent same-location access from many
   /// workers without mutual exclusion IS the algorithm (Niu et al.'s
@@ -86,12 +90,18 @@ class AtomicWorld {
   std::vector<std::atomic<int64_t>> group_sat_;
 };
 
+using AtomicWorld = BasicAtomicWorld<factor::FactorGraph>;
+using CompiledAtomicWorld = BasicAtomicWorld<factor::CompiledGraph>;
+
+extern template class BasicAtomicWorld<factor::FactorGraph>;
+extern template class BasicAtomicWorld<factor::CompiledGraph>;
+
 /// Multi-threaded Gibbs sampler (the DimmWitted execution model the paper's
 /// Section 2.5 samplers run on): variables are partitioned into contiguous
 /// shards, one worker per shard runs asynchronous Hogwild sweeps against a
-/// shared AtomicWorld, and every worker owns a private RNG stream and
+/// shared atomic world, and every worker owns a private RNG stream and
 /// conditional-evaluation scratch, so the underlying (stateless, const)
-/// GibbsSampler logic is shared race-free.
+/// sampler logic is shared race-free.
 ///
 /// `num_threads == 1` runs the exact sequential sampler on the calling
 /// thread — bit-identical results for a given seed, which keeps every
@@ -102,12 +112,15 @@ class AtomicWorld {
 /// across calling threads: its methods are const but use the instance's
 /// worker pool and per-shard scratch, so concurrent calls on one instance
 /// race. Create one sampler per calling thread (workers inside are fine).
-class ParallelGibbsSampler {
+template <typename GraphT>
+class BasicParallelGibbsSampler {
  public:
-  explicit ParallelGibbsSampler(const factor::FactorGraph* graph,
-                                size_t num_threads = 1);
+  using WorldType = BasicAtomicWorld<GraphT>;
 
-  const factor::FactorGraph& graph() const { return *graph_; }
+  explicit BasicParallelGibbsSampler(const GraphT* graph, size_t num_threads = 1);
+
+  /// The frozen-during-runs graph (see FactorGraph's thread contract).
+  const GraphT& graph() const { return *graph_; }
   size_t num_threads() const { return num_threads_; }
 
   /// Burn-in + sampling sweeps, averaging indicator values; honors the
@@ -127,12 +140,12 @@ class ParallelGibbsSampler {
 
   /// One Hogwild sweep over all sampleable variables. `rngs` must hold at
   /// least num_threads() streams (see MakeRngStreams). Returns total flips.
-  size_t Sweep(AtomicWorld* world, std::vector<Rng>* rngs,
+  size_t Sweep(WorldType* world, std::vector<Rng>* rngs,
                bool sample_evidence = false) const;
 
   /// One Hogwild sweep restricted to `vars` (decomposition groups /
   /// extension variables), partitioned across workers.
-  size_t SweepVars(AtomicWorld* world, std::vector<Rng>* rngs,
+  size_t SweepVars(WorldType* world, std::vector<Rng>* rngs,
                    const std::vector<factor::VarId>& vars) const;
 
   /// Per-worker decorrelated RNG streams, keyed by (seed, replica, worker).
@@ -148,7 +161,7 @@ class ParallelGibbsSampler {
   ThreadPool* pool() const { return &pool_; }
 
  private:
-  const factor::FactorGraph* graph_;
+  const GraphT* graph_;
   size_t num_threads_;
   mutable ThreadPool pool_;
   // Per-shard conditional scratch, indexed by ParallelFor shard id. Workers
@@ -156,6 +169,12 @@ class ParallelGibbsSampler {
   // calling thread's perspective.
   mutable std::vector<GibbsScratch> scratch_;
 };
+
+using ParallelGibbsSampler = BasicParallelGibbsSampler<factor::FactorGraph>;
+using CompiledParallelGibbsSampler = BasicParallelGibbsSampler<factor::CompiledGraph>;
+
+extern template class BasicParallelGibbsSampler<factor::FactorGraph>;
+extern template class BasicParallelGibbsSampler<factor::CompiledGraph>;
 
 }  // namespace deepdive::inference
 

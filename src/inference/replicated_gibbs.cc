@@ -7,12 +7,12 @@
 
 namespace deepdive::inference {
 
-using factor::FactorGraph;
 using factor::VarId;
 
-ReplicatedGibbsSampler::ReplicatedGibbsSampler(const FactorGraph* graph,
-                                               size_t num_replicas,
-                                               size_t num_threads)
+template <typename GraphT>
+BasicReplicatedGibbsSampler<GraphT>::BasicReplicatedGibbsSampler(const GraphT* graph,
+                                                                 size_t num_replicas,
+                                                                 size_t num_threads)
     : graph_(graph),
       threads_per_replica_(1),
       replica_pool_(std::max<size_t>(1, num_replicas)) {
@@ -24,12 +24,13 @@ ReplicatedGibbsSampler::ReplicatedGibbsSampler(const FactorGraph* graph,
   for (size_t r = 0; r < replicas; ++r) {
     // The single-replica sampler keeps the whole budget (it IS the
     // shared-world sampler then); R > 1 splits it evenly.
-    replicas_.push_back(std::make_unique<ParallelGibbsSampler>(
+    replicas_.push_back(std::make_unique<ReplicaSampler>(
         graph, replicas == 1 ? total : threads_per_replica_));
   }
 }
 
-void ReplicatedGibbsSampler::ForEachReplica(
+template <typename GraphT>
+void BasicReplicatedGibbsSampler<GraphT>::ForEachReplica(
     const std::function<void(size_t)>& fn) const {
   if (replicas_.size() == 1) {
     fn(0);
@@ -41,13 +42,14 @@ void ReplicatedGibbsSampler::ForEachReplica(
   replica_pool_.Wait();
 }
 
-std::vector<ReplicatedGibbsSampler::ReplicaChain>
-ReplicatedGibbsSampler::InitChains(const GibbsOptions& options,
-                                   bool with_counts) const {
+template <typename GraphT>
+std::vector<typename BasicReplicatedGibbsSampler<GraphT>::ReplicaChain>
+BasicReplicatedGibbsSampler<GraphT>::InitChains(const GibbsOptions& options,
+                                                bool with_counts) const {
   std::vector<ReplicaChain> chains(replicas_.size());
   ForEachReplica([&](size_t r) {
     ReplicaChain& c = chains[r];
-    c.world = std::make_unique<AtomicWorld>(graph_);
+    c.world = std::make_unique<WorldType>(graph_);
     Rng init_rng(AuxSeed(options.seed, r, kInitStream));
     c.world->InitValues(&init_rng, options.random_init);
     c.rngs = replicas_[r]->MakeRngStreams(options.seed, r);
@@ -57,15 +59,16 @@ ReplicatedGibbsSampler::InitChains(const GibbsOptions& options,
   return chains;
 }
 
-void ReplicatedGibbsSampler::RunBlock(std::vector<ReplicaChain>* chains,
-                                      size_t sweep_start, size_t count,
-                                      size_t burn_in,
-                                      const GibbsOptions& options,
-                                      bool poll_interrupt) const {
+template <typename GraphT>
+void BasicReplicatedGibbsSampler<GraphT>::RunBlock(std::vector<ReplicaChain>* chains,
+                                                   size_t sweep_start, size_t count,
+                                                   size_t burn_in,
+                                                   const GibbsOptions& options,
+                                                   bool poll_interrupt) const {
   const size_t n = graph_->NumVariables();
   ForEachReplica([&](size_t r) {
     ReplicaChain& c = (*chains)[r];
-    AtomicWorld* world = c.world.get();
+    WorldType* world = c.world.get();
     for (size_t i = 0; i < count; ++i) {
       if (poll_interrupt && options.interrupt && options.interrupt()) {
         c.interrupted = true;
@@ -90,9 +93,10 @@ void ReplicatedGibbsSampler::RunBlock(std::vector<ReplicaChain>* chains,
   });
 }
 
-void ReplicatedGibbsSampler::Synchronize(std::vector<ReplicaChain>* chains,
-                                         size_t samples_taken,
-                                         const GibbsOptions& options) const {
+template <typename GraphT>
+void BasicReplicatedGibbsSampler<GraphT>::Synchronize(std::vector<ReplicaChain>* chains,
+                                                      size_t samples_taken,
+                                                      const GibbsOptions& options) const {
   const size_t n = graph_->NumVariables();
   const size_t replicas = replicas_.size();
   // Consensus marginal estimate, reduced in replica order on the calling
@@ -130,7 +134,8 @@ void ReplicatedGibbsSampler::Synchronize(std::vector<ReplicaChain>* chains,
   });
 }
 
-bool ReplicatedGibbsSampler::AnyInterrupted(
+template <typename GraphT>
+bool BasicReplicatedGibbsSampler<GraphT>::AnyInterrupted(
     const std::vector<ReplicaChain>& chains) const {
   for (const ReplicaChain& c : chains) {
     if (c.interrupted) return true;
@@ -138,7 +143,8 @@ bool ReplicatedGibbsSampler::AnyInterrupted(
   return false;
 }
 
-MarginalResult ReplicatedGibbsSampler::EstimateMarginals(
+template <typename GraphT>
+MarginalResult BasicReplicatedGibbsSampler<GraphT>::EstimateMarginals(
     const GibbsOptions& options) const {
   if (replicas_.size() == 1) {
     // Single replica: exactly the shared-world sampler (and at one thread,
@@ -183,7 +189,8 @@ MarginalResult ReplicatedGibbsSampler::EstimateMarginals(
   return result;
 }
 
-std::vector<BitVector> ReplicatedGibbsSampler::DrawSamples(
+template <typename GraphT>
+std::vector<BitVector> BasicReplicatedGibbsSampler<GraphT>::DrawSamples(
     size_t count, size_t thin, const GibbsOptions& options) const {
   std::vector<BitVector> samples;
   samples.reserve(count);
@@ -194,7 +201,8 @@ std::vector<BitVector> ReplicatedGibbsSampler::DrawSamples(
   return samples;
 }
 
-void ReplicatedGibbsSampler::SampleChain(
+template <typename GraphT>
+void BasicReplicatedGibbsSampler<GraphT>::SampleChain(
     const GibbsOptions& options, size_t count, size_t thin,
     const std::function<bool(const BitVector&)>& on_sample) const {
   if (replicas_.size() == 1) {
@@ -245,5 +253,8 @@ void ReplicatedGibbsSampler::SampleChain(
     }
   }
 }
+
+template class BasicReplicatedGibbsSampler<factor::FactorGraph>;
+template class BasicReplicatedGibbsSampler<factor::CompiledGraph>;
 
 }  // namespace deepdive::inference

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "factor/compiled_graph.h"
 #include "factor/factor_graph.h"
 #include "inference/gibbs.h"
 #include "inference/parallel_gibbs.h"
@@ -17,7 +18,7 @@ namespace deepdive::inference {
 
 /// NUMA-style replicated Gibbs sampling (the DimmWitted per-socket execution
 /// model, Shin et al. VLDB 2015): the worker budget is partitioned into R
-/// replica groups, each replica owns a PRIVATE AtomicWorld (private values /
+/// replica groups, each replica owns a PRIVATE atomic world (private values /
 /// clause_unsat / group_sat arrays), and Hogwild sweeps run asynchronously
 /// *within* a replica only. Replicas never touch each other's world, so the
 /// cross-socket cache-line ping-pong that caps the shared-world sampler at
@@ -28,6 +29,10 @@ namespace deepdive::inference {
 /// re-seeded from that consensus (an independent Bernoulli draw per
 /// variable, from a replica-private synchronization stream), plus a final
 /// cross-replica marginal merge at the end of every run.
+///
+/// Templated over the graph representation (mutable FactorGraph or the flat
+/// CSR CompiledGraph); both instantiations run the identical schedule, so
+/// results are bit-identical across representations for a fixed seed.
 ///
 /// Determinism:
 ///  - `num_replicas == 1` delegates every call to an internal
@@ -41,17 +46,22 @@ namespace deepdive::inference {
 /// Like ParallelGibbsSampler, an instance is not shareable across calling
 /// threads (it owns the replica pool and per-replica samplers); create one
 /// per calling thread.
-class ReplicatedGibbsSampler {
+template <typename GraphT>
+class BasicReplicatedGibbsSampler {
  public:
+  using WorldType = BasicAtomicWorld<GraphT>;
+  using ReplicaSampler = BasicParallelGibbsSampler<GraphT>;
+
   /// `num_threads` is the TOTAL worker budget: each replica runs its Hogwild
   /// sweeps on max(1, num_threads / num_replicas) workers (0 = one worker
   /// per hardware thread before the split). Replicas themselves always run
   /// concurrently — R replicas occupy at least R workers.
-  explicit ReplicatedGibbsSampler(const factor::FactorGraph* graph,
-                                  size_t num_replicas = 1,
-                                  size_t num_threads = 1);
+  explicit BasicReplicatedGibbsSampler(const GraphT* graph,
+                                       size_t num_replicas = 1,
+                                       size_t num_threads = 1);
 
-  const factor::FactorGraph& graph() const { return *graph_; }
+  /// The frozen-during-runs graph (see FactorGraph's thread contract).
+  const GraphT& graph() const { return *graph_; }
   size_t num_replicas() const { return replicas_.size(); }
   size_t threads_per_replica() const { return threads_per_replica_; }
 
@@ -59,7 +69,7 @@ class ReplicatedGibbsSampler {
   /// callers driving chains manually (the learner) sweep their own worlds
   /// through it, one calling task per replica (its scratch is not shareable
   /// across concurrent calls).
-  const ParallelGibbsSampler& replica(size_t r) const { return *replicas_[r]; }
+  const ReplicaSampler& replica(size_t r) const { return *replicas_[r]; }
 
   /// Runs fn(r) for every replica concurrently on the replica pool and
   /// blocks until all complete. fn must confine itself to replica-r state.
@@ -103,7 +113,7 @@ class ReplicatedGibbsSampler {
   /// Replica-private between ForEachReplica barriers; the calling thread
   /// reads it only after a barrier.
   struct ReplicaChain {
-    std::unique_ptr<AtomicWorld> world;
+    std::unique_ptr<WorldType> world;
     std::vector<Rng> rngs;
     Rng sync_rng{0};
     std::vector<uint32_t> counts;  // per-variable indicator sums (marginals)
@@ -134,11 +144,18 @@ class ReplicatedGibbsSampler {
 
   bool AnyInterrupted(const std::vector<ReplicaChain>& chains) const;
 
-  const factor::FactorGraph* graph_;
+  const GraphT* graph_;
   size_t threads_per_replica_;
-  std::vector<std::unique_ptr<ParallelGibbsSampler>> replicas_;
+  std::vector<std::unique_ptr<ReplicaSampler>> replicas_;
   mutable ThreadPool replica_pool_;  // R-wide outer pool (inline when R == 1)
 };
+
+using ReplicatedGibbsSampler = BasicReplicatedGibbsSampler<factor::FactorGraph>;
+using CompiledReplicatedGibbsSampler =
+    BasicReplicatedGibbsSampler<factor::CompiledGraph>;
+
+extern template class BasicReplicatedGibbsSampler<factor::FactorGraph>;
+extern template class BasicReplicatedGibbsSampler<factor::CompiledGraph>;
 
 }  // namespace deepdive::inference
 

@@ -5,33 +5,35 @@
 namespace deepdive::inference {
 
 using factor::ClauseId;
-using factor::FactorGraph;
 using factor::GroupId;
-using factor::Literal;
 using factor::VarId;
 using factor::WeightId;
 
-World::World(const FactorGraph* graph) : graph_(graph) {
+template <typename GraphT>
+BasicWorld<GraphT>::BasicWorld(const GraphT* graph) : graph_(graph) {
   values_.assign(graph_->NumVariables(), 0);
   InitEvidence();
   RecomputeStats();
 }
 
-void World::InitEvidence() {
+template <typename GraphT>
+void BasicWorld<GraphT>::InitEvidence() {
   for (VarId v = 0; v < values_.size(); ++v) {
     const auto ev = graph_->EvidenceValue(v);
     if (ev.has_value()) values_[v] = *ev ? 1 : 0;
   }
 }
 
-void World::Flip(VarId v, bool new_value) {
+template <typename GraphT>
+void BasicWorld<GraphT>::Flip(VarId v, bool new_value) {
   if (value(v) == new_value) return;
   values_[v] = new_value ? 1 : 0;
-  for (const factor::BodyRef& ref : graph_->BodyRefs(v)) {
+  for (const auto& ref : graph_->BodyRefs(v)) {
     // Statistics are maintained for inactive *groups* too (cheap, and keeps
-    // re-activation trivial), but deactivated clauses are out for good.
+    // re-activation trivial), but deactivated clauses are out for good. On
+    // the compiled graph `active` is constexpr-true and this test folds away.
     if (!graph_->clause(ref.clause).active) continue;
-    const bool lit_true_now = (new_value != ref.negated);
+    const bool lit_true_now = (new_value != static_cast<bool>(ref.negated));
     const GroupId g = graph_->clause(ref.clause).group;
     if (lit_true_now) {
       if (--clause_unsat_[ref.clause] == 0) ++group_sat_[g];
@@ -41,7 +43,8 @@ void World::Flip(VarId v, bool new_value) {
   }
 }
 
-void World::InitValues(Rng* rng, bool random_init) {
+template <typename GraphT>
+void BasicWorld<GraphT>::InitValues(Rng* rng, bool random_init) {
   for (VarId v = 0; v < values_.size(); ++v) {
     const auto ev = graph_->EvidenceValue(v);
     if (ev.has_value()) {
@@ -53,14 +56,17 @@ void World::InitValues(Rng* rng, bool random_init) {
   RecomputeStats();
 }
 
-void World::LoadBits(const BitVector& bits) {
+template <typename GraphT>
+void BasicWorld<GraphT>::LoadBits(const BitVector& bits) {
   DD_CHECK_EQ(bits.size(), values_.size());
   for (VarId v = 0; v < values_.size(); ++v) values_[v] = bits.Get(v) ? 1 : 0;
   InitEvidence();
   RecomputeStats();
 }
 
-void World::LoadBitsPrefix(const BitVector& bits, bool fill, bool apply_evidence) {
+template <typename GraphT>
+void BasicWorld<GraphT>::LoadBitsPrefix(const BitVector& bits, bool fill,
+                                        bool apply_evidence) {
   DD_CHECK_LE(bits.size(), values_.size());
   for (VarId v = 0; v < values_.size(); ++v) {
     values_[v] = v < bits.size() ? (bits.Get(v) ? 1 : 0) : (fill ? 1 : 0);
@@ -69,13 +75,15 @@ void World::LoadBitsPrefix(const BitVector& bits, bool fill, bool apply_evidence
   RecomputeStats();
 }
 
-BitVector World::ToBits() const {
+template <typename GraphT>
+BitVector BasicWorld<GraphT>::ToBits() const {
   BitVector bits(values_.size());
   for (VarId v = 0; v < values_.size(); ++v) bits.Set(v, values_[v] != 0);
   return bits;
 }
 
-void World::SyncStructure(bool fill) {
+template <typename GraphT>
+void BasicWorld<GraphT>::SyncStructure(bool fill) {
   const size_t old_vars = values_.size();
   values_.resize(graph_->NumVariables(), fill ? 1 : 0);
   for (VarId v = static_cast<VarId>(old_vars); v < values_.size(); ++v) {
@@ -88,43 +96,50 @@ void World::SyncStructure(bool fill) {
   RecomputeStats();
 }
 
-void World::RecomputeStats() {
+template <typename GraphT>
+void BasicWorld<GraphT>::RecomputeStats() {
   clause_unsat_.assign(graph_->NumClauses(), 0);
   group_sat_.assign(graph_->NumGroups(), 0);
   for (ClauseId c = 0; c < graph_->NumClauses(); ++c) {
     if (!graph_->clause(c).active) continue;
     int32_t unsat = 0;
-    for (const Literal& lit : graph_->clause(c).literals) {
-      if (value(lit.var) == lit.negated) ++unsat;
+    for (const auto& lit : graph_->ClauseLiterals(c)) {
+      if (value(lit.var) == static_cast<bool>(lit.negated)) ++unsat;
     }
     clause_unsat_[c] = unsat;
     if (unsat == 0) ++group_sat_[graph_->clause(c).group];
   }
 }
 
-double World::GroupLogWeight(GroupId g) const {
-  const factor::FactorGroup& group = graph_->group(g);
+template <typename GraphT>
+double BasicWorld<GraphT>::GroupLogWeight(GroupId g) const {
+  const auto& group = graph_->group(g);
   if (!group.active) return 0.0;
   const double sign = value(group.head) ? 1.0 : -1.0;
   return graph_->WeightValue(group.weight) * sign *
          factor::GCount(group.semantics, group_sat_[g]);
 }
 
-double World::TotalLogWeight() const {
+template <typename GraphT>
+double BasicWorld<GraphT>::TotalLogWeight() const {
   double total = 0.0;
   for (GroupId g = 0; g < graph_->NumGroups(); ++g) total += GroupLogWeight(g);
   return total;
 }
 
-double World::WeightFeature(WeightId weight) const {
+template <typename GraphT>
+double BasicWorld<GraphT>::WeightFeature(WeightId weight) const {
   double f = 0.0;
   for (GroupId g : graph_->GroupsForWeight(weight)) {
-    const factor::FactorGroup& group = graph_->group(g);
+    const auto& group = graph_->group(g);
     if (!group.active) continue;
     const double sign = value(group.head) ? 1.0 : -1.0;
     f += sign * factor::GCount(group.semantics, group_sat_[g]);
   }
   return f;
 }
+
+template class BasicWorld<factor::FactorGraph>;
+template class BasicWorld<factor::CompiledGraph>;
 
 }  // namespace deepdive::inference

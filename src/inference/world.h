@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "factor/compiled_graph.h"
 #include "factor/factor_graph.h"
 #include "util/bitvector.h"
 #include "util/random.h"
@@ -14,15 +15,20 @@ namespace deepdive::inference {
 /// updates O(degree): for every clause the number of unsatisfied literals,
 /// and for every group the number of satisfied clauses (the n of Eq. 1).
 ///
-/// The underlying graph may grow (incremental grounding); call
-/// SyncStructure() afterwards to absorb new variables/clauses/groups.
-class World {
+/// Templated over the graph representation: the mutable FactorGraph, or the
+/// frozen flat-array CompiledGraph (whose `active` flags are compile-time
+/// constants, so the inactive-skip branches below fold away entirely).
+///
+/// For the mutable graph, the structure may grow (incremental grounding);
+/// call SyncStructure() afterwards to absorb new variables/clauses/groups.
+template <typename GraphT>
+class BasicWorld {
  public:
-  explicit World(const factor::FactorGraph* graph);
+  explicit BasicWorld(const GraphT* graph);
 
   /// The frozen-during-runs graph (see FactorGraph's thread contract); the
   /// World itself is single-owner, not shared across threads.
-  const factor::FactorGraph& graph() const { return *graph_; }
+  const GraphT& graph() const { return *graph_; }
 
   size_t NumVariables() const { return values_.size(); }
 
@@ -74,11 +80,17 @@ class World {
   /// Forces evidence variables to their labels (no stats update).
   void InitEvidence();
 
-  const factor::FactorGraph* graph_;
+  const GraphT* graph_;
   std::vector<uint8_t> values_;
   std::vector<int32_t> clause_unsat_;
   std::vector<int64_t> group_sat_;
 };
+
+using World = BasicWorld<factor::FactorGraph>;
+using CompiledWorld = BasicWorld<factor::CompiledGraph>;
+
+extern template class BasicWorld<factor::FactorGraph>;
+extern template class BasicWorld<factor::CompiledGraph>;
 
 }  // namespace deepdive::inference
 

@@ -1,0 +1,71 @@
+#include "util/mmap_file.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DEEPDIVE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace deepdive {
+
+#if DEEPDIVE_HAVE_MMAP
+
+StatusOr<MmapFile> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) {
+    return Status::NotFound("cannot open '" + path + "': " + std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("fstat('" + path + "') failed: " + err);
+  }
+  MmapFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  file.mapped_ = true;
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::Internal("mmap('" + path + "') failed: " + err);
+    }
+    file.data_ = static_cast<const uint8_t*>(addr);
+  }
+  // The mapping holds its own reference to the file; the descriptor is not
+  // needed once mmap succeeds.
+  ::close(fd);
+  return file;
+}
+
+void MmapFile::Reset() {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+#else  // !DEEPDIVE_HAVE_MMAP
+
+StatusOr<MmapFile> MmapFile::Open(const std::string& path) {
+  (void)path;
+  return Status::Unimplemented("mmap is not available on this platform");
+}
+
+void MmapFile::Reset() {
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+#endif  // DEEPDIVE_HAVE_MMAP
+
+}  // namespace deepdive

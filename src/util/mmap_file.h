@@ -1,0 +1,60 @@
+#ifndef DEEPDIVE_UTIL_MMAP_FILE_H_
+#define DEEPDIVE_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace deepdive {
+
+/// Read-only memory-mapped file (RAII). The mapping is immutable and
+/// page-backed, so any number of threads may read `data()` concurrently for
+/// the lifetime of the object; the kernel faults pages in on demand, which is
+/// what makes multi-GB snapshot loads O(1) instead of O(bytes).
+///
+/// Movable, not copyable. On non-POSIX platforms Open returns Unimplemented
+/// and callers fall back to buffered reads.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile() { Reset(); }
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = other.data_;
+      size_ = other.size_;
+      mapped_ = other.mapped_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.mapped_ = false;
+    }
+    return *this;
+  }
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. An empty file yields a valid zero-length mapping.
+  static StatusOr<MmapFile> Open(const std::string& path);
+
+  /// The mapped bytes; immutable for the object's lifetime, readable from
+  /// any thread. Null iff !valid().
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool valid() const { return mapped_; }
+
+ private:
+  void Reset();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace deepdive
+
+#endif  // DEEPDIVE_UTIL_MMAP_FILE_H_

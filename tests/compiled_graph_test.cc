@@ -1,0 +1,462 @@
+// CompiledGraph: flat CSR compilation, compaction semantics, binary snapshot
+// round-trips (mmap and buffered), corruption rejection, and — the load-bearing
+// contract — bit-identical inference and learning against the mutable
+// FactorGraph path at num_threads = 1.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "factor/compiled_graph.h"
+#include "factor/factor_graph.h"
+#include "factor/graph_io.h"
+#include "incremental/snapshot.h"
+#include "inference/compiled_inference.h"
+#include "inference/exact.h"
+#include "inference/gibbs.h"
+#include "inference/learner.h"
+#include "inference/replicated_gibbs.h"
+#include "util/random.h"
+
+namespace deepdive {
+namespace {
+
+using factor::ClauseId;
+using factor::CompiledGraph;
+using factor::FactorGraph;
+using factor::GroupId;
+using factor::Semantics;
+using factor::VarId;
+using factor::WeightId;
+
+// Mixed workload: evidence, tied weights, every semantics, empty clauses
+// (priors), plus DRed-style retractions of clauses and whole groups.
+FactorGraph MixedGraph(uint64_t seed) {
+  FactorGraph g;
+  Rng rng(seed);
+  const size_t n = 3 + rng.UniformInt(10);
+  g.AddVariables(n);
+  for (VarId v = 0; v < n; ++v) {
+    if (rng.Bernoulli(0.3)) g.SetEvidence(v, rng.Bernoulli(0.5));
+  }
+  const size_t groups = 2 + rng.UniformInt(8);
+  for (size_t i = 0; i < groups; ++i) {
+    const VarId head = static_cast<VarId>(rng.UniformInt(n));
+    const auto w = rng.Bernoulli(0.5)
+                       ? g.AddWeight(rng.Uniform(-2, 2), rng.Bernoulli(0.5),
+                                     "w" + std::to_string(i))
+                       : g.GetOrCreateTiedWeight("tied/" + std::to_string(i % 3));
+    const auto sem = static_cast<Semantics>(rng.UniformInt(3));
+    const auto grp = g.AddGroup(static_cast<uint32_t>(i), head, w, sem);
+    const size_t clauses = rng.UniformInt(4);  // 0 clauses = prior factor
+    for (size_t c = 0; c < clauses; ++c) {
+      std::vector<factor::Literal> lits;
+      const size_t n_lits = rng.UniformInt(3);
+      for (size_t l = 0; l < n_lits; ++l) {
+        const VarId v = static_cast<VarId>(rng.UniformInt(n));
+        if (v == head) continue;
+        bool dup = false;
+        for (const auto& lit : lits) dup |= lit.var == v;
+        if (!dup) lits.push_back({v, rng.Bernoulli(0.3)});
+      }
+      const auto cid = g.AddClause(grp, lits);
+      if (rng.Bernoulli(0.2)) g.DeactivateClause(cid);
+    }
+    if (rng.Bernoulli(0.15)) g.DeactivateGroup(grp);
+  }
+  return g;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in.good()) << path;
+  std::vector<uint8_t> bytes(static_cast<size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!bytes.empty()) {
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+}
+
+TEST(CompiledGraphTest, AccessorsMatchSourceGraph) {
+  FactorGraph g;
+  g.AddVariables(4);
+  g.SetEvidence(1, true);
+  g.SetEvidence(2, false);
+  const WeightId w0 = g.AddWeight(0.75, true, "w0");
+  const WeightId w1 = g.GetOrCreateTiedWeight("FE/tied");
+  const GroupId g0 = g.AddGroup(7, /*head=*/0, w0, Semantics::kRatio);
+  const ClauseId c0 = g.AddClause(g0, {{1, false}, {3, true}});
+  const GroupId g1 = g.AddGroup(9, /*head=*/3, w1, Semantics::kLogical);
+  g.AddClause(g1, {{0, false}});
+
+  const CompiledGraph compiled = CompiledGraph::Compile(g);
+  EXPECT_EQ(compiled.NumVariables(), 4u);
+  EXPECT_EQ(compiled.NumWeights(), 2u);
+  EXPECT_EQ(compiled.NumGroups(), 2u);
+  EXPECT_EQ(compiled.NumClauses(), 2u);
+
+  EXPECT_FALSE(compiled.IsEvidence(0));
+  EXPECT_TRUE(compiled.IsEvidence(1));
+  EXPECT_TRUE(compiled.EvidenceValue(1).value());
+  EXPECT_FALSE(compiled.EvidenceValue(2).value());
+  EXPECT_FALSE(compiled.EvidenceValue(3).has_value());
+
+  EXPECT_DOUBLE_EQ(compiled.WeightValue(w0), 0.75);
+  EXPECT_TRUE(compiled.WeightLearnable(w0));
+  EXPECT_EQ(compiled.WeightDescription(w0), "w0");
+  EXPECT_EQ(compiled.WeightDescription(w1), "FE/tied");
+
+  const auto& cg0 = compiled.group(0);
+  EXPECT_EQ(cg0.head, 0u);
+  EXPECT_EQ(cg0.weight, w0);
+  EXPECT_EQ(cg0.rule_id, 7u);
+  EXPECT_EQ(cg0.semantics, Semantics::kRatio);
+  EXPECT_EQ(compiled.OriginalGroupId(0), g0);
+  EXPECT_EQ(compiled.OriginalClauseId(0), c0);
+
+  const auto lits = compiled.ClauseLiterals(0);
+  ASSERT_EQ(lits.size(), 2u);
+  EXPECT_EQ(lits[0].var, 1u);
+  EXPECT_EQ(lits[0].negated, 0u);
+  EXPECT_EQ(lits[1].var, 3u);
+  EXPECT_EQ(lits[1].negated, 1u);
+
+  // Variable 0 heads group 0 and appears in group 1's clause body.
+  const auto heads = compiled.HeadGroups(0);
+  ASSERT_EQ(heads.size(), 1u);
+  EXPECT_EQ(heads[0], 0u);
+  const auto body = compiled.BodyRefs(0);
+  ASSERT_EQ(body.size(), 1u);
+  EXPECT_EQ(body[0].clause, 1u);
+  EXPECT_EQ(body[0].negated, 0u);
+
+  // Tied weight w1 backs group 1 only.
+  const auto wg = compiled.GroupsForWeight(w1);
+  ASSERT_EQ(wg.size(), 1u);
+  EXPECT_EQ(wg[0], 1u);
+}
+
+TEST(CompiledGraphTest, CompactionDropsInactiveAndPreservesOrder) {
+  FactorGraph g;
+  g.AddVariables(3);
+  const WeightId w = g.AddWeight(1.0, false, "w");
+  const GroupId g0 = g.AddGroup(0, 0, w, Semantics::kLinear);
+  g.AddClause(g0, {{1, false}});
+  const GroupId g1 = g.AddGroup(1, 1, w, Semantics::kLinear);
+  const ClauseId c1 = g.AddClause(g1, {{2, false}});
+  g.AddClause(g1, {{0, true}});
+  const GroupId g2 = g.AddGroup(2, 2, w, Semantics::kLinear);
+  g.AddClause(g2, {{0, false}});
+  g.DeactivateClause(c1);
+  g.DeactivateGroup(g0);
+
+  const CompiledGraph compiled = CompiledGraph::Compile(g);
+  // g0 dropped entirely (with its clause); c1 dropped from g1.
+  ASSERT_EQ(compiled.NumGroups(), 2u);
+  ASSERT_EQ(compiled.NumClauses(), 2u);
+  EXPECT_EQ(compiled.OriginalGroupId(0), g1);
+  EXPECT_EQ(compiled.OriginalGroupId(1), g2);
+  // Relative clause order within and across groups is preserved.
+  const auto g1_clauses = compiled.GroupClauses(0);
+  ASSERT_EQ(g1_clauses.size(), 1u);
+  EXPECT_EQ(compiled.clause(g1_clauses[0]).group, 0u);
+  // Variables and weights are never compacted.
+  EXPECT_EQ(compiled.NumVariables(), 3u);
+  EXPECT_EQ(compiled.NumWeights(), 1u);
+}
+
+TEST(CompiledGraphTest, DecompileIsIdempotentAfterCompaction) {
+  for (uint64_t seed : {3u, 11u, 29u}) {
+    const FactorGraph g = MixedGraph(seed);
+    FactorGraph once = CompiledGraph::Compile(g).Decompile();
+    FactorGraph twice = CompiledGraph::Compile(once).Decompile();
+    EXPECT_TRUE(factor::GraphsEqual(once, twice)) << "seed " << seed;
+  }
+}
+
+TEST(CompiledGraphTest, SequentialMarginalsBitIdenticalAcrossSeeds) {
+  inference::GibbsOptions options;
+  options.burn_in_sweeps = 10;
+  options.sample_sweeps = 40;
+  for (uint64_t seed : {1u, 2u, 5u, 9u, 17u, 23u}) {
+    const FactorGraph g = MixedGraph(seed);
+    const CompiledGraph compiled = CompiledGraph::Compile(g);
+    options.seed = seed * 31 + 1;
+
+    inference::GibbsSampler mutable_sampler(&g);
+    inference::CompiledGibbsSampler compiled_sampler(&compiled);
+    const auto m1 = mutable_sampler.EstimateMarginals(options);
+    const auto m2 = compiled_sampler.EstimateMarginals(options);
+    ASSERT_EQ(m1.marginals.size(), m2.marginals.size());
+    for (size_t v = 0; v < m1.marginals.size(); ++v) {
+      // Bit-identical, not approximately equal: same iteration order, same
+      // FP accumulation order, same RNG consumption.
+      EXPECT_EQ(m1.marginals[v], m2.marginals[v]) << "seed " << seed << " var " << v;
+    }
+  }
+}
+
+TEST(CompiledGraphTest, PriorOnlyGroupsMatchMutablePath) {
+  // Groups with zero clauses (pure priors) exercise the head-groups loop with
+  // an empty group-clause range.
+  FactorGraph g;
+  g.AddVariables(3);
+  g.AddGroup(0, 0, g.AddWeight(0.8, false, "p0"), Semantics::kLinear);
+  g.AddGroup(1, 1, g.AddWeight(-0.4, false, "p1"), Semantics::kLogical);
+  g.SetEvidence(2, true);
+  const CompiledGraph compiled = CompiledGraph::Compile(g);
+
+  inference::GibbsOptions options;
+  options.burn_in_sweeps = 5;
+  options.sample_sweeps = 50;
+  options.seed = 77;
+  const auto m1 = inference::GibbsSampler(&g).EstimateMarginals(options);
+  const auto m2 = inference::CompiledGibbsSampler(&compiled).EstimateMarginals(options);
+  for (size_t v = 0; v < m1.marginals.size(); ++v) {
+    EXPECT_EQ(m1.marginals[v], m2.marginals[v]);
+  }
+}
+
+TEST(CompiledGraphTest, ReplicatedSamplerParity) {
+  const FactorGraph g = MixedGraph(13);
+  const CompiledGraph compiled = CompiledGraph::Compile(g);
+  inference::GibbsOptions options;
+  options.burn_in_sweeps = 8;
+  options.sample_sweeps = 24;
+  options.sync_every_sweeps = 8;
+  options.seed = 5;
+  // Two replicas, one worker each: deterministic on both paths.
+  inference::ReplicatedGibbsSampler s1(&g, 2, 2);
+  inference::CompiledReplicatedGibbsSampler s2(&compiled, 2, 2);
+  const auto m1 = s1.EstimateMarginals(options);
+  const auto m2 = s2.EstimateMarginals(options);
+  ASSERT_EQ(m1.marginals.size(), m2.marginals.size());
+  for (size_t v = 0; v < m1.marginals.size(); ++v) {
+    EXPECT_EQ(m1.marginals[v], m2.marginals[v]) << "var " << v;
+  }
+}
+
+TEST(CompiledGraphTest, EstimateMarginalsAutoRoutesBitIdentically) {
+  const FactorGraph g = MixedGraph(21);
+  inference::GibbsOptions options;
+  options.burn_in_sweeps = 6;
+  options.sample_sweeps = 20;
+  options.seed = 3;
+  options.use_compiled_graph = false;
+  const auto mutable_result = inference::EstimateMarginalsAuto(g, options);
+  options.use_compiled_graph = true;
+  const auto compiled_result = inference::EstimateMarginalsAuto(g, options);
+  ASSERT_EQ(mutable_result.marginals.size(), compiled_result.marginals.size());
+  for (size_t v = 0; v < mutable_result.marginals.size(); ++v) {
+    EXPECT_EQ(mutable_result.marginals[v], compiled_result.marginals[v]);
+  }
+}
+
+TEST(CompiledGraphTest, LearnerParityCompiledVsMutable) {
+  FactorGraph g1 = MixedGraph(6);
+  FactorGraph g2 = MixedGraph(6);  // identical construction
+  inference::LearnerOptions options;
+  options.epochs = 8;
+  options.seed = 19;
+  options.use_compiled_graph = false;
+  inference::Learner(&g1).Learn(options);
+  options.use_compiled_graph = true;
+  inference::Learner(&g2).Learn(options);
+  ASSERT_EQ(g1.NumWeights(), g2.NumWeights());
+  for (WeightId w = 0; w < g1.NumWeights(); ++w) {
+    EXPECT_EQ(g1.WeightValue(w), g2.WeightValue(w)) << "weight " << w;
+  }
+}
+
+TEST(CompiledGraphTest, MaterializationKernelParity) {
+  const FactorGraph g = MixedGraph(8);
+  incremental::MaterializationOptions options;
+  options.num_samples = 40;
+  options.gibbs_burn_in = 10;
+  options.seed = 4;
+  options.use_compiled_kernel = false;
+  auto s1 = incremental::BuildMaterializationSnapshot(g, options);
+  options.use_compiled_kernel = true;
+  auto s2 = incremental::BuildMaterializationSnapshot(g, options);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  ASSERT_EQ((*s1)->store.size(), (*s2)->store.size());
+  for (size_t i = 0; i < (*s1)->store.size(); ++i) {
+    EXPECT_EQ((*s1)->store.sample(i), (*s2)->store.sample(i)) << "sample " << i;
+  }
+  ASSERT_EQ((*s1)->materialized_marginals.size(),
+            (*s2)->materialized_marginals.size());
+  for (size_t v = 0; v < (*s1)->materialized_marginals.size(); ++v) {
+    EXPECT_EQ((*s1)->materialized_marginals[v], (*s2)->materialized_marginals[v]);
+  }
+}
+
+TEST(CompiledGraphIoTest, SaveLoadSaveIsByteStable) {
+  const FactorGraph g = MixedGraph(10);
+  const std::string p1 = TempPath("cg_stable_1.bin");
+  const std::string p2 = TempPath("cg_stable_2.bin");
+  ASSERT_TRUE(factor::SaveCompiledGraph(CompiledGraph::Compile(g), p1).ok());
+  auto loaded = factor::LoadCompiledGraph(p1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(factor::SaveCompiledGraph(*loaded, p2).ok());
+  EXPECT_EQ(ReadFileBytes(p1), ReadFileBytes(p2));
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(CompiledGraphIoTest, MmapAndBufferedLoadsAgree) {
+  const FactorGraph g = MixedGraph(12);
+  const std::string path = TempPath("cg_mmap.bin");
+  ASSERT_TRUE(factor::SaveGraph(g, path).ok());
+
+  factor::GraphLoadOptions mmap_opts;
+  mmap_opts.use_mmap = true;
+  factor::GraphLoadOptions buffered_opts;
+  buffered_opts.use_mmap = false;
+  auto a = factor::LoadCompiledGraph(path, mmap_opts);
+  auto b = factor::LoadCompiledGraph(path, buffered_opts);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->Checksum(), b->Checksum());
+
+  inference::GibbsOptions options;
+  options.burn_in_sweeps = 5;
+  options.sample_sweeps = 20;
+  options.seed = 2;
+  const auto m1 = inference::CompiledGibbsSampler(&*a).EstimateMarginals(options);
+  const auto m2 = inference::CompiledGibbsSampler(&*b).EstimateMarginals(options);
+  for (size_t v = 0; v < m1.marginals.size(); ++v) {
+    EXPECT_EQ(m1.marginals[v], m2.marginals[v]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CompiledGraphIoTest, LoadedGraphMatchesOriginalDistribution) {
+  for (uint64_t seed : {4u, 14u, 24u}) {
+    const FactorGraph g = MixedGraph(seed);
+    const std::string path = TempPath("cg_dist_" + std::to_string(seed) + ".bin");
+    ASSERT_TRUE(factor::SaveGraph(g, path).ok());
+    auto loaded = factor::LoadGraph(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_TRUE(
+        factor::GraphsEqual(CompiledGraph::Compile(g).Decompile(), *loaded));
+    auto e1 = inference::ExactInference(g, 16);
+    auto e2 = inference::ExactInference(*loaded, 16);
+    ASSERT_TRUE(e1.ok() && e2.ok());
+    for (VarId v = 0; v < g.NumVariables(); ++v) {
+      EXPECT_NEAR(e1->marginals[v], e2->marginals[v], 1e-12) << "seed " << seed;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CompiledGraphIoTest, EmptyGraphRoundTrips) {
+  FactorGraph g;
+  const std::string path = TempPath("cg_empty.bin");
+  ASSERT_TRUE(factor::SaveGraph(g, path).ok());
+  auto loaded = factor::LoadCompiledGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumVariables(), 0u);
+  EXPECT_EQ(loaded->NumGroups(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CompiledGraphIoTest, RejectsTruncationAtEveryBoundary) {
+  const FactorGraph g = MixedGraph(16);
+  const std::string path = TempPath("cg_trunc_src.bin");
+  ASSERT_TRUE(factor::SaveGraph(g, path).ok());
+  const std::vector<uint8_t> full = ReadFileBytes(path);
+  ASSERT_GT(full.size(), sizeof(factor::CompiledGraphHeader));
+
+  const std::string tpath = TempPath("cg_trunc.bin");
+  // Every prefix length in a stride, plus the interesting boundaries: empty,
+  // partial header, exact header, one-short-of-full.
+  std::vector<size_t> sizes = {0, 1, sizeof(factor::CompiledGraphHeader) / 2,
+                               sizeof(factor::CompiledGraphHeader),
+                               full.size() - 1};
+  for (size_t s = 8; s < full.size(); s += 97) sizes.push_back(s);
+  for (size_t size : sizes) {
+    WriteFileBytes(tpath,
+                   std::vector<uint8_t>(full.begin(), full.begin() + size));
+    auto loaded = factor::LoadCompiledGraph(tpath);
+    EXPECT_FALSE(loaded.ok()) << "truncated to " << size << " bytes";
+  }
+  // The untruncated file still loads.
+  WriteFileBytes(tpath, full);
+  EXPECT_TRUE(factor::LoadCompiledGraph(tpath).ok());
+  std::remove(path.c_str());
+  std::remove(tpath.c_str());
+}
+
+TEST(CompiledGraphIoTest, RejectsBitFlips) {
+  const FactorGraph g = MixedGraph(18);
+  const std::string path = TempPath("cg_flip_src.bin");
+  ASSERT_TRUE(factor::SaveGraph(g, path).ok());
+  const std::vector<uint8_t> full = ReadFileBytes(path);
+
+  const std::string fpath = TempPath("cg_flip.bin");
+  // Flip one bit at a spread of offsets across header and payload; deep
+  // validation (checksum + bounds) must reject every one without crashing.
+  for (size_t offset = 0; offset < full.size(); offset += 131) {
+    std::vector<uint8_t> corrupt = full;
+    corrupt[offset] ^= 0x10;
+    WriteFileBytes(fpath, corrupt);
+    auto loaded = factor::LoadCompiledGraph(fpath);
+    EXPECT_FALSE(loaded.ok()) << "bit flip at offset " << offset;
+  }
+  std::remove(path.c_str());
+  std::remove(fpath.c_str());
+}
+
+TEST(CompiledGraphIoTest, RejectsBadMagicVersionEndian) {
+  const FactorGraph g = MixedGraph(20);
+  const std::string path = TempPath("cg_hdr_src.bin");
+  ASSERT_TRUE(factor::SaveGraph(g, path).ok());
+  const std::vector<uint8_t> full = ReadFileBytes(path);
+  const std::string hpath = TempPath("cg_hdr.bin");
+
+  auto corrupt_u32 = [&](size_t offset, uint32_t value) {
+    std::vector<uint8_t> bytes = full;
+    std::memcpy(bytes.data() + offset, &value, sizeof(value));
+    WriteFileBytes(hpath, bytes);
+    return factor::LoadCompiledGraph(hpath);
+  };
+  auto corrupt_u64 = [&](size_t offset, uint64_t value) {
+    std::vector<uint8_t> bytes = full;
+    std::memcpy(bytes.data() + offset, &value, sizeof(value));
+    WriteFileBytes(hpath, bytes);
+    return factor::LoadCompiledGraph(hpath);
+  };
+
+  // Header layout: magic u64 @0, version u32 @8, endian u32 @12,
+  // total_bytes u64 @16.
+  EXPECT_FALSE(corrupt_u64(0, 0xdeadbeefULL).ok());
+  EXPECT_FALSE(corrupt_u32(8, factor::kCompiledGraphVersion + 1).ok());
+  EXPECT_FALSE(corrupt_u32(12, 0x04030201u).ok());
+  EXPECT_FALSE(corrupt_u64(16, full.size() * 2).ok());
+
+  // Also plain garbage and missing files.
+  WriteFileBytes(hpath, {'n', 'o', 'p', 'e'});
+  EXPECT_FALSE(factor::LoadCompiledGraph(hpath).ok());
+  EXPECT_EQ(factor::LoadCompiledGraph("/nonexistent/graph.bin").status().code(),
+            StatusCode::kNotFound);
+  std::remove(path.c_str());
+  std::remove(hpath.c_str());
+}
+
+}  // namespace
+}  // namespace deepdive

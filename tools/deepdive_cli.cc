@@ -1,6 +1,14 @@
 // deepdive_cli — run a DeepDive program from the command line.
 //
 //   deepdive_cli run PROGRAM.ddl [options]
+//   deepdive_cli load-graph SNAPSHOT.bin [options]
+//
+// The second form is the cold-start path: it skips the DDL pipeline entirely,
+// maps a compiled-graph snapshot written by `run --save-graph` (zero-parse
+// mmap attach), and serves marginals straight from the flat CSR kernel. Both
+// forms print `compiled graph checksum` and `marginals fingerprint` lines, so
+// a save/load pair can be diffed to prove the reloaded snapshot reproduces
+// the original process's inference bit-for-bit.
 //
 // Options:
 //   --data REL=FILE.tsv     load base rows (repeatable)
@@ -33,6 +41,10 @@
 //   --load-materialization FILE   load a persisted sample store instead of
 //                           running the sampling chain (width-checked
 //                           against the grounded graph)
+//   --save-graph FILE       after the initial run, save the grounded graph
+//                           (with learned weights) as a compiled binary
+//                           snapshot and print its checksum + marginals
+//                           fingerprint (see `load-graph`)
 //   --serve-queries N       start N reader threads that hammer the
 //                           versioned query API (DeepDive::Query) while the
 //                           updates apply, verifying every pinned view's
@@ -56,6 +68,9 @@
 #include <vector>
 
 #include "core/deepdive.h"
+#include "factor/compiled_graph.h"
+#include "factor/graph_io.h"
+#include "inference/replicated_gibbs.h"
 #include "inference/result_view.h"
 #include "storage/text_io.h"
 #include "util/string_util.h"
@@ -83,7 +98,19 @@ struct Args {
   bool async_materialize = false;
   std::string save_materialization;
   std::string load_materialization;
+  std::string save_graph;
   size_t serve_queries = 0;
+};
+
+/// `deepdive_cli load-graph` — cold-start service from a compiled snapshot.
+struct LoadGraphArgs {
+  std::string snapshot_path;
+  uint64_t seed = 42;
+  size_t threads = 1;
+  size_t replicas = 1;
+  size_t sync_every = 50;
+  bool use_mmap = true;
+  bool validate = true;
 };
 
 void Usage() {
@@ -94,7 +121,11 @@ void Usage() {
                "       [--threshold P] [--seed N] [--epochs N] [--threads N]\n"
                "       [--replicas R] [--sync-every N]\n"
                "       [--async-materialize] [--save-materialization FILE]\n"
-               "       [--load-materialization FILE] [--serve-queries N]\n");
+               "       [--load-materialization FILE] [--save-graph FILE]\n"
+               "       [--serve-queries N]\n"
+               "   or: deepdive_cli load-graph SNAPSHOT.bin [--seed N]\n"
+               "       [--threads N] [--replicas R] [--sync-every N]\n"
+               "       [--no-mmap] [--no-validate]\n");
 }
 
 StatusOr<std::pair<std::string, std::string>> SplitAssignment(const std::string& arg) {
@@ -181,6 +212,8 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
       DD_ASSIGN_OR_RETURN(args.save_materialization, next());
     } else if (flag == "--load-materialization") {
       DD_ASSIGN_OR_RETURN(args.load_materialization, next());
+    } else if (flag == "--save-graph") {
+      DD_ASSIGN_OR_RETURN(args.save_graph, next());
     } else if (flag == "--threads") {
       DD_ASSIGN_OR_RETURN(std::string v, next());
       DD_ASSIGN_OR_RETURN(args.threads, ParseCount(flag, v, 0, 4096));
@@ -206,6 +239,84 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
         "require --mode incremental (rerun has no materialization)");
   }
   return args;
+}
+
+StatusOr<LoadGraphArgs> ParseLoadGraphArgs(int argc, char** argv) {
+  LoadGraphArgs args;
+  if (argc < 3) {
+    return Status::InvalidArgument("expected: deepdive_cli load-graph SNAPSHOT.bin ...");
+  }
+  args.snapshot_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> StatusOr<std::string> {
+      if (i + 1 >= argc) return Status::InvalidArgument(flag + " needs a value");
+      return std::string(argv[++i]);
+    };
+    if (flag == "--seed") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      args.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--threads") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      DD_ASSIGN_OR_RETURN(args.threads, ParseCount(flag, v, 0, 4096));
+    } else if (flag == "--replicas") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      DD_ASSIGN_OR_RETURN(args.replicas, ParseCount(flag, v, 1, 256));
+    } else if (flag == "--sync-every") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      DD_ASSIGN_OR_RETURN(args.sync_every, ParseCount(flag, v, 0, 1000000000));
+    } else if (flag == "--no-mmap") {
+      args.use_mmap = false;
+    } else if (flag == "--no-validate") {
+      args.validate = false;
+    } else {
+      return Status::InvalidArgument("unknown flag '" + flag + "'");
+    }
+  }
+  return args;
+}
+
+/// Identity lines shared by `run --save-graph` and `load-graph`: the image
+/// checksum names the graph state, the fingerprint names the inference result
+/// a fresh process must reproduce from it. Marginals are estimated directly
+/// on the compiled kernel (evidence clamped to its label, as the pipeline
+/// does), so save/load runs with the same seed/replica settings print
+/// identical lines — the CI cold-start smoke diffs them.
+void PrintSnapshotIdentity(const factor::CompiledGraph& graph, uint64_t seed,
+                           size_t threads, size_t replicas, size_t sync_every) {
+  std::printf("compiled graph checksum = %016llx\n",
+              static_cast<unsigned long long>(graph.Checksum()));
+  inference::GibbsOptions gopts;
+  gopts.seed = seed + 1;
+  gopts.num_threads = threads;
+  gopts.num_replicas = replicas;
+  gopts.sync_every_sweeps = sync_every;
+  inference::CompiledReplicatedGibbsSampler sampler(&graph, replicas, threads);
+  std::vector<double> marginals = sampler.EstimateMarginals(gopts).marginals;
+  for (factor::VarId v = 0; v < graph.NumVariables(); ++v) {
+    const auto ev = graph.EvidenceValue(v);
+    if (ev.has_value()) marginals[v] = *ev ? 1.0 : 0.0;
+  }
+  const uint64_t fingerprint = factor::Fnv1aHash(
+      marginals.data(), marginals.size() * sizeof(double));
+  std::printf("marginals fingerprint = %016llx\n",
+              static_cast<unsigned long long>(fingerprint));
+}
+
+Status RunLoadGraph(const LoadGraphArgs& args) {
+  factor::GraphLoadOptions opts;
+  opts.use_mmap = args.use_mmap;
+  opts.validate = args.validate;
+  DD_ASSIGN_OR_RETURN(factor::CompiledGraph graph,
+                      factor::LoadCompiledGraph(args.snapshot_path, opts));
+  std::fprintf(stderr,
+               "loaded compiled snapshot: %zu variables, %zu groups, %zu "
+               "clauses (%zu bytes%s)\n",
+               graph.NumVariables(), graph.NumGroups(), graph.NumClauses(),
+               graph.image_bytes(), args.use_mmap ? ", mmap" : "");
+  PrintSnapshotIdentity(graph, args.seed, args.threads, args.replicas,
+                        args.sync_every);
+  return Status::OK();
 }
 
 StatusOr<std::string> ReadFile(const std::string& path) {
@@ -433,6 +544,19 @@ Status Run(const Args& args) REQUIRES(serving_thread) {
   std::fprintf(stderr, "grounded: %zu variables, %zu factors\n",
                dd->ground().graph.NumVariables(), dd->ground().graph.NumActiveClauses());
 
+  if (!args.save_graph.empty()) {
+    // Snapshot Pr(0): the grounded graph with its learned weights, before any
+    // incremental updates. A later `load-graph` run must reproduce the same
+    // checksum and marginals fingerprint from this file.
+    const factor::CompiledGraph compiled =
+        factor::CompiledGraph::Compile(dd->ground().graph);
+    DD_RETURN_IF_ERROR(factor::SaveCompiledGraph(compiled, args.save_graph));
+    std::fprintf(stderr, "saved compiled graph snapshot to %s (%zu bytes)\n",
+                 args.save_graph.c_str(), compiled.image_bytes());
+    PrintSnapshotIdentity(compiled, args.seed, args.threads, args.replicas,
+                          args.sync_every);
+  }
+
   // Concurrent query serving: readers pin versioned views from here on,
   // racing every update and materialization swap below.
   std::unique_ptr<QueryServer> server;
@@ -517,6 +641,20 @@ int main(int argc, char** argv) {
   // Trusted root: the CLI process main thread is the serving thread; the
   // QueryServer readers touch only the capability-free Query() surface.
   deepdive::serving_thread.AssertHeld();
+  if (argc >= 2 && std::strcmp(argv[1], "load-graph") == 0) {
+    auto load_args = deepdive::cli::ParseLoadGraphArgs(argc, argv);
+    if (!load_args.ok()) {
+      std::fprintf(stderr, "%s\n", load_args.status().ToString().c_str());
+      deepdive::cli::Usage();
+      return 2;
+    }
+    const deepdive::Status status = deepdive::cli::RunLoadGraph(*load_args);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
   auto args = deepdive::cli::ParseArgs(argc, argv);
   if (!args.ok()) {
     std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
