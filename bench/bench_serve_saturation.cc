@@ -1,0 +1,338 @@
+// Serving-stack saturation benchmark: a fleet of query connections against a
+// deepdive_serve-shaped stack (registry + dispatcher + socket server, all
+// in-process but over real TCP) while updater clients stream apply_update
+// requests into a deliberately small admission-controlled queue. Reports
+// query latency (p50/p99) idle vs. saturated, update throughput, and the
+// shed rate — the measurement behind the admission-control watermarks
+// documented in README. Emits BENCH_serve_saturation.json for the CI
+// artifact.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/serve.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace deepdive::bench {
+namespace {
+
+constexpr char kProgram[] = R"(
+relation Person(sent: int, mention: int).
+query relation HasSpouse(m1: int, m2: int).
+evidence HasSpouseLabel(m1: int, m2: int, l: bool) for HasSpouse.
+rule CAND: HasSpouse(m1, m2) :- Person(s, m1), Person(s, m2), m1 != m2.
+factor PRIOR: HasSpouse(m1, m2) :- Person(s, m1), Person(s, m2), m1 != m2
+  weight = 0.5 semantics = logical.
+)";
+
+struct Args {
+  double seconds = 2.0;  // per phase
+  size_t readers = 8;
+  /// Each updater connection has one update in flight (Call blocks until
+  /// applied), so saturation needs more updaters than watermark + 1.
+  size_t updaters = 8;
+  std::string out = "BENCH_serve_saturation.json";
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (a == "--seconds") {
+      args.seconds = std::strtod(next(), nullptr);
+    } else if (a == "--readers") {
+      args.readers = static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (a == "--updaters") {
+      args.updaters = static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (a == "--out") {
+      args.out = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+    }
+  }
+  return args;
+}
+
+struct LatencyStats {
+  size_t calls = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double qps = 0.0;
+};
+
+double Percentile(std::vector<double>* sorted_us, double p) {
+  if (sorted_us->empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_us->size() - 1) / 100.0);
+  return (*sorted_us)[idx];
+}
+
+/// One reader connection hammering the query verb until `stop`; records
+/// every call's latency in microseconds.
+void ReaderLoop(const std::string& address, const std::atomic<bool>* stop,
+                std::vector<double>* latencies_us) {
+  auto client = serve::comm::Client::Dial(address);
+  if (!client.ok()) {
+    std::fprintf(stderr, "reader dial failed: %s\n",
+                 client.status().ToString().c_str());
+    return;
+  }
+  serve::comm::Request query;
+  query.tenant = "bench";
+  query.body = serve::comm::QueryRequest{"HasSpouse", "", 0.0};
+  // ordering: relaxed — quit hint; the pool's Wait() is the join that
+  // publishes the latency vectors back to the main thread.
+  while (!stop->load(std::memory_order_relaxed)) {
+    Timer call;
+    auto response = client->Call(query);
+    if (!response.ok() || !response->ok()) {
+      std::fprintf(stderr, "query failed mid-bench\n");
+      return;
+    }
+    latencies_us->push_back(call.Seconds() * 1e6);
+  }
+}
+
+/// One updater connection streaming data inserts; sheds are counted and
+/// honored (the client backs off by the server's retry hint, like a
+/// well-behaved producer).
+void UpdaterLoop(const std::string& address, size_t updater_id,
+                 const std::atomic<bool>* stop, size_t* applied, size_t* shed) {
+  auto client = serve::comm::Client::Dial(address);
+  if (!client.ok()) {
+    std::fprintf(stderr, "updater dial failed: %s\n",
+                 client.status().ToString().c_str());
+    return;
+  }
+  size_t seq = 0;
+  // ordering: relaxed — quit hint, same join-published contract as readers.
+  while (!stop->load(std::memory_order_relaxed)) {
+    const size_t sentence = 1000 + updater_id * 1000000 + seq;
+    serve::comm::UpdateRequest body;
+    body.label = "stream#" + std::to_string(updater_id) + "." +
+                 std::to_string(seq);
+    body.inserts.push_back(
+        {"Person", std::to_string(sentence) + "\t" +
+                       std::to_string(2 * sentence) + "\n" +
+                       std::to_string(sentence) + "\t" +
+                       std::to_string(2 * sentence + 1) + "\n"});
+    serve::comm::Request request;
+    request.tenant = "bench";
+    request.body = std::move(body);
+    auto response = client->Call(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "update transport failed mid-bench\n");
+      return;
+    }
+    if (response->code == StatusCode::kUnavailable) {
+      ++*shed;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(response->retry_after_ms));
+      continue;
+    }
+    if (!response->ok()) {
+      std::fprintf(stderr, "update rejected: %s\n", response->message.c_str());
+      return;
+    }
+    ++*applied;
+    ++seq;
+  }
+}
+
+LatencyStats RunReaders(const std::string& address, size_t readers,
+                        double seconds, ThreadPool* fleet,
+                        std::atomic<bool>* stop) {
+  std::vector<std::vector<double>> latencies(readers);
+  for (size_t r = 0; r < readers; ++r) {
+    fleet->Submit([&address, stop, &latencies, r] {
+      ReaderLoop(address, stop, &latencies[r]);
+    });
+  }
+  Timer window;
+  while (window.Seconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // ordering: relaxed — quit hint; Wait() below is the synchronization point.
+  stop->store(true, std::memory_order_relaxed);
+  fleet->Wait();
+  std::vector<double> all;
+  for (const auto& per_reader : latencies) {
+    all.insert(all.end(), per_reader.begin(), per_reader.end());
+  }
+  std::sort(all.begin(), all.end());
+  LatencyStats stats;
+  stats.calls = all.size();
+  stats.p50_us = Percentile(&all, 50.0);
+  stats.p99_us = Percentile(&all, 99.0);
+  stats.qps = static_cast<double>(all.size()) / seconds;
+  return stats;
+}
+
+// Small queue + tight watermark on purpose: the bench exists to measure
+// what saturation does to the query plane, so make saturation reachable.
+constexpr uint32_t kQueueCapacity = 8;
+constexpr uint32_t kShedWatermark = 4;
+
+int Run(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+
+  serve::service::TenantRegistry registry;
+  serve::handlers::Dispatcher dispatcher(&registry);
+
+  serve::comm::CreateTenantRequest create;
+  create.name = "bench";
+  create.program = kProgram;
+  create.config.epochs = 5;
+  create.config.queue_capacity = kQueueCapacity;
+  create.config.shed_watermark = kShedWatermark;
+  create.config.retry_after_ms = 5;
+  create.data.push_back({"Person", "1\t10\n1\t11\n"});
+  create.data.push_back({"HasSpouseLabel", "10\t11\ttrue\n"});
+  serve::comm::Request request;
+  request.tenant = "bench";
+  request.body = std::move(create);
+  const serve::comm::Response created = dispatcher.Dispatch(request);
+  if (!created.ok()) {
+    std::fprintf(stderr, "tenant creation failed: %s\n",
+                 created.message.c_str());
+    return 1;
+  }
+
+  serve::srv::ServerOptions options;
+  options.listen_address = "127.0.0.1:0";
+  options.connection_workers = args.readers + args.updaters + 2;
+  serve::srv::Server server(&dispatcher, options);
+  if (const Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  const std::string address = server.address();
+
+  // Phase 1 — idle: queries only, the lock-free pin path with no writer.
+  PrintHeader("idle: query fleet only");
+  ThreadPool idle_fleet(args.readers, /*inline_when_single=*/false);
+  std::atomic<bool> idle_stop{false};
+  const LatencyStats idle =
+      RunReaders(address, args.readers, args.seconds, &idle_fleet, &idle_stop);
+  std::printf("%zu readers: %zu queries, %.0f q/s, p50 %.1f us, p99 %.1f us\n",
+              args.readers, idle.calls, idle.qps, idle.p50_us, idle.p99_us);
+
+  // Phase 2 — saturated: the same query fleet racing a streaming update
+  // fleet that keeps the per-tenant queue at its admission watermark.
+  PrintHeader("saturated: query fleet vs streaming updates");
+  ThreadPool update_fleet(args.updaters, /*inline_when_single=*/false);
+  std::atomic<bool> update_stop{false};
+  std::vector<size_t> applied(args.updaters, 0);
+  std::vector<size_t> shed(args.updaters, 0);
+  for (size_t u = 0; u < args.updaters; ++u) {
+    update_fleet.Submit([&address, u, &update_stop, &applied, &shed] {
+      UpdaterLoop(address, u, &update_stop, &applied[u], &shed[u]);
+    });
+  }
+  ThreadPool saturated_fleet(args.readers, /*inline_when_single=*/false);
+  std::atomic<bool> saturated_stop{false};
+  const LatencyStats saturated = RunReaders(
+      address, args.readers, args.seconds, &saturated_fleet, &saturated_stop);
+  // ordering: relaxed — quit hint; Wait() is the synchronization point.
+  update_stop.store(true, std::memory_order_relaxed);
+  update_fleet.Wait();
+  size_t total_applied = 0, total_shed = 0;
+  for (size_t u = 0; u < args.updaters; ++u) {
+    total_applied += applied[u];
+    total_shed += shed[u];
+  }
+  const double shed_rate =
+      total_applied + total_shed == 0
+          ? 0.0
+          : static_cast<double>(total_shed) /
+                static_cast<double>(total_applied + total_shed);
+  std::printf("%zu readers: %zu queries, %.0f q/s, p50 %.1f us, p99 %.1f us\n",
+              args.readers, saturated.calls, saturated.qps, saturated.p50_us,
+              saturated.p99_us);
+  std::printf("%zu updaters: %zu applied, %zu shed (%.1f%% shed rate)\n",
+              args.updaters, total_applied, total_shed, shed_rate * 100.0);
+
+  // Hard gates, not just numbers: the tenant's own counters must agree with
+  // the client-side tallies (end-to-end consistency of the status verb), the
+  // epoch must equal 1 + applied updates (monotone, nothing lost), and with
+  // more updaters than watermark + 1 the admission control must actually
+  // have shed something. Any of these failing is a serving-stack regression.
+  serve::comm::Request status;
+  status.tenant = "bench";
+  status.body = serve::comm::StatusRequest{};
+  const serve::comm::Response stats = dispatcher.Dispatch(status);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "status verb failed: %s\n", stats.message.c_str());
+    return 1;
+  }
+  const auto& tenant =
+      std::get<serve::comm::StatusResult>(stats.body).tenants[0];
+  std::printf("server counters: %llu applied, %llu shed, epoch %llu\n",
+              static_cast<unsigned long long>(tenant.updates_applied),
+              static_cast<unsigned long long>(tenant.updates_shed),
+              static_cast<unsigned long long>(tenant.epoch));
+  if (tenant.updates_applied != total_applied ||
+      tenant.updates_shed != total_shed) {
+    std::fprintf(stderr,
+                 "FAIL: server counters disagree with client tallies\n");
+    return 1;
+  }
+  if (tenant.epoch != 1 + total_applied) {
+    std::fprintf(stderr, "FAIL: epoch %llu != 1 + %zu applied updates\n",
+                 static_cast<unsigned long long>(tenant.epoch), total_applied);
+    return 1;
+  }
+  if (args.updaters > kShedWatermark + 1 && total_shed == 0) {
+    std::fprintf(stderr, "FAIL: admission control never shed an update\n");
+    return 1;
+  }
+
+  server.Stop();
+  registry.StopAll();
+
+  std::FILE* out = std::fopen(args.out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"serve_saturation\",\n"
+               "  \"readers\": %zu,\n"
+               "  \"updaters\": %zu,\n"
+               "  \"seconds_per_phase\": %.2f,\n"
+               "  \"idle_queries\": %zu,\n"
+               "  \"idle_qps\": %.0f,\n"
+               "  \"idle_p50_us\": %.1f,\n"
+               "  \"idle_p99_us\": %.1f,\n"
+               "  \"saturated_queries\": %zu,\n"
+               "  \"saturated_qps\": %.0f,\n"
+               "  \"saturated_p50_us\": %.1f,\n"
+               "  \"saturated_p99_us\": %.1f,\n"
+               "  \"updates_applied\": %zu,\n"
+               "  \"updates_shed\": %zu,\n"
+               "  \"shed_rate\": %.4f\n"
+               "}\n",
+               args.readers, args.updaters, args.seconds, idle.calls, idle.qps,
+               idle.p50_us, idle.p99_us, saturated.calls, saturated.qps,
+               saturated.p50_us, saturated.p99_us, total_applied, total_shed,
+               shed_rate);
+  std::fclose(out);
+  std::printf("\nwrote %s\n", args.out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace deepdive::bench
+
+int main(int argc, char** argv) { return deepdive::bench::Run(argc, argv); }

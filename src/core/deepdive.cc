@@ -112,6 +112,11 @@ void DeepDive::PublishView(UpdateReport* report) {
     std::sort(entries.begin(), entries.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
   }
+  for (const dsl::RelationDecl& rel : program_.relations()) {
+    if (rel.kind == dsl::RelationKind::kQuery) {
+      view->query_relations.push_back(rel.name);
+    }
+  }
   report->epoch = publisher_.next_epoch();
   view->report = *report;
   if (inc_engine_ != nullptr) {

@@ -106,6 +106,14 @@ class DeepDive {
     return publisher_.Current();
   }
 
+  /// Blocks until a view with epoch >= `min_epoch` has been published.
+  /// Callable from any thread; the explicit readiness signal for reader
+  /// threads that must not spin on the empty epoch-0 view (min_epoch = 1
+  /// blocks until the end of Initialize).
+  void WaitForView(uint64_t min_epoch = 1) const {
+    publisher_.WaitForEpoch(min_epoch);
+  }
+
   /// Serving-thread-only accessors, reimplemented over the serving thread's
   /// current ResultView (exactly what the latest Initialize/ApplyUpdate
   /// published). References stay valid until this thread's next update

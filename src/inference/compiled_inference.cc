@@ -28,4 +28,22 @@ void SampleChainAuto(const factor::FactorGraph& graph, const GibbsOptions& optio
   sampler.SampleChain(options, count, thin, on_sample);
 }
 
+uint64_t CompiledMarginalsFingerprint(const factor::CompiledGraph& graph,
+                                      uint64_t seed, size_t threads,
+                                      size_t replicas, size_t sync_every) {
+  GibbsOptions gopts;
+  gopts.seed = seed + 1;
+  gopts.num_threads = threads;
+  gopts.num_replicas = replicas;
+  gopts.sync_every_sweeps = sync_every;
+  CompiledReplicatedGibbsSampler sampler(&graph, replicas, threads);
+  std::vector<double> marginals = sampler.EstimateMarginals(gopts).marginals;
+  for (factor::VarId v = 0; v < graph.NumVariables(); ++v) {
+    const auto ev = graph.EvidenceValue(v);
+    if (ev.has_value()) marginals[v] = *ev ? 1.0 : 0.0;
+  }
+  return factor::Fnv1aHash(marginals.data(),
+                           marginals.size() * sizeof(double));
+}
+
 }  // namespace deepdive::inference

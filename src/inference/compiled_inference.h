@@ -27,6 +27,16 @@ void SampleChainAuto(const factor::FactorGraph& graph, const GibbsOptions& optio
                      size_t count, size_t thin,
                      const std::function<bool(const BitVector&)>& on_sample);
 
+/// FNV-1a hash of the marginals a fresh process must reproduce from a
+/// compiled snapshot: EstimateMarginals on the compiled kernel with seed+1
+/// and the given replica settings, evidence clamped to its label (as the
+/// pipeline does). The identity line printed by `run --save-graph` (via the
+/// serving stack's save_graph verb) and recomputed by `load-graph`; the CI
+/// cold-start smoke diffs the two.
+uint64_t CompiledMarginalsFingerprint(const factor::CompiledGraph& graph,
+                                      uint64_t seed, size_t threads,
+                                      size_t replicas, size_t sync_every);
+
 }  // namespace deepdive::inference
 
 #endif  // DEEPDIVE_INFERENCE_COMPILED_INFERENCE_H_

@@ -62,7 +62,17 @@ uint64_t ResultPublisher::Publish(std::shared_ptr<ResultView> view) {
   // acquire load in Current() so readers never observe a half-written view.
   slot_.store(std::shared_ptr<const ResultView>(std::move(view)),
               std::memory_order_release);
+  {
+    MutexLock lock(wait_mu_);
+    published_epoch_ = last_epoch_;
+  }
+  published_cv_.NotifyAll();
   return last_epoch_;
+}
+
+void ResultPublisher::WaitForEpoch(uint64_t min_epoch) const {
+  MutexLock lock(wait_mu_);
+  while (published_epoch_ < min_epoch) published_cv_.Wait(wait_mu_);
 }
 
 Status WriteRelationTsv(const ResultView& view, const std::string& relation,

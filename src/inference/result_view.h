@@ -13,6 +13,7 @@
 #include "core/update_report.h"
 #include "incremental/snapshot.h"
 #include "storage/value.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 #include "util/thread_role.h"
@@ -43,6 +44,12 @@ struct ResultView {
   /// relation knowledge) leave it empty.
   std::unordered_map<std::string, std::vector<std::pair<Tuple, double>>>
       relations;
+
+  /// Names of the program's query relations in declaration order, frozen at
+  /// publication. Lets a view-only consumer (the serving stack's export
+  /// handler) enumerate relations deterministically without touching the
+  /// serving-thread-only program() accessor. Empty on engine-level views.
+  std::vector<std::string> query_relations;
 
   /// Copy of the report of the update that published this view. DeepDive
   /// views carry the full report (label "initialize" for the view published
@@ -101,6 +108,13 @@ class ResultPublisher {
     return slot_.load(std::memory_order_acquire);
   }
 
+  /// Blocks until a view with epoch >= `min_epoch` has been published, then
+  /// returns. Callable from any thread — this is the explicit readiness
+  /// signal for readers that must not start before the writer's first real
+  /// publication (min_epoch = 1): they block on the publication CondVar
+  /// instead of polling Current() or sleeping through a grace window.
+  void WaitForEpoch(uint64_t min_epoch) const EXCLUDES(wait_mu_);
+
   /// Epoch the next Publish() will stamp. Writer thread only.
   uint64_t next_epoch() const REQUIRES(serving_thread) { return last_epoch_ + 1; }
   /// Epoch of the most recently published view. Writer thread only.
@@ -114,6 +128,13 @@ class ResultPublisher {
  private:
   std::atomic<std::shared_ptr<const ResultView>> slot_;
   uint64_t last_epoch_ GUARDED_BY(serving_thread) = 0;
+
+  /// Readiness signaling for WaitForEpoch: Publish() mirrors the epoch it
+  /// stamped into this guarded copy and notifies. Kept separate from the
+  /// lock-free slot_ so Current() stays a single acquire load.
+  mutable Mutex wait_mu_;
+  mutable CondVar published_cv_;
+  uint64_t published_epoch_ GUARDED_BY(wait_mu_) = 0;
 };
 
 /// Writes one relation of a pinned view as "<marginal>\t<cols...>" TSV

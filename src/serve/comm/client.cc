@@ -1,0 +1,19 @@
+#include "serve/comm/client.h"
+
+#include "serve/comm/frame.h"
+
+namespace deepdive::serve::comm {
+
+StatusOr<Client> Client::Dial(const std::string& address) {
+  DD_ASSIGN_OR_RETURN(Socket socket, Connect(address));
+  return Client(std::move(socket));
+}
+
+StatusOr<Response> Client::Call(const Request& request) {
+  DD_RETURN_IF_ERROR(WriteFrame(socket_, EncodeRequest(request)));
+  std::string payload;
+  DD_RETURN_IF_ERROR(ReadFrame(socket_, &payload));
+  return DecodeResponse(payload);
+}
+
+}  // namespace deepdive::serve::comm

@@ -1,0 +1,38 @@
+#ifndef DEEPDIVE_SERVE_COMM_CLIENT_H_
+#define DEEPDIVE_SERVE_COMM_CLIENT_H_
+
+#include <string>
+
+#include "serve/comm/messages.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace deepdive::serve::comm {
+
+/// Blocking request/response client for the deepdive_serve wire protocol:
+/// one connection, serial Calls (frame out, frame in). The thin end of the
+/// communication tier — deepdive_cli's client mode and the saturation bench
+/// both drive the daemon through this class, with the exact request structs
+/// the in-process handler path uses, so the two transports cannot drift.
+///
+/// Thread contract: one thread per Client (callers wanting concurrency open
+/// one connection per thread, like any real client fleet would).
+class Client {
+ public:
+  /// Connects to "HOST:PORT" or "unix:PATH".
+  static StatusOr<Client> Dial(const std::string& address);
+
+  /// Sends `request` and awaits its response envelope. A transport error
+  /// poisons the connection (the daemon closes it after a framing error);
+  /// application-level failures arrive as Response::code instead.
+  StatusOr<Response> Call(const Request& request);
+
+ private:
+  explicit Client(Socket socket) : socket_(std::move(socket)) {}
+
+  Socket socket_;
+};
+
+}  // namespace deepdive::serve::comm
+
+#endif  // DEEPDIVE_SERVE_COMM_CLIENT_H_

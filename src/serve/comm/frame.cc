@@ -1,0 +1,40 @@
+#include "serve/comm/frame.h"
+
+namespace deepdive::serve::comm {
+
+Status WriteFrame(const Socket& socket, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload exceeds " +
+                                   std::to_string(kMaxFrameBytes) + " bytes");
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  char prefix[4];
+  prefix[0] = static_cast<char>((len >> 24) & 0xff);
+  prefix[1] = static_cast<char>((len >> 16) & 0xff);
+  prefix[2] = static_cast<char>((len >> 8) & 0xff);
+  prefix[3] = static_cast<char>(len & 0xff);
+  DD_RETURN_IF_ERROR(socket.SendAll(prefix, sizeof(prefix)));
+  return socket.SendAll(payload.data(), payload.size());
+}
+
+Status ReadFrame(const Socket& socket, std::string* payload) {
+  char prefix[4];
+  DD_RETURN_IF_ERROR(socket.RecvAll(prefix, sizeof(prefix)));
+  uint32_t len = 0;
+  for (const char c : prefix) len = (len << 8) | static_cast<uint8_t>(c);
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument("peer announced a " + std::to_string(len) +
+                                   "-byte frame (limit " +
+                                   std::to_string(kMaxFrameBytes) + ")");
+  }
+  payload->resize(len);
+  if (len == 0) return Status::OK();
+  const Status status = socket.RecvAll(payload->data(), len);
+  if (status.code() == StatusCode::kNotFound) {
+    // EOF after a length prefix is truncation, not a clean hangup.
+    return Status::Internal("connection closed mid-frame");
+  }
+  return status;
+}
+
+}  // namespace deepdive::serve::comm

@@ -1,0 +1,29 @@
+#ifndef DEEPDIVE_SERVE_COMM_FRAME_H_
+#define DEEPDIVE_SERVE_COMM_FRAME_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace deepdive::serve::comm {
+
+/// Frame size ceiling (64 MiB): a peer announcing more is a protocol error,
+/// not an allocation request — the guard that keeps one bad length prefix
+/// from OOMing the daemon.
+inline constexpr size_t kMaxFrameBytes = 64ull << 20;
+
+/// Writes one length-prefixed frame: u32 big-endian payload size, then the
+/// payload bytes. The framing layer under every request and response.
+Status WriteFrame(const Socket& socket, std::string_view payload);
+
+/// Reads one frame into `payload`. NotFound when the peer hung up cleanly
+/// between frames (a normal connection end); InvalidArgument when the length
+/// prefix exceeds kMaxFrameBytes; Internal on mid-frame truncation.
+Status ReadFrame(const Socket& socket, std::string* payload);
+
+}  // namespace deepdive::serve::comm
+
+#endif  // DEEPDIVE_SERVE_COMM_FRAME_H_

@@ -1,0 +1,90 @@
+#include "serve/comm/wire.h"
+
+#include <cstring>
+
+namespace deepdive::serve::comm {
+
+void WireWriter::PutU32(uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>((v >> 24) & 0xff);
+  buf[1] = static_cast<char>((v >> 16) & 0xff);
+  buf[2] = static_cast<char>((v >> 8) & 0xff);
+  buf[3] = static_cast<char>(v & 0xff);
+  out_.append(buf, sizeof(buf));
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v >> 32));
+  PutU32(static_cast<uint32_t>(v & 0xffffffffull));
+}
+
+void WireWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(std::string_view v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  out_.append(v.data(), v.size());
+}
+
+bool WireReader::Need(size_t n) {
+  if (!status_.ok()) return false;
+  if (data_.size() - pos_ < n) {
+    status_ = Status::InvalidArgument("wire message truncated at byte " +
+                                      std::to_string(pos_));
+    return false;
+  }
+  return true;
+}
+
+uint8_t WireReader::GetU8() {
+  if (!Need(1)) return 0;
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t WireReader::GetU32() {
+  if (!Need(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(data_[pos_ + static_cast<size_t>(i)]);
+  }
+  pos_ += 4;
+  return v;
+}
+
+uint64_t WireReader::GetU64() {
+  const uint64_t hi = GetU32();
+  const uint64_t lo = GetU32();
+  return (hi << 32) | lo;
+}
+
+double WireReader::GetDouble() {
+  const uint64_t bits = GetU64();
+  double v;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::GetString() {
+  const uint32_t len = GetU32();
+  if (!Need(len)) return std::string();
+  std::string v(data_.substr(pos_, len));
+  pos_ += len;
+  return v;
+}
+
+Status WireReader::ExpectDone() {
+  if (!status_.ok()) return status_;
+  if (!done()) {
+    return Status::InvalidArgument(
+        std::to_string(data_.size() - pos_) +
+        " trailing bytes after a complete wire message");
+  }
+  return Status::OK();
+}
+
+}  // namespace deepdive::serve::comm

@@ -1,0 +1,70 @@
+#ifndef DEEPDIVE_SERVE_COMM_WIRE_H_
+#define DEEPDIVE_SERVE_COMM_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace deepdive::serve::comm {
+
+/// Append-only binary serializer for wire messages. Fixed-width integers are
+/// big-endian; doubles travel as their IEEE-754 bit pattern; strings and
+/// blobs are u32-length-prefixed. The matching WireReader rejects any
+/// truncation with a sticky error instead of reading past the end, so a
+/// malformed (or hostile) frame can never become out-of-bounds access.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutDouble(double v);
+  void PutString(std::string_view v);
+
+  /// Aliases the buffer; WireWriter is a single-thread value type (no
+  /// concurrent use), the reference lives only as long as the writer.
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over one received frame. Every Get* returns a
+/// default value once the reader has failed; callers check status() after
+/// decoding a whole message (the sticky error names the first failure).
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  uint8_t GetU8();
+  bool GetBool() { return GetU8() != 0; }
+  uint32_t GetU32();
+  uint64_t GetU64();
+  double GetDouble();
+  std::string GetString();
+
+  /// True once every byte has been consumed (trailing garbage is a protocol
+  /// error the decoder surfaces via ExpectDone).
+  bool done() const { return pos_ >= data_.size(); }
+  Status ExpectDone();
+
+  /// Sticky first error; WireReader is a single-thread value type, the
+  /// reference is only valid while the reader is.
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+
+ private:
+  bool Need(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+}  // namespace deepdive::serve::comm
+
+#endif  // DEEPDIVE_SERVE_COMM_WIRE_H_

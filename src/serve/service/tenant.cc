@@ -1,0 +1,368 @@
+#include "serve/service/tenant.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "factor/graph_io.h"
+#include "incremental/optimizer.h"
+#include "inference/compiled_inference.h"
+#include "storage/text_io.h"
+#include "util/string_util.h"
+
+namespace deepdive::serve::service {
+namespace {
+
+/// Parses one relation's TSV payload against the tenant's schema — the
+/// writer-thread half of the data path (rows travel as raw text precisely so
+/// that nothing outside the serving thread needs the program).
+StatusOr<std::vector<Tuple>> ParseRows(const core::DeepDive& dd,
+                                       const std::string& relation,
+                                       const std::string& tsv)
+    REQUIRES(serving_thread) {
+  const dsl::RelationDecl* decl = dd.program().FindRelation(relation);
+  if (decl == nullptr) {
+    return Status::NotFound("unknown relation '" + relation + "'");
+  }
+  std::istringstream in(tsv);
+  std::vector<Tuple> rows;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    auto tuple = ParseTsvLine(decl->schema, line);
+    if (!tuple.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: %s", relation.c_str(), line_number,
+                    tuple.status().message().c_str()));
+    }
+    rows.push_back(std::move(tuple).value());
+  }
+  return rows;
+}
+
+}  // namespace
+
+TenantInstance::TenantInstance(std::string name, std::string program_source,
+                               comm::TenantConfig config,
+                               std::vector<comm::DataPayload> data)
+    : name_(std::move(name)),
+      program_source_(std::move(program_source)),
+      config_(config),
+      base_data_(std::move(data)),
+      queue_(config_.queue_capacity == 0 ? 1 : config_.queue_capacity,
+             config_.shed_watermark),
+      writer_(std::make_unique<ThreadPool>(1, /*inline_when_single=*/false)) {
+  writer_->Submit([this] { ServeLoop(); });
+}
+
+TenantInstance::~TenantInstance() { Stop(); }
+
+Status TenantInstance::WaitReady() const {
+  MutexLock lock(mu_);
+  while (phase_ == Phase::kStarting) ready_cv_.Wait(mu_);
+  if (phase_ == Phase::kFailed) return init_status_;
+  if (phase_ == Phase::kStopped) {
+    return Status::FailedPrecondition("tenant '" + name_ + "' is stopped");
+  }
+  return Status::OK();
+}
+
+StatusOr<comm::CreateTenantResult> TenantInstance::InitInfo() const {
+  DD_RETURN_IF_ERROR(WaitReady());
+  MutexLock lock(mu_);
+  return init_info_;
+}
+
+std::shared_ptr<const core::DeepDive> TenantInstance::deepdive() const {
+  MutexLock lock(mu_);
+  return engine_;
+}
+
+StatusOr<comm::UpdateResult> TenantInstance::SubmitUpdate(
+    comm::UpdateRequest request) {
+  Job job;
+  job.kind = Job::Kind::kUpdate;
+  job.update = std::move(request);
+  std::future<StatusOr<comm::UpdateResult>> done = job.update_done.get_future();
+  if (!queue_.TryPush(std::move(job))) {
+    if (queue_.closed()) {
+      return Status::FailedPrecondition("tenant '" + name_ + "' is stopped");
+    }
+    // ordering: relaxed — monotone shed counter, reported by GetStatus; the
+    // rejection itself travels by return value.
+    updates_shed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("update queue for tenant '" + name_ +
+                               "' is at its admission watermark; retry later");
+  }
+  return done.get();
+}
+
+StatusOr<comm::SaveGraphResult> TenantInstance::SaveGraph(
+    const std::string& path) {
+  Job job;
+  job.kind = Job::Kind::kSaveGraph;
+  job.save_path = path;
+  std::future<StatusOr<comm::SaveGraphResult>> done =
+      job.save_done.get_future();
+  if (!queue_.Push(std::move(job))) {
+    return Status::FailedPrecondition("tenant '" + name_ + "' is stopped");
+  }
+  return done.get();
+}
+
+StatusOr<TenantInstance::DrainReport> TenantInstance::Drain() {
+  Job job;
+  job.kind = Job::Kind::kDrain;
+  std::future<StatusOr<DrainReport>> done = job.drain_done.get_future();
+  if (!queue_.Push(std::move(job))) {
+    return Status::FailedPrecondition("tenant '" + name_ + "' is stopped");
+  }
+  return done.get();
+}
+
+comm::TenantStatus TenantInstance::GetStatus() const {
+  comm::TenantStatus status;
+  status.name = name_;
+  std::shared_ptr<const core::DeepDive> dd;
+  {
+    MutexLock lock(mu_);
+    status.ready = phase_ == Phase::kReady;
+    status.failed = phase_ == Phase::kFailed;
+    dd = engine_;
+  }
+  if (dd != nullptr) {
+    const auto view = dd->Query();
+    status.epoch = view->epoch;
+    status.num_variables = view->marginals.size();
+  }
+  // ordering: relaxed — monotone counters; the status snapshot is
+  // statistical, not a synchronization point.
+  status.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  status.updates_shed = updates_shed_.load(std::memory_order_relaxed);
+  status.queue_depth = static_cast<uint32_t>(queue_.depth());
+  status.queue_capacity = static_cast<uint32_t>(queue_.capacity());
+  status.shed_watermark = static_cast<uint32_t>(queue_.shed_watermark());
+  return status;
+}
+
+void TenantInstance::Stop() {
+  queue_.Close();
+  // Joining the pool waits for ServeLoop to drain queued jobs, finish any
+  // background materialization, and unpublish the engine.
+  writer_.reset();
+}
+
+void TenantInstance::SetPreUpdateHookForTest(std::function<void()> hook) {
+  MutexLock lock(mu_);
+  pre_update_hook_ = std::move(hook);
+}
+
+void TenantInstance::ServeLoop() {
+  // Trusted root: this dedicated pool worker is the tenant's serving thread
+  // for its entire life — the only thread that touches the engine's
+  // REQUIRES(serving_thread) surface.
+  serving_thread.AssertHeld();
+
+  auto built = BuildEngine();
+  if (!built.ok()) {
+    {
+      MutexLock lock(mu_);
+      phase_ = Phase::kFailed;
+      init_status_ = built.status();
+    }
+    ready_cv_.NotifyAll();
+    // Keep consuming so queued/incoming jobs fail fast instead of hanging,
+    // until the registry closes the queue.
+    while (std::optional<Job> job = queue_.Pop()) {
+      RejectJob(&*job, Status::FailedPrecondition(
+                           "tenant '" + name_ + "' failed to initialize: " +
+                           built.status().message()));
+    }
+    return;
+  }
+
+  std::shared_ptr<core::DeepDive> dd = std::move(built).value();
+  {
+    comm::CreateTenantResult info;
+    info.epoch = dd->Query()->epoch;
+    info.num_variables = dd->ground().graph.NumVariables();
+    info.num_factors = dd->ground().graph.NumActiveClauses();
+    MutexLock lock(mu_);
+    phase_ = Phase::kReady;
+    init_info_ = info;
+    engine_ = dd;
+  }
+  ready_cv_.NotifyAll();
+
+  while (std::optional<Job> job = queue_.Pop()) {
+    switch (job->kind) {
+      case Job::Kind::kUpdate: {
+        std::function<void()> hook;
+        {
+          MutexLock lock(mu_);
+          hook = pre_update_hook_;
+        }
+        if (hook) hook();
+        auto result = ExecuteUpdate(dd.get(), std::move(job->update));
+        if (result.ok()) {
+          // ordering: relaxed — monotone counter read by GetStatus; the
+          // waiting submitter is synchronized by the promise below.
+          updates_applied_.fetch_add(1, std::memory_order_relaxed);
+        }
+        job->update_done.set_value(std::move(result));
+        break;
+      }
+      case Job::Kind::kSaveGraph:
+        job->save_done.set_value(ExecuteSaveGraph(dd.get(), job->save_path));
+        break;
+      case Job::Kind::kDrain:
+        job->drain_done.set_value(ExecuteDrain(dd.get()));
+        break;
+    }
+  }
+
+  // Queue closed and drained. Finish background materialization so no
+  // engine-owned worker outlives this loop, then unpublish; readers holding
+  // a shared_ptr keep the (now quiescent) engine alive until their last pin
+  // drops.
+  if (auto* engine = dd->incremental_engine(); engine != nullptr) {
+    const Status drained = engine->WaitForMaterialization();
+    if (!drained.ok()) {
+      std::fprintf(stderr, "tenant %s: materialization drain failed: %s\n",
+                   name_.c_str(), drained.ToString().c_str());
+    }
+  }
+  {
+    MutexLock lock(mu_);
+    phase_ = Phase::kStopped;
+    engine_.reset();
+  }
+  ready_cv_.NotifyAll();
+}
+
+StatusOr<std::shared_ptr<core::DeepDive>> TenantInstance::BuildEngine() {
+  core::DeepDiveConfig config;
+  config.mode = config_.rerun_mode ? core::ExecutionMode::kRerun
+                                   : core::ExecutionMode::kIncremental;
+  config.seed = config_.seed;
+  config.learner.epochs = config_.epochs;
+  // Parallel grounding and inference everywhere a chain or rule evaluation
+  // runs (0 = hardware threads) — the same wiring as deepdive_cli run, so a
+  // tenant and the in-process CLI produce identical results for identical
+  // settings.
+  config.grounding.num_threads = config_.threads;
+  config.gibbs.num_threads = config_.threads;
+  config.learner.num_threads = config_.threads;
+  config.materialization.num_threads = config_.threads;
+  config.materialization.variational.num_threads = config_.threads;
+  config.engine.gibbs.num_threads = config_.threads;
+  config.engine.rerun_gibbs.num_threads = config_.threads;
+  config.gibbs.num_replicas = config_.replicas;
+  config.gibbs.sync_every_sweeps = config_.sync_every;
+  config.learner.num_replicas = config_.replicas;
+  config.materialization.num_replicas = config_.replicas;
+  config.materialization.sync_every_sweeps = config_.sync_every;
+  config.engine.rerun_gibbs.num_replicas = config_.replicas;
+  config.engine.rerun_gibbs.sync_every_sweeps = config_.sync_every;
+  config.materialization.async = config_.async_materialize;
+  config.materialization.save_sample_store = config_.save_materialization;
+  config.materialization.load_sample_store = config_.load_materialization;
+  DD_ASSIGN_OR_RETURN(std::unique_ptr<core::DeepDive> dd,
+                      core::DeepDive::Create(program_source_, config));
+  for (const comm::DataPayload& payload : base_data_) {
+    DD_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                        ParseRows(*dd, payload.relation, payload.tsv));
+    DD_RETURN_IF_ERROR(dd->LoadRows(payload.relation, rows));
+    std::fprintf(stderr, "tenant %s: loaded %zu rows into %s\n", name_.c_str(),
+                 rows.size(), payload.relation.c_str());
+  }
+  base_data_.clear();
+  DD_RETURN_IF_ERROR(dd->Initialize());
+  return std::shared_ptr<core::DeepDive>(std::move(dd));
+}
+
+StatusOr<comm::UpdateResult> TenantInstance::ExecuteUpdate(
+    core::DeepDive* dd, comm::UpdateRequest request) {
+  core::UpdateSpec spec;
+  if (request.label.empty()) {
+    // ordering: relaxed — the writer thread is the only incrementer, so the
+    // read is simply its own last value.
+    spec.label = StrFormat(
+        "update#%llu",
+        static_cast<unsigned long long>(
+            updates_applied_.load(std::memory_order_relaxed) + 1));
+  } else {
+    spec.label = request.label;
+  }
+  spec.add_rules = request.rules;
+  for (const comm::DataPayload& payload : request.inserts) {
+    // Fragment relations must exist before parsing their data, so apply a
+    // rules-only spec first if the data targets a fragment relation.
+    if (dd->program().FindRelation(payload.relation) == nullptr &&
+        !spec.add_rules.empty()) {
+      core::UpdateSpec rules_only;
+      rules_only.label = spec.label + "/rules";
+      rules_only.add_rules = spec.add_rules;
+      DD_RETURN_IF_ERROR(dd->ApplyUpdate(rules_only).status());
+      spec.add_rules.clear();
+    }
+    DD_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                        ParseRows(*dd, payload.relation, payload.tsv));
+    spec.inserts[payload.relation] = std::move(rows);
+  }
+  DD_ASSIGN_OR_RETURN(core::UpdateReport report, dd->ApplyUpdate(spec));
+  comm::UpdateResult result;
+  result.epoch = report.epoch;
+  result.label = report.label;
+  result.strategy = incremental::StrategyName(report.strategy);
+  result.grounding_seconds = report.grounding_seconds;
+  result.learning_seconds = report.learning_seconds;
+  result.inference_seconds = report.inference_seconds;
+  result.affected_vars = report.affected_vars;
+  return result;
+}
+
+StatusOr<comm::SaveGraphResult> TenantInstance::ExecuteSaveGraph(
+    core::DeepDive* dd, const std::string& path) {
+  const factor::CompiledGraph compiled =
+      factor::CompiledGraph::Compile(dd->ground().graph);
+  DD_RETURN_IF_ERROR(factor::SaveCompiledGraph(compiled, path));
+  comm::SaveGraphResult result;
+  result.checksum = compiled.Checksum();
+  result.image_bytes = compiled.image_bytes();
+  result.fingerprint = inference::CompiledMarginalsFingerprint(
+      compiled, config_.seed, config_.threads, config_.replicas,
+      config_.sync_every);
+  return result;
+}
+
+StatusOr<TenantInstance::DrainReport> TenantInstance::ExecuteDrain(
+    core::DeepDive* dd) {
+  DrainReport report;
+  if (auto* engine = dd->incremental_engine(); engine != nullptr) {
+    DD_RETURN_IF_ERROR(engine->WaitForMaterialization());
+    report.snapshot_generation = engine->snapshot_generation();
+    report.samples_collected = dd->materialization_stats().samples_collected;
+  }
+  return report;
+}
+
+void TenantInstance::RejectJob(Job* job, const Status& status) {
+  switch (job->kind) {
+    case Job::Kind::kUpdate:
+      job->update_done.set_value(status);
+      break;
+    case Job::Kind::kSaveGraph:
+      job->save_done.set_value(status);
+      break;
+    case Job::Kind::kDrain:
+      job->drain_done.set_value(status);
+      break;
+  }
+}
+
+}  // namespace deepdive::serve::service

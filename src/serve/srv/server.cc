@@ -1,0 +1,114 @@
+#include "serve/srv/server.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "serve/comm/frame.h"
+
+namespace deepdive::serve::srv {
+
+Server::Server(handlers::Dispatcher* dispatcher, ServerOptions options)
+    : dispatcher_(dispatcher),
+      options_(std::move(options)),
+      pending_(options_.pending_connections == 0
+                   ? 1
+                   : options_.pending_connections) {}
+
+Status Server::Start() {
+  DD_ASSIGN_OR_RETURN(Listener listener, Listen(options_.listen_address));
+  listener_ = std::move(listener.socket);
+  address_ = listener.address;
+  port_ = listener.port;
+  const size_t workers = std::max<size_t>(1, options_.connection_workers);
+  acceptor_ = std::make_unique<ThreadPool>(1, /*inline_when_single=*/false);
+  workers_ = std::make_unique<ThreadPool>(workers,
+                                          /*inline_when_single=*/false);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_->Submit([this] { WorkerLoop(); });
+  }
+  acceptor_->Submit([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  {
+    MutexLock lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  // Wake the acceptor out of accept(2); it exits on the NotFound it gets.
+  listener_.ShutdownBoth();
+  // Workers blocked on the hand-off queue drain out; accepted-but-unserved
+  // sockets left inside are closed by the queue's destructor (the worker
+  // loop drops them once stopping_ is set).
+  pending_.Close();
+  // Wake workers blocked mid-recv on live connections. Raw ::shutdown, not
+  // a Socket wrapper: the fds stay owned (and closed) by their workers.
+  {
+    MutexLock lock(mu_);
+    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  acceptor_.reset();
+  workers_.reset();
+  listener_.Close();
+}
+
+void Server::AcceptLoop() {
+  while (true) {
+    auto accepted = Accept(listener_);
+    if (!accepted.ok()) {
+      // NotFound = listener shut down (our Stop); anything else is logged
+      // and ends the loop too — a dead listener cannot recover.
+      if (accepted.status().code() != StatusCode::kNotFound) {
+        std::fprintf(stderr, "deepdive_serve: accept failed: %s\n",
+                     accepted.status().ToString().c_str());
+      }
+      return;
+    }
+    if (!pending_.TryPush(std::move(accepted).value())) {
+      // Hand-off queue full (or stopping): shed the connection. The Socket
+      // temporary closes it, which the client observes as a hangup.
+    }
+  }
+}
+
+void Server::WorkerLoop() {
+  while (std::optional<Socket> connection = pending_.Pop()) {
+    {
+      MutexLock lock(mu_);
+      if (stopping_) continue;  // drain mode: drop, don't serve
+      active_fds_.push_back(connection->fd());
+    }
+    ServeConnection(*connection);
+    {
+      // Deregister before the socket closes (end of this iteration), so
+      // Stop() can never shut down a recycled fd.
+      MutexLock lock(mu_);
+      active_fds_.erase(
+          std::find(active_fds_.begin(), active_fds_.end(), connection->fd()));
+    }
+  }
+}
+
+void Server::ServeConnection(const Socket& connection) {
+  std::string payload;
+  while (true) {
+    const Status read = comm::ReadFrame(connection, &payload);
+    if (!read.ok()) {
+      // NotFound = clean hangup between frames; everything else (including
+      // the mid-frame truncation Internal) just ends the connection.
+      return;
+    }
+    auto request = comm::DecodeRequest(payload);
+    comm::Response response = request.ok()
+                                  ? dispatcher_->Dispatch(*request)
+                                  : comm::Response::Error(request.status());
+    if (!comm::WriteFrame(connection, comm::EncodeResponse(response)).ok()) {
+      return;
+    }
+  }
+}
+
+}  // namespace deepdive::serve::srv

@@ -1,0 +1,90 @@
+#ifndef DEEPDIVE_SERVE_SRV_SERVER_H_
+#define DEEPDIVE_SERVE_SRV_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/handlers/handlers.h"
+#include "util/bounded_queue.h"
+#include "util/mutex.h"
+#include "util/socket.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
+
+namespace deepdive::serve::srv {
+
+struct ServerOptions {
+  /// "HOST:PORT" (port 0 = ephemeral, see Server::port()) or "unix:PATH".
+  std::string listen_address = "127.0.0.1:0";
+  /// Connection worker threads; each serves one connection at a time, so
+  /// this is also the concurrent-connection ceiling.
+  size_t connection_workers = 8;
+  /// Accepted connections waiting for a free worker; beyond this the accept
+  /// loop sheds the connection (closes it immediately).
+  size_t pending_connections = 128;
+};
+
+/// The daemon's transport loop: one dedicated acceptor thread feeds accepted
+/// sockets into a bounded hand-off queue drained by a fixed pool of
+/// connection workers. Each worker speaks the framed request/response
+/// protocol (serve/comm) and forwards every decoded request to the shared
+/// Dispatcher — the server knows nothing about verbs or tenants.
+///
+/// Stop() is the graceful-drain half of SIGTERM handling: it wakes the
+/// acceptor (listener shutdown), closes the hand-off queue, shuts down every
+/// active connection socket (waking workers blocked in recv), and joins all
+/// threads. Idempotent.
+class Server {
+ public:
+  Server(handlers::Dispatcher* dispatcher, ServerOptions options);
+  ~Server() { Stop(); }
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the acceptor + connection workers.
+  Status Start();
+
+  /// The bound address ("IP:PORT" with the real port, or "unix:PATH").
+  /// Written once by Start(); immutable (and safe to read from any thread)
+  /// afterwards.
+  const std::string& address() const { return address_; }
+  uint16_t port() const { return port_; }
+
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  /// Serves one connection until EOF, transport error, or Stop(). The
+  /// caller (WorkerLoop) owns the socket and closes it afterwards.
+  void ServeConnection(const Socket& connection);
+
+  handlers::Dispatcher* dispatcher_;  // not owned
+  ServerOptions options_;
+  std::string address_;
+  uint16_t port_ = 0;
+
+  Socket listener_;
+  /// Accepted-socket hand-off from the acceptor to the workers.
+  BoundedQueue<Socket> pending_;
+
+  mutable Mutex mu_;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  /// File descriptors of connections currently inside ServeConnection; Stop
+  /// shuts them down to wake workers blocked mid-recv. The sockets
+  /// themselves are owned by the workers' stack frames.
+  std::vector<int> active_fds_ GUARDED_BY(mu_);
+
+  /// 1 acceptor + N connection workers, all dedicated threads
+  /// (inline_when_single = false for the acceptor).
+  std::unique_ptr<ThreadPool> acceptor_;
+  std::unique_ptr<ThreadPool> workers_;
+};
+
+}  // namespace deepdive::serve::srv
+
+#endif  // DEEPDIVE_SERVE_SRV_SERVER_H_

@@ -1,0 +1,133 @@
+#ifndef DEEPDIVE_UTIL_BOUNDED_QUEUE_H_
+#define DEEPDIVE_UTIL_BOUNDED_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace deepdive {
+
+/// Bounded multi-producer / multi-consumer queue with an admission-control
+/// watermark — the backpressure primitive of the serving stack's per-tenant
+/// update queues. Producers that respect the watermark use TryPush, which
+/// *sheds* (returns false without blocking) once the queue depth reaches the
+/// watermark; Push blocks until space frees up and is reserved for callers
+/// that must not be shed (admin jobs). A single consumer (the tenant's writer
+/// thread) drains with Pop, which blocks until an item or Close() arrives.
+///
+/// Close() wakes everyone: pending and future Pops drain the remaining items
+/// and then return nullopt; pushes after Close are rejected. All
+/// synchronization goes through the internal Mutex, so an item Popped by the
+/// consumer is fully visible — no extra fences needed on either side.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` bounds the queue; `shed_watermark` (<= capacity, default =
+  /// capacity) is the depth at which TryPush starts shedding. A watermark
+  /// below capacity leaves headroom for Push-only (non-sheddable) work.
+  explicit BoundedQueue(size_t capacity, size_t shed_watermark = 0)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        shed_watermark_(shed_watermark == 0 || shed_watermark > capacity_
+                            ? capacity_
+                            : shed_watermark) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+  size_t shed_watermark() const { return shed_watermark_; }
+
+  /// Current depth (racy snapshot; exact only from the consumer).
+  size_t depth() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return closed_;
+  }
+
+  /// Admission-controlled producer entry: enqueues unless the queue is
+  /// closed or its depth has reached the shed watermark. Returns true on
+  /// enqueue, false on shed/closed — never blocks.
+  bool TryPush(T item) EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      if (closed_ || items_.size() >= shed_watermark_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.NotifyOne();
+    return true;
+  }
+
+  /// Blocking producer entry (ignores the shed watermark but respects
+  /// capacity). Returns false only if the queue is (or becomes) closed.
+  bool Push(T item) EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) space_.Wait(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.NotifyOne();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and* drained;
+  /// nullopt means closed-and-empty (the consumer's exit signal).
+  std::optional<T> Pop() EXCLUDES(mu_) {
+    std::optional<T> item;
+    {
+      MutexLock lock(mu_);
+      while (items_.empty() && !closed_) ready_.Wait(mu_);
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    space_.NotifyOne();
+    return item;
+  }
+
+  /// Non-blocking consumer entry: an item if one is queued, else nullopt
+  /// (which therefore does NOT imply closed — use Pop for the drain loop).
+  std::optional<T> TryPop() EXCLUDES(mu_) {
+    std::optional<T> item;
+    {
+      MutexLock lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    space_.NotifyOne();
+    return item;
+  }
+
+  /// Rejects future pushes and wakes all waiters; already-queued items stay
+  /// poppable (graceful drain). Idempotent.
+  void Close() EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      closed_ = true;
+    }
+    ready_.NotifyAll();
+    space_.NotifyAll();
+  }
+
+ private:
+  const size_t capacity_;
+  const size_t shed_watermark_;
+  mutable Mutex mu_;
+  CondVar ready_;  // items available (consumers wait)
+  CondVar space_;  // capacity available (blocking producers wait)
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace deepdive
+
+#endif  // DEEPDIVE_UTIL_BOUNDED_QUEUE_H_

@@ -1,0 +1,210 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace deepdive {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// "HOST:PORT" -> (host, port). Rejects missing or non-numeric ports.
+Status SplitHostPort(const std::string& address, std::string* host,
+                     uint16_t* port) {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= address.size()) {
+    return Status::InvalidArgument("expected HOST:PORT or unix:PATH, got '" +
+                                   address + "'");
+  }
+  *host = address.substr(0, colon);
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(address.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || value > 65535) {
+    return Status::InvalidArgument("bad port in '" + address + "'");
+  }
+  *port = static_cast<uint16_t>(value);
+  return Status::OK();
+}
+
+bool IsUnixAddress(const std::string& address) {
+  return address.rfind("unix:", 0) == 0;
+}
+
+StatusOr<Socket> MakeUnixSocket(const std::string& path, sockaddr_un* addr) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("unix socket path empty or too long: '" +
+                                   path + "'");
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  return Socket(fd);
+}
+
+StatusOr<Socket> MakeTcpSocket(const std::string& host, uint16_t port,
+                               sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 host '" + host +
+                                   "' (use a numeric address)");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  Socket socket(fd);
+  // Request/response framing sends small frames; Nagle only adds latency.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return socket;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Socket::SendAll(const void* data, size_t len) const {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvAll(void* data, size_t len) const {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return Status::NotFound("connection closed");
+      return Status::Internal("connection closed mid-message");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownBoth() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<Listener> Listen(const std::string& address, int backlog) {
+  Listener listener;
+  if (IsUnixAddress(address)) {
+    const std::string path = address.substr(5);
+    sockaddr_un addr;
+    DD_ASSIGN_OR_RETURN(listener.socket, MakeUnixSocket(path, &addr));
+    ::unlink(path.c_str());  // replace a stale socket file from a dead daemon
+    if (::bind(listener.socket.fd(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      return Errno("bind(" + address + ")");
+    }
+    listener.address = address;
+  } else {
+    std::string host;
+    uint16_t port = 0;
+    DD_RETURN_IF_ERROR(SplitHostPort(address, &host, &port));
+    sockaddr_in addr;
+    DD_ASSIGN_OR_RETURN(listener.socket, MakeTcpSocket(host, port, &addr));
+    int one = 1;
+    ::setsockopt(listener.socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    if (::bind(listener.socket.fd(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      return Errno("bind(" + address + ")");
+    }
+    // Report the port the kernel actually assigned (ephemeral-port case).
+    sockaddr_in bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listener.socket.fd(), reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) < 0) {
+      return Errno("getsockname");
+    }
+    listener.port = ntohs(bound.sin_port);
+    listener.address = host + ":" + std::to_string(listener.port);
+  }
+  if (::listen(listener.socket.fd(), backlog) < 0) {
+    return Errno("listen(" + address + ")");
+  }
+  return listener;
+}
+
+StatusOr<Socket> Accept(const Socket& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket conn(fd);
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    // EINVAL/EBADF arrive when another thread shut the listener down — the
+    // accept loop's clean exit; everything else is a real failure.
+    if (errno == EINVAL || errno == EBADF) {
+      return Status::NotFound("listener shut down");
+    }
+    return Errno("accept");
+  }
+}
+
+StatusOr<Socket> Connect(const std::string& address) {
+  if (IsUnixAddress(address)) {
+    const std::string path = address.substr(5);
+    sockaddr_un addr;
+    DD_ASSIGN_OR_RETURN(Socket socket, MakeUnixSocket(path, &addr));
+    if (::connect(socket.fd(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      return Errno("connect(" + address + ")");
+    }
+    return socket;
+  }
+  std::string host;
+  uint16_t port = 0;
+  DD_RETURN_IF_ERROR(SplitHostPort(address, &host, &port));
+  sockaddr_in addr;
+  DD_ASSIGN_OR_RETURN(Socket socket, MakeTcpSocket(host, port, &addr));
+  if (::connect(socket.fd(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    return Errno("connect(" + address + ")");
+  }
+  return socket;
+}
+
+}  // namespace deepdive

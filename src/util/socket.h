@@ -1,0 +1,74 @@
+#ifndef DEEPDIVE_UTIL_SOCKET_H_
+#define DEEPDIVE_UTIL_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace deepdive {
+
+/// Thin RAII wrapper over a POSIX socket file descriptor — the transport
+/// primitive of the serving stack's communication tier. Owns the fd; move-
+/// only. SendAll/RecvAll loop over partial transfers, return Status, and
+/// suppress SIGPIPE (MSG_NOSIGNAL), so callers only ever see error codes.
+///
+/// Thread contract: a Socket is used by one thread at a time, except for
+/// ShutdownBoth(), which any thread may call to wake a peer blocked in
+/// RecvAll/Accept (the server's connection-drain path).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends the whole buffer (looping over short writes).
+  Status SendAll(const void* data, size_t len) const;
+
+  /// Receives exactly `len` bytes. A clean EOF before the first byte returns
+  /// NotFound("connection closed") so callers can distinguish a hung-up peer
+  /// from a truncated message (Internal).
+  Status RecvAll(void* data, size_t len) const;
+
+  /// shutdown(SHUT_RDWR): unblocks any thread inside RecvAll/accept on this
+  /// fd without closing it (close happens in the owner's destructor).
+  void ShutdownBoth() const;
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket plus the address it actually bound (the port matters
+/// when the caller asked for an ephemeral one).
+struct Listener {
+  Socket socket;
+  std::string address;  // "127.0.0.1:4711" or "unix:/path"
+  uint16_t port = 0;    // TCP only
+};
+
+/// Parses and binds `address`: "HOST:PORT" (TCP, PORT may be 0 for an
+/// ephemeral port — the returned Listener carries the real one) or
+/// "unix:PATH" (Unix domain; an existing socket file at PATH is replaced).
+StatusOr<Listener> Listen(const std::string& address, int backlog = 64);
+
+/// Accepts one connection (blocking). NotFound when the listener was shut
+/// down (the accept loop's exit signal), Internal on other errors.
+StatusOr<Socket> Accept(const Socket& listener);
+
+/// Connects to "HOST:PORT" or "unix:PATH".
+StatusOr<Socket> Connect(const std::string& address);
+
+}  // namespace deepdive
+
+#endif  // DEEPDIVE_UTIL_SOCKET_H_

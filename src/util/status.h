@@ -18,6 +18,9 @@ enum class StatusCode {
   kOutOfRange = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  /// The operation was refused by admission control (e.g. a tenant's update
+  /// queue above its shed watermark); the caller should retry later.
+  kUnavailable = 8,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -53,6 +56,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,328 @@
+// The communication tier: wire codec round-trips for every verb and result,
+// hostile-input rejection (unknown verbs/tags, truncation, trailing bytes,
+// oversized length prefixes), and frame I/O over a real socketpair.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/comm/frame.h"
+#include "serve/comm/messages.h"
+#include "serve/comm/wire.h"
+#include "util/socket.h"
+
+namespace deepdive::serve::comm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WireWriter / WireReader primitives.
+
+TEST(WireTest, RoundTripsPrimitives) {
+  WireWriter w;
+  w.PutU8(7);
+  w.PutBool(true);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutDouble(0.725);
+  w.PutString("hello\tworld\n");
+  WireReader r(w.str());
+  EXPECT_EQ(r.GetU8(), 7);
+  EXPECT_TRUE(r.GetBool());
+  EXPECT_EQ(r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.GetDouble(), 0.725);
+  EXPECT_EQ(r.GetString(), "hello\tworld\n");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.ExpectDone().ok());
+}
+
+TEST(WireTest, TruncationIsStickyNotUB) {
+  WireWriter w;
+  w.PutU32(123);
+  std::string bytes = w.Take();
+  bytes.pop_back();  // truncate mid-integer
+  WireReader r(bytes);
+  EXPECT_EQ(r.GetU32(), 0u);  // failed reads return defaults
+  EXPECT_FALSE(r.ok());
+  // The error is sticky: further reads stay failed instead of resyncing.
+  EXPECT_EQ(r.GetU64(), 0u);
+  EXPECT_FALSE(r.ExpectDone().ok());
+}
+
+TEST(WireTest, StringLengthBeyondPayloadFails) {
+  WireWriter w;
+  w.PutU32(1000);  // claims a 1000-byte string...
+  std::string bytes = w.Take();
+  bytes += "short";  // ...but only 5 bytes follow
+  WireReader r(bytes);
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Request / response codec.
+
+TEST(MessagesTest, RequestRoundTripsEveryVerb) {
+  std::vector<Request> requests;
+  {
+    Request r;
+    r.tenant = "kb";
+    QueryRequest q;
+    q.relation = "HasSpouse";
+    q.tuple_tsv = "10\t11";
+    q.threshold = 0.5;
+    r.body = q;
+    requests.push_back(std::move(r));
+  }
+  {
+    Request r;
+    r.tenant = "kb";
+    UpdateRequest u;
+    u.label = "update#1";
+    u.rules = "factor F: ...";
+    u.inserts.push_back({"Phrase", "1\t2\tand his wife\n"});
+    r.body = std::move(u);
+    requests.push_back(std::move(r));
+  }
+  {
+    Request r;
+    r.tenant = "kb";
+    ExportRequest e;
+    e.relations = {"HasSpouse", "Trusted"};
+    e.threshold = 0.9;
+    r.body = std::move(e);
+    requests.push_back(std::move(r));
+  }
+  {
+    Request r;
+    r.body = StatusRequest{};
+    requests.push_back(std::move(r));
+  }
+  {
+    Request r;
+    r.tenant = "vote";
+    CreateTenantRequest c;
+    c.name = "vote";
+    c.program = "relation Endorses(src: int, dst: int).";
+    c.config.rerun_mode = true;
+    c.config.seed = 7;
+    c.config.epochs = 10;
+    c.config.threads = 2;
+    c.config.replicas = 2;
+    c.config.sync_every = 25;
+    c.config.async_materialize = true;
+    c.config.save_materialization = "/tmp/store.bin";
+    c.config.load_materialization = "/tmp/store2.bin";
+    c.config.queue_capacity = 32;
+    c.config.shed_watermark = 16;
+    c.config.retry_after_ms = 250;
+    c.data.push_back({"Endorses", "1\t100\n"});
+    r.body = std::move(c);
+    requests.push_back(std::move(r));
+  }
+  {
+    Request r;
+    r.body = ListTenantsRequest{};
+    requests.push_back(std::move(r));
+  }
+  {
+    Request r;
+    r.tenant = "kb";
+    r.body = SaveGraphRequest{"/tmp/graph.bin"};
+    requests.push_back(std::move(r));
+  }
+  {
+    Request r;
+    r.body = ShutdownRequest{};
+    requests.push_back(std::move(r));
+  }
+
+  ASSERT_EQ(requests.size(), 8u);  // one per verb
+  for (const Request& request : requests) {
+    auto decoded = DecodeRequest(EncodeRequest(request));
+    ASSERT_TRUE(decoded.ok()) << VerbName(request.verb()) << ": "
+                              << decoded.status().ToString();
+    EXPECT_EQ(decoded->verb(), request.verb());
+    EXPECT_EQ(decoded->tenant, request.tenant);
+  }
+
+  // Spot-check deep fields survive the trip.
+  auto create = DecodeRequest(EncodeRequest(requests[4]));
+  ASSERT_TRUE(create.ok());
+  const auto& config = std::get<CreateTenantRequest>(create->body).config;
+  EXPECT_TRUE(config.rerun_mode);
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_EQ(config.replicas, 2u);
+  EXPECT_EQ(config.save_materialization, "/tmp/store.bin");
+  EXPECT_EQ(config.shed_watermark, 16u);
+  EXPECT_EQ(config.retry_after_ms, 250u);
+  auto update = DecodeRequest(EncodeRequest(requests[1]));
+  ASSERT_TRUE(update.ok());
+  const auto& inserts = std::get<UpdateRequest>(update->body).inserts;
+  ASSERT_EQ(inserts.size(), 1u);
+  EXPECT_EQ(inserts[0].relation, "Phrase");
+  EXPECT_EQ(inserts[0].tsv, "1\t2\tand his wife\n");
+}
+
+TEST(MessagesTest, ResponseRoundTripsResults) {
+  {
+    Response response;
+    QueryResult q;
+    q.epoch = 3;
+    q.found = true;
+    q.marginal = 0.93;
+    q.entries = 12;
+    response.body = q;
+    auto decoded = DecodeResponse(EncodeResponse(response));
+    ASSERT_TRUE(decoded.ok());
+    const auto& result = std::get<QueryResult>(decoded->body);
+    EXPECT_EQ(result.epoch, 3u);
+    EXPECT_TRUE(result.found);
+    EXPECT_DOUBLE_EQ(result.marginal, 0.93);
+    EXPECT_EQ(result.entries, 12u);
+  }
+  {
+    Response response;
+    ExportResult e;
+    e.epoch = 5;
+    e.chunks.push_back({"HasSpouse", "1.000000\t10\t11\n"});
+    e.chunks.push_back({"Trusted", ""});
+    response.body = std::move(e);
+    auto decoded = DecodeResponse(EncodeResponse(response));
+    ASSERT_TRUE(decoded.ok());
+    const auto& result = std::get<ExportResult>(decoded->body);
+    ASSERT_EQ(result.chunks.size(), 2u);
+    EXPECT_EQ(result.chunks[0].tsv, "1.000000\t10\t11\n");
+    EXPECT_EQ(result.chunks[1].relation, "Trusted");
+  }
+  {
+    Response response;
+    StatusResult s;
+    TenantStatus t;
+    t.name = "kb";
+    t.ready = true;
+    t.epoch = 9;
+    t.updates_applied = 4;
+    t.updates_shed = 2;
+    t.queue_depth = 1;
+    t.queue_capacity = 64;
+    t.shed_watermark = 48;
+    s.tenants.push_back(std::move(t));
+    response.body = std::move(s);
+    auto decoded = DecodeResponse(EncodeResponse(response));
+    ASSERT_TRUE(decoded.ok());
+    const auto& result = std::get<StatusResult>(decoded->body);
+    ASSERT_EQ(result.tenants.size(), 1u);
+    EXPECT_EQ(result.tenants[0].updates_shed, 2u);
+    EXPECT_EQ(result.tenants[0].shed_watermark, 48u);
+  }
+  {
+    Response response;
+    response.body = SaveGraphResult{0xAAu, 1536u, 0xBBu};
+    auto decoded = DecodeResponse(EncodeResponse(response));
+    ASSERT_TRUE(decoded.ok());
+    const auto& result = std::get<SaveGraphResult>(decoded->body);
+    EXPECT_EQ(result.checksum, 0xAAu);
+    EXPECT_EQ(result.image_bytes, 1536u);
+    EXPECT_EQ(result.fingerprint, 0xBBu);
+  }
+}
+
+TEST(MessagesTest, ShedResponseCarriesRetryAfter) {
+  Response shed = Response::Error(
+      Status::Unavailable("update queue is at its admission watermark"));
+  shed.retry_after_ms = 150;
+  auto decoded = DecodeResponse(EncodeResponse(shed));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, StatusCode::kUnavailable);
+  EXPECT_EQ(decoded->retry_after_ms, 150u);
+  EXPECT_FALSE(decoded->ok());
+  EXPECT_EQ(decoded->ToStatus().code(), StatusCode::kUnavailable);
+}
+
+TEST(MessagesTest, RejectsUnknownVerbAndTrailingBytes) {
+  WireWriter w;
+  w.PutU8(99);  // no such verb
+  w.PutString("kb");
+  EXPECT_FALSE(DecodeRequest(w.str()).ok());
+
+  Request request;
+  request.body = StatusRequest{};
+  std::string bytes = EncodeRequest(request);
+  bytes += "garbage";
+  EXPECT_FALSE(DecodeRequest(bytes).ok());
+}
+
+TEST(MessagesTest, RejectsUnknownResponseTagAndCode) {
+  {
+    WireWriter w;
+    w.PutU8(0);   // kOk
+    w.PutString("");
+    w.PutU32(0);
+    w.PutU8(200);  // no such body tag
+    EXPECT_FALSE(DecodeResponse(w.str()).ok());
+  }
+  {
+    WireWriter w;
+    w.PutU8(250);  // no such status code
+    EXPECT_FALSE(DecodeResponse(w.str()).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frame layer over a real socketpair.
+
+class FramePairTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    left_ = Socket(fds[0]);
+    right_ = Socket(fds[1]);
+  }
+
+  Socket left_;
+  Socket right_;
+};
+
+TEST_F(FramePairTest, RoundTripsFrames) {
+  ASSERT_TRUE(WriteFrame(left_, "hello").ok());
+  ASSERT_TRUE(WriteFrame(left_, "").ok());  // empty payload is legal
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(right_, &payload).ok());
+  EXPECT_EQ(payload, "hello");
+  ASSERT_TRUE(ReadFrame(right_, &payload).ok());
+  EXPECT_EQ(payload, "");
+}
+
+TEST_F(FramePairTest, CleanHangupIsNotFound) {
+  left_.Close();
+  std::string payload;
+  const Status status = ReadFrame(right_, &payload);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(FramePairTest, MidFrameTruncationIsInternal) {
+  // A length prefix promising 100 bytes, then hang up after 3.
+  const unsigned char prefix[4] = {0, 0, 0, 100};
+  ASSERT_TRUE(left_.SendAll(prefix, 4).ok());
+  ASSERT_TRUE(left_.SendAll("abc", 3).ok());
+  left_.Close();
+  std::string payload;
+  const Status status = ReadFrame(right_, &payload);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST_F(FramePairTest, OversizedLengthPrefixIsRejectedNotAllocated) {
+  // 1 GiB announced: must fail fast as a protocol error, not try to recv.
+  const unsigned char prefix[4] = {0x40, 0, 0, 0};
+  ASSERT_TRUE(left_.SendAll(prefix, 4).ok());
+  std::string payload;
+  const Status status = ReadFrame(right_, &payload);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace deepdive::serve::comm

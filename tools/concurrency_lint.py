@@ -27,6 +27,13 @@ four conventions the analysis cannot see are enforced here instead:
                  comment mentioning the threading rules, or an explicit
                  `lint:allow(ref-accessor)` waiver.
 
+  layering       The serving stack is tiered: comm (framing/codec) and
+                 handlers (verb dispatch) sit above the service tier and must
+                 never reach the engine directly. Files under
+                 src/serve/comm/ or src/serve/handlers/ including
+                 incremental/engine.h (or core/deepdive.h) are flagged — the
+                 writer surface is the service tier's private capability.
+
 Run with no arguments from the repository root (CI does); pass file paths to
 lint a subset; pass --self-test to verify the rules still bite on seeded
 violations.
@@ -63,6 +70,12 @@ REF_ACCESSOR_DOC_TOKENS = (
 REF_ACCESSOR_ANNOTATIONS = ("REQUIRES(", "RETURN_CAPABILITY(", "GUARDED_BY(")
 
 SUPPRESSION_RATIONALE = "rationale:"
+
+# Layering rule: the upper serving tiers may not include the engine's writer
+# surface. Matches any #include whose path starts with one of these.
+LAYERING_UPPER_TIERS = ("src/serve/comm/", "src/serve/handlers/")
+LAYERING_FORBIDDEN_INCLUDES = ("incremental/engine.h", "core/deepdive.h")
+LAYERING_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
 
 def find_ordering_violations(path, lines):
@@ -164,6 +177,24 @@ def find_suppression_violations(path, lines):
     return findings
 
 
+def find_layering_violations(path, lines):
+    rel = path.replace(os.sep, "/")
+    if not any(tier in rel for tier in LAYERING_UPPER_TIERS):
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        m = LAYERING_INCLUDE_RE.match(line)
+        if not m:
+            continue
+        if m.group(1) in LAYERING_FORBIDDEN_INCLUDES:
+            findings.append((path, i + 1, "layering",
+                             f"comm/handlers tier includes '{m.group(1)}'; "
+                             "the engine's writer surface belongs to the "
+                             "service tier — route through "
+                             "serve/service/tenant.h instead"))
+    return findings
+
+
 def lint_file(path):
     try:
         with open(path, encoding="utf-8", errors="replace") as f:
@@ -176,6 +207,7 @@ def lint_file(path):
     findings += find_ordering_violations(path, lines)
     findings += find_raw_thread_violations(path, lines)
     findings += find_ref_accessor_violations(path, lines)
+    findings += find_layering_violations(path, lines)
     return findings
 
 
@@ -232,6 +264,25 @@ def self_test():
                   "  /// Serving thread only: aliases state the writer mutates.\n"
                   "  std::vector<int>& data() { return d_; }\n"
                   " private:\n  std::vector<int> d_;\n};\n",
+                  None))
+    cases.append(("src/serve/handlers/bad_layer.cc",
+                  '#include "incremental/engine.h"\n'
+                  "void h() {}\n",
+                  "layering"))
+    cases.append(("src/serve/comm/bad_layer2.cc",
+                  '#include "core/deepdive.h"\n'
+                  "void h() {}\n",
+                  "layering"))
+    cases.append(("src/serve/handlers/good_layer.cc",
+                  '#include "serve/service/tenant.h"\n'
+                  '#include "serve/comm/messages.h"\n'
+                  "void h() {}\n",
+                  None))
+    cases.append(("src/serve/service/good_service.cc",
+                  "// The service tier owns the engine; this include is its\n"
+                  "// whole point.\n"
+                  '#include "incremental/engine.h"\n'
+                  "void h() {}\n",
                   None))
     cases.append((".tsan-suppressions",
                   "# no reason given\nrace:some_header.h\n",

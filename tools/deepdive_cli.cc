@@ -2,15 +2,31 @@
 //
 //   deepdive_cli run PROGRAM.ddl [options]
 //   deepdive_cli load-graph SNAPSHOT.bin [options]
+//   deepdive_cli client ADDRESS VERB [options]
 //
-// The second form is the cold-start path: it skips the DDL pipeline entirely,
+// `run` hosts a single in-process tenant on the same layered serving stack
+// deepdive_serve uses: the CLI builds the exact comm::Request structs a
+// remote client would send and dispatches them through the shared handler
+// tier, so the in-process path and the daemon cannot drift (exports are
+// byte-identical either way).
+//
+// `load-graph` is the cold-start path: it skips the DDL pipeline entirely,
 // maps a compiled-graph snapshot written by `run --save-graph` (zero-parse
 // mmap attach), and serves marginals straight from the flat CSR kernel. Both
 // forms print `compiled graph checksum` and `marginals fingerprint` lines, so
 // a save/load pair can be diffed to prove the reloaded snapshot reproduces
 // the original process's inference bit-for-bit.
 //
-// Options:
+// `client` speaks the framed wire protocol to a running deepdive_serve:
+//   deepdive_cli client 127.0.0.1:4750 status
+//   deepdive_cli client 127.0.0.1:4750 query --tenant kb --relation HasSpouse
+//   deepdive_cli client 127.0.0.1:4750 update --tenant kb --rules fe2.ddl
+//   deepdive_cli client 127.0.0.1:4750 export --tenant kb --output R=out.tsv
+//   deepdive_cli client 127.0.0.1:4750 shutdown
+// A shed update (queue at its admission watermark) exits with code 3 and
+// prints the server's retry-after hint.
+//
+// Options (run):
 //   --data REL=FILE.tsv     load base rows (repeatable)
 //   --output REL=FILE.tsv   write "<marginal>\t<cols...>" for a query
 //                           relation (repeatable); default prints to stdout
@@ -56,28 +72,26 @@
 //       --data HasSpouseLabel=labels.tsv --output HasSpouse=out.tsv \
 //       --update fe1.ddl --update-data PhraseFeature=phrases.tsv
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "core/deepdive.h"
 #include "factor/compiled_graph.h"
 #include "factor/graph_io.h"
-#include "inference/replicated_gibbs.h"
-#include "inference/result_view.h"
-#include "storage/text_io.h"
+#include "inference/compiled_inference.h"
+#include "serve/serve.h"
 #include "util/string_util.h"
-#include "util/thread_role.h"
 
 namespace deepdive::cli {
 namespace {
+
+/// The single in-process tenant `run` hosts.
+constexpr char kDefaultTenant[] = "default";
 
 struct Args {
   std::string program_path;
@@ -113,6 +127,14 @@ struct LoadGraphArgs {
   bool validate = true;
 };
 
+/// `deepdive_cli client` — one request against a running deepdive_serve.
+struct ClientArgs {
+  std::string address;
+  serve::comm::Request request;
+  /// Export only: (relation, file) pairs, aligned with request relations.
+  std::vector<std::pair<std::string, std::string>> outputs;
+};
+
 void Usage() {
   std::fprintf(stderr,
                "usage: deepdive_cli run PROGRAM.ddl [--data REL=FILE]...\n"
@@ -125,7 +147,10 @@ void Usage() {
                "       [--serve-queries N]\n"
                "   or: deepdive_cli load-graph SNAPSHOT.bin [--seed N]\n"
                "       [--threads N] [--replicas R] [--sync-every N]\n"
-               "       [--no-mmap] [--no-validate]\n");
+               "       [--no-mmap] [--no-validate]\n"
+               "   or: deepdive_cli client ADDRESS VERB [--tenant NAME]\n"
+               "       (verbs: status, query, update, export, create-tenant,\n"
+               "        list-tenants, save-graph, shutdown)\n");
 }
 
 StatusOr<std::pair<std::string, std::string>> SplitAssignment(const std::string& arg) {
@@ -277,28 +302,14 @@ StatusOr<LoadGraphArgs> ParseLoadGraphArgs(int argc, char** argv) {
 }
 
 /// Identity lines shared by `run --save-graph` and `load-graph`: the image
-/// checksum names the graph state, the fingerprint names the inference result
-/// a fresh process must reproduce from it. Marginals are estimated directly
-/// on the compiled kernel (evidence clamped to its label, as the pipeline
-/// does), so save/load runs with the same seed/replica settings print
-/// identical lines — the CI cold-start smoke diffs them.
-void PrintSnapshotIdentity(const factor::CompiledGraph& graph, uint64_t seed,
-                           size_t threads, size_t replicas, size_t sync_every) {
+/// checksum names the graph state, the fingerprint names the inference
+/// result a fresh process must reproduce from it (see
+/// inference::CompiledMarginalsFingerprint). Save runs print the values the
+/// tenant's writer thread computed; load runs recompute them locally with
+/// the same settings — the CI cold-start smoke diffs the two.
+void PrintIdentityLines(uint64_t checksum, uint64_t fingerprint) {
   std::printf("compiled graph checksum = %016llx\n",
-              static_cast<unsigned long long>(graph.Checksum()));
-  inference::GibbsOptions gopts;
-  gopts.seed = seed + 1;
-  gopts.num_threads = threads;
-  gopts.num_replicas = replicas;
-  gopts.sync_every_sweeps = sync_every;
-  inference::CompiledReplicatedGibbsSampler sampler(&graph, replicas, threads);
-  std::vector<double> marginals = sampler.EstimateMarginals(gopts).marginals;
-  for (factor::VarId v = 0; v < graph.NumVariables(); ++v) {
-    const auto ev = graph.EvidenceValue(v);
-    if (ev.has_value()) marginals[v] = *ev ? 1.0 : 0.0;
-  }
-  const uint64_t fingerprint = factor::Fnv1aHash(
-      marginals.data(), marginals.size() * sizeof(double));
+              static_cast<unsigned long long>(checksum));
   std::printf("marginals fingerprint = %016llx\n",
               static_cast<unsigned long long>(fingerprint));
 }
@@ -314,8 +325,10 @@ Status RunLoadGraph(const LoadGraphArgs& args) {
                "clauses (%zu bytes%s)\n",
                graph.NumVariables(), graph.NumGroups(), graph.NumClauses(),
                graph.image_bytes(), args.use_mmap ? ", mmap" : "");
-  PrintSnapshotIdentity(graph, args.seed, args.threads, args.replicas,
-                        args.sync_every);
+  PrintIdentityLines(graph.Checksum(),
+                     inference::CompiledMarginalsFingerprint(
+                         graph, args.seed, args.threads, args.replicas,
+                         args.sync_every));
   return Status::OK();
 }
 
@@ -327,65 +340,57 @@ StatusOr<std::string> ReadFile(const std::string& path) {
   return out.str();
 }
 
-StatusOr<std::vector<Tuple>> ReadRows(const core::DeepDive& dd,
-                                      const std::string& relation,
-                                      const std::string& path) {
-  const dsl::RelationDecl* decl = dd.program().FindRelation(relation);
-  if (decl == nullptr) return Status::NotFound("unknown relation '" + relation + "'");
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open '" + path + "'");
-  std::vector<Tuple> rows;
-  std::string line;
-  size_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    const std::string_view stripped = StripWhitespace(line);
-    if (stripped.empty() || stripped[0] == '#') continue;
-    auto tuple = ParseTsvLine(decl->schema, line);
-    if (!tuple.ok()) {
-      return Status::InvalidArgument(StrFormat("%s:%zu: %s", path.c_str(), line_number,
-                                               tuple.status().message().c_str()));
-    }
-    rows.push_back(std::move(tuple).value());
-  }
-  return rows;
+StatusOr<serve::comm::DataPayload> ReadPayload(const std::string& relation,
+                                               const std::string& path) {
+  serve::comm::DataPayload payload;
+  payload.relation = relation;
+  DD_ASSIGN_OR_RETURN(payload.tsv, ReadFile(path));
+  return payload;
 }
 
-Status WriteMarginals(const core::DeepDive& dd,
-                      const inference::ResultView& view,
-                      const std::string& relation, const std::string& path,
-                      double threshold) {
-  if (!dd.program().IsQueryRelation(relation)) {
-    return Status::InvalidArgument("'" + relation + "' is not a query relation");
-  }
+Status WriteChunk(const serve::comm::ExportChunk& chunk,
+                  const std::string& path) {
   std::FILE* out = stdout;
   if (!path.empty()) {
     out = std::fopen(path.c_str(), "w");
     if (out == nullptr) return Status::Internal("cannot open '" + path + "'");
   }
-  const Status status =
-      inference::WriteRelationTsv(view, relation, out, threshold);
+  const size_t written =
+      std::fwrite(chunk.tsv.data(), 1, chunk.tsv.size(), out);
   if (out != stdout) std::fclose(out);
-  return status;
+  if (written != chunk.tsv.size()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+void PrintUpdateReport(const serve::comm::UpdateResult& report) {
+  std::fprintf(stderr,
+               "%s: grounding %.3fs, learning %.3fs, inference %.3fs (%s, "
+               "epoch %llu)\n",
+               report.label.c_str(), report.grounding_seconds,
+               report.learning_seconds, report.inference_seconds,
+               report.strategy.c_str(),
+               static_cast<unsigned long long>(report.epoch));
 }
 
 /// The --serve-queries reader pool: N threads hammering the versioned query
-/// API while the serving thread keeps applying updates. Each reader pins
-/// views in a loop and verifies what the API guarantees — the content
-/// checksum matches (the epoch's marginals are the ones published with it)
-/// and epochs never move backwards for a reader.
+/// API while the tenant's writer thread keeps applying updates. Each reader
+/// blocks on the publisher's readiness signal (WaitForView — no sleeps, no
+/// grace windows), then pins views in a loop and verifies what the API
+/// guarantees: the content checksum matches (the epoch's marginals are the
+/// ones published with it) and epochs never move backwards for a reader.
 class QueryServer {
  public:
-  QueryServer(const core::DeepDive& dd, size_t num_readers)
-      : dd_(dd), counts_(std::make_unique<ReaderStats[]>(num_readers)),
+  QueryServer(std::shared_ptr<const core::DeepDive> dd, size_t num_readers)
+      : dd_(std::move(dd)), counts_(std::make_unique<ReaderStats[]>(num_readers)),
         num_readers_(num_readers) {
     for (size_t t = 0; t < num_readers; ++t) {
       readers_.emplace_back([this, t] { ReadLoop(t); });
     }
   }
 
-  /// Error-path cleanup: readers must be joined before the DeepDive they
+  /// Error-path cleanup: readers must be joined before the engine they
   /// query is torn down.
   ~QueryServer() {
     // ordering: relaxed — stop flags are quit hints polled by the readers;
@@ -397,24 +402,10 @@ class QueryServer {
   }
 
   /// Stops the readers and reports their verified query counts. Returns an
-  /// error if any reader observed an inconsistent view. Before stopping,
-  /// grants a short grace window until every reader has pinned at least one
-  /// view — on a loaded (or single-core) machine a tiny update stream can
-  /// otherwise finish before the readers are even scheduled.
+  /// error if any reader observed an inconsistent view. Every reader is
+  /// guaranteed at least one pin: ReadLoop blocks on the first-view
+  /// publication signal and only then enters its check-then-poll loop.
   Status Finish() {
-    const auto deadline =
-        std::chrono::steady_clock::now() + std::chrono::seconds(2);
-    // ordering: relaxed — monotone progress counters / flags used as a
-    // polling heartbeat; exact values are read only after join() below.
-    while (std::chrono::steady_clock::now() < deadline &&
-           !failed_.load(std::memory_order_relaxed)) {
-      bool all_started = true;
-      for (size_t t = 0; t < num_readers_; ++t) {
-        all_started &= counts_[t].queries.load(std::memory_order_relaxed) > 0;
-      }
-      if (all_started) break;
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    }
     // ordering: relaxed — quit hint; join() is the synchronization point
     // that makes every reader's writes visible to the tallies below.
     stop_.store(true, std::memory_order_relaxed);
@@ -447,11 +438,15 @@ class QueryServer {
   };
 
   void ReadLoop(size_t t) {
+    // Explicit readiness signal from the publisher: block until the first
+    // real view (epoch >= 1) exists, instead of spinning on the empty
+    // epoch-0 view and hoping a grace window at shutdown was long enough.
+    dd_->WaitForView(1);
     uint64_t last_epoch = 0;
-    // ordering: relaxed — quit hint; a slightly late observation only costs
-    // one extra loop iteration.
-    while (!stop_.load(std::memory_order_relaxed)) {
-      const auto view = dd_.Query();
+    // do/while: even if Finish() raced ahead, every reader completes at
+    // least one verified pin.
+    do {
+      const auto view = dd_->Query();
       if (view == nullptr) {
         Fail("Query() returned null");
         break;
@@ -478,7 +473,9 @@ class QueryServer {
       // main thread by the join in Finish().
       counts_[t].queries.fetch_add(1, std::memory_order_relaxed);
       counts_[t].last_epoch.store(last_epoch, std::memory_order_relaxed);
-    }
+      // ordering: relaxed — quit hint; a slightly late observation only
+      // costs one extra loop iteration.
+    } while (!stop_.load(std::memory_order_relaxed));
   }
 
   void Fail(const std::string& message) {
@@ -490,7 +487,9 @@ class QueryServer {
     stop_.store(true, std::memory_order_relaxed);
   }
 
-  const core::DeepDive& dd_;
+  /// Shared ownership: the pin keeps the engine alive even if the tenant
+  /// stops underneath us.
+  std::shared_ptr<const core::DeepDive> dd_;
   // lint:allow(raw-thread) the reader pool exists to exercise the lock-free
   // query surface from plain threads; ThreadPool's task queue would
   // serialize exactly the contention this smoke test is after.
@@ -502,145 +501,387 @@ class QueryServer {
   std::string violation_;  // written once under the failed_ CAS
 };
 
-Status Run(const Args& args) REQUIRES(serving_thread) {
+/// Dispatches one request against the in-process handler tier, unwrapping
+/// the response envelope back into a Status.
+StatusOr<serve::comm::Response> DispatchOrError(
+    const serve::handlers::Dispatcher& dispatcher,
+    serve::comm::Request request) {
+  serve::comm::Response response = dispatcher.Dispatch(request);
+  if (!response.ok()) return response.ToStatus();
+  return response;
+}
+
+Status Run(const Args& args) {
   DD_ASSIGN_OR_RETURN(std::string source, ReadFile(args.program_path));
 
-  core::DeepDiveConfig config;
-  config.mode = args.mode;
-  config.seed = args.seed;
-  config.learner.epochs = args.epochs;
-  // Parallel grounding and inference everywhere a chain or rule evaluation
-  // runs (0 = hardware threads).
-  config.grounding.num_threads = args.threads;
-  config.gibbs.num_threads = args.threads;
-  config.learner.num_threads = args.threads;
-  config.materialization.num_threads = args.threads;
-  config.materialization.variational.num_threads = args.threads;
-  config.engine.gibbs.num_threads = args.threads;
-  config.engine.rerun_gibbs.num_threads = args.threads;
-  // Replicated sampling everywhere a full chain runs: initial/rerun
-  // inference, the learner's clamped/free chains, and the materialization
-  // chain (confined per-component sweeps keep the shared-world sampler).
-  config.gibbs.num_replicas = args.replicas;
-  config.gibbs.sync_every_sweeps = args.sync_every;
-  config.learner.num_replicas = args.replicas;
-  config.materialization.num_replicas = args.replicas;
-  config.materialization.sync_every_sweeps = args.sync_every;
-  config.engine.rerun_gibbs.num_replicas = args.replicas;
-  config.engine.rerun_gibbs.sync_every_sweeps = args.sync_every;
-  config.materialization.async = args.async_materialize;
-  config.materialization.save_sample_store = args.save_materialization;
-  config.materialization.load_sample_store = args.load_materialization;
-  DD_ASSIGN_OR_RETURN(std::unique_ptr<core::DeepDive> dd,
-                      core::DeepDive::Create(source, config));
+  // The in-process serving stack: one registry, one tenant, the same
+  // handler tier deepdive_serve exposes over sockets.
+  serve::service::TenantRegistry registry;
+  serve::handlers::Dispatcher dispatcher(&registry);
 
+  serve::comm::CreateTenantRequest create;
+  create.name = kDefaultTenant;
+  create.program = std::move(source);
+  create.config.rerun_mode = args.mode == core::ExecutionMode::kRerun;
+  create.config.seed = args.seed;
+  create.config.epochs = static_cast<uint32_t>(args.epochs);
+  create.config.threads = static_cast<uint32_t>(args.threads);
+  create.config.replicas = static_cast<uint32_t>(args.replicas);
+  create.config.sync_every = static_cast<uint32_t>(args.sync_every);
+  create.config.async_materialize = args.async_materialize;
+  create.config.save_materialization = args.save_materialization;
+  create.config.load_materialization = args.load_materialization;
   for (const auto& [relation, file] : args.data) {
-    DD_ASSIGN_OR_RETURN(std::vector<Tuple> rows, ReadRows(*dd, relation, file));
-    DD_RETURN_IF_ERROR(dd->LoadRows(relation, rows));
-    std::fprintf(stderr, "loaded %zu rows into %s\n", rows.size(), relation.c_str());
+    DD_ASSIGN_OR_RETURN(serve::comm::DataPayload payload,
+                        ReadPayload(relation, file));
+    create.data.push_back(std::move(payload));
   }
 
-  DD_RETURN_IF_ERROR(dd->Initialize());
-  std::fprintf(stderr, "grounded: %zu variables, %zu factors\n",
-               dd->ground().graph.NumVariables(), dd->ground().graph.NumActiveClauses());
+  serve::comm::Request request;
+  request.tenant = kDefaultTenant;
+  request.body = std::move(create);
+  DD_ASSIGN_OR_RETURN(serve::comm::Response created,
+                      DispatchOrError(dispatcher, std::move(request)));
+  const auto& info = std::get<serve::comm::CreateTenantResult>(created.body);
+  std::fprintf(stderr, "grounded: %llu variables, %llu factors\n",
+               static_cast<unsigned long long>(info.num_variables),
+               static_cast<unsigned long long>(info.num_factors));
+
+  serve::service::TenantInstance* tenant = registry.Find(kDefaultTenant);
 
   if (!args.save_graph.empty()) {
-    // Snapshot Pr(0): the grounded graph with its learned weights, before any
-    // incremental updates. A later `load-graph` run must reproduce the same
-    // checksum and marginals fingerprint from this file.
-    const factor::CompiledGraph compiled =
-        factor::CompiledGraph::Compile(dd->ground().graph);
-    DD_RETURN_IF_ERROR(factor::SaveCompiledGraph(compiled, args.save_graph));
-    std::fprintf(stderr, "saved compiled graph snapshot to %s (%zu bytes)\n",
-                 args.save_graph.c_str(), compiled.image_bytes());
-    PrintSnapshotIdentity(compiled, args.seed, args.threads, args.replicas,
-                          args.sync_every);
+    // Snapshot Pr(0): the grounded graph with its learned weights, before
+    // any incremental updates. A later `load-graph` run must reproduce the
+    // same checksum and marginals fingerprint from this file.
+    serve::comm::SaveGraphRequest body;
+    body.path = args.save_graph;
+    request = {};
+    request.tenant = kDefaultTenant;
+    request.body = std::move(body);
+    DD_ASSIGN_OR_RETURN(serve::comm::Response response,
+                        DispatchOrError(dispatcher, std::move(request)));
+    const auto& saved = std::get<serve::comm::SaveGraphResult>(response.body);
+    std::fprintf(stderr, "saved compiled graph snapshot to %s (%llu bytes)\n",
+                 args.save_graph.c_str(),
+                 static_cast<unsigned long long>(saved.image_bytes));
+    PrintIdentityLines(saved.checksum, saved.fingerprint);
   }
 
   // Concurrent query serving: readers pin versioned views from here on,
   // racing every update and materialization swap below.
   std::unique_ptr<QueryServer> server;
   if (args.serve_queries > 0) {
-    server = std::make_unique<QueryServer>(*dd, args.serve_queries);
+    server = std::make_unique<QueryServer>(tenant->deepdive(),
+                                           args.serve_queries);
   }
 
   for (size_t u = 0; u < args.updates.size(); ++u) {
     const Args::Update& update = args.updates[u];
-    core::UpdateSpec spec;
-    spec.label = StrFormat("update#%zu", u + 1);
+    serve::comm::UpdateRequest body;
+    body.label = StrFormat("update#%zu", u + 1);
     if (!update.rules_path.empty()) {
-      DD_ASSIGN_OR_RETURN(spec.add_rules, ReadFile(update.rules_path));
+      DD_ASSIGN_OR_RETURN(body.rules, ReadFile(update.rules_path));
     }
-    // Fragment relations must exist before reading their data, so apply a
-    // rules-only spec first if the data targets a fragment relation.
     for (const auto& [relation, file] : update.data) {
-      if (dd->program().FindRelation(relation) == nullptr && !spec.add_rules.empty()) {
-        // Defer: parse data after the fragment is merged. Easiest correct
-        // path: apply the rules first, then a second data-only update.
-        core::UpdateSpec rules_only;
-        rules_only.label = spec.label + "/rules";
-        rules_only.add_rules = spec.add_rules;
-        DD_RETURN_IF_ERROR(dd->ApplyUpdate(rules_only).status());
-        spec.add_rules.clear();
-      }
-      DD_ASSIGN_OR_RETURN(std::vector<Tuple> rows, ReadRows(*dd, relation, file));
-      spec.inserts[relation] = std::move(rows);
+      DD_ASSIGN_OR_RETURN(serve::comm::DataPayload payload,
+                          ReadPayload(relation, file));
+      body.inserts.push_back(std::move(payload));
     }
-    DD_ASSIGN_OR_RETURN(core::UpdateReport report, dd->ApplyUpdate(spec));
-    std::fprintf(stderr,
-                 "%s: grounding %.3fs, learning %.3fs, inference %.3fs (%s, "
-                 "epoch %llu)\n",
-                 report.label.c_str(), report.grounding_seconds,
-                 report.learning_seconds, report.inference_seconds,
-                 incremental::StrategyName(report.strategy),
-                 static_cast<unsigned long long>(report.epoch));
+    request = {};
+    request.tenant = kDefaultTenant;
+    request.body = std::move(body);
+    DD_ASSIGN_OR_RETURN(serve::comm::Response response,
+                        DispatchOrError(dispatcher, std::move(request)));
+    PrintUpdateReport(std::get<serve::comm::UpdateResult>(response.body));
   }
 
   // Drain any background (re)materialization so a failed build — e.g. a
   // --load-materialization store whose width mismatches the graph — surfaces
   // as an error instead of dying silently with the process. The query
   // readers keep racing this drain (and its snapshot install) on purpose.
-  if (auto* engine = dd->incremental_engine(); engine != nullptr) {
-    DD_RETURN_IF_ERROR(engine->WaitForMaterialization());
-    if (args.async_materialize) {
-      std::fprintf(stderr, "materialization snapshot generation %llu: %zu samples\n",
-                   static_cast<unsigned long long>(engine->snapshot_generation()),
-                   dd->materialization_stats().samples_collected);
-    }
+  // Service-tier call: the embedding host owns the tenant, like the daemon
+  // draining on SIGTERM.
+  DD_ASSIGN_OR_RETURN(serve::service::TenantInstance::DrainReport drained,
+                      tenant->Drain());
+  if (args.async_materialize) {
+    std::fprintf(stderr,
+                 "materialization snapshot generation %llu: %zu samples\n",
+                 static_cast<unsigned long long>(drained.snapshot_generation),
+                 drained.samples_collected);
   }
 
   if (server != nullptr) DD_RETURN_IF_ERROR(server->Finish());
 
-  // Export from one pinned view: all relations (and the epoch banner) come
-  // from the same publication.
-  const auto view = dd->Query();
+  // Export through the handler tier: every chunk comes from one pinned
+  // view, byte-identical to what the daemon would serve.
+  serve::comm::ExportRequest export_body;
+  export_body.threshold = args.threshold;
+  for (const auto& [relation, file] : args.outputs) {
+    export_body.relations.push_back(relation);
+  }
+  request = {};
+  request.tenant = kDefaultTenant;
+  request.body = std::move(export_body);
+  DD_ASSIGN_OR_RETURN(serve::comm::Response response,
+                      DispatchOrError(dispatcher, std::move(request)));
+  const auto& result = std::get<serve::comm::ExportResult>(response.body);
   std::fprintf(stderr, "writing marginals from result view epoch %llu\n",
-               static_cast<unsigned long long>(view->epoch));
+               static_cast<unsigned long long>(result.epoch));
   if (args.outputs.empty()) {
-    // Default: every query relation to stdout.
-    for (const dsl::RelationDecl& rel : dd->program().relations()) {
-      if (rel.kind == dsl::RelationKind::kQuery) {
-        std::printf("# %s\n", rel.name.c_str());
-        DD_RETURN_IF_ERROR(
-            WriteMarginals(*dd, *view, rel.name, "", args.threshold));
-      }
+    // Default: every query relation to stdout, with relation banners.
+    for (const serve::comm::ExportChunk& chunk : result.chunks) {
+      std::printf("# %s\n", chunk.relation.c_str());
+      DD_RETURN_IF_ERROR(WriteChunk(chunk, ""));
     }
   } else {
-    for (const auto& [relation, file] : args.outputs) {
-      DD_RETURN_IF_ERROR(
-          WriteMarginals(*dd, *view, relation, file, args.threshold));
+    for (size_t i = 0; i < args.outputs.size(); ++i) {
+      DD_RETURN_IF_ERROR(WriteChunk(result.chunks[i], args.outputs[i].second));
     }
   }
   return Status::OK();
+}
+
+StatusOr<ClientArgs> ParseClientArgs(int argc, char** argv) {
+  ClientArgs args;
+  if (argc < 4) {
+    return Status::InvalidArgument(
+        "expected: deepdive_cli client ADDRESS VERB ...");
+  }
+  args.address = argv[2];
+  const std::string verb = argv[3];
+
+  std::string tenant;
+  std::string label;
+  std::string rules_path;
+  std::string program_path;
+  std::string path;
+  std::string relation;
+  std::string tuple;
+  double threshold = 0.0;
+  std::vector<std::pair<std::string, std::string>> data;
+  serve::comm::TenantConfig config;
+  std::vector<std::string> relations;
+
+  for (int i = 4; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> StatusOr<std::string> {
+      if (i + 1 >= argc) return Status::InvalidArgument(flag + " needs a value");
+      return std::string(argv[++i]);
+    };
+    if (flag == "--tenant") {
+      DD_ASSIGN_OR_RETURN(tenant, next());
+    } else if (flag == "--label") {
+      DD_ASSIGN_OR_RETURN(label, next());
+    } else if (flag == "--rules") {
+      DD_ASSIGN_OR_RETURN(rules_path, next());
+    } else if (flag == "--program") {
+      DD_ASSIGN_OR_RETURN(program_path, next());
+    } else if (flag == "--path") {
+      DD_ASSIGN_OR_RETURN(path, next());
+    } else if (flag == "--relation") {
+      DD_ASSIGN_OR_RETURN(relation, next());
+      relations.push_back(relation);
+    } else if (flag == "--tuple") {
+      DD_ASSIGN_OR_RETURN(tuple, next());
+    } else if (flag == "--threshold") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      threshold = std::strtod(v.c_str(), nullptr);
+    } else if (flag == "--data") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      DD_ASSIGN_OR_RETURN(auto kv, SplitAssignment(v));
+      if (kv.second.empty()) return Status::InvalidArgument("--data needs REL=FILE");
+      data.push_back(kv);
+    } else if (flag == "--output") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      DD_ASSIGN_OR_RETURN(auto kv, SplitAssignment(v));
+      args.outputs.push_back(kv);
+    } else if (flag == "--seed") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      config.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--epochs") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      DD_ASSIGN_OR_RETURN(size_t n, ParseCount(flag, v, 1, 1000000));
+      config.epochs = static_cast<uint32_t>(n);
+    } else if (flag == "--mode") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      if (v == "incremental") {
+        config.rerun_mode = false;
+      } else if (v == "rerun") {
+        config.rerun_mode = true;
+      } else {
+        return Status::InvalidArgument("unknown mode '" + v + "'");
+      }
+    } else {
+      return Status::InvalidArgument("unknown flag '" + flag + "'");
+    }
+  }
+
+  args.request.tenant = tenant;
+  if (verb == "status") {
+    args.request.body = serve::comm::StatusRequest{};
+  } else if (verb == "query") {
+    if (relation.empty()) {
+      return Status::InvalidArgument("query needs --relation");
+    }
+    serve::comm::QueryRequest body;
+    body.relation = relation;
+    body.tuple_tsv = tuple;
+    body.threshold = threshold;
+    args.request.body = std::move(body);
+  } else if (verb == "update") {
+    serve::comm::UpdateRequest body;
+    body.label = label;
+    if (!rules_path.empty()) {
+      DD_ASSIGN_OR_RETURN(body.rules, ReadFile(rules_path));
+    }
+    for (const auto& [rel, file] : data) {
+      DD_ASSIGN_OR_RETURN(serve::comm::DataPayload payload,
+                          ReadPayload(rel, file));
+      body.inserts.push_back(std::move(payload));
+    }
+    args.request.body = std::move(body);
+  } else if (verb == "export") {
+    serve::comm::ExportRequest body;
+    body.threshold = threshold;
+    body.relations = relations;
+    for (const auto& [rel, file] : args.outputs) {
+      body.relations.push_back(rel);
+    }
+    args.request.body = std::move(body);
+  } else if (verb == "create-tenant") {
+    if (tenant.empty() || program_path.empty()) {
+      return Status::InvalidArgument(
+          "create-tenant needs --tenant and --program");
+    }
+    serve::comm::CreateTenantRequest body;
+    body.name = tenant;
+    DD_ASSIGN_OR_RETURN(body.program, ReadFile(program_path));
+    body.config = config;
+    for (const auto& [rel, file] : data) {
+      DD_ASSIGN_OR_RETURN(serve::comm::DataPayload payload,
+                          ReadPayload(rel, file));
+      body.data.push_back(std::move(payload));
+    }
+    args.request.body = std::move(body);
+  } else if (verb == "list-tenants") {
+    args.request.body = serve::comm::ListTenantsRequest{};
+  } else if (verb == "save-graph") {
+    if (path.empty()) return Status::InvalidArgument("save-graph needs --path");
+    serve::comm::SaveGraphRequest body;
+    body.path = path;
+    args.request.body = std::move(body);
+  } else if (verb == "shutdown") {
+    args.request.body = serve::comm::ShutdownRequest{};
+  } else {
+    return Status::InvalidArgument("unknown client verb '" + verb + "'");
+  }
+  return args;
+}
+
+/// Runs one client request; the returned int is the process exit code
+/// (3 = update shed by admission control, retry later).
+StatusOr<int> RunClient(const ClientArgs& args) {
+  DD_ASSIGN_OR_RETURN(serve::comm::Client client,
+                      serve::comm::Client::Dial(args.address));
+  DD_ASSIGN_OR_RETURN(serve::comm::Response response,
+                      client.Call(args.request));
+  if (response.code == StatusCode::kUnavailable) {
+    std::fprintf(stderr, "shed: %s (retry after %u ms)\n",
+                 response.message.c_str(), response.retry_after_ms);
+    return 3;
+  }
+  if (!response.ok()) return response.ToStatus();
+
+  switch (args.request.verb()) {
+    case serve::comm::Verb::kStatus: {
+      const auto& result = std::get<serve::comm::StatusResult>(response.body);
+      for (const serve::comm::TenantStatus& t : result.tenants) {
+        std::printf(
+            "tenant %s: ready=%d failed=%d epoch=%llu vars=%llu "
+            "applied=%llu shed=%llu queue=%u/%u watermark=%u\n",
+            t.name.c_str(), t.ready ? 1 : 0, t.failed ? 1 : 0,
+            static_cast<unsigned long long>(t.epoch),
+            static_cast<unsigned long long>(t.num_variables),
+            static_cast<unsigned long long>(t.updates_applied),
+            static_cast<unsigned long long>(t.updates_shed), t.queue_depth,
+            t.queue_capacity, t.shed_watermark);
+      }
+      break;
+    }
+    case serve::comm::Verb::kQuery: {
+      const auto& result = std::get<serve::comm::QueryResult>(response.body);
+      const auto& body = std::get<serve::comm::QueryRequest>(args.request.body);
+      if (body.tuple_tsv.empty()) {
+        std::printf("epoch=%llu entries=%llu\n",
+                    static_cast<unsigned long long>(result.epoch),
+                    static_cast<unsigned long long>(result.entries));
+      } else {
+        std::printf("epoch=%llu found=%d marginal=%.6f\n",
+                    static_cast<unsigned long long>(result.epoch),
+                    result.found ? 1 : 0, result.marginal);
+      }
+      break;
+    }
+    case serve::comm::Verb::kApplyUpdate:
+      PrintUpdateReport(std::get<serve::comm::UpdateResult>(response.body));
+      break;
+    case serve::comm::Verb::kExport: {
+      const auto& result = std::get<serve::comm::ExportResult>(response.body);
+      std::fprintf(stderr, "writing marginals from result view epoch %llu\n",
+                   static_cast<unsigned long long>(result.epoch));
+      // Chunks answering --output flags come after the bare --relation ones
+      // (the request was built in that order).
+      const size_t named_offset = result.chunks.size() - args.outputs.size();
+      for (size_t i = 0; i < result.chunks.size(); ++i) {
+        if (i >= named_offset) {
+          DD_RETURN_IF_ERROR(WriteChunk(
+              result.chunks[i], args.outputs[i - named_offset].second));
+        } else {
+          std::printf("# %s\n", result.chunks[i].relation.c_str());
+          DD_RETURN_IF_ERROR(WriteChunk(result.chunks[i], ""));
+        }
+      }
+      break;
+    }
+    case serve::comm::Verb::kCreateTenant: {
+      const auto& result =
+          std::get<serve::comm::CreateTenantResult>(response.body);
+      std::printf("created tenant %s: epoch=%llu vars=%llu factors=%llu\n",
+                  args.request.tenant.c_str(),
+                  static_cast<unsigned long long>(result.epoch),
+                  static_cast<unsigned long long>(result.num_variables),
+                  static_cast<unsigned long long>(result.num_factors));
+      break;
+    }
+    case serve::comm::Verb::kListTenants: {
+      const auto& result =
+          std::get<serve::comm::ListTenantsResult>(response.body);
+      for (const std::string& name : result.names) {
+        std::printf("%s\n", name.c_str());
+      }
+      break;
+    }
+    case serve::comm::Verb::kSaveGraph: {
+      const auto& result = std::get<serve::comm::SaveGraphResult>(response.body);
+      std::fprintf(stderr, "saved compiled graph snapshot (%llu bytes)\n",
+                   static_cast<unsigned long long>(result.image_bytes));
+      PrintIdentityLines(result.checksum, result.fingerprint);
+      break;
+    }
+    case serve::comm::Verb::kShutdown:
+      std::printf("shutdown: %s\n", response.message.c_str());
+      break;
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace deepdive::cli
 
 int main(int argc, char** argv) {
-  // Trusted root: the CLI process main thread is the serving thread; the
-  // QueryServer readers touch only the capability-free Query() surface.
-  deepdive::serving_thread.AssertHeld();
+  // No serving-role assertion here anymore: the main thread never touches a
+  // DeepDive writer surface — each tenant's dedicated writer thread claims
+  // the role inside the service tier.
   if (argc >= 2 && std::strcmp(argv[1], "load-graph") == 0) {
     auto load_args = deepdive::cli::ParseLoadGraphArgs(argc, argv);
     if (!load_args.ok()) {
@@ -654,6 +895,20 @@ int main(int argc, char** argv) {
       return 1;
     }
     return 0;
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "client") == 0) {
+    auto client_args = deepdive::cli::ParseClientArgs(argc, argv);
+    if (!client_args.ok()) {
+      std::fprintf(stderr, "%s\n", client_args.status().ToString().c_str());
+      deepdive::cli::Usage();
+      return 2;
+    }
+    const deepdive::StatusOr<int> code = deepdive::cli::RunClient(*client_args);
+    if (!code.ok()) {
+      std::fprintf(stderr, "%s\n", code.status().ToString().c_str());
+      return 1;
+    }
+    return *code;
   }
   auto args = deepdive::cli::ParseArgs(argc, argv);
   if (!args.ok()) {
