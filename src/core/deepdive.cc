@@ -8,6 +8,7 @@
 #include "inference/learner.h"
 #include "inference/replicated_gibbs.h"
 #include "util/logging.h"
+#include "util/random.h"
 #include "util/timer.h"
 
 namespace deepdive::core {
@@ -64,7 +65,7 @@ Status DeepDive::Initialize() {
   }
 
   inference::GibbsOptions gopts = config_.gibbs;
-  gopts.seed = config_.seed + 1;
+  gopts.seed = Rng::MixSeed(config_.seed, /*stream=*/1);
   marginals_ = inference::EstimateMarginalsAuto(ground_.graph, gopts).marginals;
   for (VarId v = 0; v < ground_.graph.NumVariables(); ++v) {
     const auto ev = ground_.graph.EvidenceValue(v);
@@ -74,7 +75,7 @@ Status DeepDive::Initialize() {
   if (config_.mode == ExecutionMode::kIncremental) {
     inc_engine_ = std::make_unique<incremental::IncrementalEngine>(&ground_.graph);
     incremental::MaterializationOptions mopts = config_.materialization;
-    mopts.seed = config_.seed + 2;
+    mopts.seed = Rng::MixSeed(config_.seed, /*stream=*/2);
     if (mopts.async) {
       // Background materialization: Initialize returns while the snapshot
       // builds; early updates are served conservatively (rerun) until the
@@ -96,9 +97,12 @@ Status DeepDive::Initialize() {
 }
 
 void DeepDive::PublishView(UpdateReport* report) {
-  auto view = std::make_shared<inference::ResultView>();
+  auto view = std::make_shared<incremental::ResultView>();
   view->marginals = marginals_;
   view->relations.reserve(ground_.relation_vars.size());
+  // analysis:allow(determinism-unordered): each iteration fills exactly one
+  // per-relation bucket of the keyed output map and sorts it by tuple below;
+  // no cross-relation state is touched, so visit order cannot reach the view.
   for (const auto& [relation, vars] : ground_.relation_vars) {
     auto& entries = view->relations[relation];
     entries.reserve(vars.size());
@@ -259,14 +263,14 @@ Status DeepDive::RunFullPipeline(UpdateReport* report, bool cold_learning) {
     inference::Learner learner(&ground_.graph);
     inference::LearnerOptions lopts = config_.learner;
     lopts.warmstart = !cold_learning;
-    lopts.seed = config_.seed + history_.size();
+    lopts.seed = Rng::MixSeed(config_.seed, /*stream=*/3, history_.size());
     learner.Learn(lopts);
   }
   report->learning_seconds = learn_timer.Seconds();
 
   Timer infer_timer;
   inference::GibbsOptions gopts = config_.gibbs;
-  gopts.seed = config_.seed + 13 * (history_.size() + 1);
+  gopts.seed = Rng::MixSeed(config_.seed, /*stream=*/4, history_.size() + 1);
   marginals_ = inference::EstimateMarginalsAuto(ground_.graph, gopts).marginals;
   for (VarId v = 0; v < ground_.graph.NumVariables(); ++v) {
     const auto ev = ground_.graph.EvidenceValue(v);
@@ -286,7 +290,7 @@ void DeepDive::LearnIncremental(GraphDelta* delta) {
   inference::LearnerOptions lopts = config_.learner;
   lopts.warmstart = true;
   lopts.epochs = config_.incremental_learning_epochs;
-  lopts.seed = config_.seed + 29 * (history_.size() + 1);
+  lopts.seed = Rng::MixSeed(config_.seed, /*stream=*/5, history_.size() + 1);
   learner.Learn(lopts);
   for (WeightId w = 0; w < ground_.graph.NumWeights(); ++w) {
     const double after = ground_.graph.WeightValue(w);

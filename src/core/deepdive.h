@@ -8,13 +8,13 @@
 #include <vector>
 
 #include "core/config.h"
-#include "core/update_report.h"
+#include "incremental/update_report.h"
 #include "dsl/program.h"
 #include "engine/view_maintenance.h"
 #include "grounding/grounder.h"
 #include "grounding/incremental_grounder.h"
 #include "incremental/engine.h"
-#include "inference/result_view.h"
+#include "incremental/result_view.h"
 #include "storage/database.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -38,7 +38,7 @@ struct UpdateSpec {
 };
 
 // UpdateReport (timing/diagnostics for one update) lives in
-// core/update_report.h so ResultViews can embed it.
+// incremental/update_report.h so ResultViews can embed it.
 
 /// End-to-end DeepDive engine: declarative program + relational store +
 /// DRed view maintenance + (incremental) grounding + learning + inference.
@@ -102,7 +102,7 @@ class DeepDive {
   /// the epoch it was published at, forever (snapshot isolation) — call
   /// again to observe newer epochs. Never null; before Initialize it is the
   /// empty epoch-0 view.
-  std::shared_ptr<const inference::ResultView> Query() const {
+  std::shared_ptr<const incremental::ResultView> Query() const {
     return publisher_.Current();
   }
 
@@ -185,8 +185,8 @@ class DeepDive {
 
   /// RCU publication slot for Query(), plus the serving thread's own pin of
   /// the latest published view (what the legacy accessors read).
-  inference::ResultPublisher publisher_;
-  std::shared_ptr<const inference::ResultView> view_ GUARDED_BY(serving_thread);
+  incremental::ResultPublisher publisher_;
+  std::shared_ptr<const incremental::ResultView> view_ GUARDED_BY(serving_thread);
 };
 
 }  // namespace deepdive::core

@@ -495,7 +495,9 @@ StatusOr<GraphDelta> IncrementalGrounder::ApplyRelationDeltas(
   //    which ends up isolated once its groundings are retracted below).
   for (const auto& [relation, dt] : deltas) {
     if (!program_->IsQueryRelation(relation)) continue;
-    dt.ForEach([&](const Tuple& t, int64_t c) {
+    // Ordered: variable ids are assigned in visit order, and ids reach the
+    // published view and fingerprints — hash-layout order must not leak in.
+    dt.ForEachOrdered([&](const Tuple& t, int64_t c) {
       if (c > 0) GetOrCreateVariable(relation, t, &delta);
     });
   }

@@ -163,7 +163,7 @@ void IncrementalEngine::InstallSnapshot(
 }
 
 uint64_t IncrementalEngine::PublishView(const UpdateOutcome* outcome) {
-  auto view = std::make_shared<inference::ResultView>();
+  auto view = std::make_shared<incremental::ResultView>();
   view->marginals = marginals_;
   view->materialization = snapshot_->stats;
   view->snapshot_generation = snapshot_->generation;
@@ -503,7 +503,7 @@ StatusOr<UpdateOutcome> IncrementalEngine::RunSampling(
   // proposals — or until the store runs dry.
   mh_options.target_steps = std::numeric_limits<size_t>::max();  // store-bounded
   mh_options.target_accepted = options.mh_target_steps;
-  mh_options.seed = 977 * (update_seq_ + 1);
+  mh_options.seed = Rng::MixSeed(options.gibbs.seed, update_seq_, /*substream=*/1);
   mh_options.track_vars = &affected;  // untouched components keep Pr(0) marginals
   mh_options.num_threads = options.gibbs.num_threads;  // proposal extension only
   DD_ASSIGN_OR_RETURN(MHResult result, mh.Run(&snapshot_->store, mh_options));
@@ -570,8 +570,8 @@ UpdateOutcome IncrementalEngine::RunVariational(const EngineOptions& options,
     for (VarId v = 0; v < inference_graph.NumVariables(); ++v) {
       world.Flip(v, warm_value(v));
     }
-    std::vector<Rng> rngs =
-        sampler.MakeRngStreams(options.gibbs.seed + update_seq_);
+    std::vector<Rng> rngs = sampler.MakeRngStreams(
+        Rng::MixSeed(options.gibbs.seed, update_seq_, /*substream=*/2));
     for (size_t i = 0; i < options.gibbs.burn_in_sweeps; ++i) {
       sampler.SweepVars(&world, &rngs, sweep_vars);
     }
@@ -582,7 +582,7 @@ UpdateOutcome IncrementalEngine::RunVariational(const EngineOptions& options,
   } else {
     inference::GibbsSampler sampler(&inference_graph);
     inference::World world(&inference_graph);
-    Rng rng(options.gibbs.seed + update_seq_);
+    Rng rng(Rng::MixSeed(options.gibbs.seed, update_seq_, /*substream=*/2));
     for (VarId v = 0; v < inference_graph.NumVariables(); ++v) {
       world.Flip(v, warm_value(v));
     }
@@ -611,7 +611,7 @@ UpdateOutcome IncrementalEngine::RunVariational(const EngineOptions& options,
 UpdateOutcome IncrementalEngine::RunRerun(const EngineOptions& options) {
   UpdateOutcome outcome;
   inference::GibbsOptions gopts = options.rerun_gibbs;
-  gopts.seed += update_seq_;
+  gopts.seed = Rng::MixSeed(gopts.seed, update_seq_);
   outcome.marginals = inference::EstimateMarginalsAuto(*graph_, gopts).marginals;
   for (VarId v = 0; v < graph_->NumVariables(); ++v) {
     const auto ev = graph_->EvidenceValue(v);

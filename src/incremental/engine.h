@@ -16,7 +16,7 @@
 #include "incremental/strawman.h"
 #include "incremental/variational.h"
 #include "inference/gibbs.h"
-#include "inference/result_view.h"
+#include "incremental/result_view.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -135,7 +135,7 @@ class IncrementalEngine {
   /// and never blocks the writer. The returned view keeps answering with
   /// the epoch it was published at (snapshot isolation) — call again to
   /// observe newer epochs. Never null.
-  std::shared_ptr<const inference::ResultView> Query() const {
+  std::shared_ptr<const incremental::ResultView> Query() const {
     return publisher_.Current();
   }
 
@@ -275,8 +275,8 @@ class IncrementalEngine {
   /// the latest published view (what the reference-returning accessors read).
   /// The publisher itself carries the single-writer annotations (Publish is
   /// REQUIRES(serving_thread); Current() is any-thread).
-  inference::ResultPublisher publisher_;
-  std::shared_ptr<const inference::ResultView> serving_view_
+  incremental::ResultPublisher publisher_;
+  std::shared_ptr<const incremental::ResultView> serving_view_
       GUARDED_BY(serving_thread);
 
   /// Background build plumbing. `mu_` guards the handoff slot; the builder

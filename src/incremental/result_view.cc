@@ -1,11 +1,11 @@
-#include "inference/result_view.h"
+#include "incremental/result_view.h"
 
 #include <algorithm>
 #include <cstring>
 
 #include "storage/text_io.h"
 
-namespace deepdive::inference {
+namespace deepdive::incremental {
 
 const std::vector<std::pair<Tuple, double>>* ResultView::Relation(
     const std::string& relation) const {
@@ -88,4 +88,4 @@ Status WriteRelationTsv(const ResultView& view, const std::string& relation,
   return Status::OK();
 }
 
-}  // namespace deepdive::inference
+}  // namespace deepdive::incremental

@@ -1,5 +1,5 @@
-#ifndef DEEPDIVE_INFERENCE_RESULT_VIEW_H_
-#define DEEPDIVE_INFERENCE_RESULT_VIEW_H_
+#ifndef DEEPDIVE_INCREMENTAL_RESULT_VIEW_H_
+#define DEEPDIVE_INCREMENTAL_RESULT_VIEW_H_
 
 #include <atomic>
 #include <cstdint>
@@ -10,7 +10,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/update_report.h"
+#include "incremental/update_report.h"
 #include "incremental/snapshot.h"
 #include "storage/value.h"
 #include "util/mutex.h"
@@ -18,7 +18,7 @@
 #include "util/thread_annotations.h"
 #include "util/thread_role.h"
 
-namespace deepdive::inference {
+namespace deepdive::incremental {
 
 /// An immutable, versioned snapshot of the serving state, published
 /// RCU-style. The writer (the one serving thread) builds a fresh view after
@@ -55,10 +55,10 @@ struct ResultView {
   /// views carry the full report (label "initialize" for the view published
   /// at the end of Initialize); engine views fill only the
   /// strategy/acceptance/affected_vars/epoch fields of their UpdateOutcome.
-  core::UpdateReport report;
+  UpdateReport report;
 
   /// Copy of the serving materialization's build statistics.
-  incremental::MaterializationStats materialization;
+  MaterializationStats materialization;
   /// Install counter of the serving materialization snapshot (0 = none).
   uint64_t snapshot_generation = 0;
   /// Proposals left in the serving snapshot's sample store at publication.
@@ -145,6 +145,6 @@ class ResultPublisher {
 Status WriteRelationTsv(const ResultView& view, const std::string& relation,
                         std::FILE* out, double threshold);
 
-}  // namespace deepdive::inference
+}  // namespace deepdive::incremental
 
-#endif  // DEEPDIVE_INFERENCE_RESULT_VIEW_H_
+#endif  // DEEPDIVE_INCREMENTAL_RESULT_VIEW_H_

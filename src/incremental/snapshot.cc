@@ -85,7 +85,7 @@ StatusOr<std::shared_ptr<MaterializationSnapshot>> BuildMaterializationSnapshot(
 
   // Variational materialization.
   VariationalOptions vopts = options.variational;
-  vopts.seed = options.seed + 101;
+  vopts.seed = Rng::MixSeed(options.seed, /*stream=*/101);
   auto vmat = VariationalMaterialization::Materialize(graph, vopts);
   if (vmat.ok()) {
     snap.variational = std::move(vmat).value();

@@ -1,5 +1,5 @@
-#ifndef DEEPDIVE_CORE_UPDATE_REPORT_H_
-#define DEEPDIVE_CORE_UPDATE_REPORT_H_
+#ifndef DEEPDIVE_INCREMENTAL_UPDATE_REPORT_H_
+#define DEEPDIVE_INCREMENTAL_UPDATE_REPORT_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -7,11 +7,11 @@
 
 #include "incremental/optimizer.h"
 
-namespace deepdive::core {
+namespace deepdive::incremental {
 
-/// Timing/diagnostics for one update. Lives apart from deepdive.h so the
-/// ResultView layer (inference/result_view.h) can embed a copy of the
-/// publishing update's report without a circular include.
+/// Timing/diagnostics for one update. Lives in the incremental module (below
+/// core) so the ResultView layer (incremental/result_view.h) can embed a
+/// copy of the publishing update's report without reaching up the layering.
 struct UpdateReport {
   std::string label;
   double grounding_seconds = 0.0;   // view maintenance + factor grounding
@@ -20,7 +20,7 @@ struct UpdateReport {
   double TotalSeconds() const {
     return grounding_seconds + learning_seconds + inference_seconds;
   }
-  incremental::Strategy strategy = incremental::Strategy::kRerun;
+  Strategy strategy = Strategy::kRerun;
   double acceptance_rate = -1.0;
   size_t affected_vars = 0;
   size_t graph_variables = 0;
@@ -30,6 +30,12 @@ struct UpdateReport {
   uint64_t epoch = 0;
 };
 
+}  // namespace deepdive::incremental
+
+namespace deepdive::core {
+/// Back-compat alias: the report type moved down to the incremental module
+/// so the view layer no longer depends on core.
+using UpdateReport = incremental::UpdateReport;
 }  // namespace deepdive::core
 
-#endif  // DEEPDIVE_CORE_UPDATE_REPORT_H_
+#endif  // DEEPDIVE_INCREMENTAL_UPDATE_REPORT_H_

@@ -100,7 +100,7 @@ StatusOr<VariationalMaterialization> VariationalMaterialization::Materialize(
   }
   {
     inference::GibbsSampler fit_sampler(&ag);
-    Rng rng(options.seed + 1);
+    Rng rng(Rng::MixSeed(options.seed, /*stream=*/1));
     inference::World model(&ag);
     model.InitValues(&rng, /*random_init=*/true);
     double lr = options.fit_learning_rate;
@@ -205,7 +205,7 @@ StatusOr<double> SearchLambda(const FactorGraph& graph,
     DD_ASSIGN_OR_RETURN(VariationalMaterialization m,
                         VariationalMaterialization::Materialize(graph, options));
     inference::GibbsOptions gopts;
-    gopts.seed = options.seed + 17;
+    gopts.seed = Rng::MixSeed(options.seed, /*stream=*/17);
     gopts.num_threads = options.num_threads;
     inference::ParallelGibbsSampler sampler(&m.approx_graph(), options.num_threads);
     const auto marginals = sampler.EstimateMarginals(gopts).marginals;

@@ -32,7 +32,7 @@ uint64_t CompiledMarginalsFingerprint(const factor::CompiledGraph& graph,
                                       uint64_t seed, size_t threads,
                                       size_t replicas, size_t sync_every) {
   GibbsOptions gopts;
-  gopts.seed = seed + 1;
+  gopts.seed = Rng::MixSeed(seed, /*stream=*/1);
   gopts.num_threads = threads;
   gopts.num_replicas = replicas;
   gopts.sync_every_sweeps = sync_every;

@@ -93,7 +93,7 @@ Status KbcPipeline::Initialize() {
   return dd_->Initialize();
 }
 
-StatusOr<core::UpdateReport> KbcPipeline::ApplyUpdate(const std::string& label) {
+StatusOr<incremental::UpdateReport> KbcPipeline::ApplyUpdate(const std::string& label) {
   core::UpdateSpec spec;
   spec.label = label;
   const char* semantics = dsl::SemanticsName(options_.semantics);
@@ -148,7 +148,7 @@ namespace {
 /// evaluation paths below pin a single view per pass so every metric reads
 /// one epoch's marginals, even while updates stream on the serving thread.
 const std::vector<std::pair<Tuple, double>>& ViewEntries(
-    const inference::ResultView& view, const std::string& relation) {
+    const incremental::ResultView& view, const std::string& relation) {
   static const std::vector<std::pair<Tuple, double>> kEmpty;
   const auto* entries = view.Relation(relation);
   return entries != nullptr ? *entries : kEmpty;

@@ -53,7 +53,7 @@ class KbcPipeline {
   static std::vector<std::string> UpdateSequence();
 
   /// Applies one update by label ("A1", "FE1", "FE2", "I1", "S1", "S2").
-  StatusOr<core::UpdateReport> ApplyUpdate(const std::string& label)
+  StatusOr<incremental::UpdateReport> ApplyUpdate(const std::string& label)
       REQUIRES(serving_thread);
 
   /// Mention-level quality: a candidate pair is correct iff its sentence

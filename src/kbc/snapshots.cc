@@ -27,8 +27,8 @@ StatusOr<SnapshotComparison> RunSnapshotComparison(const SystemProfile& profile,
     SnapshotRow row;
     row.rule = rule;
 
-    DD_ASSIGN_OR_RETURN(core::UpdateReport rr, rerun->ApplyUpdate(rule));
-    DD_ASSIGN_OR_RETURN(core::UpdateReport ir, inc->ApplyUpdate(rule));
+    DD_ASSIGN_OR_RETURN(incremental::UpdateReport rr, rerun->ApplyUpdate(rule));
+    DD_ASSIGN_OR_RETURN(incremental::UpdateReport ir, inc->ApplyUpdate(rule));
 
     // The paper's Figure 9 reports statistical inference + learning time.
     row.rerun_seconds = rr.learning_seconds + rr.inference_seconds;

@@ -12,17 +12,17 @@
 namespace deepdive::serve::handlers {
 namespace {
 
-bool IsQueryRelationOf(const inference::ResultView& view,
+bool IsQueryRelationOf(const incremental::ResultView& view,
                        const std::string& relation) {
   return std::find(view.query_relations.begin(), view.query_relations.end(),
                    relation) != view.query_relations.end();
 }
 
 /// Renders one relation's export chunk from a pinned view — exactly the
-/// lines inference::WriteRelationTsv would print (same threshold filter,
+/// lines incremental::WriteRelationTsv would print (same threshold filter,
 /// same unprintable-tuple skip), so the daemon's export is byte-identical
 /// to the in-process path.
-std::string RenderRelationTsv(const inference::ResultView& view,
+std::string RenderRelationTsv(const incremental::ResultView& view,
                               const std::string& relation, double threshold) {
   std::string tsv;
   const auto* entries = view.Relation(relation);

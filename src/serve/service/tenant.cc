@@ -314,7 +314,7 @@ StatusOr<comm::UpdateResult> TenantInstance::ExecuteUpdate(
                         ParseRows(*dd, payload.relation, payload.tsv));
     spec.inserts[payload.relation] = std::move(rows);
   }
-  DD_ASSIGN_OR_RETURN(core::UpdateReport report, dd->ApplyUpdate(spec));
+  DD_ASSIGN_OR_RETURN(incremental::UpdateReport report, dd->ApplyUpdate(spec));
   comm::UpdateResult result;
   result.epoch = report.epoch;
   result.label = report.label;

@@ -54,6 +54,8 @@ bool DeltaTable::empty() const { return size() == 0; }
 
 size_t DeltaTable::size() const {
   size_t n = 0;
+  // analysis:allow(determinism-unordered): pure count — the fold is
+  // commutative, so visit order cannot reach the result.
   for (const auto& [_, entry] : entries_) {
     if (entry.count != 0) ++n;
   }
@@ -62,7 +64,7 @@ size_t DeltaTable::size() const {
 
 std::vector<Tuple> DeltaTable::Insertions() const {
   std::vector<Tuple> out;
-  ForEach([&](const Tuple& t, int64_t c) {
+  ForEachOrdered([&](const Tuple& t, int64_t c) {
     if (c > 0) out.push_back(t);
   });
   return out;
@@ -70,7 +72,7 @@ std::vector<Tuple> DeltaTable::Insertions() const {
 
 std::vector<Tuple> DeltaTable::Deletions() const {
   std::vector<Tuple> out;
-  ForEach([&](const Tuple& t, int64_t c) {
+  ForEachOrdered([&](const Tuple& t, int64_t c) {
     if (c < 0) out.push_back(t);
   });
   return out;

@@ -1,6 +1,7 @@
 #ifndef DEEPDIVE_STORAGE_DELTA_TABLE_H_
 #define DEEPDIVE_STORAGE_DELTA_TABLE_H_
 
+#include <algorithm>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,13 +39,34 @@ class DeltaTable {
   /// sharded grounder sizes OLD-mode driver domains with this.
   size_t DeletionEntries() const { return negative_entries_; }
 
-  /// Visits every (tuple, count) pair with count != 0.
+  /// Visits every (tuple, count) pair with count != 0, in hash-table order.
+  /// For commutative folds only (count accumulation, set insertion); any
+  /// consumer whose *output* depends on visit order (variable enumeration,
+  /// emission) must use ForEachOrdered instead.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
+    // analysis:allow(determinism-unordered): visit order is unordered by
+    // contract; order-sensitive consumers are required to use ForEachOrdered.
     for (const auto& [key, entry] : entries_) {
       (void)key;
       if (entry.count != 0) fn(entry.tuple, entry.count);
     }
+  }
+
+  /// Visits every (tuple, count) pair with count != 0 in tuple order —
+  /// deterministic regardless of hash layout. O(n log n); the blessed
+  /// helper for order-sensitive consumers.
+  template <typename Fn>
+  void ForEachOrdered(Fn&& fn) const {
+    std::vector<const Entry*> ordered;
+    ordered.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) {
+      (void)key;
+      if (entry.count != 0) ordered.push_back(&entry);
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Entry* a, const Entry* b) { return a->tuple < b->tuple; });
+    for (const Entry* e : ordered) fn(e->tuple, e->count);
   }
 
   /// Splits into insertion-side (count>0) and deletion-side (count<0) tuples.

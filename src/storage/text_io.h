@@ -29,7 +29,7 @@ StatusOr<std::string> FormatTsvLine(const Tuple& tuple);
 
 /// Renders the marginal-export line "<marginal>\t<cols...>" — the format
 /// shared by the CLI --output writer and the ResultView TSV exporter
-/// (inference::WriteRelationTsv).
+/// (incremental::WriteRelationTsv).
 StatusOr<std::string> FormatMarginalLine(double marginal, const Tuple& tuple);
 
 /// Writes all rows of `table` to `path` as TSV.

@@ -1,0 +1,8 @@
+// Negative fixture for the layering-DAG checker: run with
+// --assume-module serve/comm, this file reaches the engine's writer surface
+// from the codec tier — an edge absent from MODULE_DAG. ctest marks the run
+// WILL_FAIL. Not compiled.
+#include "core/deepdive.h"
+#include "incremental/engine.h"
+
+void handle() {}

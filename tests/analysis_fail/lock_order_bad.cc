@@ -1,0 +1,24 @@
+// Negative fixture for the lock-order checker: two functions acquire the
+// same pair of mutexes in opposite orders — the classic AB/BA deadlock.
+// ctest runs the analyzer on this file alone and requires failure
+// (WILL_FAIL). Not compiled.
+
+namespace deepdive {
+
+class Ledger {
+ public:
+  void Credit() {
+    MutexLock accounts(accounts_mu_);
+    MutexLock audit(audit_mu_);
+  }
+  void Audit() {
+    MutexLock audit(audit_mu_);
+    MutexLock accounts(accounts_mu_);
+  }
+
+ private:
+  Mutex accounts_mu_;
+  Mutex audit_mu_;
+};
+
+}  // namespace deepdive

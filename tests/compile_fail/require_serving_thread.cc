@@ -8,11 +8,11 @@
 // must compile cleanly — the positive control that the contract machinery
 // costs nothing off-Clang. CMake registers this file as a build-only ctest
 // case with WILL_FAIL set exactly when the compiler is Clang.
-#include "inference/result_view.h"
+#include "incremental/result_view.h"
 
 namespace deepdive {
 
-uint64_t StrayReaderPeeksAtWriterState(const inference::ResultPublisher& p) {
+uint64_t StrayReaderPeeksAtWriterState(const incremental::ResultPublisher& p) {
   // No ScopedThreadRole, no AssertHeld: this call site is a stray reader.
   return p.next_epoch();
 }

@@ -16,7 +16,7 @@
 #include "core/deepdive.h"
 #include "factor/factor_graph.h"
 #include "incremental/engine.h"
-#include "inference/result_view.h"
+#include "incremental/result_view.h"
 #include "util/random.h"
 #include "util/thread_role.h"
 
@@ -25,7 +25,7 @@ namespace {
 
 using core::DeepDive;
 using core::DeepDiveConfig;
-using core::UpdateReport;
+using incremental::UpdateReport;
 using core::UpdateSpec;
 using factor::FactorGraph;
 using factor::GraphDelta;
@@ -33,8 +33,8 @@ using factor::VarId;
 using incremental::EngineOptions;
 using incremental::IncrementalEngine;
 using incremental::MaterializationOptions;
-using inference::ResultPublisher;
-using inference::ResultView;
+using incremental::ResultPublisher;
+using incremental::ResultView;
 
 // ---------------------------------------------------------------------------
 // ResultView / ResultPublisher unit semantics.

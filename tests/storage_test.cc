@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "storage/database.h"
 #include "storage/delta_table.h"
 #include "storage/schema.h"
@@ -191,6 +193,40 @@ TEST(DeltaTableTest, InsertionsAndDeletions) {
   EXPECT_EQ(dt.Insertions().size(), 2u);
   EXPECT_EQ(dt.Deletions().size(), 1u);
   EXPECT_EQ(dt.size(), 3u);
+}
+
+// Regression: variable ids are assigned in delta-visit order and reach the
+// published view, so the order-sensitive consumers (grounding) go through
+// ForEachOrdered — which must visit in tuple order no matter how the hash
+// table laid the entries out.
+TEST(DeltaTableTest, ForEachOrderedVisitsInTupleOrder) {
+  DeltaTable dt;
+  dt.Add({Value(9)}, 1);
+  dt.Add({Value(2)}, 1);
+  dt.Add({Value(7)}, -2);
+  dt.Add({Value(1)}, 1);
+  dt.Add({Value(5)}, 1);
+  dt.Add({Value(5)}, -1);  // nets to zero: must be skipped
+  std::vector<Tuple> visited;
+  dt.ForEachOrdered([&](const Tuple& t, int64_t) { visited.push_back(t); });
+  ASSERT_EQ(visited.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(visited.begin(), visited.end()));
+  std::vector<Tuple> expect = {{Value(1)}, {Value(2)}, {Value(7)}, {Value(9)}};
+  EXPECT_EQ(visited, expect);
+}
+
+TEST(DeltaTableTest, InsertionsAndDeletionsAreSorted) {
+  DeltaTable dt;
+  dt.Add({Value(3)}, 1);
+  dt.Add({Value(1)}, 1);
+  dt.Add({Value(4)}, -1);
+  dt.Add({Value(2)}, -1);
+  const std::vector<Tuple> ins = dt.Insertions();
+  const std::vector<Tuple> del = dt.Deletions();
+  EXPECT_TRUE(std::is_sorted(ins.begin(), ins.end()));
+  EXPECT_TRUE(std::is_sorted(del.begin(), del.end()));
+  EXPECT_EQ(ins, (std::vector<Tuple>{{Value(1)}, {Value(3)}}));
+  EXPECT_EQ(del, (std::vector<Tuple>{{Value(2)}, {Value(4)}}));
 }
 
 TEST(DeltaTableTest, ForEachSkipsZeroCounts) {

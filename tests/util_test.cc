@@ -77,6 +77,29 @@ TEST(RngTest, DifferentSeedsDiffer) {
   EXPECT_TRUE(any_diff);
 }
 
+// Regression: seed derivation by arithmetic (`seed + k`) makes the stream
+// for (seed, stream k) collide with the one for (seed+1, stream k-1) — two
+// runs configured with adjacent base seeds silently share randomness.
+// MixSeed keying must keep every (seed, stream) pair distinct.
+TEST(RngTest, MixSeedStreamsDoNotCollideAcrossAdjacentSeeds) {
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    for (uint64_t stream = 1; stream < 16; ++stream) {
+      EXPECT_NE(Rng::MixSeed(seed, stream), Rng::MixSeed(seed + 1, stream - 1))
+          << "seed=" << seed << " stream=" << stream;
+      EXPECT_NE(Rng::MixSeed(seed, stream), seed + stream);
+    }
+  }
+}
+
+TEST(RngTest, MixSeedSubstreamsDistinct) {
+  EXPECT_NE(Rng::MixSeed(7, 1, 2), Rng::MixSeed(7, 2, 1));
+  EXPECT_NE(Rng::MixSeed(7, 1, 2), Rng::MixSeed(7, 1, 3));
+  Rng a(Rng::MixSeed(7, 1)), b(Rng::MixSeed(7, 2));
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.Next() != b.Next());
+  EXPECT_TRUE(any_diff);
+}
+
 TEST(RngTest, UniformInUnitInterval) {
   Rng rng(7);
   double sum = 0;

@@ -27,12 +27,14 @@ four conventions the analysis cannot see are enforced here instead:
                  comment mentioning the threading rules, or an explicit
                  `lint:allow(ref-accessor)` waiver.
 
-  layering       The serving stack is tiered: comm (framing/codec) and
-                 handlers (verb dispatch) sit above the service tier and must
-                 never reach the engine directly. Files under
-                 src/serve/comm/ or src/serve/handlers/ including
-                 incremental/engine.h (or core/deepdive.h) are flagged — the
-                 writer surface is the service tier's private capability.
+  layering       Module dependencies follow the declarative DAG in
+                 tools/static_analysis/check_layering.py (util -> factor ->
+                 grounding/inference -> incremental -> core -> serve tiers;
+                 tools/bench/tests are sinks). Every quoted #include is
+                 validated against that table — this subsumes the two
+                 hard-coded serve-tier rules this linter used to carry (comm/
+                 handlers must not reach incremental/engine.h or
+                 core/deepdive.h): those edges are simply absent from the DAG.
 
 Run with no arguments from the repository root (CI does); pass file paths to
 lint a subset; pass --self-test to verify the rules still bite on seeded
@@ -71,11 +73,11 @@ REF_ACCESSOR_ANNOTATIONS = ("REQUIRES(", "RETURN_CAPABILITY(", "GUARDED_BY(")
 
 SUPPRESSION_RATIONALE = "rationale:"
 
-# Layering rule: the upper serving tiers may not include the engine's writer
-# surface. Matches any #include whose path starts with one of these.
-LAYERING_UPPER_TIERS = ("src/serve/comm/", "src/serve/handlers/")
-LAYERING_FORBIDDEN_INCLUDES = ("incremental/engine.h", "core/deepdive.h")
-LAYERING_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+# Layering rule: delegated to the declarative module DAG shared with the
+# invariant analyzer suite (single source of truth for the layering).
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "static_analysis"))
+import check_layering  # noqa: E402  (needs the sys.path entry above)
 
 
 def find_ordering_violations(path, lines):
@@ -177,22 +179,23 @@ def find_suppression_violations(path, lines):
     return findings
 
 
-def find_layering_violations(path, lines):
+def _repo_rel(path):
+    """Repo-relative form of `path` so module resolution works on absolute
+    paths (and on self-test files seeded under a tempdir)."""
     rel = path.replace(os.sep, "/")
-    if not any(tier in rel for tier in LAYERING_UPPER_TIERS):
-        return []
-    findings = []
-    for i, line in enumerate(lines):
-        m = LAYERING_INCLUDE_RE.match(line)
-        if not m:
-            continue
-        if m.group(1) in LAYERING_FORBIDDEN_INCLUDES:
-            findings.append((path, i + 1, "layering",
-                             f"comm/handlers tier includes '{m.group(1)}'; "
-                             "the engine's writer surface belongs to the "
-                             "service tier — route through "
-                             "serve/service/tenant.h instead"))
-    return findings
+    for top in ("src/", "tools/", "tests/", "bench/", "examples/"):
+        if rel.startswith(top):
+            return rel
+        idx = rel.rfind("/" + top)
+        if idx >= 0:
+            return rel[idx + 1:]
+    return rel
+
+
+def find_layering_violations(path, lines):
+    rel = _repo_rel(path)
+    return [(path, f.line, f.rule, f.msg)
+            for f in check_layering.check_file(rel, lines)]
 
 
 def lint_file(path):
@@ -283,6 +286,21 @@ def self_test():
                   "// whole point.\n"
                   '#include "incremental/engine.h"\n'
                   "void h() {}\n",
+                  None))
+    # The DAG generalizes past the two historical hard-coded rules: any
+    # edge absent from the table is a violation, not just the engine pair.
+    cases.append(("src/serve/comm/bad_layer3.cc",
+                  '#include "incremental/result_view.h"\n'
+                  "void h() {}\n",
+                  "layering"))
+    cases.append(("src/util/bad_upward.cc",
+                  '#include "factor/factor_graph.h"\n'
+                  "void h() {}\n",
+                  "layering"))
+    cases.append(("tests/sink_is_free.cc",
+                  '#include "core/deepdive.h"\n'
+                  '#include "incremental/engine.h"\n'
+                  "int main() {}\n",
                   None))
     cases.append((".tsan-suppressions",
                   "# no reason given\nrace:some_header.h\n",

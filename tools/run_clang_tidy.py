@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Full-tree clang-tidy gate with a tracked baseline.
+
+Runs clang-tidy (checks from .clang-tidy) over every compiled source in the
+compile database and compares the findings against .clang-tidy-baseline:
+
+  - a finding NOT in the baseline fails the run (new debt is blocked);
+  - a baseline entry with no current finding is reported as stale (payable
+    down: delete the line), but does not fail the run;
+  - `--update-baseline` rewrites the baseline from the current findings.
+
+Baseline keys are `<repo-relative-file> <check-name>` — deliberately not
+line numbers, so unrelated edits that shift lines don't churn the file. A
+candidate baseline is always written next to the build dir so CI can upload
+it as an artifact when the gate fails.
+
+Usage:
+    python3 tools/run_clang_tidy.py --build build-tidy [--jobs N]
+                                    [--update-baseline] [--clang-tidy BIN]
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+FINDING_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): .* \[(?P<checks>[\w\-.,]+)\]$")
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15", "clang-tidy-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def compile_db_sources(build_dir, root):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    with open(db_path) as f:
+        db = json.load(f)
+    files = set()
+    for entry in db:
+        src = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(src, root)
+        if rel.startswith(".."):
+            continue
+        # Gate the library and tools; tests/bench ride the compiler warnings
+        # and sanitizers instead (keeps the run under control).
+        if rel.startswith(("src/", "tools/")) and rel.endswith(
+                (".cc", ".cpp")):
+            files.add(rel)
+    return sorted(files)
+
+
+def run_one(clang_tidy, build_dir, root, rel):
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", os.path.join(root, rel)],
+        capture_output=True, text=True)
+    keys = set()
+    lines = []
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if not m:
+            continue
+        path = os.path.relpath(m.group("path"), root)
+        if path.startswith(".."):
+            continue  # findings in system/third-party headers are not ours
+        for check in m.group("checks").split(","):
+            keys.add(f"{path} {check}")
+        lines.append(line)
+    return keys, lines
+
+
+def load_baseline(path):
+    entries = set()
+    if not os.path.exists(path):
+        return entries
+    with open(path) as f:
+        for raw in f:
+            line = raw.strip()
+            if line and not line.startswith("#"):
+                entries.add(line)
+    return entries
+
+
+def write_baseline(path, keys, header=True):
+    with open(path, "w") as f:
+        if header:
+            f.write("# clang-tidy baseline: `<file> <check>` pairs that are\n"
+                    "# accepted pre-existing findings. New findings must be\n"
+                    "# fixed or explicitly added here (with review); delete\n"
+                    "# lines as the debt is paid down. Regenerate with\n"
+                    "#   python3 tools/run_clang_tidy.py --build <dir> "
+                    "--update-baseline\n")
+        for k in sorted(keys):
+            f.write(k + "\n")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build", required=True, help="build dir with "
+                    "compile_commands.json")
+    ap.add_argument("--root", default=".")
+    ap.add_argument("--baseline", default=".clang-tidy-baseline")
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument("--clang-tidy", default=None)
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    clang_tidy = find_clang_tidy(args.clang_tidy)
+    if clang_tidy is None:
+        print("run_clang_tidy: no clang-tidy binary found", file=sys.stderr)
+        return 2
+
+    files = compile_db_sources(args.build, root)
+    print(f"clang-tidy ({clang_tidy}) over {len(files)} files...")
+
+    all_keys = set()
+    all_lines = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for keys, lines in pool.map(
+                lambda rel: run_one(clang_tidy, args.build, root, rel),
+                files):
+            all_keys |= keys
+            all_lines += lines
+
+    candidate = os.path.join(args.build, "clang-tidy-baseline.candidate")
+    write_baseline(candidate, all_keys)
+
+    baseline_path = os.path.join(root, args.baseline)
+    if args.update_baseline:
+        write_baseline(baseline_path, all_keys)
+        print(f"baseline updated: {len(all_keys)} entries -> {baseline_path}")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new = sorted(all_keys - baseline)
+    stale = sorted(baseline - all_keys)
+    for line in all_lines:
+        print(line)
+    if stale:
+        print(f"\n{len(stale)} stale baseline entry(s) — debt paid down; "
+              "delete these lines:", file=sys.stderr)
+        for s in stale:
+            print(f"  {s}", file=sys.stderr)
+    if new:
+        print(f"\n{len(new)} finding(s) not in the baseline:",
+              file=sys.stderr)
+        for n in new:
+            print(f"  {n}", file=sys.stderr)
+        print(f"candidate baseline written to {candidate}", file=sys.stderr)
+        return 1
+    print(f"clang-tidy gate clean ({len(all_keys)} baselined finding(s), "
+          f"{len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Optional libclang front end.
+
+When python `clang.cindex` is importable (e.g. the CI image's pinned
+python3-clang) this module recovers function extents from real AST cursors;
+the checkers consume the same `Function` records either way. Import or parse
+failure is never an error — sa_common.load_source falls back to the token
+scanner per file — so the analyzers have zero hard dependencies beyond the
+standard library.
+"""
+
+import os
+
+_index = None
+_unavailable = False
+
+
+def _get_index():
+    global _index, _unavailable
+    if _index is not None or _unavailable:
+        return _index
+    try:
+        from clang import cindex
+        for lib in (os.environ.get("STATIC_ANALYSIS_LIBCLANG_SO"),
+                    "libclang.so", "libclang-14.so.1", "libclang.so.1"):
+            if not lib:
+                continue
+            try:
+                cindex.Config.set_library_file(lib)
+                _index = cindex.Index.create()
+                return _index
+            except Exception:
+                cindex.Config.loaded = False
+                continue
+        _index = cindex.Index.create()  # default search path
+        return _index
+    except Exception:
+        _unavailable = True
+        return None
+
+
+def scan_functions_clang(abspath, rel, stripped):
+    """Function records from libclang cursors, or None to fall back."""
+    index = _get_index()
+    if index is None:
+        return None
+    from clang import cindex
+    from sa_common import Function, _match_brace, _line_of
+
+    src_root = os.path.join(os.path.dirname(os.path.dirname(abspath)), "src")
+    args = ["-std=c++20", "-x", "c++", f"-I{src_root}"]
+    try:
+        tu = index.parse(abspath, args=args,
+                         options=cindex.TranslationUnit.PARSE_INCOMPLETE)
+    except Exception:
+        return None
+
+    line_starts = [0]
+    for i, ch in enumerate(stripped):
+        if ch == "\n":
+            line_starts.append(i + 1)
+
+    kinds = (cindex.CursorKind.FUNCTION_DECL, cindex.CursorKind.CXX_METHOD,
+             cindex.CursorKind.CONSTRUCTOR, cindex.CursorKind.DESTRUCTOR,
+             cindex.CursorKind.FUNCTION_TEMPLATE)
+    out = []
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            loc = child.location
+            if loc.file is None or os.path.abspath(loc.file.name) != abspath:
+                continue
+            if child.kind in kinds and child.is_definition():
+                ext = child.extent
+                start = line_starts[min(ext.start.line - 1, len(line_starts) - 1)]
+                brace = stripped.find("{", start)
+                if brace < 0:
+                    continue
+                end = _match_brace(stripped, brace)
+                cls = ""
+                sem = child.semantic_parent
+                if sem is not None and sem.kind in (
+                        cindex.CursorKind.CLASS_DECL,
+                        cindex.CursorKind.STRUCT_DECL):
+                    cls = sem.spelling
+                name = child.spelling
+                out.append(Function(
+                    name=name, qual=(cls + "::" + name) if cls else name,
+                    cls=cls, path=rel,
+                    start_line=_line_of(stripped, brace),
+                    end_line=_line_of(stripped, end),
+                    body=stripped[brace:end + 1],
+                    decl=stripped[start:brace]))
+            visit(child)
+
+    visit(tu.cursor)
+    return out or None
