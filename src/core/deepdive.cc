@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "factor/compiled_graph.h"
 #include "inference/compiled_inference.h"
 #include "inference/gibbs.h"
 #include "inference/learner.h"
@@ -16,6 +17,13 @@ namespace deepdive::core {
 using factor::GraphDelta;
 using factor::VarId;
 using factor::WeightId;
+
+namespace {
+/// AddRule tickets kept for exact-restore retraction. One is enough for the
+/// miner's add-trial-retract loop; a few more absorb interactive sessions
+/// that stack several adds before retracting the latest.
+constexpr size_t kMaxRuleJournal = 8;
+}  // namespace
 
 DeepDive::DeepDive(dsl::Program program, DeepDiveConfig config)
     : program_(std::move(program)), config_(config),
@@ -121,6 +129,9 @@ void DeepDive::PublishView(UpdateReport* report) {
       view->query_relations.push_back(rel.name);
     }
   }
+  view->program_version = program_version_;
+  view->rule_count = NumRules();
+  view->rules_fingerprint = RulesFingerprint();
   report->epoch = publisher_.next_epoch();
   view->report = *report;
   if (inc_engine_ != nullptr) {
@@ -134,6 +145,21 @@ void DeepDive::PublishView(UpdateReport* report) {
   }
   publisher_.Publish(std::move(view));
   view_ = publisher_.Current();
+}
+
+uint64_t DeepDive::RulesFingerprint() const {
+  // Canonical text in declaration order: two programs with the same rules
+  // fingerprint identically regardless of the add/retract path taken.
+  std::string text;
+  for (const dsl::DeductiveRule& rule : program_.deductive_rules()) {
+    text += dsl::DeductiveRuleToString(rule);
+    text += '\n';
+  }
+  for (const dsl::FactorRule& rule : program_.factor_rules()) {
+    text += dsl::FactorRuleToString(rule);
+    text += '\n';
+  }
+  return factor::Fnv1aHash(text.data(), text.size());
 }
 
 const incremental::MaterializationStats& DeepDive::materialization_stats() const {
@@ -181,14 +207,17 @@ StatusOr<UpdateReport> DeepDive::ApplyUpdate(const UpdateSpec& update) {
   }
 
   GraphDelta delta;
+  const uint64_t groundings_before = grounder_->groundings_emitted();
   if (!external.empty()) {
     DD_ASSIGN_OR_RETURN(engine::RelationDeltas set_deltas, views_->ApplyUpdate(external));
+    if (delta_listener_) delta_listener_(set_deltas);
     DD_ASSIGN_OR_RETURN(GraphDelta d, grounder_->ApplyRelationDeltas(set_deltas));
     delta.Merge(d);
   }
   if (has_fragment) {
     for (const dsl::DeductiveRule& rule : fragment.deductive_rules()) {
       DD_ASSIGN_OR_RETURN(engine::RelationDeltas set_deltas, views_->AddRule(rule));
+      if (delta_listener_) delta_listener_(set_deltas);
       DD_ASSIGN_OR_RETURN(GraphDelta d, grounder_->ApplyRelationDeltas(set_deltas));
       delta.Merge(d);
     }
@@ -196,11 +225,15 @@ StatusOr<UpdateReport> DeepDive::ApplyUpdate(const UpdateSpec& update) {
       DD_ASSIGN_OR_RETURN(GraphDelta d, grounder_->AddFactorRule(rule));
       delta.Merge(d);
     }
+    if (!fragment.deductive_rules().empty() || !fragment.factor_rules().empty()) {
+      ++program_version_;
+    }
   }
   for (const std::string& label : update.remove_rule_labels) {
     // A label may name a deductive rule, a factor rule, or both.
     auto removed_views = views_->RemoveRule(label);
     if (removed_views.ok()) {
+      if (delta_listener_) delta_listener_(removed_views.value());
       DD_ASSIGN_OR_RETURN(GraphDelta d,
                           grounder_->ApplyRelationDeltas(removed_views.value()));
       delta.Merge(d);
@@ -211,8 +244,10 @@ StatusOr<UpdateReport> DeepDive::ApplyUpdate(const UpdateSpec& update) {
       return Status::NotFound("no rule labeled '" + label + "'");
     }
     program_.RemoveRulesByLabel(label);
+    ++program_version_;
   }
   report.grounding_seconds = ground_timer.Seconds();
+  report.grounding_work = grounder_->groundings_emitted() - groundings_before;
 
   if (config_.mode == ExecutionMode::kRerun) {
     DD_RETURN_IF_ERROR(RunFullPipeline(&report, /*cold_learning=*/true));
@@ -243,6 +278,157 @@ StatusOr<UpdateReport> DeepDive::ApplyUpdate(const UpdateSpec& update) {
   // Publish this update's results as a fresh immutable view (stamping
   // report.epoch); views pinned before this line keep serving the previous
   // epoch's marginals untouched.
+  PublishView(&report);
+  history_.push_back(report);
+  return report;
+}
+
+StatusOr<UpdateReport> DeepDive::AddRule(const std::string& rule_source,
+                                         bool learn) {
+  DD_CHECK(initialized_) << "call Initialize first";
+  if (config_.mode == ExecutionMode::kRerun) {
+    // Rerun mode has no incremental machinery; the rule rides the full
+    // pipeline (this is also the baseline the rule-delta bench compares
+    // against).
+    UpdateSpec spec;
+    spec.label = "add_rule";
+    spec.add_rules = rule_source;
+    spec.skip_learning = !learn;
+    return ApplyUpdate(spec);
+  }
+  DD_ASSIGN_OR_RETURN(dsl::Program fragment,
+                      dsl::AnalyzeFragment(program_, rule_source));
+  if (!fragment.deductive_rules().empty()) {
+    return Status::InvalidArgument(
+        "AddRule takes factor rules only; deductive rules change view "
+        "contents and must go through ApplyUpdate");
+  }
+  if (fragment.factor_rules().size() != 1) {
+    return Status::InvalidArgument(
+        "AddRule takes exactly one factor rule per call");
+  }
+  for (const dsl::RelationDecl& rel : fragment.relations()) {
+    if (program_.FindRelation(rel.name) == nullptr) {
+      return Status::InvalidArgument(
+          "AddRule cannot declare new relations ('" + rel.name +
+          "'); declare them through ApplyUpdate first");
+    }
+  }
+  const dsl::FactorRule rule = fragment.factor_rules().front();
+  if (rule.label.empty()) {
+    return Status::InvalidArgument("AddRule requires a labeled rule");
+  }
+  for (const dsl::FactorRule& existing : program_.factor_rules()) {
+    if (existing.label == rule.label) {
+      return Status::AlreadyExists("a factor rule labeled '" + rule.label +
+                                   "' already exists");
+    }
+  }
+
+  // Journal the pre-add state first: if no update intervenes, RetractRule
+  // restores weights and marginals from here bit-for-bit.
+  RuleTicket ticket;
+  ticket.label = rule.label;
+  ticket.marginals_before = marginals_;
+  ticket.num_weights_before = ground_.graph.NumWeights();
+  ticket.weights_before.resize(ticket.num_weights_before);
+  for (WeightId w = 0; w < ticket.num_weights_before; ++w) {
+    ticket.weights_before[w] = ground_.graph.WeightValue(w);
+  }
+
+  UpdateReport report;
+  report.label = "add_rule:" + rule.label;
+  Timer ground_timer;
+  DD_RETURN_IF_ERROR(program_.Merge(fragment));
+  DD_ASSIGN_OR_RETURN(GraphDelta delta, grounder_->AddFactorRule(rule));
+  report.grounding_seconds = ground_timer.Seconds();
+  // Work done = the new rule's bindings, nothing else: the proportionality
+  // witness that this was not a re-ground.
+  report.grounding_work = grounder_->last_rule_groundings();
+
+  Timer learn_timer;
+  if (learn && HasEvidence() && !delta.empty()) LearnIncremental(&delta);
+  report.learning_seconds = learn_timer.Seconds();
+
+  Timer infer_timer;
+  DD_ASSIGN_OR_RETURN(incremental::UpdateOutcome outcome,
+                      inc_engine_->AddRule(delta, config_.engine));
+  report.inference_seconds = infer_timer.Seconds();
+  marginals_ = outcome.marginals;
+  report.strategy = outcome.fell_back_to_variational
+                        ? incremental::Strategy::kVariational
+                        : outcome.strategy;
+  report.acceptance_rate = outcome.acceptance_rate;
+  report.affected_vars = outcome.affected_vars;
+  ++program_version_;
+
+  ticket.engine_seq_after = inc_engine_->update_seq();
+  rule_journal_.push_back(std::move(ticket));
+  if (rule_journal_.size() > kMaxRuleJournal) {
+    rule_journal_.erase(rule_journal_.begin());
+  }
+
+  report.graph_variables = ground_.graph.NumVariables();
+  report.graph_factors = ground_.graph.NumActiveClauses();
+  PublishView(&report);
+  history_.push_back(report);
+  return report;
+}
+
+StatusOr<UpdateReport> DeepDive::RetractRule(const std::string& label) {
+  DD_CHECK(initialized_) << "call Initialize first";
+  if (config_.mode == ExecutionMode::kRerun) {
+    UpdateSpec spec;
+    spec.label = "retract_rule";
+    spec.remove_rule_labels.push_back(label);
+    return ApplyUpdate(spec);
+  }
+  UpdateReport report;
+  report.label = "retract_rule:" + label;
+  Timer ground_timer;
+  // First-class retraction covers factor rules (the AddRule counterpart);
+  // deductive-rule removal changes view contents and stays on ApplyUpdate.
+  DD_ASSIGN_OR_RETURN(GraphDelta delta, grounder_->RemoveFactorRule(label));
+  program_.RemoveRulesByLabel(label);
+  report.grounding_seconds = ground_timer.Seconds();
+
+  // Exact restore applies when the journal holds this label's add and the
+  // engine has not moved since: the pre-add state is then the precise
+  // posterior of the restored graph.
+  auto ticket = rule_journal_.end();
+  for (auto it = rule_journal_.rbegin(); it != rule_journal_.rend(); ++it) {
+    if (it->label == label) {
+      ticket = std::prev(it.base());
+      break;
+    }
+  }
+  const std::vector<double>* restore = nullptr;
+  if (ticket != rule_journal_.end() &&
+      inc_engine_->update_seq() == ticket->engine_seq_after) {
+    // Weights the rule appended stay in the (append-only) graph but their
+    // groups are deactivated; every pre-existing weight reverts exactly.
+    for (WeightId w = 0; w < ticket->num_weights_before; ++w) {
+      ground_.graph.SetWeightValue(w, ticket->weights_before[w]);
+    }
+    restore = &ticket->marginals_before;
+  }
+
+  Timer infer_timer;
+  DD_ASSIGN_OR_RETURN(
+      incremental::UpdateOutcome outcome,
+      inc_engine_->RetractRule(delta, config_.engine, restore));
+  report.inference_seconds = infer_timer.Seconds();
+  marginals_ = outcome.marginals;
+  report.strategy = outcome.fell_back_to_variational
+                        ? incremental::Strategy::kVariational
+                        : outcome.strategy;
+  report.acceptance_rate = outcome.acceptance_rate;
+  report.affected_vars = outcome.affected_vars;
+  ++program_version_;
+  if (ticket != rule_journal_.end()) rule_journal_.erase(ticket);
+
+  report.graph_variables = ground_.graph.NumVariables();
+  report.graph_factors = ground_.graph.NumActiveClauses();
   PublishView(&report);
   history_.push_back(report);
   return report;

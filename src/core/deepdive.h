@@ -1,6 +1,8 @@
 #ifndef DEEPDIVE_CORE_DEEPDIVE_H_
 #define DEEPDIVE_CORE_DEEPDIVE_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -95,6 +97,56 @@ class DeepDive {
   StatusOr<UpdateReport> ApplyUpdate(const UpdateSpec& update)
       REQUIRES(serving_thread);
 
+  /// First-class rule addition (online program evolution): `rule_source` is
+  /// a DSL fragment containing exactly one *factor* rule with a non-empty,
+  /// unused label, over already-declared relations. The rule is grounded
+  /// alone via the incremental grounder (work proportional to its matches —
+  /// see the report's grounding_work; never a re-ground), optionally
+  /// learned, then handed to the engine's AddRule path, which bumps the
+  /// rule-set version, invalidates the compiled kernel, and publishes a new
+  /// epoch. Deductive rules / new relations / data still travel through
+  /// ApplyUpdate. `learn = false` (the miner's trial mode) leaves every
+  /// existing weight untouched so a retraction restores exactly.
+  /// In Rerun mode this delegates to ApplyUpdate (full re-ground baseline).
+  StatusOr<UpdateReport> AddRule(const std::string& rule_source,
+                                 bool learn = true) REQUIRES(serving_thread);
+
+  /// First-class rule retraction: deactivates the labeled factor rule's
+  /// groups as a GraphDelta. When no update intervened since the matching
+  /// AddRule (rule journal), pre-add weights and marginals are restored
+  /// bit-for-bit; otherwise the engine re-infers incrementally from the
+  /// retraction delta.
+  StatusOr<UpdateReport> RetractRule(const std::string& label)
+      REQUIRES(serving_thread);
+
+  /// Program-evolution observability (also published into every ResultView
+  /// so any thread can read them via Query()).
+  uint64_t program_version() const REQUIRES(serving_thread) {
+    return program_version_;
+  }
+  size_t NumRules() const REQUIRES(serving_thread) {
+    return program_.deductive_rules().size() + program_.factor_rules().size();
+  }
+  /// FNV-1a over the canonical text of every rule in declaration order.
+  uint64_t RulesFingerprint() const REQUIRES(serving_thread);
+
+  /// Observer for set-level relation deltas, invoked on the serving thread
+  /// after each batch of view maintenance inside ApplyUpdate (base and
+  /// derived relations alike). This is how layers above core (the rule
+  /// miner's co-occurrence collector) maintain statistics incrementally
+  /// instead of rescanning the database.
+  using RelationDeltaListener = std::function<void(const engine::RelationDeltas&)>;
+  void SetRelationDeltaListener(RelationDeltaListener listener)
+      REQUIRES(serving_thread) {
+    delta_listener_ = std::move(listener);
+  }
+
+  /// The incremental grounder (serving thread only; null before Initialize).
+  /// Exposed for grounding-work accounting (groundings_emitted).
+  grounding::IncrementalGrounder* grounder() REQUIRES(serving_thread) {
+    return grounder_.get();
+  }
+
   /// Pins the current immutable result view. Callable from any thread,
   /// concurrently with ApplyUpdate and background materialization swaps on
   /// the serving thread; the read is a single atomic acquire load and never
@@ -149,6 +201,18 @@ class DeepDive {
  private:
   DeepDive(dsl::Program program, DeepDiveConfig config);
 
+  /// Exact-restore journal entry recorded by AddRule: everything needed to
+  /// make RetractRule a bit-identical undo when no update intervened.
+  struct RuleTicket {
+    std::string label;
+    /// Engine update_seq right after the add; a retraction restores exactly
+    /// only while the engine is still at this sequence number.
+    uint64_t engine_seq_after = 0;
+    std::vector<double> marginals_before;
+    std::vector<double> weights_before;
+    size_t num_weights_before = 0;
+  };
+
   Status RunFullPipeline(UpdateReport* report, bool cold_learning)
       REQUIRES(serving_thread);
 
@@ -182,6 +246,13 @@ class DeepDive {
   std::vector<double> marginals_ GUARDED_BY(serving_thread);
   std::vector<UpdateReport> history_ GUARDED_BY(serving_thread);
   bool initialized_ GUARDED_BY(serving_thread) = false;
+
+  /// Bumped on every rule change (AddRule / RetractRule / ApplyUpdate
+  /// fragments and removals); published into views as program_version.
+  uint64_t program_version_ GUARDED_BY(serving_thread) = 0;
+  /// Recent AddRule tickets, newest last (bounded; see kMaxRuleJournal).
+  std::vector<RuleTicket> rule_journal_ GUARDED_BY(serving_thread);
+  RelationDeltaListener delta_listener_ GUARDED_BY(serving_thread);
 
   /// RCU publication slot for Query(), plus the serving thread's own pin of
   /// the latest published view (what the legacy accessors read).

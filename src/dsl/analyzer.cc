@@ -132,6 +132,9 @@ StatusOr<Program> AnalyzeFragment(const Program& base, std::string_view source) 
   DD_ASSIGN_OR_RETURN(ProgramAst fragment, ParseProgram(source));
   ProgramAst combined;
   for (const RelationDecl& r : base.relations()) combined.relations.push_back(r);
+  // analysis:allow(determinism-unordered): ProgramAst::relations is a
+  // vector in source order; the name merely collides with ResultView's
+  // unordered relation index.
   for (const RelationDecl& r : fragment.relations) {
     const RelationDecl* existing = base.FindRelation(r.name);
     if (existing != nullptr) {
@@ -153,6 +156,9 @@ StatusOr<Program> AnalyzeProgram(const ProgramAst& ast) {
 
   // Relation declarations: unique names; evidence schema = target schema +
   // trailing bool label column.
+  // analysis:allow(determinism-unordered): ProgramAst::relations is a
+  // vector in source order; the name merely collides with ResultView's
+  // unordered relation index.
   for (const RelationDecl& decl : ast.relations) {
     if (program.relation_index_.count(decl.name)) {
       return Status::AlreadyExists("relation '" + decl.name + "' declared twice");

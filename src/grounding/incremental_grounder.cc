@@ -218,6 +218,7 @@ void IncrementalGrounder::ProcessGrounding(const CompiledFactorRule& cr,
 void IncrementalGrounder::FinishGrounding(const CompiledFactorRule& cr, VarId head,
                                           WeightId weight, std::vector<Literal> literals,
                                           int64_t sign, GraphDelta* delta) {
+  ++groundings_emitted_;
   // Group.
   const auto group_key = std::make_tuple(cr.rule_id, head, weight);
   auto git = group_index_.find(group_key);
@@ -578,7 +579,9 @@ StatusOr<GraphDelta> IncrementalGrounder::AddFactorRule(const dsl::FactorRule& r
   GraphDelta delta;
   mod_index_.clear();
   fresh_groups_.clear();
+  const uint64_t before = groundings_emitted_;
   GroundRuleFull(rules_.back(), &delta);
+  last_rule_groundings_ = groundings_emitted_ - before;
   return delta;
 }
 

@@ -62,6 +62,17 @@ class IncrementalGrounder {
   StatusOr<factor::GraphDelta> RemoveFactorRule(const std::string& label);
 
   size_t NumFactorRules() const { return rules_.size(); }
+
+  /// Cumulative count of groundings (ground clauses added or retracted)
+  /// emitted by this grounder, across all rules and updates. Both the
+  /// sequential and the sharded path funnel through the same emission tail,
+  /// so the counter is exact at any thread count.
+  uint64_t groundings_emitted() const { return groundings_emitted_; }
+  /// Groundings emitted by the most recent AddFactorRule call. This is the
+  /// "grounding work proportional to the rule's matches" witness: adding a
+  /// rule evaluates only that rule, so the count equals the new rule's
+  /// bindings — a full re-ground would be NumFactorRules() times larger.
+  uint64_t last_rule_groundings() const { return last_rule_groundings_; }
   /// Immutable after construction; the reference is safe on any thread that
   /// may see the grounder at all (serving thread, in practice).
   const GroundingOptions& options() const { return options_; }
@@ -150,6 +161,8 @@ class IncrementalGrounder {
 
   uint32_t next_rule_id_ = 0;
   bool initialized_ = false;
+  uint64_t groundings_emitted_ = 0;
+  uint64_t last_rule_groundings_ = 0;
 };
 
 }  // namespace deepdive::grounding

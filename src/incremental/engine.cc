@@ -49,6 +49,7 @@ Status IncrementalEngine::Materialize(const MaterializationOptions& options) {
   mat_options_valid_ = true;
   DD_ASSIGN_OR_RETURN(std::shared_ptr<MaterializationSnapshot> snap,
                       BuildMaterializationSnapshot(*graph_, options));
+  snap->rule_set_version = rule_set_version_;
   InstallSnapshot(std::move(snap));
   return Status::OK();
 }
@@ -78,8 +79,13 @@ Status IncrementalEngine::MaterializeAsync(const MaterializationOptions& options
   if (!background_) {
     background_ = std::make_unique<ThreadPool>(1, /*inline_when_single=*/false);
   }
-  background_->Submit([this, graph_copy, opts = std::move(opts)] {
+  // The build materializes the program as of this call: stamp the current
+  // rule-set version so the install points can recognize (and discard) a
+  // build obsoleted by a rule delta that landed while the chain ran.
+  const uint64_t rule_version = rule_set_version_;
+  background_->Submit([this, graph_copy, rule_version, opts = std::move(opts)] {
     auto built = BuildMaterializationSnapshot(*graph_copy, opts, &cancel_build_);
+    if (built.ok()) (*built)->rule_set_version = rule_version;
     if (opts.on_before_publish) opts.on_before_publish();
     MutexLock lock(mu_);
     // ordering: relaxed — the flag is a best-effort cancellation hint; the
@@ -119,8 +125,25 @@ Status IncrementalEngine::WaitForMaterialization() {
     status = pending_status_;
     pending_status_ = Status::OK();
   }
+  if (ready != nullptr && DiscardIfStale(&ready)) {
+    // The finished build predates a rule delta: installing it would
+    // resurrect retracted factors. The remat triggers re-arm on the next
+    // update (the in-flight slot is clear), which rebuilds at the current
+    // rule-set version.
+    return status;
+  }
   if (ready != nullptr) InstallSnapshot(std::move(ready));
   return status;
+}
+
+bool IncrementalEngine::DiscardIfStale(
+    std::shared_ptr<MaterializationSnapshot>* ready) {
+  if ((*ready)->rule_set_version == rule_set_version_) return false;
+  DD_LOG(Info) << "discarding materialization built at rule-set version "
+               << (*ready)->rule_set_version << " (current "
+               << rule_set_version_ << ")";
+  ready->reset();
+  return true;
 }
 
 void IncrementalEngine::AbortInFlightBuild() {
@@ -145,6 +168,9 @@ void IncrementalEngine::InstallSnapshot(
   // Variables are append-only, so a snapshot can only cover a prefix of the
   // serving graph (built from a copy taken at or before this point).
   DD_CHECK_LE(snapshot->graph_width, graph_->NumVariables());
+  // Install points filter stale builds (DiscardIfStale); this is the
+  // last-line defense that the invariant held.
+  DD_CHECK(snapshot->rule_set_version == rule_set_version_);
   snapshot_ = std::move(snapshot);
   snapshot_->generation = ++generation_;
   // Rebase: deltas that arrived while the build ran are not covered by the
@@ -200,7 +226,9 @@ bool IncrementalEngine::MaybeInstallPending() {
     ready = std::move(pending_);
     still_building = build_in_flight_;
   }
-  if (ready != nullptr) InstallSnapshot(std::move(ready));
+  if (ready != nullptr && !DiscardIfStale(&ready)) {
+    InstallSnapshot(std::move(ready));
+  }
   return still_building;
 }
 
@@ -322,6 +350,9 @@ StatusOr<UpdateOutcome> IncrementalEngine::ApplyDelta(const GraphDelta& delta,
   ++update_seq_;
   ++updates_since_snapshot_;
   if (delta.structure_changed()) components_valid_ = false;
+  // The compiled kernel freezes structure, weights and evidence, so any
+  // non-empty delta (weight updates from learning included) obsoletes it.
+  if (!delta.empty()) compiled_kernel_.reset();
   marginals_.resize(graph_->NumVariables(), 0.5);
 
   StatusOr<UpdateOutcome> result = ExecuteUpdate(delta, options);
@@ -338,6 +369,60 @@ StatusOr<UpdateOutcome> IncrementalEngine::ApplyDelta(const GraphDelta& delta,
   MaybeScheduleRemat(*result);
   result->seconds = timer.Seconds();
   return result;
+}
+
+StatusOr<UpdateOutcome> IncrementalEngine::AddRule(const GraphDelta& delta,
+                                                   const EngineOptions& options) {
+  // Bump the program version *before* the entry bookkeeping: ApplyDelta may
+  // install a finished background build, and the version check must already
+  // see the new program so a pre-rule build is discarded, not installed.
+  ++rule_set_version_;
+  compiled_kernel_.reset();
+  return ApplyDelta(delta, options);
+}
+
+StatusOr<UpdateOutcome> IncrementalEngine::RetractRule(
+    const GraphDelta& delta, const EngineOptions& options,
+    const std::vector<double>* restore_marginals) {
+  ++rule_set_version_;
+  compiled_kernel_.reset();
+  if (restore_marginals == nullptr) return ApplyDelta(delta, options);
+  // Exact restore: same entry bookkeeping as ApplyDelta, but the caller
+  // proved (rule journal: no update intervened since the matching AddRule)
+  // that the pre-add marginals are the exact posterior of the restored
+  // graph, so inference is skipped and they are adopted verbatim.
+  Timer timer;
+  const bool mid_build = MaybeInstallPending();
+  cumulative_.Merge(delta);
+  if (mid_build) {
+    since_build_.Merge(delta);
+    ++since_build_updates_;
+  }
+  ++update_seq_;
+  ++updates_since_snapshot_;
+  if (delta.structure_changed()) components_valid_ = false;
+  UpdateOutcome outcome;
+  outcome.marginals = *restore_marginals;
+  outcome.marginals.resize(graph_->NumVariables(), 0.5);
+  outcome.strategy = Strategy::kSampling;
+  outcome.reason = "rule retracted; exact restore from journal";
+  outcome.acceptance_rate = 1.0;
+  outcome.affected_vars = 0;
+  outcome.snapshot_generation = snapshot_->generation;
+  outcome.served_during_remat = mid_build;
+  marginals_ = outcome.marginals;
+  outcome.epoch = PublishView(&outcome);
+  MaybeScheduleRemat(outcome);
+  outcome.seconds = timer.Seconds();
+  return outcome;
+}
+
+const factor::CompiledGraph* IncrementalEngine::CompiledKernel() {
+  if (compiled_kernel_ == nullptr) {
+    compiled_kernel_ = std::make_unique<const factor::CompiledGraph>(
+        factor::CompiledGraph::Compile(*graph_));
+  }
+  return compiled_kernel_.get();
 }
 
 StatusOr<UpdateOutcome> IncrementalEngine::ExecuteUpdate(
@@ -612,7 +697,12 @@ UpdateOutcome IncrementalEngine::RunRerun(const EngineOptions& options) {
   UpdateOutcome outcome;
   inference::GibbsOptions gopts = options.rerun_gibbs;
   gopts.seed = Rng::MixSeed(gopts.seed, update_seq_);
-  outcome.marginals = inference::EstimateMarginalsAuto(*graph_, gopts).marginals;
+  // Reuse (or lazily rebuild) the cached CSR kernel instead of recompiling
+  // per rerun; rule/structural deltas invalidate it.
+  const factor::CompiledGraph* kernel =
+      gopts.use_compiled_graph ? CompiledKernel() : nullptr;
+  outcome.marginals =
+      inference::EstimateMarginalsAuto(*graph_, kernel, gopts).marginals;
   for (VarId v = 0; v < graph_->NumVariables(); ++v) {
     const auto ev = graph_->EvidenceValue(v);
     if (ev.has_value()) outcome.marginals[v] = *ev ? 1.0 : 0.0;

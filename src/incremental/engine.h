@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "factor/compiled_graph.h"
 #include "factor/factor_graph.h"
 #include "factor/graph_delta.h"
 #include "incremental/mh_sampler.h"
@@ -165,6 +166,49 @@ class IncrementalEngine {
                                      const EngineOptions& options)
       REQUIRES(serving_thread);
 
+  /// First-class *rule* deltas (online program evolution). The caller has
+  /// already grounded only the new rule into the graph (via the incremental
+  /// grounder's AddFactorRule path) and hands the resulting GraphDelta here;
+  /// retraction hands the delta of the rule's deactivated factor groups.
+  /// Both entry points bump the rule-set version, drop the cached compiled
+  /// kernel (lazily recompiled at next use) and the components cache, then
+  /// run the normal incremental update path and publish a new ResultView
+  /// epoch — never a re-ground, and never a blocking wait on a background
+  /// materialization: a build in flight keeps running, and its result is
+  /// discarded at install time because its rule_set_version no longer
+  /// matches (see MaterializationSnapshot::rule_set_version).
+  StatusOr<UpdateOutcome> AddRule(const factor::GraphDelta& delta,
+                                  const EngineOptions& options)
+      REQUIRES(serving_thread);
+
+  /// `restore_marginals`, when non-null, short-circuits inference: the
+  /// caller proved (via its rule journal) that no update intervened since
+  /// the matching AddRule, so the pre-add marginals are the exact posterior
+  /// of the restored graph and are adopted verbatim — the bit-identical
+  /// round-trip guarantee.
+  StatusOr<UpdateOutcome> RetractRule(
+      const factor::GraphDelta& delta, const EngineOptions& options,
+      const std::vector<double>* restore_marginals = nullptr)
+      REQUIRES(serving_thread);
+
+  /// Program version counter: one tick per AddRule/RetractRule. Snapshots
+  /// record the version they were built against; installs require a match.
+  uint64_t rule_set_version() const REQUIRES(serving_thread) {
+    return rule_set_version_;
+  }
+
+  /// Update sequence number (one tick per ApplyDelta/AddRule/RetractRule).
+  /// Callers journal it to detect whether updates intervened between an add
+  /// and its retraction.
+  uint64_t update_seq() const REQUIRES(serving_thread) { return update_seq_; }
+
+  /// The cached flat CSR kernel of the current graph, compiling it on first
+  /// use after an invalidation. Every structural or rule delta (and any
+  /// weight/evidence change) drops the cache, so the pointer always reflects
+  /// the live graph; it stays valid until the next mutating call on this
+  /// thread.
+  const factor::CompiledGraph* CompiledKernel() REQUIRES(serving_thread);
+
   /// Current marginal estimates (materialized values for untouched vars).
   /// Serving thread only — concurrent readers use Query().
   const std::vector<double>& marginals() const REQUIRES(serving_thread) {
@@ -236,6 +280,12 @@ class IncrementalEngine {
   /// while a build is still running (the caller is serving mid-build).
   bool MaybeInstallPending() REQUIRES(serving_thread);
 
+  /// Drops `*ready` (returning true) when its rule_set_version no longer
+  /// matches the engine's — the build predates a rule delta and must never
+  /// be installed.
+  bool DiscardIfStale(std::shared_ptr<MaterializationSnapshot>* ready)
+      REQUIRES(serving_thread);
+
   /// Cancels an in-flight background build and discards its result.
   void AbortInFlightBuild() REQUIRES(serving_thread);
 
@@ -254,6 +304,13 @@ class IncrementalEngine {
   factor::GraphDelta cumulative_ GUARDED_BY(serving_thread);
   uint64_t update_seq_ GUARDED_BY(serving_thread) = 0;
   uint64_t generation_ GUARDED_BY(serving_thread) = 0;
+  /// Bumped by AddRule/RetractRule; stamped into scheduled snapshot builds
+  /// and checked at install time (stale-program builds are discarded).
+  uint64_t rule_set_version_ GUARDED_BY(serving_thread) = 0;
+  /// Lazily compiled CSR kernel of the current graph (see CompiledKernel()).
+  /// Null = invalidated; reset by any delta that mutates the graph.
+  std::unique_ptr<const factor::CompiledGraph> compiled_kernel_
+      GUARDED_BY(serving_thread);
   /// Updates served from the current snapshot (remat trigger input).
   uint64_t updates_since_snapshot_ GUARDED_BY(serving_thread) = 0;
   /// Deltas merged while the current background build runs; becomes the new

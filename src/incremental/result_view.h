@@ -71,6 +71,18 @@ struct ResultView {
   /// views of a Rerun-mode DeepDive).
   std::shared_ptr<const std::vector<double>> materialized_marginals;
 
+  /// Program version of the publishing DeepDive: bumped on every rule
+  /// addition/retraction (first-class rule deltas and fragment updates
+  /// alike), so clients can observe program evolution, not just data
+  /// evolution. 0 on engine-level views (no program knowledge).
+  uint64_t program_version = 0;
+  /// Number of rules (deductive + factor) in the program at publication.
+  uint64_t rule_count = 0;
+  /// FNV-1a fingerprint over the canonical text of every rule in
+  /// declaration order — two replicas serving the same program agree on it
+  /// regardless of the add/retract path that got them there.
+  uint64_t rules_fingerprint = 0;
+
   /// FNV-1a checksum over (epoch, marginals) stamped by Publish().
   /// Fingerprint() recomputes it from the fields, so a reader can assert
   /// that the view it pinned is internally consistent — the epoch matches

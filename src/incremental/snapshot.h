@@ -122,6 +122,13 @@ struct MaterializationSnapshot {
   size_t graph_width = 0;
   /// Install counter stamped by the engine (1 = first materialization).
   uint64_t generation = 0;
+  /// Rule-set version of the program this snapshot was built against,
+  /// stamped at build-schedule time. The engine refuses to install a
+  /// snapshot whose version no longer matches: a rule added or retracted
+  /// while the build ran changed the graph's *program*, and installing the
+  /// stale build would resurrect retracted factors (its materialized
+  /// marginals cover a distribution that no longer exists).
+  uint64_t rule_set_version = 0;
 };
 
 /// Builds a complete snapshot of `graph`'s current distribution, returned

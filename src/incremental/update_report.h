@@ -23,6 +23,10 @@ struct UpdateReport {
   Strategy strategy = Strategy::kRerun;
   double acceptance_rate = -1.0;
   size_t affected_vars = 0;
+  /// Groundings emitted while applying this update. For a first-class rule
+  /// addition this equals the new rule's match count — the witness that the
+  /// add evaluated only that rule, not the whole program.
+  uint64_t grounding_work = 0;
   size_t graph_variables = 0;
   size_t graph_factors = 0;  // active clauses
   /// Epoch of the ResultView this update published (DeepDive::Query()).

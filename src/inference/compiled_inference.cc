@@ -4,9 +4,20 @@ namespace deepdive::inference {
 
 MarginalResult EstimateMarginalsAuto(const factor::FactorGraph& graph,
                                      const GibbsOptions& options) {
+  return EstimateMarginalsAuto(graph, nullptr, options);
+}
+
+MarginalResult EstimateMarginalsAuto(const factor::FactorGraph& graph,
+                                     const factor::CompiledGraph* compiled,
+                                     const GibbsOptions& options) {
   if (options.use_compiled_graph) {
-    const factor::CompiledGraph compiled = factor::CompiledGraph::Compile(graph);
-    CompiledReplicatedGibbsSampler sampler(&compiled, options.num_replicas,
+    if (compiled != nullptr) {
+      CompiledReplicatedGibbsSampler sampler(compiled, options.num_replicas,
+                                             options.num_threads);
+      return sampler.EstimateMarginals(options);
+    }
+    const factor::CompiledGraph fresh = factor::CompiledGraph::Compile(graph);
+    CompiledReplicatedGibbsSampler sampler(&fresh, options.num_replicas,
                                            options.num_threads);
     return sampler.EstimateMarginals(options);
   }

@@ -21,6 +21,15 @@ namespace deepdive::inference {
 MarginalResult EstimateMarginalsAuto(const factor::FactorGraph& graph,
                                      const GibbsOptions& options);
 
+/// Same routing, but reuses `compiled` (when non-null and the compiled path
+/// is selected) instead of recompiling the graph on every call. `compiled`
+/// must be an up-to-date Compile() of `graph` — the engine caches one across
+/// updates and invalidates it on any structural or rule delta, which turns
+/// the per-update O(graph) compile into a one-time cost per graph version.
+MarginalResult EstimateMarginalsAuto(const factor::FactorGraph& graph,
+                                     const factor::CompiledGraph* compiled,
+                                     const GibbsOptions& options);
+
 /// Materialization chain with the same routing; semantics of the emitted
 /// sample stream as ReplicatedGibbsSampler::SampleChain.
 void SampleChainAuto(const factor::FactorGraph& graph, const GibbsOptions& options,

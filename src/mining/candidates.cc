@@ -1,0 +1,196 @@
+#include "mining/candidates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace deepdive::mining {
+namespace {
+
+bool SameColumnTypes(const Schema& a, const Schema& b) {
+  if (a.columns().size() != b.columns().size()) return false;
+  for (size_t i = 0; i < a.columns().size(); ++i) {
+    if (a.columns()[i].type != b.columns()[i].type) return false;
+  }
+  return true;
+}
+
+/// Laplace-smoothed confidence: never exactly 0 or 1, so the log-odds
+/// weight below is always finite even before clamping.
+double Confidence(int64_t support, int64_t contradictions) {
+  return (static_cast<double>(support) + 1.0) /
+         (static_cast<double>(support + contradictions) + 2.0);
+}
+
+double LogOddsWeight(double confidence, double clamp) {
+  const double w = std::log(confidence / (1.0 - confidence));
+  return std::max(-clamp, std::min(clamp, w));
+}
+
+std::string PatternOf(const dsl::FactorRule& rule) {
+  std::string pattern = dsl::AtomToString(rule.head) + " :- ";
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i > 0) pattern += ", ";
+    pattern += dsl::AtomToString(rule.body[i]);
+  }
+  return pattern;
+}
+
+dsl::Atom MakeAtom(const std::string& predicate,
+                   const std::vector<std::string>& vars) {
+  dsl::Atom atom;
+  atom.predicate = predicate;
+  for (const std::string& v : vars) atom.terms.push_back(dsl::Term::Var(v));
+  return atom;
+}
+
+/// Counts how many tuples of `derived` carry a positive / negative label.
+void CountLabels(const std::set<Tuple>& derived,
+                 const std::map<Tuple, LabelCounts>& labels, int64_t* support,
+                 int64_t* contradictions) {
+  for (const Tuple& tuple : derived) {
+    auto it = labels.find(tuple);
+    if (it == labels.end()) continue;
+    if (it->second.positive > 0) ++*support;
+    if (it->second.negative > 0) ++*contradictions;
+  }
+}
+
+void MaybeEmit(dsl::FactorRule rule, int64_t support, int64_t contradictions,
+               const CandidateOptions& options,
+               std::vector<Candidate>* out) {
+  if (support < options.min_support) return;
+  const double confidence = Confidence(support, contradictions);
+  if (confidence < options.min_confidence) return;
+  rule.weight =
+      dsl::WeightSpec::Fixed(LogOddsWeight(confidence, options.weight_clamp));
+  rule.semantics = dsl::Semantics::kLogical;
+  Candidate c;
+  c.pattern = PatternOf(rule);
+  c.rule = std::move(rule);
+  c.support = support;
+  c.contradictions = contradictions;
+  c.confidence = confidence;
+  out->push_back(std::move(c));
+}
+
+/// Copy rules Q(v0..vk) :- B(v0..vk) for every base relation whose column
+/// types match a query relation's.
+void GenerateCopyRules(const CooccurrenceStats& stats,
+                       const CandidateOptions& options,
+                       std::vector<Candidate>* out) {
+  for (const std::string& query : stats.query_relations()) {
+    const std::map<Tuple, LabelCounts>* labels = stats.Labels(query);
+    const Schema* qschema = stats.SchemaOf(query);
+    if (labels == nullptr || labels->empty() || qschema == nullptr) continue;
+    std::vector<std::string> vars;
+    for (size_t i = 0; i < qschema->columns().size(); ++i) {
+      vars.push_back("v" + std::to_string(i));
+    }
+    for (const std::string& base : stats.base_relations()) {
+      const Schema* bschema = stats.SchemaOf(base);
+      const std::map<Tuple, int64_t>* rows = stats.Relation(base);
+      if (bschema == nullptr || rows == nullptr || rows->empty()) continue;
+      if (!SameColumnTypes(*qschema, *bschema)) continue;
+      int64_t support = 0, contradictions = 0;
+      for (const auto& [tuple, count] : *rows) {
+        auto it = labels->find(tuple);
+        if (it == labels->end()) continue;
+        if (it->second.positive > 0) ++support;
+        if (it->second.negative > 0) ++contradictions;
+      }
+      dsl::FactorRule rule;
+      rule.head = MakeAtom(query, vars);
+      rule.body.push_back(MakeAtom(base, vars));
+      MaybeEmit(std::move(rule), support, contradictions, options, out);
+    }
+  }
+}
+
+/// Chain rules Q(x, z) :- B1(x, y), B2(y, z) over binary relations with a
+/// type-compatible join column. The join is evaluated over the collector's
+/// ordered tuple stores (never the database) to count label co-occurrences
+/// of the derived pairs.
+void GenerateChainRules(const CooccurrenceStats& stats,
+                        const CandidateOptions& options,
+                        std::vector<Candidate>* out) {
+  for (const std::string& query : stats.query_relations()) {
+    const std::map<Tuple, LabelCounts>* labels = stats.Labels(query);
+    const Schema* qschema = stats.SchemaOf(query);
+    if (labels == nullptr || labels->empty() || qschema == nullptr) continue;
+    if (qschema->columns().size() != 2) continue;
+    for (const std::string& b1 : stats.base_relations()) {
+      const Schema* s1 = stats.SchemaOf(b1);
+      const std::map<Tuple, int64_t>* rows1 = stats.Relation(b1);
+      if (s1 == nullptr || s1->columns().size() != 2 || rows1 == nullptr ||
+          rows1->empty()) {
+        continue;
+      }
+      if (s1->columns()[0].type != qschema->columns()[0].type) continue;
+      for (const std::string& b2 : stats.base_relations()) {
+        const Schema* s2 = stats.SchemaOf(b2);
+        const std::map<Tuple, int64_t>* rows2 = stats.Relation(b2);
+        if (s2 == nullptr || s2->columns().size() != 2 || rows2 == nullptr ||
+            rows2->empty()) {
+          continue;
+        }
+        if (s2->columns()[0].type != s1->columns()[1].type) continue;
+        if (s2->columns()[1].type != qschema->columns()[1].type) continue;
+
+        // Join-column pruning: skip the join entirely when the two join
+        // columns share no value.
+        const std::map<Value, int64_t>* j1 = stats.ColumnValues(b1, 1);
+        const std::map<Value, int64_t>* j2 = stats.ColumnValues(b2, 0);
+        if (j1 == nullptr || j2 == nullptr) continue;
+        bool overlap = false;
+        for (const auto& [value, count] : *j1) {
+          if (j2->count(value) > 0) {
+            overlap = true;
+            break;
+          }
+        }
+        if (!overlap) continue;
+
+        std::map<Value, std::vector<Value>> by_first;
+        for (const auto& [tuple, count] : *rows2) {
+          by_first[tuple[0]].push_back(tuple[1]);
+        }
+        std::set<Tuple> derived;
+        for (const auto& [tuple, count] : *rows1) {
+          auto it = by_first.find(tuple[1]);
+          if (it == by_first.end()) continue;
+          for (const Value& z : it->second) {
+            derived.insert(Tuple{tuple[0], z});
+          }
+        }
+        int64_t support = 0, contradictions = 0;
+        CountLabels(derived, *labels, &support, &contradictions);
+        dsl::FactorRule rule;
+        rule.head = MakeAtom(query, {"x", "z"});
+        rule.body.push_back(MakeAtom(b1, {"x", "y"}));
+        rule.body.push_back(MakeAtom(b2, {"y", "z"}));
+        MaybeEmit(std::move(rule), support, contradictions, options, out);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Candidate> GenerateCandidates(const CooccurrenceStats& stats,
+                                          const CandidateOptions& options) {
+  std::vector<Candidate> out;
+  if (options.max_body_atoms >= 1) GenerateCopyRules(stats, options, &out);
+  if (options.max_body_atoms >= 2) GenerateChainRules(stats, options, &out);
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.support != b.support) return a.support > b.support;
+    if (a.confidence != b.confidence) return a.confidence > b.confidence;
+    return a.pattern < b.pattern;
+  });
+  if (out.size() > options.max_candidates) out.resize(options.max_candidates);
+  return out;
+}
+
+}  // namespace deepdive::mining

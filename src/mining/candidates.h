@@ -1,0 +1,48 @@
+#ifndef DEEPDIVE_MINING_CANDIDATES_H_
+#define DEEPDIVE_MINING_CANDIDATES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsl/ast.h"
+#include "mining/cooccurrence.h"
+
+namespace deepdive::mining {
+
+/// A candidate inference rule proposed from co-occurrence evidence, before
+/// any trial through the engine. `pattern` is the canonical structural key
+/// ("Q(v0,v1) :- B(v0,v1)") the miner dedupes on across Mine() calls.
+struct Candidate {
+  std::string pattern;
+  dsl::FactorRule rule;  // label empty; the miner assigns mined_<n>
+  int64_t support = 0;         // co-occurrences with a positive label
+  int64_t contradictions = 0;  // co-occurrences with a negative label
+  double confidence = 0.0;     // Laplace-smoothed support fraction
+};
+
+struct CandidateOptions {
+  /// Bounded Horn-clause length: 1 = copy rules Q(...) :- B(...);
+  /// 2 adds binary chain rules Q(x, z) :- B1(x, y), B2(y, z).
+  size_t max_body_atoms = 2;
+  int64_t min_support = 2;
+  double min_confidence = 0.6;
+  size_t max_candidates = 64;
+  /// Candidate rules carry *fixed* log-odds weights derived from confidence
+  /// (clamped to ±weight_clamp) so a learn-free trial perturbs nothing.
+  double weight_clamp = 4.0;
+};
+
+/// Proposes bounded-length Horn-clause factor rules whose groundings
+/// co-occur with positive evidence labels, entirely from the collector's
+/// ordered state — no database access. Candidates pass the support and
+/// confidence floors and arrive sorted by (support desc, confidence desc,
+/// pattern asc), truncated to max_candidates; the order is bit-reproducible
+/// across runs and platforms, which the determinism analyzer self-tests.
+std::vector<Candidate> GenerateCandidates(const CooccurrenceStats& stats,
+                                          const CandidateOptions& options);
+
+}  // namespace deepdive::mining
+
+#endif  // DEEPDIVE_MINING_CANDIDATES_H_

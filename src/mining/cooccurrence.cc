@@ -1,0 +1,124 @@
+#include "mining/cooccurrence.h"
+
+#include <utility>
+
+namespace deepdive::mining {
+
+void CooccurrenceStats::BindSchema(const dsl::Program& program) {
+  bound_.clear();
+  base_.clear();
+  query_.clear();
+  tuples_.clear();
+  labels_.clear();
+  column_values_.clear();
+  observed_batches_ = 0;
+  for (const dsl::RelationDecl& decl : program.relations()) {
+    Bound b;
+    b.schema = decl.schema;
+    b.kind = decl.kind;
+    b.evidence_for = decl.evidence_for;
+    bound_[decl.name] = std::move(b);
+    switch (decl.kind) {
+      case dsl::RelationKind::kBase:
+        base_.push_back(decl.name);
+        break;
+      case dsl::RelationKind::kQuery:
+        query_.push_back(decl.name);
+        labels_[decl.name];  // ensure Labels() is non-null for query relations
+        break;
+      case dsl::RelationKind::kEvidence:
+        break;
+    }
+    column_values_[decl.name].resize(decl.schema.columns().size());
+  }
+}
+
+void CooccurrenceStats::Rebuild(const Database& db) {
+  tuples_.clear();
+  for (auto& [name, cols] : column_values_) {
+    for (auto& col : cols) col.clear();
+  }
+  labels_.clear();
+  observed_batches_ = 0;
+  for (const auto& [name, bound] : bound_) {
+    if (bound.kind == dsl::RelationKind::kQuery) labels_[name];
+  }
+  for (const auto& [name, bound] : bound_) {
+    const Table* table = db.GetTable(name);
+    if (table == nullptr) continue;
+    table->Scan([&](RowId, const Tuple& tuple) { Fold(name, tuple, 1); });
+  }
+}
+
+void CooccurrenceStats::Observe(const engine::RelationDeltas& deltas) {
+  ++observed_batches_;
+  for (const auto& [name, delta] : deltas) {
+    if (bound_.count(name) == 0) continue;
+    // Commutative fold into ordered containers, so the unordered visit is
+    // deterministic in its outcome.
+    delta.ForEach(
+        [&](const Tuple& tuple, int64_t count) { Fold(name, tuple, count); });
+  }
+}
+
+void CooccurrenceStats::Fold(const std::string& relation, const Tuple& tuple,
+                             int64_t count) {
+  const Bound& bound = bound_.at(relation);
+
+  auto& store = tuples_[relation];
+  auto it = store.emplace(tuple, 0).first;
+  it->second += count;
+  if (it->second == 0) store.erase(it);
+
+  auto& cols = column_values_[relation];
+  for (size_t c = 0; c < tuple.size() && c < cols.size(); ++c) {
+    auto vit = cols[c].emplace(tuple[c], 0).first;
+    vit->second += count;
+    if (vit->second == 0) cols[c].erase(vit);
+  }
+
+  if (bound.kind == dsl::RelationKind::kEvidence && !tuple.empty()) {
+    // Evidence schema is the target's schema plus a trailing bool label.
+    const Value& label = tuple.back();
+    if (label.type() != ValueType::kBool) return;
+    Tuple prefix(tuple.begin(), tuple.end() - 1);
+    auto& tallies = labels_[bound.evidence_for];
+    auto lit = tallies.emplace(std::move(prefix), LabelCounts{}).first;
+    if (label.AsBool()) {
+      lit->second.positive += count;
+    } else {
+      lit->second.negative += count;
+    }
+    // A fully-retracted tuple leaves no entry, keeping incremental state
+    // equal to a fresh Rebuild (the collector's correctness invariant).
+    if (lit->second.positive == 0 && lit->second.negative == 0) {
+      tallies.erase(lit);
+    }
+  }
+}
+
+const std::map<Tuple, int64_t>* CooccurrenceStats::Relation(
+    const std::string& name) const {
+  auto it = tuples_.find(name);
+  return it == tuples_.end() ? nullptr : &it->second;
+}
+
+const std::map<Tuple, LabelCounts>* CooccurrenceStats::Labels(
+    const std::string& query) const {
+  auto it = labels_.find(query);
+  return it == labels_.end() ? nullptr : &it->second;
+}
+
+const std::map<Value, int64_t>* CooccurrenceStats::ColumnValues(
+    const std::string& relation, size_t column) const {
+  auto it = column_values_.find(relation);
+  if (it == column_values_.end() || column >= it->second.size()) return nullptr;
+  return &it->second[column];
+}
+
+const Schema* CooccurrenceStats::SchemaOf(const std::string& relation) const {
+  auto it = bound_.find(relation);
+  return it == bound_.end() ? nullptr : &it->second.schema;
+}
+
+}  // namespace deepdive::mining

@@ -1,0 +1,100 @@
+#ifndef DEEPDIVE_MINING_COOCCURRENCE_H_
+#define DEEPDIVE_MINING_COOCCURRENCE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dsl/ast.h"
+#include "dsl/program.h"
+#include "engine/view_maintenance.h"
+#include "storage/database.h"
+#include "storage/value.h"
+
+namespace deepdive::mining {
+
+/// Per-tuple positive/negative evidence-label tallies for a query relation.
+struct LabelCounts {
+  int64_t positive = 0;
+  int64_t negative = 0;
+};
+
+/// Co-occurrence statistics collector over the stored relations of a running
+/// DeepDive program. Seeded once with Rebuild() (full scan), then maintained
+/// *incrementally* from the set-level relation deltas that view maintenance
+/// emits (DeepDive::SetRelationDeltaListener) — after seeding it never
+/// rescans the database, no matter how many updates stream through.
+///
+/// Every container is ordered (std::map keyed by tuple/value), so every fold
+/// the candidate generator runs over this state is deterministic regardless
+/// of the hash-order the deltas arrived in. State equality with a fresh
+/// Rebuild() over the same database is the collector's correctness invariant
+/// (tested in mining_test).
+///
+/// Single-owner state of the miner, which lives on the serving thread; the
+/// collector itself carries no synchronization.
+class CooccurrenceStats {
+ public:
+  /// Records the relations to track: names, schemas, kinds, and each
+  /// evidence relation's target query relation. Clears all counts.
+  void BindSchema(const dsl::Program& program);
+
+  /// Seeds the stores from a full scan of every bound relation.
+  void Rebuild(const Database& db);
+
+  /// Folds one batch of set-level relation deltas into the stores. Counts
+  /// are signed (insertions positive, DRed over-deletions negative), so the
+  /// fold is commutative and the unordered DeltaTable visit is safe.
+  void Observe(const engine::RelationDeltas& deltas);
+
+  /// Live distinct-tuple multiset of one relation (nullptr if unbound).
+  const std::map<Tuple, int64_t>* Relation(const std::string& name) const;
+
+  /// Label tallies of a query relation's tuples, folded over every evidence
+  /// relation declared `for` it (nullptr if `query` is not a query relation).
+  const std::map<Tuple, LabelCounts>* Labels(const std::string& query) const;
+
+  /// Distinct-value counts of one column (nullptr if unbound/out of range).
+  /// The candidate generator prunes join candidates whose join columns share
+  /// no values without materializing the join.
+  const std::map<Value, int64_t>* ColumnValues(const std::string& relation,
+                                               size_t column) const;
+
+  /// Bound base / query relation names, in program declaration order.
+  /// Immutable between BindSchema calls; the collector is confined to its
+  /// single owner thread (see class comment), so the references are stable
+  /// for as long as the caller holds the collector.
+  const std::vector<std::string>& base_relations() const { return base_; }
+  const std::vector<std::string>& query_relations() const { return query_; }
+
+  /// Schema of a bound relation (nullptr if unbound).
+  const Schema* SchemaOf(const std::string& relation) const;
+
+  /// Number of Observe() batches folded since the last Rebuild/BindSchema.
+  uint64_t observed_batches() const { return observed_batches_; }
+
+ private:
+  /// Adds `count` derivations of `tuple` to one relation's stores, fanning
+  /// evidence tuples out into the target query relation's label tallies.
+  void Fold(const std::string& relation, const Tuple& tuple, int64_t count);
+
+  struct Bound {
+    Schema schema;
+    dsl::RelationKind kind = dsl::RelationKind::kBase;
+    std::string evidence_for;  // only for kEvidence
+  };
+
+  std::map<std::string, Bound> bound_;
+  std::vector<std::string> base_;
+  std::vector<std::string> query_;
+
+  std::map<std::string, std::map<Tuple, int64_t>> tuples_;
+  std::map<std::string, std::map<Tuple, LabelCounts>> labels_;
+  std::map<std::string, std::vector<std::map<Value, int64_t>>> column_values_;
+  uint64_t observed_batches_ = 0;
+};
+
+}  // namespace deepdive::mining
+
+#endif  // DEEPDIVE_MINING_COOCCURRENCE_H_

@@ -1,0 +1,101 @@
+#ifndef DEEPDIVE_MINING_MINER_H_
+#define DEEPDIVE_MINING_MINER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/deepdive.h"
+#include "mining/candidates.h"
+#include "mining/cooccurrence.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+#include "util/thread_role.h"
+
+namespace deepdive::mining {
+
+struct MinerOptions {
+  CandidateOptions candidates;
+  /// Minimum drop in evidence pseudo-log-likelihood loss (see
+  /// inference::Learner::EvidenceLoss) for a trialed rule to be promoted.
+  double min_likelihood_gain = 1e-4;
+  /// Cap on engine trials per Mine() call (each trial grounds + samples).
+  size_t max_trials = 16;
+};
+
+/// Outcome of one candidate trial through the incremental engine.
+struct Trial {
+  std::string label;    // mined_<n>
+  std::string pattern;  // canonical structural key
+  int64_t support = 0;
+  double confidence = 0.0;
+  /// EvidenceLoss(before) - EvidenceLoss(after): positive = the rule made
+  /// the evidence labels more likely under the model.
+  double gain = 0.0;
+  /// Acceptance rate reported by the engine's incremental inference pass.
+  double acceptance = -1.0;
+  bool promoted = false;
+};
+
+struct MineReport {
+  size_t candidates_considered = 0;
+  size_t candidates_trialed = 0;
+  std::vector<Trial> trials;
+  std::vector<std::string> promoted;  // labels, in promotion order
+  uint64_t program_version_after = 0;
+};
+
+/// Incremental rule miner: proposes bounded-length Horn-clause factor rules
+/// from co-occurrence statistics, trials each one *through the engine's
+/// first-class rule-delta path* (AddRule grounds only the candidate, then
+/// samples incrementally), scores it by the deterministic evidence
+/// pseudo-log-likelihood delta, and either promotes it into the program or
+/// retracts it — a retraction of a learn-free trial restores the pre-trial
+/// weights and marginals bit-for-bit from the rule journal.
+///
+/// Construction registers the miner as the DeepDive instance's relation-
+/// delta listener, so the statistics keep up with every ApplyUpdate without
+/// rescanning the database. Lives on (and is confined to) the serving
+/// thread, like the DeepDive instance it drives.
+class RuleMiner {
+ public:
+  /// `dd` must be initialized and must outlive the miner.
+  RuleMiner(core::DeepDive* dd, MinerOptions options) REQUIRES(serving_thread);
+  ~RuleMiner() REQUIRES(serving_thread);
+
+  RuleMiner(const RuleMiner&) = delete;
+  RuleMiner& operator=(const RuleMiner&) = delete;
+
+  /// One mining pass: generate candidates, trial them in deterministic
+  /// candidate order, promote up to `max_promotions` of them. Patterns
+  /// rejected in an earlier pass are not re-trialed until their statistics
+  /// change (ForgetRejections() or new evidence arriving via deltas).
+  StatusOr<MineReport> Mine(size_t max_promotions) REQUIRES(serving_thread);
+
+  /// Clears the rejected-pattern memory (promoted rules stay remembered).
+  void ForgetRejections() REQUIRES(serving_thread) { rejected_.clear(); }
+
+  const CooccurrenceStats& stats() const REQUIRES(serving_thread) {
+    return stats_;
+  }
+  /// Immutable after construction; readable from any thread.
+  const MinerOptions& options() const { return options_; }
+
+ private:
+  core::DeepDive* const dd_;
+  const MinerOptions options_;
+  CooccurrenceStats stats_ GUARDED_BY(serving_thread);
+  /// Patterns trialed and rejected, with the support they were rejected at;
+  /// re-trialed only when support grows past the recorded value.
+  std::map<std::string, int64_t> rejected_ GUARDED_BY(serving_thread);
+  /// pattern -> promoted label, for dedupe across Mine() calls.
+  std::map<std::string, std::string> promoted_ GUARDED_BY(serving_thread);
+  uint64_t next_label_id_ GUARDED_BY(serving_thread) = 0;
+};
+
+}  // namespace deepdive::mining
+
+#endif  // DEEPDIVE_MINING_MINER_H_

@@ -89,6 +89,12 @@ const char* VerbName(Verb verb) {
       return "save_graph";
     case Verb::kShutdown:
       return "shutdown";
+    case Verb::kAddRule:
+      return "add_rule";
+    case Verb::kRetractRule:
+      return "retract_rule";
+    case Verb::kMine:
+      return "mine";
   }
   return "unknown";
 }
@@ -123,6 +129,15 @@ std::string EncodeRequest(const Request& request) {
           PutDataPayloads(&w, body.data);
         } else if constexpr (std::is_same_v<T, SaveGraphRequest>) {
           w.PutString(body.path);
+        } else if constexpr (std::is_same_v<T, AddRuleRequest>) {
+          w.PutString(body.rule);
+        } else if constexpr (std::is_same_v<T, RetractRuleRequest>) {
+          w.PutString(body.label);
+        } else if constexpr (std::is_same_v<T, MineRequest>) {
+          w.PutU64(body.max_promotions);
+          w.PutU64(static_cast<uint64_t>(body.min_support));
+          w.PutDouble(body.min_confidence);
+          w.PutU32(body.max_body_atoms);
         }
         // StatusRequest / ListTenantsRequest / ShutdownRequest: no body.
       },
@@ -183,6 +198,27 @@ StatusOr<Request> DecodeRequest(std::string_view payload) {
     case Verb::kShutdown:
       request.body = ShutdownRequest{};
       break;
+    case Verb::kAddRule: {
+      AddRuleRequest body;
+      body.rule = r.GetString();
+      request.body = std::move(body);
+      break;
+    }
+    case Verb::kRetractRule: {
+      RetractRuleRequest body;
+      body.label = r.GetString();
+      request.body = std::move(body);
+      break;
+    }
+    case Verb::kMine: {
+      MineRequest body;
+      body.max_promotions = r.GetU64();
+      body.min_support = static_cast<int64_t>(r.GetU64());
+      body.min_confidence = r.GetDouble();
+      body.max_body_atoms = r.GetU32();
+      request.body = std::move(body);
+      break;
+    }
     default:
       return Status::InvalidArgument("unknown request verb " +
                                      std::to_string(verb));
@@ -233,6 +269,9 @@ std::string EncodeResponse(const Response& response) {
             w.PutU32(t.queue_depth);
             w.PutU32(t.queue_capacity);
             w.PutU32(t.shed_watermark);
+            w.PutU64(t.program_version);
+            w.PutU64(t.rule_count);
+            w.PutU64(t.rules_fingerprint);
           }
         } else if constexpr (std::is_same_v<T, CreateTenantResult>) {
           w.PutU64(body.epoch);
@@ -245,6 +284,31 @@ std::string EncodeResponse(const Response& response) {
           w.PutU64(body.checksum);
           w.PutU64(body.image_bytes);
           w.PutU64(body.fingerprint);
+        } else if constexpr (std::is_same_v<T, AddRuleResult>) {
+          w.PutU64(body.epoch);
+          w.PutString(body.label);
+          w.PutString(body.strategy);
+          w.PutU64(body.grounding_work);
+          w.PutDouble(body.grounding_seconds);
+          w.PutDouble(body.inference_seconds);
+          w.PutU64(body.program_version);
+          w.PutU64(body.rule_count);
+          w.PutU64(body.rules_fingerprint);
+        } else if constexpr (std::is_same_v<T, RetractRuleResult>) {
+          w.PutU64(body.epoch);
+          w.PutString(body.strategy);
+          w.PutDouble(body.acceptance);
+          w.PutU64(body.program_version);
+          w.PutU64(body.rule_count);
+          w.PutU64(body.rules_fingerprint);
+        } else if constexpr (std::is_same_v<T, MineResult>) {
+          w.PutU64(body.epoch);
+          w.PutU64(body.candidates_considered);
+          w.PutU64(body.candidates_trialed);
+          PutStrings(&w, body.promoted);
+          w.PutU64(body.program_version);
+          w.PutU64(body.rule_count);
+          w.PutU64(body.rules_fingerprint);
         }
         // EmptyResult: nothing.
       },
@@ -317,6 +381,9 @@ StatusOr<Response> DecodeResponse(std::string_view payload) {
         t.queue_depth = r.GetU32();
         t.queue_capacity = r.GetU32();
         t.shed_watermark = r.GetU32();
+        t.program_version = r.GetU64();
+        t.rule_count = r.GetU64();
+        t.rules_fingerprint = r.GetU64();
         body.tenants.push_back(std::move(t));
       }
       response.body = std::move(body);
@@ -342,6 +409,43 @@ StatusOr<Response> DecodeResponse(std::string_view payload) {
       body.image_bytes = r.GetU64();
       body.fingerprint = r.GetU64();
       response.body = body;
+      break;
+    }
+    case 8: {
+      AddRuleResult body;
+      body.epoch = r.GetU64();
+      body.label = r.GetString();
+      body.strategy = r.GetString();
+      body.grounding_work = r.GetU64();
+      body.grounding_seconds = r.GetDouble();
+      body.inference_seconds = r.GetDouble();
+      body.program_version = r.GetU64();
+      body.rule_count = r.GetU64();
+      body.rules_fingerprint = r.GetU64();
+      response.body = std::move(body);
+      break;
+    }
+    case 9: {
+      RetractRuleResult body;
+      body.epoch = r.GetU64();
+      body.strategy = r.GetString();
+      body.acceptance = r.GetDouble();
+      body.program_version = r.GetU64();
+      body.rule_count = r.GetU64();
+      body.rules_fingerprint = r.GetU64();
+      response.body = std::move(body);
+      break;
+    }
+    case 10: {
+      MineResult body;
+      body.epoch = r.GetU64();
+      body.candidates_considered = r.GetU64();
+      body.candidates_trialed = r.GetU64();
+      body.promoted = GetStrings(&r);
+      body.program_version = r.GetU64();
+      body.rule_count = r.GetU64();
+      body.rules_fingerprint = r.GetU64();
+      response.body = std::move(body);
       break;
     }
     default:

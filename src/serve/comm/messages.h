@@ -22,6 +22,9 @@ enum class Verb : uint8_t {
   kListTenants = 6,   // admin: tenant names only
   kSaveGraph = 7,     // admin: compiled-graph snapshot via the writer thread
   kShutdown = 8,      // admin: graceful daemon drain
+  kAddRule = 9,       // first-class rule addition on the writer thread
+  kRetractRule = 10,  // first-class rule retraction (journal-exact when possible)
+  kMine = 11,         // one incremental rule-mining pass on the writer thread
 };
 
 const char* VerbName(Verb verb);
@@ -96,13 +99,35 @@ struct SaveGraphRequest {
 
 struct ShutdownRequest {};
 
+/// First-class rule addition: `rule` is a DSL fragment with exactly one
+/// labeled factor rule over already-declared relations. Grounded alone on
+/// the tenant's writer thread (work proportional to the rule's matches).
+struct AddRuleRequest {
+  std::string rule;
+};
+
+struct RetractRuleRequest {
+  std::string label;
+};
+
+/// One rule-mining pass: propose candidates from the tenant's co-occurrence
+/// statistics, trial each through the engine, promote up to
+/// `max_promotions`. The thresholds parameterize the candidate generator.
+struct MineRequest {
+  uint64_t max_promotions = 1;
+  int64_t min_support = 2;
+  double min_confidence = 0.6;
+  uint32_t max_body_atoms = 2;
+};
+
 /// One request envelope: target tenant (empty for server-wide/admin verbs)
 /// plus the verb-specific body. The variant index is the wire verb tag.
 struct Request {
   std::string tenant;
   std::variant<QueryRequest, UpdateRequest, ExportRequest, StatusRequest,
                CreateTenantRequest, ListTenantsRequest, SaveGraphRequest,
-               ShutdownRequest>
+               ShutdownRequest, AddRuleRequest, RetractRuleRequest,
+               MineRequest>
       body;
 
   Verb verb() const;
@@ -149,6 +174,12 @@ struct TenantStatus {
   uint32_t queue_depth = 0;
   uint32_t queue_capacity = 0;
   uint32_t shed_watermark = 0;
+  /// Program-evolution identity, read from the latest published view: bumped
+  /// on every rule addition/retraction, plus the rule count and the FNV-1a
+  /// fingerprint over the canonical rule text (replica-comparable).
+  uint64_t program_version = 0;
+  uint64_t rule_count = 0;
+  uint64_t rules_fingerprint = 0;
 };
 
 struct StatusResult {
@@ -175,6 +206,42 @@ struct SaveGraphResult {
   uint64_t fingerprint = 0;
 };
 
+struct AddRuleResult {
+  uint64_t epoch = 0;
+  std::string label;
+  std::string strategy;
+  /// Groundings emitted while adding the rule — the proportional-work
+  /// witness (equals the rule's match count, never the whole program's).
+  uint64_t grounding_work = 0;
+  double grounding_seconds = 0.0;
+  double inference_seconds = 0.0;
+  uint64_t program_version = 0;
+  uint64_t rule_count = 0;
+  uint64_t rules_fingerprint = 0;
+};
+
+struct RetractRuleResult {
+  uint64_t epoch = 0;
+  /// "sampling" with acceptance 1.0 when the rule journal restored the
+  /// pre-add state exactly; otherwise the incremental strategy that re-ran.
+  std::string strategy;
+  double acceptance = -1.0;
+  uint64_t program_version = 0;
+  uint64_t rule_count = 0;
+  uint64_t rules_fingerprint = 0;
+};
+
+struct MineResult {
+  uint64_t epoch = 0;
+  uint64_t candidates_considered = 0;
+  uint64_t candidates_trialed = 0;
+  /// Labels of the rules promoted into the program, in promotion order.
+  std::vector<std::string> promoted;
+  uint64_t program_version = 0;
+  uint64_t rule_count = 0;
+  uint64_t rules_fingerprint = 0;
+};
+
 struct EmptyResult {};
 
 /// One response envelope. `code`/`message` mirror util/status.h; a shed
@@ -187,7 +254,7 @@ struct Response {
   uint32_t retry_after_ms = 0;
   std::variant<EmptyResult, QueryResult, UpdateResult, ExportResult,
                StatusResult, CreateTenantResult, ListTenantsResult,
-               SaveGraphResult>
+               SaveGraphResult, AddRuleResult, RetractRuleResult, MineResult>
       body;
 
   bool ok() const { return code == StatusCode::kOk; }

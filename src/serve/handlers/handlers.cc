@@ -49,6 +49,9 @@ Dispatcher::Dispatcher(service::TenantRegistry* registry)
   table_[comm::Verb::kListTenants] = &Dispatcher::HandleListTenants;
   table_[comm::Verb::kSaveGraph] = &Dispatcher::HandleSaveGraph;
   table_[comm::Verb::kShutdown] = &Dispatcher::HandleShutdown;
+  table_[comm::Verb::kAddRule] = &Dispatcher::HandleAddRule;
+  table_[comm::Verb::kRetractRule] = &Dispatcher::HandleRetractRule;
+  table_[comm::Verb::kMine] = &Dispatcher::HandleMine;
 }
 
 comm::Response Dispatcher::Dispatch(const comm::Request& request) const {
@@ -222,6 +225,48 @@ comm::Response Dispatcher::HandleSaveGraph(const comm::Request& request) const {
   if (!saved.ok()) return comm::Response::Error(saved.status());
   comm::Response response;
   response.body = std::move(saved).value();
+  return response;
+}
+
+comm::Response Dispatcher::HandleAddRule(const comm::Request& request) const {
+  const auto& body = std::get<comm::AddRuleRequest>(request.body);
+  if (body.rule.empty()) {
+    return comm::Response::Error(
+        Status::InvalidArgument("add_rule needs a rule fragment"));
+  }
+  auto tenant = ReadyTenant(request);
+  if (!tenant.ok()) return comm::Response::Error(tenant.status());
+  auto result = (*tenant)->SubmitAddRule(body);
+  if (!result.ok()) return comm::Response::Error(result.status());
+  comm::Response response;
+  response.body = std::move(result).value();
+  return response;
+}
+
+comm::Response Dispatcher::HandleRetractRule(
+    const comm::Request& request) const {
+  const auto& body = std::get<comm::RetractRuleRequest>(request.body);
+  if (body.label.empty()) {
+    return comm::Response::Error(
+        Status::InvalidArgument("retract_rule needs a label"));
+  }
+  auto tenant = ReadyTenant(request);
+  if (!tenant.ok()) return comm::Response::Error(tenant.status());
+  auto result = (*tenant)->SubmitRetractRule(body);
+  if (!result.ok()) return comm::Response::Error(result.status());
+  comm::Response response;
+  response.body = std::move(result).value();
+  return response;
+}
+
+comm::Response Dispatcher::HandleMine(const comm::Request& request) const {
+  const auto& body = std::get<comm::MineRequest>(request.body);
+  auto tenant = ReadyTenant(request);
+  if (!tenant.ok()) return comm::Response::Error(tenant.status());
+  auto result = (*tenant)->SubmitMine(body);
+  if (!result.ok()) return comm::Response::Error(result.status());
+  comm::Response response;
+  response.body = std::move(result).value();
   return response;
 }
 

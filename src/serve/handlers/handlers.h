@@ -51,6 +51,9 @@ class Dispatcher {
   comm::Response HandleListTenants(const comm::Request& request) const;
   comm::Response HandleSaveGraph(const comm::Request& request) const;
   comm::Response HandleShutdown(const comm::Request& request) const;
+  comm::Response HandleAddRule(const comm::Request& request) const;
+  comm::Response HandleRetractRule(const comm::Request& request) const;
+  comm::Response HandleMine(const comm::Request& request) const;
 
   /// Looks up the tenant a request addresses and waits for its readiness
   /// signal (first published view) — the explicit rendezvous that replaced

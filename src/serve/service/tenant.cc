@@ -114,6 +114,44 @@ StatusOr<comm::SaveGraphResult> TenantInstance::SaveGraph(
   return done.get();
 }
 
+StatusOr<comm::AddRuleResult> TenantInstance::SubmitAddRule(
+    comm::AddRuleRequest request) {
+  Job job;
+  job.kind = Job::Kind::kAddRule;
+  job.add_rule = std::move(request);
+  std::future<StatusOr<comm::AddRuleResult>> done =
+      job.add_rule_done.get_future();
+  if (!queue_.Push(std::move(job))) {
+    return Status::FailedPrecondition("tenant '" + name_ + "' is stopped");
+  }
+  return done.get();
+}
+
+StatusOr<comm::RetractRuleResult> TenantInstance::SubmitRetractRule(
+    comm::RetractRuleRequest request) {
+  Job job;
+  job.kind = Job::Kind::kRetractRule;
+  job.retract_rule = std::move(request);
+  std::future<StatusOr<comm::RetractRuleResult>> done =
+      job.retract_rule_done.get_future();
+  if (!queue_.Push(std::move(job))) {
+    return Status::FailedPrecondition("tenant '" + name_ + "' is stopped");
+  }
+  return done.get();
+}
+
+StatusOr<comm::MineResult> TenantInstance::SubmitMine(
+    comm::MineRequest request) {
+  Job job;
+  job.kind = Job::Kind::kMine;
+  job.mine = request;
+  std::future<StatusOr<comm::MineResult>> done = job.mine_done.get_future();
+  if (!queue_.Push(std::move(job))) {
+    return Status::FailedPrecondition("tenant '" + name_ + "' is stopped");
+  }
+  return done.get();
+}
+
 StatusOr<TenantInstance::DrainReport> TenantInstance::Drain() {
   Job job;
   job.kind = Job::Kind::kDrain;
@@ -138,6 +176,11 @@ comm::TenantStatus TenantInstance::GetStatus() const {
     const auto view = dd->Query();
     status.epoch = view->epoch;
     status.num_variables = view->marginals.size();
+    // Program identity travels inside the published view, so any thread can
+    // report it without touching the serving-thread-only program() surface.
+    status.program_version = view->program_version;
+    status.rule_count = view->rule_count;
+    status.rules_fingerprint = view->rules_fingerprint;
   }
   // ordering: relaxed — monotone counters; the status snapshot is
   // statistical, not a synchronization point.
@@ -222,8 +265,22 @@ void TenantInstance::ServeLoop() {
       case Job::Kind::kDrain:
         job->drain_done.set_value(ExecuteDrain(dd.get()));
         break;
+      case Job::Kind::kAddRule:
+        job->add_rule_done.set_value(ExecuteAddRule(dd.get(), job->add_rule));
+        break;
+      case Job::Kind::kRetractRule:
+        job->retract_rule_done.set_value(
+            ExecuteRetractRule(dd.get(), job->retract_rule));
+        break;
+      case Job::Kind::kMine:
+        job->mine_done.set_value(ExecuteMine(dd.get(), job->mine));
+        break;
     }
   }
+
+  // The miner unregisters its relation-delta listener on destruction, so it
+  // must go before the engine is unpublished (and on this thread).
+  miner_.reset();
 
   // Queue closed and drained. Finish background materialization so no
   // engine-owned worker outlives this loop, then unpublish; readers holding
@@ -351,6 +408,63 @@ StatusOr<TenantInstance::DrainReport> TenantInstance::ExecuteDrain(
   return report;
 }
 
+StatusOr<comm::AddRuleResult> TenantInstance::ExecuteAddRule(
+    core::DeepDive* dd, const comm::AddRuleRequest& r) {
+  DD_ASSIGN_OR_RETURN(incremental::UpdateReport report, dd->AddRule(r.rule));
+  comm::AddRuleResult result;
+  result.epoch = report.epoch;
+  result.label = report.label;
+  result.strategy = incremental::StrategyName(report.strategy);
+  result.grounding_work = report.grounding_work;
+  result.grounding_seconds = report.grounding_seconds;
+  result.inference_seconds = report.inference_seconds;
+  result.program_version = dd->program_version();
+  result.rule_count = dd->NumRules();
+  result.rules_fingerprint = dd->RulesFingerprint();
+  return result;
+}
+
+StatusOr<comm::RetractRuleResult> TenantInstance::ExecuteRetractRule(
+    core::DeepDive* dd, const comm::RetractRuleRequest& r) {
+  DD_ASSIGN_OR_RETURN(incremental::UpdateReport report,
+                      dd->RetractRule(r.label));
+  comm::RetractRuleResult result;
+  result.epoch = report.epoch;
+  result.strategy = incremental::StrategyName(report.strategy);
+  result.acceptance = report.acceptance_rate;
+  result.program_version = dd->program_version();
+  result.rule_count = dd->NumRules();
+  result.rules_fingerprint = dd->RulesFingerprint();
+  return result;
+}
+
+StatusOr<comm::MineResult> TenantInstance::ExecuteMine(
+    core::DeepDive* dd, const comm::MineRequest& r) {
+  const bool thresholds_changed =
+      miner_ != nullptr && (miner_request_.min_support != r.min_support ||
+                            miner_request_.min_confidence != r.min_confidence ||
+                            miner_request_.max_body_atoms != r.max_body_atoms);
+  if (miner_ == nullptr || thresholds_changed) {
+    mining::MinerOptions options;
+    options.candidates.min_support = r.min_support;
+    options.candidates.min_confidence = r.min_confidence;
+    options.candidates.max_body_atoms = r.max_body_atoms;
+    miner_ = std::make_unique<mining::RuleMiner>(dd, options);
+    miner_request_ = r;
+  }
+  DD_ASSIGN_OR_RETURN(mining::MineReport report,
+                      miner_->Mine(r.max_promotions));
+  comm::MineResult result;
+  result.epoch = dd->Query()->epoch;
+  result.candidates_considered = report.candidates_considered;
+  result.candidates_trialed = report.candidates_trialed;
+  result.promoted = report.promoted;
+  result.program_version = dd->program_version();
+  result.rule_count = dd->NumRules();
+  result.rules_fingerprint = dd->RulesFingerprint();
+  return result;
+}
+
 void TenantInstance::RejectJob(Job* job, const Status& status) {
   switch (job->kind) {
     case Job::Kind::kUpdate:
@@ -361,6 +475,15 @@ void TenantInstance::RejectJob(Job* job, const Status& status) {
       break;
     case Job::Kind::kDrain:
       job->drain_done.set_value(status);
+      break;
+    case Job::Kind::kAddRule:
+      job->add_rule_done.set_value(status);
+      break;
+    case Job::Kind::kRetractRule:
+      job->retract_rule_done.set_value(status);
+      break;
+    case Job::Kind::kMine:
+      job->mine_done.set_value(status);
       break;
   }
 }

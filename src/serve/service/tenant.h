@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/deepdive.h"
+#include "mining/miner.h"
 #include "serve/comm/messages.h"
 #include "util/bounded_queue.h"
 #include "util/mutex.h"
@@ -84,6 +85,18 @@ class TenantInstance {
   /// job: blocks for queue space instead of shedding.
   StatusOr<comm::SaveGraphResult> SaveGraph(const std::string& path);
 
+  /// Program evolution on the writer thread. Rule deltas are rare relative
+  /// to data updates, so like admin jobs they block for queue space instead
+  /// of shedding.
+  StatusOr<comm::AddRuleResult> SubmitAddRule(comm::AddRuleRequest request);
+  StatusOr<comm::RetractRuleResult> SubmitRetractRule(
+      comm::RetractRuleRequest request);
+  /// One rule-mining pass (candidate generation + engine trials). The miner
+  /// and its co-occurrence statistics are created lazily on the writer
+  /// thread at the first mine and kept incremental afterwards; a request
+  /// with different thresholds rebuilds it.
+  StatusOr<comm::MineResult> SubmitMine(comm::MineRequest request);
+
   /// Outcome of a Drain(): where the materialization pipeline ended up
   /// (both zero in rerun mode, which has no materialization).
   struct DrainReport {
@@ -113,13 +126,19 @@ class TenantInstance {
   enum class Phase { kStarting, kReady, kFailed, kStopped };
 
   struct Job {
-    enum class Kind { kUpdate, kSaveGraph, kDrain };
+    enum class Kind { kUpdate, kSaveGraph, kDrain, kAddRule, kRetractRule, kMine };
     Kind kind = Kind::kUpdate;
     comm::UpdateRequest update;
     std::string save_path;
+    comm::AddRuleRequest add_rule;
+    comm::RetractRuleRequest retract_rule;
+    comm::MineRequest mine;
     std::promise<StatusOr<comm::UpdateResult>> update_done;
     std::promise<StatusOr<comm::SaveGraphResult>> save_done;
     std::promise<StatusOr<DrainReport>> drain_done;
+    std::promise<StatusOr<comm::AddRuleResult>> add_rule_done;
+    std::promise<StatusOr<comm::RetractRuleResult>> retract_rule_done;
+    std::promise<StatusOr<comm::MineResult>> mine_done;
   };
 
   /// The writer thread's whole life: build + init the engine, publish
@@ -135,6 +154,15 @@ class TenantInstance {
                                                    const std::string& path)
       REQUIRES(serving_thread);
   StatusOr<DrainReport> ExecuteDrain(core::DeepDive* dd)
+      REQUIRES(serving_thread);
+  StatusOr<comm::AddRuleResult> ExecuteAddRule(core::DeepDive* dd,
+                                               const comm::AddRuleRequest& r)
+      REQUIRES(serving_thread);
+  StatusOr<comm::RetractRuleResult> ExecuteRetractRule(
+      core::DeepDive* dd, const comm::RetractRuleRequest& r)
+      REQUIRES(serving_thread);
+  StatusOr<comm::MineResult> ExecuteMine(core::DeepDive* dd,
+                                         const comm::MineRequest& r)
       REQUIRES(serving_thread);
   /// Fulfils a job's promise with `status` (used to reject queued jobs when
   /// the tenant failed to initialize or is stopping).
@@ -156,6 +184,12 @@ class TenantInstance {
   /// unique owner) so the read plane can hold the engine across Stop().
   std::shared_ptr<core::DeepDive> engine_ GUARDED_BY(mu_);
   std::function<void()> pre_update_hook_ GUARDED_BY(mu_);
+
+  /// Writer-thread-only rule miner, created lazily by the first kMine job
+  /// and destroyed by ServeLoop before the engine is unpublished (its
+  /// destructor unregisters the engine's relation-delta listener).
+  std::unique_ptr<mining::RuleMiner> miner_ GUARDED_BY(serving_thread);
+  comm::MineRequest miner_request_ GUARDED_BY(serving_thread);
 
   /// Monotone serving counters, read by GetStatus from any thread.
   std::atomic<uint64_t> updates_applied_{0};

@@ -22,6 +22,9 @@
 //   deepdive_cli client 127.0.0.1:4750 query --tenant kb --relation HasSpouse
 //   deepdive_cli client 127.0.0.1:4750 update --tenant kb --rules fe2.ddl
 //   deepdive_cli client 127.0.0.1:4750 export --tenant kb --output R=out.tsv
+//   deepdive_cli client 127.0.0.1:4750 add-rule --tenant kb --rule 'factor ...'
+//   deepdive_cli client 127.0.0.1:4750 retract-rule --tenant kb --label r1
+//   deepdive_cli client 127.0.0.1:4750 mine --tenant kb --max-promotions 2
 //   deepdive_cli client 127.0.0.1:4750 shutdown
 // A shed update (queue at its admission watermark) exits with code 3 and
 // prints the server's retry-after hint.
@@ -150,7 +153,8 @@ void Usage() {
                "       [--no-mmap] [--no-validate]\n"
                "   or: deepdive_cli client ADDRESS VERB [--tenant NAME]\n"
                "       (verbs: status, query, update, export, create-tenant,\n"
-               "        list-tenants, save-graph, shutdown)\n");
+               "        list-tenants, save-graph, shutdown, add-rule,\n"
+               "        retract-rule, mine)\n");
 }
 
 StatusOr<std::pair<std::string, std::string>> SplitAssignment(const std::string& arg) {
@@ -657,10 +661,12 @@ StatusOr<ClientArgs> ParseClientArgs(int argc, char** argv) {
   std::string path;
   std::string relation;
   std::string tuple;
+  std::string rule_text;
   double threshold = 0.0;
   std::vector<std::pair<std::string, std::string>> data;
   serve::comm::TenantConfig config;
   std::vector<std::string> relations;
+  serve::comm::MineRequest mine;
 
   for (int i = 4; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -711,6 +717,23 @@ StatusOr<ClientArgs> ParseClientArgs(int argc, char** argv) {
       } else {
         return Status::InvalidArgument("unknown mode '" + v + "'");
       }
+    } else if (flag == "--rule") {
+      DD_ASSIGN_OR_RETURN(rule_text, next());
+    } else if (flag == "--max-promotions") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      DD_ASSIGN_OR_RETURN(size_t n, ParseCount(flag, v, 1, 1024));
+      mine.max_promotions = n;
+    } else if (flag == "--min-support") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      DD_ASSIGN_OR_RETURN(size_t n, ParseCount(flag, v, 0, 1000000000));
+      mine.min_support = static_cast<int64_t>(n);
+    } else if (flag == "--min-confidence") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      mine.min_confidence = std::strtod(v.c_str(), nullptr);
+    } else if (flag == "--max-body-atoms") {
+      DD_ASSIGN_OR_RETURN(std::string v, next());
+      DD_ASSIGN_OR_RETURN(size_t n, ParseCount(flag, v, 1, 2));
+      mine.max_body_atoms = static_cast<uint32_t>(n);
     } else {
       return Status::InvalidArgument("unknown flag '" + flag + "'");
     }
@@ -772,6 +795,26 @@ StatusOr<ClientArgs> ParseClientArgs(int argc, char** argv) {
     args.request.body = std::move(body);
   } else if (verb == "shutdown") {
     args.request.body = serve::comm::ShutdownRequest{};
+  } else if (verb == "add-rule") {
+    // The rule fragment travels inline (--rule) or from a file (--rules).
+    serve::comm::AddRuleRequest body;
+    if (!rule_text.empty()) {
+      body.rule = rule_text;
+    } else if (!rules_path.empty()) {
+      DD_ASSIGN_OR_RETURN(body.rule, ReadFile(rules_path));
+    } else {
+      return Status::InvalidArgument("add-rule needs --rule or --rules");
+    }
+    args.request.body = std::move(body);
+  } else if (verb == "retract-rule") {
+    if (label.empty()) {
+      return Status::InvalidArgument("retract-rule needs --label");
+    }
+    serve::comm::RetractRuleRequest body;
+    body.label = label;
+    args.request.body = std::move(body);
+  } else if (verb == "mine") {
+    args.request.body = mine;
   } else {
     return Status::InvalidArgument("unknown client verb '" + verb + "'");
   }
@@ -798,13 +841,17 @@ StatusOr<int> RunClient(const ClientArgs& args) {
       for (const serve::comm::TenantStatus& t : result.tenants) {
         std::printf(
             "tenant %s: ready=%d failed=%d epoch=%llu vars=%llu "
-            "applied=%llu shed=%llu queue=%u/%u watermark=%u\n",
+            "applied=%llu shed=%llu queue=%u/%u watermark=%u "
+            "program=v%llu rules=%llu fingerprint=%016llx\n",
             t.name.c_str(), t.ready ? 1 : 0, t.failed ? 1 : 0,
             static_cast<unsigned long long>(t.epoch),
             static_cast<unsigned long long>(t.num_variables),
             static_cast<unsigned long long>(t.updates_applied),
             static_cast<unsigned long long>(t.updates_shed), t.queue_depth,
-            t.queue_capacity, t.shed_watermark);
+            t.queue_capacity, t.shed_watermark,
+            static_cast<unsigned long long>(t.program_version),
+            static_cast<unsigned long long>(t.rule_count),
+            static_cast<unsigned long long>(t.rules_fingerprint));
       }
       break;
     }
@@ -871,6 +918,47 @@ StatusOr<int> RunClient(const ClientArgs& args) {
     case serve::comm::Verb::kShutdown:
       std::printf("shutdown: %s\n", response.message.c_str());
       break;
+    case serve::comm::Verb::kAddRule: {
+      const auto& result = std::get<serve::comm::AddRuleResult>(response.body);
+      std::printf(
+          "added rule %s: epoch=%llu groundings=%llu strategy=%s "
+          "program=v%llu rules=%llu fingerprint=%016llx\n",
+          result.label.c_str(), static_cast<unsigned long long>(result.epoch),
+          static_cast<unsigned long long>(result.grounding_work),
+          result.strategy.c_str(),
+          static_cast<unsigned long long>(result.program_version),
+          static_cast<unsigned long long>(result.rule_count),
+          static_cast<unsigned long long>(result.rules_fingerprint));
+      break;
+    }
+    case serve::comm::Verb::kRetractRule: {
+      const auto& result =
+          std::get<serve::comm::RetractRuleResult>(response.body);
+      std::printf(
+          "retracted rule: epoch=%llu strategy=%s program=v%llu rules=%llu "
+          "fingerprint=%016llx\n",
+          static_cast<unsigned long long>(result.epoch),
+          result.strategy.c_str(),
+          static_cast<unsigned long long>(result.program_version),
+          static_cast<unsigned long long>(result.rule_count),
+          static_cast<unsigned long long>(result.rules_fingerprint));
+      break;
+    }
+    case serve::comm::Verb::kMine: {
+      const auto& result = std::get<serve::comm::MineResult>(response.body);
+      std::printf(
+          "mined: considered=%llu trialed=%llu promoted=%zu epoch=%llu "
+          "program=v%llu rules=%llu\n",
+          static_cast<unsigned long long>(result.candidates_considered),
+          static_cast<unsigned long long>(result.candidates_trialed),
+          result.promoted.size(), static_cast<unsigned long long>(result.epoch),
+          static_cast<unsigned long long>(result.program_version),
+          static_cast<unsigned long long>(result.rule_count));
+      for (const std::string& promoted_label : result.promoted) {
+        std::printf("promoted %s\n", promoted_label.c_str());
+      }
+      break;
+    }
   }
   return 0;
 }

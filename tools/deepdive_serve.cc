@@ -8,7 +8,11 @@
 // serving-thread contract) fed by a bounded update queue with admission
 // control; queries pin lock-free result views from any connection worker.
 // Drive it with `deepdive_cli client ADDRESS VERB ...`, which speaks the
-// same request structs through the same handler tier.
+// same request structs through the same handler tier. Besides data updates,
+// tenants evolve their *programs* online: the add_rule / retract_rule verbs
+// apply first-class rule deltas on the writer thread (grounding only the new
+// rule, never re-grounding), and the mine verb runs one incremental
+// rule-mining pass (co-occurrence candidates trialed through the engine).
 //
 // Options:
 //   --listen ADDR           "HOST:PORT" (port 0 = ephemeral) or "unix:PATH"

@@ -46,6 +46,12 @@ SCOPE_SEEDS = [
     "Fnv1aHash",
     "EstimateMarginals",
     "EstimateMarginalsAuto",
+    # rule mining: candidate generation and trial order must be
+    # bit-reproducible (the miner's promote/reject decisions — and thus the
+    # evolved program itself — depend on it)
+    "GenerateCandidates",
+    "CooccurrenceStats::Observe",
+    "RuleMiner::Mine",
 ]
 
 # Seed-derivation helpers that implement decorrelated stream keying; an Rng
@@ -443,6 +449,32 @@ namespace deepdive {
 void F() { std::mt19937 gen(42); }
 }
 """, ["determinism-rng"]),
+    # Candidate generation is in scope: hash-order iteration would make the
+    # proposal order (and thus the mined program) layout-dependent.
+    ("miner_unordered_candidates.cc", """
+#include <unordered_map>
+namespace deepdive::mining {
+struct Gen {
+  std::unordered_map<int, int> supports_;
+  void GenerateCandidates() {
+    for (const auto& [p, s] : supports_) { Emit(p, s); }
+  }
+  void Emit(int, int);
+};
+}
+""", ["determinism-unordered"]),
+    ("miner_ordered_candidates_ok.cc", """
+#include <map>
+namespace deepdive::mining {
+struct Gen {
+  std::map<int, int> supports_;
+  void GenerateCandidates() {
+    for (const auto& [p, s] : supports_) { Emit(p, s); }
+  }
+  void Emit(int, int);
+};
+}
+""", []),
     # The blessed ordered helper may iterate unordered state: it imposes
     # order itself (collect, sort, visit).
     ("blessed_helper_exempt.cc", """

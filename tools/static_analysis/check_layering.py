@@ -45,12 +45,17 @@ MODULE_DAG = {
              "inference", "storage", "util"],
     "kbc": ["core", "dsl", "factor", "incremental", "inference", "storage",
             "util"],
+    # Rule mining drives the engine's public rule-delta surface from above:
+    # it may see core (DeepDive) and the layers core re-exports, but nothing
+    # below core may ever include mining — the miner is a client, not a
+    # dependency, of the engine.
+    "mining": ["core", "dsl", "engine", "inference", "storage", "util"],
     # Serving tiers: comm is pure framing/codec (util only); handlers dispatch
     # verbs onto the service tier; only service may touch the engine (via
     # core); srv accepts connections and feeds handlers.
     "serve/comm": ["util"],
     "serve/handlers": ["serve/comm", "serve/service", "storage", "util"],
-    "serve/service": ["core", "factor", "incremental", "inference",
+    "serve/service": ["core", "factor", "incremental", "inference", "mining",
                       "serve/comm", "storage", "util"],
     "serve/srv": ["serve/comm", "serve/handlers", "util"],
     # The serve.h umbrella re-exports the whole stack for out-of-tree users.
@@ -233,6 +238,15 @@ SELF_TEST_CASES = [
      '#include "core/deepdive.h"\nvoid f() {}\n', "layering"),
     ("util_includes_factor.cc", "util",
      '#include "factor/factor_graph.h"\nvoid f() {}\n', "layering"),
+    ("core_includes_mining.cc", "core",
+     '#include "mining/miner.h"\nvoid f() {}\n', "layering"),
+    ("handlers_include_mining.cc", "serve/handlers",
+     '#include "mining/candidates.h"\nvoid h() {}\n', "layering"),
+    ("mining_above_core_ok.cc", "mining",
+     '#include "core/deepdive.h"\n#include "dsl/ast.h"\n'
+     '#include "engine/view_maintenance.h"\nvoid m() {}\n', None),
+    ("service_owns_miner.cc", "serve/service",
+     '#include "mining/miner.h"\nvoid h() {}\n', None),
     ("handlers_ok.cc", "serve/handlers",
      '#include "serve/service/tenant.h"\n#include "serve/comm/messages.h"\n'
      '#include "util/status.h"\nvoid h() {}\n', None),
